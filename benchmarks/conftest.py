@@ -1,0 +1,34 @@
+"""Benchmark harness plumbing.
+
+Every benchmark regenerates one of the paper's tables/figures through the
+experiment drivers, records the rendered table under
+``benchmarks/results/`` and prints it (visible with ``pytest -s``), then
+times the driver with pytest-benchmark.  Drivers share the process-wide
+memoized study context, so the timed call measures the (cached) figure
+assembly; the first benchmark in a session pays the grid evaluation.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture()
+def record_table(benchmark):
+    """Run an experiment driver under pytest-benchmark and persist its table.
+
+    Usage: ``table = record_table(driver_callable, "fig03a")``.
+    """
+
+    def _run(driver, slug, rounds: int = 1):
+        table = benchmark.pedantic(driver, rounds=rounds, iterations=1)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = table.formatted()
+        (RESULTS_DIR / f"{slug}.txt").write_text(text + "\n")
+        print()
+        print(text)
+        return table
+
+    return _run

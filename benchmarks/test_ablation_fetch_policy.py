@@ -1,0 +1,10 @@
+"""Bench ablation: round-robin vs ICOUNT SMT fetch."""
+
+from repro.experiments import ablations
+
+
+def test_ablation_fetch_policy(record_table):
+    table = record_table(ablations.run_fetch_policy, "ablation_fetch")
+    for row in table.rows:
+        # With statically partitioned windows, policies land within 2 %.
+        assert abs(row["ICOUNT stp"] / row["RR stp"] - 1) < 0.02

@@ -1,0 +1,8 @@
+"""Bench ablation: demand-proportional vs even LLC partitioning."""
+
+from repro.experiments import ablations
+
+
+def test_ablation_llc_sharing(record_table):
+    table = record_table(ablations.run_llc_sharing, "ablation_llc")
+    assert len(table.rows) >= 3

@@ -1,0 +1,8 @@
+"""Bench ablation: static vs shared ROB partitioning under SMT."""
+
+from repro.experiments import ablations
+
+
+def test_ablation_rob_partition(record_table):
+    table = record_table(ablations.run_rob_partitioning, "ablation_rob")
+    assert len(table.rows) >= 3

@@ -1,0 +1,12 @@
+"""Bench ablation: co-scheduling quality (stacked vs heuristic vs optimized)."""
+
+from repro.experiments import ablations
+
+
+def test_ablation_scheduling(record_table):
+    table = record_table(
+        lambda: ablations.run_scheduling(n_threads=8, num_mixes=6),
+        "ablation_scheduling",
+    )
+    for row in table.rows:
+        assert row["optimized"] >= row["stacked"] - 1e-9

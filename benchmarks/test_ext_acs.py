@@ -1,0 +1,16 @@
+"""Bench extension: Accelerating Critical Sections vs SMT flexibility."""
+
+from repro.experiments import ext_acs
+
+
+def test_ext_acs(record_table):
+    table = record_table(ext_acs.run, "ext_acs")
+    for row in table.rows:
+        if row["design"] != "4B":
+            assert row["ACS"] >= row["pinned"]  # ACS helps hetero designs
+    four_b = table.row_by("design", "4B")
+    best_hetero_acs = max(
+        row["ACS"] for row in table.rows if row["design"] != "4B"
+    )
+    # The paper's Section 9 point: 4B gets the benefit without migrating.
+    assert four_b["pinned"] >= best_hetero_acs * 0.95

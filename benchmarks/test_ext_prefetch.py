@@ -1,0 +1,12 @@
+"""Bench extension: hardware prefetchers on the cycle-level tier."""
+
+from repro.experiments import ext_prefetch
+
+
+def test_ext_prefetch(record_table):
+    table = record_table(ext_prefetch.run, "ext_prefetch")
+    for row in table.rows:
+        # Prefetching never hurts these workloads, and next-line coverage
+        # of the sequential compulsory stream is large.
+        assert row["nextline"] >= row["none"]
+        assert row["stride"] >= row["none"] * 0.95

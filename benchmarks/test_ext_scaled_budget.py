@@ -1,0 +1,12 @@
+"""Bench extension: the study at a doubled hardware budget (8B / 48 threads)."""
+
+from repro.experiments import ext_scaled_budget
+
+
+def test_ext_scaled_budget(record_table):
+    table = record_table(
+        lambda: ext_scaled_budget.run(max_threads=48, mixes_per_count=6),
+        "ext_scaled_budget",
+    )
+    vals_smt = {r["design"]: r["SMT"] for r in table.rows}
+    assert vals_smt["8B"] >= 0.97 * max(vals_smt.values())

@@ -1,0 +1,11 @@
+"""Bench extension: EPI-style serial-phase frequency boosting."""
+
+from repro.experiments import ext_serial_boost
+
+
+def test_ext_serial_boost(record_table):
+    table = record_table(ext_serial_boost.run, "ext_serial_boost")
+    for row in table.rows:
+        assert row["boosted"] >= row["baseline"]  # boosting never hurts
+    vals = {row["design"]: row["boosted"] for row in table.rows}
+    assert max(vals, key=vals.get) == "4B"  # ranking unchanged

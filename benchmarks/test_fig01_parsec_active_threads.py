@@ -1,0 +1,11 @@
+"""Bench: Figure 1 — active-thread distribution of PARSEC on 20 cores."""
+
+from repro.experiments import fig01_parsec_threads
+
+
+def test_fig01(record_table):
+    table = record_table(fig01_parsec_threads.run, "fig01")
+    assert len(table.rows) == 8
+    # Headline statistic: ~half the time at 20 threads on average.
+    avg_at_20 = sum(row["20"] for row in table.rows) / len(table.rows)
+    assert 0.25 < avg_at_20 < 0.7

@@ -1,0 +1,8 @@
+"""Bench: Figure 2 — the nine power-equivalent designs."""
+
+from repro.experiments import fig02_design_space
+
+
+def test_fig02(record_table):
+    table = record_table(fig02_design_space.run, "fig02")
+    assert len(table.rows) == 9

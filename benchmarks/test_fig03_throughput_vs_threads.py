@@ -1,0 +1,20 @@
+"""Bench: Figure 3 — STP vs thread count for the nine designs (both panels)."""
+
+from repro.experiments import fig03_throughput_curves
+
+
+def test_fig03a_homogeneous(record_table):
+    table = record_table(
+        lambda: fig03_throughput_curves.run("homogeneous"), "fig03a"
+    )
+    assert len(table.rows) == 24
+
+
+def test_fig03b_heterogeneous(record_table):
+    table = record_table(
+        lambda: fig03_throughput_curves.run("heterogeneous"), "fig03b"
+    )
+    at24 = table.row_by("threads", 24)
+    at1 = table.row_by("threads", 1)
+    assert at1["4B"] >= at1["20s"]
+    assert at24["4B"] > 0

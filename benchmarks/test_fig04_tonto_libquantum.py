@@ -1,0 +1,22 @@
+"""Bench: Figure 4 — tonto (compute-bound) and libquantum (bandwidth-bound)."""
+
+from repro.experiments import fig04_tonto_libquantum
+
+
+def test_fig04a_tonto(record_table):
+    table = record_table(
+        lambda: fig04_tonto_libquantum.run("tonto"), "fig04a"
+    )
+    at24 = table.row_by("threads", 24)
+    assert at24["20s"] > at24["4B"]  # many-core wins the compute class
+
+
+def test_fig04b_libquantum(record_table):
+    table = record_table(
+        lambda: fig04_tonto_libquantum.run("libquantum"), "fig04b"
+    )
+    at24 = table.row_by("threads", 24)
+    spread = max(at24[d] for d in at24 if d != "threads") / min(
+        at24[d] for d in at24 if d != "threads"
+    )
+    assert spread < 1.15  # bandwidth saturation flattens the design space

@@ -1,0 +1,9 @@
+"""Bench: Figure 5 — ANTT vs thread count."""
+
+from repro.experiments import fig05_antt
+
+
+def test_fig05(record_table):
+    table = record_table(fig05_antt.run, "fig05")
+    at1 = table.row_by("threads", 1)
+    assert min(at1, key=lambda k: at1[k] if k != "threads" else 99) == "4B"

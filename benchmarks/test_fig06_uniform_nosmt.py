@@ -1,0 +1,10 @@
+"""Bench: Figure 6 — uniform distribution, no SMT anywhere."""
+
+from repro.experiments import fig06_fig07_fig08_uniform as uniform_figs
+
+
+def test_fig06(record_table):
+    table = record_table(lambda: uniform_figs.run("none"), "fig06")
+    for kind in ("homogeneous", "heterogeneous"):
+        vals = {row["design"]: row[kind] for row in table.rows}
+        assert max(vals, key=vals.get) not in ("4B", "8m", "20s")

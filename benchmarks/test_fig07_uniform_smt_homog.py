@@ -1,0 +1,12 @@
+"""Bench: Figure 7 — uniform distribution, SMT in homogeneous designs only."""
+
+from repro.experiments import fig06_fig07_fig08_uniform as uniform_figs
+
+
+def test_fig07(record_table):
+    table = record_table(
+        lambda: uniform_figs.run("homogeneous-only"), "fig07"
+    )
+    for kind in ("homogeneous", "heterogeneous"):
+        vals = {row["design"]: row[kind] for row in table.rows}
+        assert max(vals, key=vals.get) == "4B"

@@ -1,0 +1,10 @@
+"""Bench: Figure 8 — uniform distribution, SMT everywhere."""
+
+from repro.experiments import fig06_fig07_fig08_uniform as uniform_figs
+
+
+def test_fig08(record_table):
+    table = record_table(lambda: uniform_figs.run("all"), "fig08")
+    for kind in ("homogeneous", "heterogeneous"):
+        vals = {row["design"]: row[kind] for row in table.rows}
+        assert vals["4B"] >= 0.97 * max(vals.values())

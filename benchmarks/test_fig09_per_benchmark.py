@@ -1,0 +1,8 @@
+"""Bench: Figure 9 — per-benchmark uniform-distribution averages."""
+
+from repro.experiments import fig09_per_benchmark
+
+
+def test_fig09(record_table):
+    table = record_table(fig09_per_benchmark.run, "fig09")
+    assert len(table.rows) == 12

@@ -1,0 +1,14 @@
+"""Bench: Figure 10 — datacenter and mirrored thread-count distributions."""
+
+from repro.experiments import fig10_datacenter
+
+
+def test_fig10a_distribution(record_table):
+    table = record_table(fig10_datacenter.run_distribution, "fig10a")
+    assert len(table.rows) == 24
+
+
+def test_fig10b_averages(record_table):
+    table = record_table(fig10_datacenter.run, "fig10b")
+    vals = {row["design"]: row["datacenter SMT"] for row in table.rows}
+    assert max(vals, key=vals.get) == "4B"

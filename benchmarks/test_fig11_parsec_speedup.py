@@ -1,0 +1,19 @@
+"""Bench: Figure 11 — average PARSEC speedups (ROI and whole program)."""
+
+from repro.experiments import fig11_fig12_parsec
+
+
+def test_fig11a_roi(record_table):
+    table = record_table(
+        lambda: fig11_fig12_parsec.run_average("roi"), "fig11a"
+    )
+    vals_no = {r["design"]: r["without SMT"] for r in table.rows}
+    assert max(vals_no, key=vals_no.get) != "4B"  # 8m-class optimum w/o SMT
+
+
+def test_fig11b_whole(record_table):
+    table = record_table(
+        lambda: fig11_fig12_parsec.run_average("whole"), "fig11b"
+    )
+    vals_smt = {r["design"]: r["with SMT"] for r in table.rows}
+    assert max(vals_smt, key=vals_smt.get) == "4B"

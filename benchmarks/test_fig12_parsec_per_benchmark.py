@@ -1,0 +1,20 @@
+"""Bench: Figure 12 — per-benchmark PARSEC speedups."""
+
+from repro.experiments import fig11_fig12_parsec
+
+
+def test_fig12a_roi(record_table):
+    table = record_table(
+        lambda: fig11_fig12_parsec.run_per_benchmark("roi", smt=True), "fig12a"
+    )
+    assert len(table.rows) == 8
+
+
+def test_fig12b_whole(record_table):
+    table = record_table(
+        lambda: fig11_fig12_parsec.run_per_benchmark("whole", smt=True),
+        "fig12b",
+    )
+    bests = table.column("best")
+    # Whole-program: a big-core design optimal for most benchmarks.
+    assert sum(b in ("4B", "1B6m", "1B15s") for b in bests) >= 5

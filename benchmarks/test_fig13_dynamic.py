@@ -1,0 +1,19 @@
+"""Bench: Figure 13 — 4B with SMT versus the ideal dynamic multi-core."""
+
+from repro.experiments import fig13_dynamic
+
+
+def test_fig13a_homogeneous(record_table):
+    table = record_table(
+        lambda: fig13_dynamic.run("homogeneous"), "fig13a"
+    )
+    assert len(table.rows) == 24
+
+
+def test_fig13b_heterogeneous(record_table):
+    table = record_table(
+        lambda: fig13_dynamic.run("heterogeneous"), "fig13b"
+    )
+    mean_4b = sum(r["4B (SMT)"] for r in table.rows) / len(table.rows)
+    mean_dyn = sum(r["dynamic w/o SMT"] for r in table.rows) / len(table.rows)
+    assert mean_4b >= mean_dyn * 0.97  # Finding 8

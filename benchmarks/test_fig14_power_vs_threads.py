@@ -1,0 +1,11 @@
+"""Bench: Figure 14 — power vs thread count with power gating."""
+
+from repro.experiments import fig14_power
+
+
+def test_fig14(record_table):
+    table = record_table(fig14_power.run, "fig14")
+    at24 = table.row_by("threads", 24)
+    assert 40.0 < at24["4B"] < 50.0  # paper: ~46 W
+    at1 = table.row_by("threads", 1)
+    assert at1["4B"] > at1["8m"] > at1["20s"]  # 17.3 / 13.5 / 9.8 W ordering

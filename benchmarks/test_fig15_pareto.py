@@ -1,0 +1,12 @@
+"""Bench: Figure 15 — power/energy vs performance Pareto analysis."""
+
+from repro.experiments import fig15_pareto
+
+
+def test_fig15(record_table):
+    table = record_table(fig15_pareto.run, "fig15")
+    vals = {r["design"]: r for r in table.rows}
+    assert vals["4B"]["throughput"] == max(r["throughput"] for r in table.rows)
+    # Finding 9: nothing beats 4B's EDP by more than ~10 %.
+    best_edp = min(r["EDP"] for r in table.rows)
+    assert best_edp > 0.9 * vals["4B"]["EDP"]

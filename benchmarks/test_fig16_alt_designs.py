@@ -1,0 +1,9 @@
+"""Bench: Figure 16 — larger-cache / higher-frequency alternative designs."""
+
+from repro.experiments import fig16_alternatives
+
+
+def test_fig16(record_table):
+    table = record_table(fig16_alternatives.run, "fig16")
+    vals = {r["design"]: r["mean speedup"] for r in table.rows}
+    assert max(vals, key=vals.get) == "4B"  # Finding 10

@@ -1,0 +1,19 @@
+"""Bench: Figure 17 — the study at 16 GB/s memory bandwidth."""
+
+from repro.experiments import fig17_bandwidth
+
+
+def test_fig17_heterogeneous(record_table):
+    table = record_table(
+        lambda: fig17_bandwidth.run("heterogeneous"), "fig17_hetero"
+    )
+    vals = {r["design"]: r["STP @16GB/s"] for r in table.rows}
+    assert vals["4B"] >= 0.97 * max(vals.values())  # Finding 11
+
+
+def test_fig17_homogeneous(record_table):
+    table = record_table(
+        lambda: fig17_bandwidth.run("homogeneous"), "fig17_homog"
+    )
+    for row in table.rows:
+        assert row["STP @16GB/s"] >= row["STP @8GB/s"] * 0.99

@@ -1,0 +1,22 @@
+"""Bench: the paper's eleven findings, evaluated end to end."""
+
+import pathlib
+
+from repro.experiments import findings
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def test_findings(benchmark):
+    results = benchmark.pedantic(findings.evaluate_all, rounds=1, iterations=1)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    lines = []
+    for f in results:
+        status = "PASS" if f.holds else "FAIL"
+        lines.append(f"Finding {f.number:2d} [{status}] {f.claim}")
+        lines.append(f"    {f.evidence}")
+    text = "\n".join(lines)
+    (RESULTS_DIR / "findings.txt").write_text(text + "\n")
+    print()
+    print(text)
+    assert all(f.holds for f in results)

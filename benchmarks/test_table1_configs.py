@@ -1,0 +1,8 @@
+"""Bench: Table 1 — core configurations."""
+
+from repro.experiments import table1_configs
+
+
+def test_table1(record_table):
+    table = record_table(table1_configs.run, "table1")
+    assert len(table.rows) == 9

@@ -1,0 +1,35 @@
+"""Bench: cross-validation of the interval tier against the cycle-level tier.
+
+Not a paper figure, but the reproduction's trust anchor: it times a full
+cycle-level + interval sweep over the benchmark suite and reports the
+per-benchmark IPC agreement.
+"""
+
+import pathlib
+
+from repro.analysis.validation import cross_validate
+from repro.microarch.config import BIG
+from repro.workloads.spec import all_profiles
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def test_validation_tiers(benchmark):
+    cv = benchmark.pedantic(
+        lambda: cross_validate(all_profiles(), BIG, instructions=15_000),
+        rounds=1,
+        iterations=1,
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    lines = [f"interval-vs-cycle validation on the {cv.core_name} core"]
+    for name in sorted(cv.interval_ipc):
+        lines.append(
+            f"  {name:12s} interval={cv.interval_ipc[name]:.2f} "
+            f"cycle={cv.cycle_ipc[name]:.2f} ratio={cv.ratios[name]:.2f}"
+        )
+    lines.append(f"rank correlation: {cv.rank_correlation:.3f}")
+    text = "\n".join(lines)
+    (RESULTS_DIR / "validation.txt").write_text(text + "\n")
+    print()
+    print(text)
+    assert cv.rank_correlation > 0.8

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Scenario: choosing a server chip for an underutilized datacenter.
+
+Barroso & Holzle observed that datacenter servers run at 10-50 % utilization
+most of the time.  Given a measured utilization histogram (here: the
+paper's datacenter distribution, plus a custom one from "our" fleet), which
+of the nine power-equivalent chips maximizes throughput, and what does each
+cost in energy per unit of work?
+
+Run:  python examples/datacenter_consolidation.py
+"""
+
+from repro import (
+    DESIGN_ORDER,
+    DesignSpaceStudy,
+    ThreadCountDistribution,
+    datacenter,
+)
+from repro.power.energy import EnergyPoint, best_edp, pareto_front
+
+def fleet_distribution() -> ThreadCountDistribution:
+    """A custom fleet: bursty — mostly idle, occasionally fully loaded."""
+    weights = [8.0, 4.0, 2.0, 1.5] + [1.0] * 16 + [2.0, 3.0, 4.0, 6.0]
+    return ThreadCountDistribution.from_weights("bursty-fleet", weights)
+
+def main() -> None:
+    study = DesignSpaceStudy()
+    for dist in (datacenter(24), fleet_distribution()):
+        print(f"=== distribution: {dist.name}")
+        points = []
+        for name in DESIGN_ORDER:
+            stp = study.aggregate_stp(name, "heterogeneous", dist, smt=True)
+            power = study.aggregate_power(name, "heterogeneous", dist, smt=True)
+            points.append(EnergyPoint(name, stp, power))
+        points.sort(key=lambda p: -p.throughput)
+        print(f"{'design':8s}{'avg STP':>9s}{'power W':>9s}{'J/work':>9s}{'EDP':>9s}")
+        for p in points:
+            print(
+                f"{p.design_name:8s}{p.throughput:9.2f}{p.power_w:9.1f}"
+                f"{p.energy_per_work:9.2f}{p.edp:9.2f}"
+            )
+        frontier = [p.design_name for p in pareto_front(points, cost="energy")]
+        winner = best_edp(points)
+        print(f"energy-performance Pareto frontier: {frontier}")
+        print(f"recommendation (min EDP): {winner.design_name}\n")
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Scenario: driving the design-space study with a job arrival process.
+
+Instead of assuming a thread-count distribution, synthesize one from first
+principles: jobs arrive at a server as a Poisson process and run for
+exponential service times ("jobs come and go" — Section 2.1 of the paper).
+The resulting active-thread timeline converts into a distribution that
+plugs straight into the study, letting us ask how the best chip changes as
+the offered load grows.
+
+Run:  python examples/job_arrival_timeline.py
+"""
+
+from repro import DesignSpaceStudy, simulate_job_arrivals
+
+def main() -> None:
+    study = DesignSpaceStudy()
+    print(f"{'load':>6s} {'mean thr':>9s}  best design (avg STP)   4B gap")
+    for arrival_rate in (0.02, 0.06, 0.12, 0.20):
+        timeline = simulate_job_arrivals(
+            arrival_rate=arrival_rate,
+            mean_service_time=100.0,
+            max_threads=24,
+            horizon=50_000.0,
+            seed=7,
+        )
+        dist = timeline.to_distribution(max_threads=24)
+        best, value = study.best_design("heterogeneous", dist, smt=True)
+        four_b = study.aggregate_stp("4B", "heterogeneous", dist, smt=True)
+        gap = four_b / value - 1
+        print(
+            f"{arrival_rate:6.2f} {timeline.mean_threads:9.1f}  "
+            f"{best:6s} ({value:5.2f})        {gap:+.1%}"
+        )
+    print(
+        "\nEven as offered load pushes the machine towards full occupancy,\n"
+        "the 4-big-SMT-cores design stays at or near the top — the paper's\n"
+        "flexibility argument, derived here from a queueing process."
+    )
+
+if __name__ == "__main__":
+    main()

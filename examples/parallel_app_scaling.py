@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Scenario: where should a parallel application run, and with how many threads?
+
+Takes two PARSEC-like applications — one that scales (blackscholes) and one
+dominated by serial sections (bodytrack) — and sweeps thread counts on
+three chips.  Also prints the active-thread histogram that motivates the
+whole paper (Figure 1): even "parallel" apps spend much of their time with
+few threads runnable.
+
+Run:  python examples/parallel_app_scaling.py
+"""
+
+from repro import get_design
+from repro.core.multithreaded import MultithreadedModel, speedup
+from repro.workloads.parsec import get_workload
+
+DESIGNS = ("4B", "8m", "20s")
+
+def main() -> None:
+    reference_model = MultithreadedModel(get_design("4B"))
+    for app_name in ("blackscholes", "bodytrack"):
+        app = get_workload(app_name)
+        ref = reference_model.run(app, 4, smt=True)
+        print(f"=== {app_name} (speedup vs 4 threads on 4B, ROI)")
+        counts = [4, 8, 12, 16, 20, 24]
+        print("design " + "".join(f"{n:>7d}" for n in counts))
+        for design_name in DESIGNS:
+            model = MultithreadedModel(get_design(design_name))
+            row = []
+            for n in counts:
+                if n <= model.design.max_threads:
+                    run = model.run(app, n, smt=True)
+                    row.append(f"{speedup(run, ref, 'roi'):7.2f}")
+                else:
+                    row.append("      -")
+            print(f"{design_name:7s}" + "".join(row))
+
+        # The Figure 1 view: how many threads are actually active?
+        run20 = MultithreadedModel(get_design("20s")).run(app, 20, smt=False)
+        print("active-thread histogram on 20 cores (time fractions):")
+        for k in sorted(run20.active_thread_fractions):
+            frac = run20.active_thread_fractions[k]
+            if frac >= 0.01:
+                print(f"  {k:2d} threads: {'#' * int(frac * 50):50s} {frac:.2f}")
+        print()
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Quickstart: evaluate multi-core designs under varying thread counts.
+
+Walks the library's core loop in a few lines: pick designs, build a
+workload mix, evaluate performance/power, and compare designs under a
+thread-count distribution — the question the paper asks.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    DESIGN_ORDER,
+    ChipPowerModel,
+    DesignSpaceStudy,
+    datacenter,
+    get_design,
+    uniform,
+)
+
+def main() -> None:
+    study = DesignSpaceStudy()
+
+    # --- one workload mix on one design --------------------------------
+    # Four memory-hungry and four compute-hungry programs on the 4-big-core
+    # SMT chip: the scheduler co-schedules them symbiotically.
+    mix = ["mcf", "mcf", "libquantum", "omnetpp", "hmmer", "tonto", "calculix", "gamess"]
+    result = study.evaluate_mix("4B", mix, smt=True)
+    print(f"mix of 8 on 4B:  STP={result.stp:.2f}  ANTT={result.antt:.2f}  "
+          f"power={result.power_gated_w:.1f} W  bus={result.bus_utilization:.0%}")
+
+    # --- throughput vs thread count (Figure 3's question) --------------
+    print("\nSTP vs active thread count (heterogeneous mixes):")
+    counts = [1, 4, 8, 16, 24]
+    header = "design  " + "".join(f"{n:>7d}" for n in counts)
+    print(header)
+    for design in ("4B", "8m", "20s", "3B5s"):
+        curve = study.throughput_curve(design, "heterogeneous", counts)
+        print(f"{design:7s}" + "".join(f"{curve[n]:7.2f}" for n in counts))
+
+    # --- which chip wins when thread counts vary? ----------------------
+    for dist in (uniform(24), datacenter(24)):
+        best, value = study.best_design("heterogeneous", dist, smt=True)
+        print(f"\nbest design under {dist.name}: {best} (avg STP {value:.2f})")
+
+    # --- power envelope check ------------------------------------------
+    print("\npeak chip power by design (equal envelope by construction):")
+    for name in DESIGN_ORDER[:3]:
+        model = ChipPowerModel(get_design(name))
+        print(f"  {name:4s} {model.peak_power():.1f} W")
+
+if __name__ == "__main__":
+    main()

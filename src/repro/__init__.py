@@ -1,0 +1,142 @@
+"""repro — reproduction of *The Benefit of SMT in the Multi-Core Era* (ASPLOS 2014).
+
+A multi-core design-space study library: nine power-equivalent chip designs
+(mixes of big out-of-order SMT cores, medium out-of-order cores and small
+in-order cores) evaluated under workloads with dynamically varying active
+thread counts, with a Sniper-style interval performance model, a cycle-level
+validation simulator, a McPAT-style power model, and synthetic SPEC/PARSEC
+workload substitutes.
+
+Quickstart::
+
+    from repro import DesignSpaceStudy, uniform
+
+    study = DesignSpaceStudy()
+    curve = study.throughput_curve("4B", kind="heterogeneous")
+    avg = study.aggregate_stp("4B", "heterogeneous", uniform(24))
+
+See README.md for the full tour and DESIGN.md for the experiment index.
+"""
+
+from repro.core.designs import (
+    ALTERNATIVE_DESIGNS,
+    DESIGN_ORDER,
+    DESIGNS,
+    ChipDesign,
+    all_designs,
+    get_design,
+)
+from repro.core.distributions import (
+    ThreadCountDistribution,
+    datacenter,
+    mirrored_datacenter,
+    uniform,
+)
+from repro.core.dynamic import IdealDynamicMulticore
+from repro.core.multithreaded import MultithreadedModel, MultithreadedResult, speedup
+from repro.core.timeline import ThreadCountTimeline, simulate_job_arrivals
+from repro.core.metrics import antt, energy_delay_product, harmonic_mean, stp
+from repro.core.scheduler import Scheduler, big_core_affinity, optimize_coschedule
+from repro.core.study import DesignSpaceStudy, MixResult
+from repro.interval.contention import (
+    ChipModel,
+    ChipResult,
+    Placement,
+    ThreadSpec,
+    isolated_ips,
+)
+from repro.interval.model import CoreEnvironment, IntervalCoreModel
+from repro.microarch.config import (
+    BIG,
+    CORE_CONFIGS,
+    MEDIUM,
+    SMALL,
+    CacheConfig,
+    CoreConfig,
+    CoreType,
+    FunctionalUnits,
+)
+from repro.microarch.uncore import (
+    DEFAULT_UNCORE,
+    HIGH_BANDWIDTH_UNCORE,
+    DramConfig,
+    InterconnectConfig,
+    UncoreConfig,
+)
+from repro.power.energy import EnergyPoint, best_edp, pareto_front
+from repro.power.mcpat import CORE_POWER, ChipPowerModel, CorePowerParams
+from repro.workloads.multiprogram import heterogeneous_mixes, homogeneous_mixes
+from repro.workloads.profiles import BenchmarkProfile, MissRateCurve
+from repro.workloads.spec import SPEC_ORDER, SPEC_PROFILES, all_profiles, get_profile
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # designs
+    "ChipDesign",
+    "DESIGNS",
+    "DESIGN_ORDER",
+    "ALTERNATIVE_DESIGNS",
+    "all_designs",
+    "get_design",
+    # cores / uncore
+    "CoreConfig",
+    "CoreType",
+    "CacheConfig",
+    "FunctionalUnits",
+    "BIG",
+    "MEDIUM",
+    "SMALL",
+    "CORE_CONFIGS",
+    "UncoreConfig",
+    "DramConfig",
+    "InterconnectConfig",
+    "DEFAULT_UNCORE",
+    "HIGH_BANDWIDTH_UNCORE",
+    # workloads
+    "BenchmarkProfile",
+    "MissRateCurve",
+    "SPEC_PROFILES",
+    "SPEC_ORDER",
+    "get_profile",
+    "all_profiles",
+    "homogeneous_mixes",
+    "heterogeneous_mixes",
+    # performance models
+    "IntervalCoreModel",
+    "CoreEnvironment",
+    "ChipModel",
+    "ChipResult",
+    "Placement",
+    "ThreadSpec",
+    "isolated_ips",
+    # study
+    "DesignSpaceStudy",
+    "MixResult",
+    "Scheduler",
+    "big_core_affinity",
+    "optimize_coschedule",
+    "IdealDynamicMulticore",
+    # metrics / distributions
+    "stp",
+    "antt",
+    "harmonic_mean",
+    "energy_delay_product",
+    "ThreadCountDistribution",
+    "uniform",
+    "datacenter",
+    "mirrored_datacenter",
+    "ThreadCountTimeline",
+    "simulate_job_arrivals",
+    # multithreaded workloads
+    "MultithreadedModel",
+    "MultithreadedResult",
+    "speedup",
+    # power / energy
+    "ChipPowerModel",
+    "CorePowerParams",
+    "CORE_POWER",
+    "EnergyPoint",
+    "pareto_front",
+    "best_edp",
+]

@@ -1,0 +1,20 @@
+"""Offline analyses: benchmark selection, CPI stacks, model cross-validation."""
+
+from repro.analysis.cpi_stacks import cpi_stack, cpi_stack_table, smt_cpi_stacks
+from repro.analysis.selection import relative_performance, select_representatives
+from repro.analysis.validation import (
+    CrossValidation,
+    cross_validate,
+    cross_validate_chip,
+)
+
+__all__ = [
+    "relative_performance",
+    "select_representatives",
+    "CrossValidation",
+    "cross_validate",
+    "cross_validate_chip",
+    "cpi_stack",
+    "cpi_stack_table",
+    "smt_cpi_stacks",
+]

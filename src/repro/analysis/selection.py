@@ -1,0 +1,70 @@
+"""Benchmark selection by relative-performance coverage (Section 3.2).
+
+The paper evaluated all 55 SPEC CPU2006 benchmark-input pairs on the three
+core types and picked 12 covering the full range of big-core-relative
+performance: the extremes plus evenly spaced in-between points.  This
+module implements that procedure so users adding their own profiles can
+re-derive a representative subset the same way.
+"""
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.interval.contention import isolated_ips
+from repro.microarch.config import BIG, SMALL, CoreConfig
+from repro.util import check_positive
+from repro.workloads.profiles import BenchmarkProfile
+
+
+def relative_performance(
+    profile: BenchmarkProfile,
+    reference: CoreConfig = BIG,
+    target: CoreConfig = SMALL,
+) -> float:
+    """Performance of ``profile`` on ``target`` relative to ``reference``.
+
+    The paper's selection metric: isolated IPS on the small (or medium)
+    core divided by isolated IPS on the big core.
+    """
+    return isolated_ips(profile, target) / isolated_ips(profile, reference)
+
+
+def select_representatives(
+    profiles: Sequence[BenchmarkProfile],
+    count: int,
+    target: CoreConfig = SMALL,
+) -> List[BenchmarkProfile]:
+    """Pick ``count`` profiles covering the relative-performance range.
+
+    Always includes the extremes (highest and lowest relative performance),
+    then fills in the benchmarks closest to evenly spaced points in between
+    — the paper's "good coverage" selection.
+    """
+    check_positive("count", count)
+    if count > len(profiles):
+        raise ValueError(
+            f"cannot select {count} of {len(profiles)} profiles"
+        )
+    scored = sorted(profiles, key=lambda p: relative_performance(p, target=target))
+    if count == 1:
+        return [scored[0]]
+    if count == len(profiles):
+        return list(scored)
+
+    lo = relative_performance(scored[0], target=target)
+    hi = relative_performance(scored[-1], target=target)
+    chosen: List[BenchmarkProfile] = []
+    taken = set()
+    for i in range(count):
+        goal = lo + (hi - lo) * i / (count - 1)
+        best: Optional[BenchmarkProfile] = None
+        best_gap = float("inf")
+        for p in scored:
+            if p.name in taken:
+                continue
+            gap = abs(relative_performance(p, target=target) - goal)
+            if gap < best_gap:
+                best, best_gap = p, gap
+        assert best is not None
+        chosen.append(best)
+        taken.add(best.name)
+    return sorted(chosen, key=lambda p: relative_performance(p, target=target))

@@ -1,0 +1,306 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list-designs`` / ``list-benchmarks`` / ``list-experiments`` — inventory;
+* ``evaluate --design 4B --mix mcf,tonto,...`` — one workload mix on one
+  design (STP, ANTT, power, bus state);
+* ``curve --design 4B --kind heterogeneous`` — STP vs thread count;
+* ``figure <id>`` — regenerate one of the paper's tables/figures
+  (``table1``, ``fig01`` ... ``fig17``, ``ablation-*``, ``ext-*``);
+* ``findings`` — evaluate the paper's eleven findings;
+* ``validate`` — cross-validate the interval tier against the cycle tier.
+"""
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.designs import ALTERNATIVE_DESIGNS, DESIGN_ORDER, get_design
+from repro.core.study import DesignSpaceStudy
+from repro.experiments.base import ExperimentTable
+from repro.workloads.parsec import PARSEC_ORDER
+from repro.workloads.spec import SPEC_ORDER
+
+
+def _figure_registry() -> Dict[str, Callable[[], List[ExperimentTable]]]:
+    """Lazy imports so ``--help`` stays fast."""
+    from repro.experiments import (
+        ablations,
+        ext_acs,
+        ext_prefetch,
+        ext_scaled_budget,
+        ext_serial_boost,
+        fig01_parsec_threads,
+        fig02_design_space,
+        fig03_throughput_curves,
+        fig04_tonto_libquantum,
+        fig05_antt,
+        fig06_fig07_fig08_uniform,
+        fig09_per_benchmark,
+        fig10_datacenter,
+        fig11_fig12_parsec,
+        fig13_dynamic,
+        fig14_power,
+        fig15_pareto,
+        fig16_alternatives,
+        fig17_bandwidth,
+        table1_configs,
+    )
+
+    return {
+        "table1": lambda: [table1_configs.run()],
+        "fig01": lambda: [fig01_parsec_threads.run()],
+        "fig02": lambda: [fig02_design_space.run()],
+        "fig03": lambda: [
+            fig03_throughput_curves.run("homogeneous"),
+            fig03_throughput_curves.run("heterogeneous"),
+        ],
+        "fig04": lambda: [
+            fig04_tonto_libquantum.run("tonto"),
+            fig04_tonto_libquantum.run("libquantum"),
+        ],
+        "fig05": lambda: [fig05_antt.run()],
+        "fig06": lambda: [fig06_fig07_fig08_uniform.run("none")],
+        "fig07": lambda: [fig06_fig07_fig08_uniform.run("homogeneous-only")],
+        "fig08": lambda: [fig06_fig07_fig08_uniform.run("all")],
+        "fig09": lambda: [fig09_per_benchmark.run()],
+        "fig10": lambda: [fig10_datacenter.run_distribution(), fig10_datacenter.run()],
+        "fig11": lambda: [
+            fig11_fig12_parsec.run_average("roi"),
+            fig11_fig12_parsec.run_average("whole"),
+        ],
+        "fig12": lambda: [
+            fig11_fig12_parsec.run_per_benchmark("roi"),
+            fig11_fig12_parsec.run_per_benchmark("whole"),
+        ],
+        "fig13": lambda: [
+            fig13_dynamic.run("homogeneous"),
+            fig13_dynamic.run("heterogeneous"),
+        ],
+        "fig14": lambda: [fig14_power.run()],
+        "fig15": lambda: [fig15_pareto.run()],
+        "fig16": lambda: [fig16_alternatives.run()],
+        "fig17": lambda: [
+            fig17_bandwidth.run("homogeneous"),
+            fig17_bandwidth.run("heterogeneous"),
+        ],
+        "ablation-scheduling": lambda: [ablations.run_scheduling()],
+        "ablation-llc": lambda: [ablations.run_llc_sharing()],
+        "ablation-rob": lambda: [ablations.run_rob_partitioning()],
+        "ablation-fetch": lambda: [ablations.run_fetch_policy()],
+        "ext-scaled-budget": lambda: [ext_scaled_budget.run()],
+        "ext-acs": lambda: [ext_acs.run()],
+        "ext-serial-boost": lambda: [ext_serial_boost.run()],
+        "ext-prefetch": lambda: [ext_prefetch.run()],
+    }
+
+
+def _cmd_list_designs(_args: argparse.Namespace) -> int:
+    print("baseline designs (Figure 2):")
+    for name in DESIGN_ORDER:
+        design = get_design(name)
+        counts = ", ".join(f"{v}x {k}" for k, v in design.core_counts().items())
+        print(f"  {name:6s} {counts}  ({design.max_threads} HW threads)")
+    print("alternative designs (Section 8.1):")
+    for name in sorted(ALTERNATIVE_DESIGNS):
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_list_benchmarks(_args: argparse.Namespace) -> int:
+    print("SPEC-like single-thread profiles:")
+    for name in SPEC_ORDER:
+        print(f"  {name}")
+    print("PARSEC-like multi-threaded workloads:")
+    for name in PARSEC_ORDER:
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_list_experiments(_args: argparse.Namespace) -> int:
+    for key in _figure_registry():
+        print(f"  {key}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    mix = [b.strip() for b in args.mix.split(",") if b.strip()]
+    if not mix:
+        print("error: --mix needs at least one benchmark", file=sys.stderr)
+        return 2
+    study = DesignSpaceStudy()
+    result = study.evaluate_mix(args.design, mix, smt=not args.no_smt)
+    print(f"design          : {result.design_name}")
+    print(f"mix ({len(mix):2d} threads): {', '.join(mix)}")
+    print(f"SMT             : {'on' if result.smt else 'off'}")
+    print(f"STP             : {result.stp:.3f}")
+    print(f"ANTT            : {result.antt:.3f}")
+    print(f"power (gated)   : {result.power_gated_w:.1f} W")
+    print(f"power (ungated) : {result.power_ungated_w:.1f} W")
+    print(f"bus utilization : {result.bus_utilization:.0%}")
+    print(f"mem latency     : x{result.mem_latency_inflation:.2f} vs unloaded")
+    return 0
+
+
+def _cmd_curve(args: argparse.Namespace) -> int:
+    study = DesignSpaceStudy()
+    counts = range(1, args.max_threads + 1)
+    curve = study.throughput_curve(
+        args.design, args.kind, counts, smt=not args.no_smt
+    )
+    peak = max(curve.values())
+    print(f"STP vs thread count: {args.design}, {args.kind}, "
+          f"SMT {'off' if args.no_smt else 'on'}")
+    for n in counts:
+        bar = "#" * int(curve[n] / peak * 50)
+        print(f"  {n:2d} {curve[n]:6.2f} {bar}")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    registry = _figure_registry()
+    if args.id not in registry:
+        print(
+            f"unknown experiment {args.id!r}; try: {', '.join(registry)}",
+            file=sys.stderr,
+        )
+        return 2
+    for table in registry[args.id]():
+        print(table.to_json() if args.json else table.formatted())
+        print()
+    return 0
+
+
+def _cmd_findings(_args: argparse.Namespace) -> int:
+    from repro.experiments import findings
+
+    ok = True
+    for f in findings.evaluate_all():
+        status = "PASS" if f.holds else "FAIL"
+        ok = ok and f.holds
+        print(f"Finding {f.number:2d} [{status}] {f.claim}")
+        print(f"    {f.evidence}")
+    return 0 if ok else 1
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    from repro.analysis.cpi_stacks import cpi_stack_table
+    from repro.microarch.config import CORE_CONFIGS
+    from repro.workloads.spec import all_profiles
+
+    table = cpi_stack_table(
+        all_profiles(), CORE_CONFIGS[args.core], co_runners=args.smt
+    )
+    print(table.formatted())
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.analysis.validation import cross_validate
+    from repro.microarch.config import BIG
+    from repro.workloads.spec import all_profiles
+
+    cv = cross_validate(all_profiles(), BIG, instructions=args.instructions)
+    print(f"{'benchmark':12s}{'interval':>10s}{'cycle':>8s}{'ratio':>7s}")
+    for name in sorted(cv.interval_ipc):
+        print(
+            f"{name:12s}{cv.interval_ipc[name]:10.2f}"
+            f"{cv.cycle_ipc[name]:8.2f}{cv.ratios[name]:7.2f}"
+        )
+    print(f"Spearman rank correlation: {cv.rank_correlation:.3f}")
+    return 0 if cv.rank_correlation > 0.8 else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'The Benefit of SMT in the Multi-Core Era' (ASPLOS 2014)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-designs", help="show the chip design space").set_defaults(
+        func=_cmd_list_designs
+    )
+    sub.add_parser("list-benchmarks", help="show the workload suites").set_defaults(
+        func=_cmd_list_benchmarks
+    )
+    sub.add_parser(
+        "list-experiments", help="show reproducible tables/figures"
+    ).set_defaults(func=_cmd_list_experiments)
+
+    p_eval = sub.add_parser("evaluate", help="evaluate one mix on one design")
+    p_eval.add_argument("--design", default="4B")
+    p_eval.add_argument(
+        "--mix", required=True, help="comma-separated benchmark names"
+    )
+    p_eval.add_argument("--no-smt", action="store_true")
+    p_eval.set_defaults(func=_cmd_evaluate)
+
+    p_curve = sub.add_parser("curve", help="STP vs thread count (ASCII chart)")
+    p_curve.add_argument("--design", default="4B")
+    p_curve.add_argument(
+        "--kind", default="heterogeneous", choices=("homogeneous", "heterogeneous")
+    )
+    p_curve.add_argument("--max-threads", type=int, default=24)
+    p_curve.add_argument("--no-smt", action="store_true")
+    p_curve.set_defaults(func=_cmd_curve)
+
+    p_fig = sub.add_parser("figure", help="regenerate a paper table/figure")
+    p_fig.add_argument("id", help="e.g. fig03, fig15, table1, ext-acs")
+    p_fig.add_argument("--json", action="store_true", help="machine-readable output")
+    p_fig.set_defaults(func=_cmd_figure)
+
+    sub.add_parser("findings", help="evaluate the 11 findings").set_defaults(
+        func=_cmd_findings
+    )
+
+    p_char = sub.add_parser(
+        "characterize", help="CPI stacks for the benchmark suite"
+    )
+    p_char.add_argument(
+        "--core", default="big", choices=("big", "medium", "small")
+    )
+    p_char.add_argument(
+        "--smt", type=int, default=0, metavar="N", help="co-runners sharing the core"
+    )
+    p_char.set_defaults(func=_cmd_characterize)
+
+    p_val = sub.add_parser(
+        "validate", help="cross-validate interval vs cycle tiers"
+    )
+    p_val.add_argument("--instructions", type=int, default=15_000)
+    p_val.set_defaults(func=_cmd_validate)
+
+    p_rep = sub.add_parser(
+        "report", help="regenerate every experiment into one markdown report"
+    )
+    p_rep.add_argument("--output", default="reproduction_report.md")
+    p_rep.add_argument(
+        "--heavy", action="store_true", help="include the slow ext-* experiments"
+    )
+    p_rep.set_defaults(func=_cmd_report)
+    return parser
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import generate_report
+
+    text = generate_report(heavy_extensions=args.heavy)
+    with open(args.output, "w") as handle:
+        handle.write(text)
+    print(f"wrote {args.output} ({len(text.splitlines())} lines)")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,6 @@
+"""The paper's primary contribution: the multi-core design-space study.
+
+Submodules: chip designs (Figure 2), thread-count distributions, scheduling
+policy, system metrics (STP/ANTT), the study orchestrator, and the ideal
+dynamic multi-core oracle.
+"""

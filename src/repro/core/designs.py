@@ -1,0 +1,155 @@
+"""The power-equivalent chip designs of the study (Figure 2 of the paper).
+
+The total chip power budget equals 4 big cores, 8 medium cores or 20 small
+cores (1 big ~ 2 medium ~ 5 small), plus a shared LLC.  Mixing big cores with
+medium *or* small cores (never medium with small) yields nine designs:
+
+======  ==============================
+name    composition
+======  ==============================
+4B      4 big
+3B2m    3 big + 2 medium
+3B5s    3 big + 5 small
+2B4m    2 big + 4 medium
+2B10s   2 big + 10 small
+1B6m    1 big + 6 medium
+1B15s   1 big + 15 small
+8m      8 medium
+20s     20 small
+======  ==============================
+
+Section 8.1 adds four alternative homogeneous designs built from the
+larger-cache and higher-frequency medium/small variants: ``6m_lc``,
+``16s_lc``, ``6m_hf`` and ``16s_hf``.
+
+With SMT enabled, every design supports up to 24 hardware threads
+(big: 6 contexts, medium: 3, small: 2).
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.microarch.config import (
+    BIG,
+    MEDIUM,
+    MEDIUM_HF,
+    MEDIUM_LC,
+    SMALL,
+    SMALL_HF,
+    SMALL_LC,
+    CoreConfig,
+)
+from repro.microarch.uncore import DEFAULT_UNCORE, UncoreConfig
+
+
+@dataclass(frozen=True)
+class ChipDesign:
+    """A multi-core chip: an ordered list of cores plus a shared uncore.
+
+    Cores are ordered from most to least powerful; the scheduler relies on
+    this ordering to implement the paper's "big cores first" policy.
+    """
+
+    name: str
+    cores: Tuple[CoreConfig, ...]
+    uncore: UncoreConfig = DEFAULT_UNCORE
+
+    def __post_init__(self) -> None:
+        if not self.cores:
+            raise ValueError("a chip design needs at least one core")
+
+    @property
+    def num_cores(self) -> int:
+        return len(self.cores)
+
+    @property
+    def max_threads(self) -> int:
+        """Hardware thread capacity with SMT enabled in every core."""
+        return sum(core.max_smt_contexts for core in self.cores)
+
+    @property
+    def power_budget_weight(self) -> float:
+        """Total power weight in big-core equivalents (4.0 for every design)."""
+        return sum(core.power_weight for core in self.cores)
+
+    @property
+    def is_homogeneous(self) -> bool:
+        return len({core.name for core in self.cores}) == 1
+
+    def core_counts(self) -> Dict[str, int]:
+        """Number of cores of each type, keyed by core-config name."""
+        counts: Dict[str, int] = {}
+        for core in self.cores:
+            counts[core.name] = counts.get(core.name, 0) + 1
+        return counts
+
+    def with_uncore(self, uncore: UncoreConfig) -> "ChipDesign":
+        """A copy of this design with a different uncore (e.g. 16 GB/s bus)."""
+        return ChipDesign(self.name, self.cores, uncore)
+
+
+def _mix(name: str, *parts: Tuple[int, CoreConfig]) -> ChipDesign:
+    cores: List[CoreConfig] = []
+    for count, config in parts:
+        cores.extend([config] * count)
+    return ChipDesign(name=name, cores=tuple(cores))
+
+
+#: The nine power-equivalent designs of Figure 2, keyed by name.
+DESIGNS: Dict[str, ChipDesign] = {
+    design.name: design
+    for design in (
+        _mix("4B", (4, BIG)),
+        _mix("3B2m", (3, BIG), (2, MEDIUM)),
+        _mix("3B5s", (3, BIG), (5, SMALL)),
+        _mix("2B4m", (2, BIG), (4, MEDIUM)),
+        _mix("2B10s", (2, BIG), (10, SMALL)),
+        _mix("1B6m", (1, BIG), (6, MEDIUM)),
+        _mix("1B15s", (1, BIG), (15, SMALL)),
+        _mix("8m", (8, MEDIUM)),
+        _mix("20s", (20, SMALL)),
+    )
+}
+
+#: Canonical ordering used in the paper's figures.
+DESIGN_ORDER: Tuple[str, ...] = (
+    "4B",
+    "8m",
+    "20s",
+    "3B2m",
+    "3B5s",
+    "2B4m",
+    "2B10s",
+    "1B6m",
+    "1B15s",
+)
+
+#: Section 8.1 alternative designs (larger caches / higher frequency shrink
+#: the core count the power budget can afford).
+ALTERNATIVE_DESIGNS: Dict[str, ChipDesign] = {
+    design.name: design
+    for design in (
+        _mix("6m_lc", (6, MEDIUM_LC)),
+        _mix("16s_lc", (16, SMALL_LC)),
+        _mix("6m_hf", (6, MEDIUM_HF)),
+        _mix("16s_hf", (16, SMALL_HF)),
+    )
+}
+
+
+def get_design(name: str) -> ChipDesign:
+    """Look up a design by name from the nine baseline or four alternative designs."""
+    if name in DESIGNS:
+        return DESIGNS[name]
+    if name in ALTERNATIVE_DESIGNS:
+        return ALTERNATIVE_DESIGNS[name]
+    known = sorted(DESIGNS) + sorted(ALTERNATIVE_DESIGNS)
+    raise KeyError(f"unknown design {name!r}; known designs: {known}")
+
+
+def all_designs(include_alternatives: bool = False) -> List[ChipDesign]:
+    """The nine baseline designs in figure order, optionally plus Section 8.1 variants."""
+    designs = [DESIGNS[name] for name in DESIGN_ORDER]
+    if include_alternatives:
+        designs.extend(ALTERNATIVE_DESIGNS.values())
+    return designs

@@ -1,0 +1,152 @@
+"""Active-thread-count distributions (Section 4.2 of the paper).
+
+A :class:`ThreadCountDistribution` assigns a probability to each active
+thread count 1..N.  The paper evaluates three:
+
+* **uniform** — every count 1..24 equally likely;
+* **datacenter** — adapted from Barroso & Hölzle's measured CPU-utilization
+  distribution of Google servers [2]: a peak at 1 thread (near-idle) and a
+  second peak around 7-9 threads (30-40 % utilization), with a long light
+  tail (Figure 10a);
+* **mirrored datacenter** — the same distribution mirrored around the
+  center, modelling a heavily loaded server park (peaks at 24 and 16-18).
+"""
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from repro.util import check_positive
+
+
+@dataclass(frozen=True)
+class ThreadCountDistribution:
+    """Probability distribution over active thread counts 1..N."""
+
+    name: str
+    probabilities: Tuple[float, ...]  # index i -> P(thread count == i + 1)
+
+    def __post_init__(self) -> None:
+        if not self.probabilities:
+            raise ValueError("distribution needs at least one thread count")
+        if any(p < 0 for p in self.probabilities):
+            raise ValueError("probabilities must be non-negative")
+        total = sum(self.probabilities)
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"probabilities must sum to 1, got {total}")
+
+    @property
+    def max_threads(self) -> int:
+        return len(self.probabilities)
+
+    def probability(self, thread_count: int) -> float:
+        """P(active thread count == ``thread_count``)."""
+        if not 1 <= thread_count <= self.max_threads:
+            raise ValueError(
+                f"thread_count must be in [1, {self.max_threads}], "
+                f"got {thread_count}"
+            )
+        return self.probabilities[thread_count - 1]
+
+    def expectation(self, values: Dict[int, float]) -> float:
+        """Expected value of a per-thread-count quantity under this distribution.
+
+        ``values`` maps every thread count 1..N to its value (e.g. the STP
+        achieved at that count).
+        """
+        missing = [n for n in range(1, self.max_threads + 1) if n not in values]
+        if missing:
+            raise ValueError(f"values missing for thread counts {missing}")
+        return sum(
+            self.probability(n) * values[n] for n in range(1, self.max_threads + 1)
+        )
+
+    def mirrored(self) -> "ThreadCountDistribution":
+        """The distribution mirrored around the center (P'(n) = P(N+1-n))."""
+        return ThreadCountDistribution(
+            name=f"{self.name}-mirrored",
+            probabilities=tuple(reversed(self.probabilities)),
+        )
+
+    @classmethod
+    def from_weights(
+        cls, name: str, weights: Sequence[float]
+    ) -> "ThreadCountDistribution":
+        """Build a distribution from non-negative weights (normalized here)."""
+        total = sum(weights)
+        check_positive("sum of weights", total)
+        return cls(name=name, probabilities=tuple(w / total for w in weights))
+
+
+def uniform(max_threads: int = 24) -> ThreadCountDistribution:
+    """Uniform distribution over 1..``max_threads`` (Section 4.2.1)."""
+    check_positive("max_threads", max_threads)
+    return ThreadCountDistribution.from_weights(
+        f"uniform-{max_threads}", [1.0] * max_threads
+    )
+
+
+#: Per-thread-count weights shaped after Figure 10(a): a peak at one thread
+#: (the near-zero-utilization mode of the Barroso-Hölzle distribution), a
+#: second mode at 7-9 threads (30-40 % utilization) and a light tail.
+_DATACENTER_WEIGHTS = (
+    0.105,  # 1 thread
+    0.060,  # 2
+    0.045,  # 3
+    0.042,  # 4
+    0.048,  # 5
+    0.058,  # 6
+    0.065,  # 7
+    0.066,  # 8
+    0.063,  # 9
+    0.055,  # 10
+    0.047,  # 11
+    0.040,  # 12
+    0.034,  # 13
+    0.029,  # 14
+    0.025,  # 15
+    0.022,  # 16
+    0.019,  # 17
+    0.017,  # 18
+    0.015,  # 19
+    0.013,  # 20
+    0.012,  # 21
+    0.010,  # 22
+    0.008,  # 23
+    0.007,  # 24
+)
+
+
+def datacenter(max_threads: int = 24) -> ThreadCountDistribution:
+    """Datacenter distribution (Figure 10a), adapted to ``max_threads``.
+
+    For ``max_threads`` other than 24 the 24-point shape is resampled by
+    linear interpolation over the normalized thread-count axis.
+    """
+    check_positive("max_threads", max_threads)
+    if max_threads == 24:
+        weights: Sequence[float] = _DATACENTER_WEIGHTS
+    else:
+        weights = _resample(_DATACENTER_WEIGHTS, max_threads)
+    return ThreadCountDistribution.from_weights(
+        f"datacenter-{max_threads}", weights
+    )
+
+
+def mirrored_datacenter(max_threads: int = 24) -> ThreadCountDistribution:
+    """The datacenter distribution mirrored around the center (Section 4.2.2)."""
+    return datacenter(max_threads).mirrored()
+
+
+def _resample(weights: Sequence[float], n: int) -> Tuple[float, ...]:
+    """Linearly resample a weight vector onto ``n`` points."""
+    if n == 1:
+        return (1.0,)
+    m = len(weights)
+    out = []
+    for i in range(n):
+        x = i * (m - 1) / (n - 1)
+        lo = int(x)
+        hi = min(lo + 1, m - 1)
+        frac = x - lo
+        out.append(weights[lo] * (1 - frac) + weights[hi] * frac)
+    return tuple(out)

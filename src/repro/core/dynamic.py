@@ -1,0 +1,79 @@
+"""Ideal dynamic multi-core model (Section 6 of the paper).
+
+A dynamic multi-core (core fusion [11], composable processors [17]) can
+reconfigure itself between many small cores and a few large cores.  The
+paper compares against an **ideal** dynamic machine: at every thread count
+and for every workload it morphs, with zero overhead, into whichever of the
+nine power-equivalent configurations performs best.  This is deliberately
+optimistic in favour of the dynamic design — fusing real cores costs time,
+area and power — which makes the paper's Finding #8 (the 4B SMT design is
+competitive anyway) conservative.
+
+:class:`IdealDynamicMulticore` wraps a :class:`DesignSpaceStudy` and takes
+the per-point maximum across the configurations, with or without SMT.
+"""
+
+from typing import Dict, Iterable, Optional, Sequence
+
+from repro.core.designs import DESIGN_ORDER
+from repro.core.metrics import harmonic_mean
+from repro.core.study import DesignSpaceStudy
+
+
+class IdealDynamicMulticore:
+    """Best-of-N oracle over a set of chip designs."""
+
+    def __init__(
+        self,
+        study: DesignSpaceStudy,
+        design_names: Optional[Sequence[str]] = None,
+    ):
+        self.study = study
+        self.design_names = (
+            list(design_names) if design_names is not None else list(DESIGN_ORDER)
+        )
+        missing = [n for n in self.design_names if n not in study.designs]
+        if missing:
+            raise ValueError(f"designs {missing} not present in the study")
+
+    def mix_stp(self, mix: Sequence[str], smt: bool) -> float:
+        """Best achievable STP for one mix: morph into the best configuration.
+
+        A dynamic machine that *supports* SMT may still choose not to engage
+        it (running one thread per core and time-sharing instead), so with
+        ``smt=True`` the oracle takes the better of both scheduling modes.
+        """
+        best = max(
+            self.study.evaluate_mix(name, list(mix), False).stp
+            for name in self.design_names
+        )
+        if smt:
+            best = max(
+                best,
+                max(
+                    self.study.evaluate_mix(name, list(mix), True).stp
+                    for name in self.design_names
+                ),
+            )
+        return best
+
+    def mean_stp(self, kind: str, n_threads: int, smt: bool) -> float:
+        """Harmonic-mean best-configuration STP at one thread count.
+
+        The oracle picks the best configuration *per workload*, as the paper
+        does ("chooses the best performing configuration ... at each thread
+        count for each workload").
+        """
+        values = [
+            self.mix_stp(mix, smt) for mix in self.study.mixes(kind, n_threads)
+        ]
+        return harmonic_mean(values)
+
+    def throughput_curve(
+        self,
+        kind: str,
+        thread_counts: Iterable[int] = range(1, 25),
+        smt: bool = False,
+    ) -> Dict[int, float]:
+        """Best-of-N STP vs thread count (the 'dynamic' lines of Figure 13)."""
+        return {n: self.mean_stp(kind, n, smt) for n in thread_counts}

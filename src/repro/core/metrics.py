@@ -1,0 +1,80 @@
+"""System-level performance metrics for multi-program workloads.
+
+The paper uses the metrics of Eyerman & Eeckhout, *System-level performance
+metrics for multi-program workloads* (IEEE Micro 2008) [7]:
+
+* **STP** (system throughput, a.k.a. weighted speedup [27]) — the number of
+  jobs completed per unit time relative to isolated execution:
+  ``STP = sum_i perf_shared_i / perf_isolated_i``.  A *rate* metric, so
+  averages across workloads use the harmonic mean.
+* **ANTT** (average normalized turnaround time) — mean per-program slowdown:
+  ``ANTT = (1/n) sum_i perf_isolated_i / perf_shared_i``.  A *time* metric,
+  so averages across workloads use the arithmetic mean.
+
+Both are normalized against isolated execution on the **big** core
+(Section 3.2 of the paper), regardless of which core the thread actually ran
+on — so STP of one thread on a small core is < 1.
+"""
+
+from typing import Iterable, Sequence
+
+from repro.util import check_positive
+
+
+def stp(shared_perf: Sequence[float], isolated_perf: Sequence[float]) -> float:
+    """System throughput: sum of per-thread normalized progress rates."""
+    _check_aligned(shared_perf, isolated_perf)
+    return sum(s / i for s, i in zip(shared_perf, isolated_perf))
+
+
+def antt(shared_perf: Sequence[float], isolated_perf: Sequence[float]) -> float:
+    """Average normalized turnaround time: mean per-thread slowdown (>= is worse)."""
+    _check_aligned(shared_perf, isolated_perf)
+    slowdowns = [i / s for s, i in zip(shared_perf, isolated_perf)]
+    return sum(slowdowns) / len(slowdowns)
+
+
+def harmonic_mean(values: Iterable[float]) -> float:
+    """Harmonic mean, the correct average for rate metrics such as STP."""
+    values = list(values)
+    if not values:
+        raise ValueError("harmonic_mean of an empty sequence")
+    for v in values:
+        check_positive("value", v)
+    return len(values) / sum(1.0 / v for v in values)
+
+
+def arithmetic_mean(values: Iterable[float]) -> float:
+    """Arithmetic mean, the correct average for time metrics such as ANTT."""
+    values = list(values)
+    if not values:
+        raise ValueError("arithmetic_mean of an empty sequence")
+    return sum(values) / len(values)
+
+
+def energy_delay_product(power_watts: float, throughput: float) -> float:
+    """EDP proxy: energy per unit work times time per unit work.
+
+    With throughput ``T`` (work/second) and power ``P``, energy per unit of
+    work is ``P/T`` and delay per unit of work is ``1/T``, so
+    ``EDP = P / T**2``.  Lower is better.
+    """
+    check_positive("power_watts", power_watts)
+    check_positive("throughput", throughput)
+    return power_watts / throughput**2
+
+
+def _check_aligned(
+    shared_perf: Sequence[float], isolated_perf: Sequence[float]
+) -> None:
+    if len(shared_perf) != len(isolated_perf):
+        raise ValueError(
+            f"length mismatch: {len(shared_perf)} shared vs "
+            f"{len(isolated_perf)} isolated values"
+        )
+    if not shared_perf:
+        raise ValueError("metrics need at least one thread")
+    for s in shared_perf:
+        check_positive("shared_perf", s)
+    for i in isolated_perf:
+        check_positive("isolated_perf", i)

@@ -1,0 +1,227 @@
+"""Execution model for multi-threaded (PARSEC-like) workloads (Section 5).
+
+Runs a :class:`~repro.workloads.parsec.ParallelWorkload` on a chip design
+with pinned scheduling (threads stay on their assigned contexts, as modern
+multi-core schedulers do for locality [13]):
+
+* serial phases (initialization, finalization, and per-round critical
+  sections) execute on the design's **strongest core** in isolation;
+* in each barrier round every thread executes its work share at the rate the
+  chip model predicts under full contention; the round ends when the slowest
+  thread reaches the barrier — so per-round imbalance plus core heterogeneity
+  (a share pinned to a small core) sets the critical path;
+* while threads wait at the barrier they are scheduled out, which is what
+  produces the varying active-thread counts of Figure 1.  The model records
+  the exact time spent at each active-thread level.
+
+Approximation: thread rates are computed once per (design, thread count)
+with all threads resident.  When few threads remain active near a barrier
+the survivors would see slightly less shared-resource contention; ignoring
+this is conservative and affects all designs alike.
+"""
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+from repro.core.designs import ChipDesign
+from repro.core.scheduler import Scheduler
+from repro.interval.contention import ChipModel, isolated_ips
+from repro.util import check_positive
+from repro.workloads.parsec import ParallelWorkload
+
+
+@lru_cache(maxsize=8192)
+def _cached_isolated(profile, core, uncore) -> float:
+    return isolated_ips(profile, core, uncore)
+
+
+@dataclass(frozen=True)
+class MultithreadedResult:
+    """Timing of one (workload, design, thread count) execution."""
+
+    workload_name: str
+    design_name: str
+    n_threads: int
+    smt: bool
+    roi_seconds: float
+    total_seconds: float
+    #: ROI time fraction spent with exactly k threads active, k = 1..n.
+    active_thread_fractions: Dict[int, float]
+
+    def fraction_at_least(self, k: int) -> float:
+        """ROI time fraction with ``k`` or more threads active."""
+        return sum(f for n, f in self.active_thread_fractions.items() if n >= k)
+
+    def fraction_at_most(self, k: int) -> float:
+        """ROI time fraction with ``k`` or fewer threads active."""
+        return sum(f for n, f in self.active_thread_fractions.items() if n <= k)
+
+
+class MultithreadedModel:
+    """Evaluates parallel workloads on one chip design."""
+
+    def __init__(self, design: ChipDesign):
+        self.design = design
+        self._chip = ChipModel(design)
+
+    def serial_rate(self, workload: ParallelWorkload) -> float:
+        """Instructions/second of the kernel alone on the strongest core.
+
+        Serial phases are executed on the big core when one is present
+        (Section 5: "we execute serial phases on the big core").
+        """
+        return _cached_isolated(
+            workload.kernel, self.design.cores[0], self.design.uncore
+        )
+
+    #: One-way thread-migration cost for ACS (cache-state transfer and OS
+    #: hand-off); charged twice per accelerated critical section.
+    ACS_MIGRATION_NS = 1500.0
+
+    def boosted_serial_rate(
+        self, workload: ParallelWorkload, boost_factor: float = 1.25
+    ) -> float:
+        """Serial-phase rate with EPI-style frequency boosting.
+
+        During serial phases the other cores idle, freeing power headroom;
+        EPI throttling (Annavaram et al. [1]) / TurboBoost spends it on a
+        higher clock for the one busy core.  Performance scales sublinearly
+        with frequency (memory latency in ns is unchanged), which the
+        underlying model captures by re-evaluating the kernel on a
+        frequency-scaled core.
+        """
+        check_positive("boost_factor", boost_factor)
+        boosted_core = self.design.cores[0].with_frequency(
+            self.design.cores[0].frequency_ghz * boost_factor
+        )
+        return _cached_isolated(workload.kernel, boosted_core, self.design.uncore)
+
+    def run(
+        self,
+        workload: ParallelWorkload,
+        n_threads: int,
+        smt: bool = True,
+        critical_sections: str = "pinned",
+    ) -> MultithreadedResult:
+        """Execute ``workload`` with ``n_threads`` software threads.
+
+        ``critical_sections`` selects how serialized sections execute:
+
+        * ``"pinned"`` (the paper's baseline) — the owning thread runs its
+          critical section on its own core;
+        * ``"accelerated"`` — Accelerating Critical Sections (Suleman et
+          al. [29]): the section migrates to the design's big core, paying
+          :data:`ACS_MIGRATION_NS` each way.  On a homogeneous big-core
+          design this converges to pinned behaviour minus the migration
+          tax, which is the paper's Section 9 argument that SMT-throttling
+          on 4B gets ACS's benefit for free.
+        """
+        check_positive("n_threads", n_threads)
+        if critical_sections not in ("pinned", "accelerated"):
+            raise ValueError(
+                f"critical_sections must be 'pinned' or 'accelerated', "
+                f"got {critical_sections!r}"
+            )
+        placement = Scheduler(self.design, smt=smt).place(
+            [workload.kernel] * n_threads
+        )
+        chip_result = self._chip.evaluate(placement, smt=smt)
+        rates = [t.ips for t in chip_result.threads]
+        serial_rate = self.serial_rate(workload)
+
+        roi_seconds = 0.0
+        time_at_level: Dict[int, float] = {k: 0.0 for k in range(1, n_threads + 1)}
+        contention = 1.0 + workload.cs_contention_per_thread * (n_threads - 1)
+        # Critical sections stay *pinned*: the owning thread executes them on
+        # its own core (alone, so at that core's isolated rate), and ownership
+        # rotates across threads -- so the per-round serialized time is the
+        # mean over the threads' cores.  Only the program-level serial phases
+        # (init/final) migrate to the big core.
+        if critical_sections == "accelerated" and workload.round_serial_work() > 0:
+            # Every critical section runs on the big core, plus migration.
+            cs_seconds_mean = (
+                workload.round_serial_work() / serial_rate
+                + 2 * self.ACS_MIGRATION_NS * 1e-9
+            )
+        else:
+            cs_rates = [
+                _cached_isolated(
+                    workload.kernel,
+                    self.design.cores[t.core_index],
+                    self.design.uncore,
+                )
+                for t in chip_result.threads
+            ]
+            cs_seconds_mean = sum(
+                workload.round_serial_work() / r for r in cs_rates
+            ) / len(cs_rates)
+        serial_per_round = cs_seconds_mean * contention
+        for r in range(workload.rounds):
+            shares = workload.round_shares(r, n_threads)
+            times = sorted(share / rate for share, rate in zip(shares, rates))
+            # Between the (k-1)th and kth barrier arrival, n-k+1 threads run.
+            previous = 0.0
+            for k, t in enumerate(times):
+                time_at_level[n_threads - k] += t - previous
+                previous = t
+            time_at_level[1] += serial_per_round
+            roi_seconds += times[-1] + serial_per_round
+
+        init_seconds = workload.serial_init / serial_rate
+        final_seconds = workload.serial_final / serial_rate
+        fractions = {
+            k: v / roi_seconds for k, v in time_at_level.items() if v > 0.0
+        }
+        return MultithreadedResult(
+            workload_name=workload.name,
+            design_name=self.design.name,
+            n_threads=n_threads,
+            smt=smt,
+            roi_seconds=roi_seconds,
+            total_seconds=init_seconds + roi_seconds + final_seconds,
+            active_thread_fractions=fractions,
+        )
+
+    def best_run(
+        self,
+        workload: ParallelWorkload,
+        smt: bool,
+        thread_counts: Optional[Iterable[int]] = None,
+        scope: str = "roi",
+    ) -> MultithreadedResult:
+        """The fastest run across thread counts (the paper reports maxima).
+
+        Without SMT the paper sets the thread count equal to the core count;
+        with SMT it sweeps 4..24 in steps of 4 (capped at the design's
+        hardware thread capacity) and reports the best.
+        """
+        if scope not in ("roi", "whole"):
+            raise ValueError(f"scope must be 'roi' or 'whole', got {scope!r}")
+        if thread_counts is None:
+            if smt:
+                thread_counts = [
+                    n for n in range(4, 25, 4) if n <= self.design.max_threads
+                ]
+            else:
+                thread_counts = [self.design.num_cores]
+        runs = [self.run(workload, n, smt) for n in thread_counts]
+        if not runs:
+            raise ValueError("no feasible thread counts for this design")
+        key = (
+            (lambda r: r.roi_seconds) if scope == "roi" else (lambda r: r.total_seconds)
+        )
+        return min(runs, key=key)
+
+
+def speedup(
+    result: MultithreadedResult,
+    reference: MultithreadedResult,
+    scope: str = "roi",
+) -> float:
+    """Speedup of ``result`` over ``reference`` (paper: 4 threads on 4B)."""
+    if scope == "roi":
+        return reference.roi_seconds / result.roi_seconds
+    if scope == "whole":
+        return reference.total_seconds / result.total_seconds
+    raise ValueError(f"scope must be 'roi' or 'whole', got {scope!r}")

@@ -1,0 +1,295 @@
+"""Design-space study orchestration.
+
+:class:`DesignSpaceStudy` evaluates (design x workload x thread count x SMT)
+points with the interval chip model and aggregates them the way the paper's
+figures do:
+
+* per-thread-count average performance: **harmonic mean STP** (a rate) and
+  arithmetic-mean ANTT across the workload mixes at that count;
+* distribution-weighted averages: the expectation of per-count mean STP
+  under a thread-count distribution (Figures 6-10);
+* per-benchmark averages for Figure 9;
+* power and energy per point for Figures 14-15.
+
+All evaluations are memoized, so the benchmark harness can regenerate every
+figure without recomputing shared points.
+"""
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.designs import ChipDesign, all_designs
+from repro.core.distributions import ThreadCountDistribution
+from repro.core.metrics import antt, arithmetic_mean, harmonic_mean, stp
+from repro.core.scheduler import Scheduler, _cached_isolated_ips
+from repro.interval.contention import ChipModel, ChipResult
+from repro.microarch.config import BIG
+from repro.microarch.uncore import UncoreConfig
+from repro.power.mcpat import ChipPowerModel
+from repro.workloads.multiprogram import (
+    Mix,
+    heterogeneous_mixes,
+    homogeneous_mixes,
+    profiles_for,
+)
+
+#: Workload-mix kinds, matching the paper's terminology.
+WORKLOAD_KINDS = ("homogeneous", "heterogeneous")
+
+
+@dataclass(frozen=True)
+class MixResult:
+    """Outcome of one (design, mix, SMT) evaluation."""
+
+    design_name: str
+    mix: Tuple[str, ...]
+    smt: bool
+    stp: float
+    antt: float
+    power_gated_w: float
+    power_ungated_w: float
+    bus_utilization: float
+    mem_latency_inflation: float
+
+
+class DesignSpaceStudy:
+    """Runs and caches the paper's design-space grid.
+
+    Parameters
+    ----------
+    designs:
+        Chip designs under study (default: the nine of Figure 2).
+    uncore:
+        Optional uncore override applied to every design (e.g. the 16 GB/s
+        bus of Section 8.2).
+    benchmarks:
+        Benchmark names for mix construction (default: the 12 SPEC-like
+        profiles).
+    seed:
+        Seed for balanced random heterogeneous mixes.
+    mixes_per_count:
+        Number of heterogeneous mixes per thread count (the paper uses 12).
+    """
+
+    def __init__(
+        self,
+        designs: Optional[Sequence[ChipDesign]] = None,
+        uncore: Optional[UncoreConfig] = None,
+        benchmarks: Optional[Sequence[str]] = None,
+        seed: int = 42,
+        mixes_per_count: int = 12,
+    ):
+        base = list(designs) if designs is not None else all_designs()
+        if uncore is not None:
+            base = [d.with_uncore(uncore) for d in base]
+        self.designs: Dict[str, ChipDesign] = {d.name: d for d in base}
+        self.benchmarks = list(benchmarks) if benchmarks is not None else None
+        self.seed = seed
+        self.mixes_per_count = mixes_per_count
+        self._chip_models: Dict[str, ChipModel] = {}
+        self._power_models: Dict[str, ChipPowerModel] = {}
+        self._mix_cache: Dict[Tuple[str, Tuple[str, ...], bool], MixResult] = {}
+
+    # ------------------------------------------------------------------ #
+    # single points                                                       #
+    # ------------------------------------------------------------------ #
+
+    def design(self, name: str) -> ChipDesign:
+        try:
+            return self.designs[name]
+        except KeyError:
+            raise KeyError(
+                f"design {name!r} not in this study; have {sorted(self.designs)}"
+            ) from None
+
+    def _chip_model(self, design_name: str) -> ChipModel:
+        if design_name not in self._chip_models:
+            self._chip_models[design_name] = ChipModel(self.design(design_name))
+        return self._chip_models[design_name]
+
+    def _power_model(self, design_name: str) -> ChipPowerModel:
+        if design_name not in self._power_models:
+            self._power_models[design_name] = ChipPowerModel(self.design(design_name))
+        return self._power_models[design_name]
+
+    def evaluate_mix(self, design_name: str, mix: Mix, smt: bool = True) -> MixResult:
+        """Evaluate one workload mix on one design (memoized)."""
+        key = (design_name, tuple(mix), smt)
+        if key in self._mix_cache:
+            return self._mix_cache[key]
+
+        design = self.design(design_name)
+        profiles = profiles_for(mix)
+        placement = Scheduler(design, smt=smt).place(profiles)
+        result = self._chip_model(design_name).evaluate(placement, smt=smt)
+        specs = [spec for threads in placement.core_threads for spec in threads]
+        refs = [self._reference_ips(spec.profile) for spec in specs]
+        shared = [t.ips for t in result.threads]
+        power_model = self._power_model(design_name)
+        mix_result = MixResult(
+            design_name=design_name,
+            mix=tuple(mix),
+            smt=smt,
+            stp=stp(shared, refs),
+            antt=antt(shared, refs),
+            power_gated_w=power_model.power(result, power_gate_idle=True),
+            power_ungated_w=power_model.power(result, power_gate_idle=False),
+            bus_utilization=result.bus_utilization,
+            mem_latency_inflation=result.mem_latency_inflation,
+        )
+        self._mix_cache[key] = mix_result
+        return mix_result
+
+    def _reference_ips(self, profile) -> float:
+        """Isolated-on-big reference, using the (possibly overridden) uncore.
+
+        References use the same uncore as the study designs, so the
+        Section 8.2 experiment normalizes against a 16 GB/s baseline just as
+        the paper does.
+        """
+        any_design = next(iter(self.designs.values()))
+        return _study_reference(profile, any_design.uncore)
+
+    # ------------------------------------------------------------------ #
+    # mixes                                                               #
+    # ------------------------------------------------------------------ #
+
+    def mixes(self, kind: str, n_threads: int) -> List[Mix]:
+        """The workload mixes for one thread count (homogeneous or heterogeneous)."""
+        if kind not in WORKLOAD_KINDS:
+            raise ValueError(f"kind must be one of {WORKLOAD_KINDS}, got {kind!r}")
+        if kind == "homogeneous":
+            return homogeneous_mixes(n_threads, self.benchmarks)
+        return heterogeneous_mixes(
+            n_threads, self.mixes_per_count, self.seed, self.benchmarks
+        )
+
+    # ------------------------------------------------------------------ #
+    # aggregates                                                          #
+    # ------------------------------------------------------------------ #
+
+    def mean_stp(self, design_name: str, kind: str, n_threads: int, smt: bool = True) -> float:
+        """Harmonic-mean STP across the mixes at one thread count."""
+        results = [
+            self.evaluate_mix(design_name, mix, smt)
+            for mix in self.mixes(kind, n_threads)
+        ]
+        return harmonic_mean([r.stp for r in results])
+
+    def mean_antt(self, design_name: str, kind: str, n_threads: int, smt: bool = True) -> float:
+        """Arithmetic-mean ANTT across the mixes at one thread count."""
+        results = [
+            self.evaluate_mix(design_name, mix, smt)
+            for mix in self.mixes(kind, n_threads)
+        ]
+        return arithmetic_mean([r.antt for r in results])
+
+    def mean_power(
+        self,
+        design_name: str,
+        kind: str,
+        n_threads: int,
+        smt: bool = True,
+        power_gate_idle: bool = True,
+    ) -> float:
+        """Arithmetic-mean chip power across the mixes at one thread count."""
+        results = [
+            self.evaluate_mix(design_name, mix, smt)
+            for mix in self.mixes(kind, n_threads)
+        ]
+        values = [
+            r.power_gated_w if power_gate_idle else r.power_ungated_w
+            for r in results
+        ]
+        return arithmetic_mean(values)
+
+    def throughput_curve(
+        self,
+        design_name: str,
+        kind: str,
+        thread_counts: Iterable[int] = range(1, 25),
+        smt: bool = True,
+    ) -> Dict[int, float]:
+        """Mean STP as a function of thread count (Figure 3)."""
+        return {
+            n: self.mean_stp(design_name, kind, n, smt) for n in thread_counts
+        }
+
+    def antt_curve(
+        self,
+        design_name: str,
+        kind: str,
+        thread_counts: Iterable[int] = range(1, 25),
+        smt: bool = True,
+    ) -> Dict[int, float]:
+        """Mean ANTT as a function of thread count (Figure 5)."""
+        return {
+            n: self.mean_antt(design_name, kind, n, smt) for n in thread_counts
+        }
+
+    def aggregate_stp(
+        self,
+        design_name: str,
+        kind: str,
+        distribution: ThreadCountDistribution,
+        smt: bool = True,
+    ) -> float:
+        """Distribution-weighted average STP (Figures 6-10)."""
+        curve = self.throughput_curve(
+            design_name, kind, range(1, distribution.max_threads + 1), smt
+        )
+        return distribution.expectation(curve)
+
+    def aggregate_power(
+        self,
+        design_name: str,
+        kind: str,
+        distribution: ThreadCountDistribution,
+        smt: bool = True,
+        power_gate_idle: bool = True,
+    ) -> float:
+        """Distribution-weighted average chip power (Figure 15)."""
+        values = {
+            n: self.mean_power(design_name, kind, n, smt, power_gate_idle)
+            for n in range(1, distribution.max_threads + 1)
+        }
+        return distribution.expectation(values)
+
+    def per_benchmark_aggregate(
+        self,
+        design_name: str,
+        benchmark: str,
+        distribution: ThreadCountDistribution,
+        smt: bool = True,
+    ) -> float:
+        """Distribution-weighted STP for homogeneous mixes of one benchmark (Figure 9)."""
+        values = {
+            n: self.evaluate_mix(design_name, [benchmark] * n, smt).stp
+            for n in range(1, distribution.max_threads + 1)
+        }
+        return distribution.expectation(values)
+
+    def best_design(
+        self,
+        kind: str,
+        distribution: ThreadCountDistribution,
+        smt: bool = True,
+        exclude: Sequence[str] = (),
+    ) -> Tuple[str, float]:
+        """The design with the highest distribution-weighted STP."""
+        candidates = [n for n in self.designs if n not in set(exclude)]
+        scored = {
+            name: self.aggregate_stp(name, kind, distribution, smt)
+            for name in candidates
+        }
+        best = max(scored, key=scored.get)
+        return best, scored[best]
+
+
+@lru_cache(maxsize=4096)
+def _study_reference(profile, uncore) -> float:
+    """Isolated-on-big instructions/second under a given uncore (memoized)."""
+    from repro.interval.contention import isolated_ips
+
+    return isolated_ips(profile, BIG, uncore)

@@ -1,0 +1,163 @@
+"""Active-thread-count timelines: the "jobs come and go" of Section 2.1.
+
+The paper motivates varying thread counts with multiprogramming (jobs
+arrive, block on I/O, finish).  This module makes that concrete: a
+:class:`ThreadCountTimeline` is a piecewise-constant record of how many
+threads were active over time.  Timelines can be
+
+* synthesized from a job arrival/departure process
+  (:func:`simulate_job_arrivals` — Poisson arrivals, exponential service,
+  capped at the machine's thread capacity, deterministic per seed), or
+  built from measured (duration, count) samples;
+* converted to a :class:`~repro.core.distributions.ThreadCountDistribution`
+  (time-weighted), which plugs straight into
+  :meth:`~repro.core.study.DesignSpaceStudy.aggregate_stp` — so a measured
+  utilization trace can drive the whole design-space comparison.
+"""
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.core.distributions import ThreadCountDistribution
+from repro.util import check_positive
+
+
+@dataclass(frozen=True)
+class ThreadCountTimeline:
+    """Piecewise-constant active-thread history: (duration, count) segments.
+
+    Durations are in arbitrary (consistent) time units; counts are >= 1 —
+    fully idle periods carry no work, contribute nothing to throughput
+    comparisons, and should be dropped before construction.
+    """
+
+    segments: Tuple[Tuple[float, int], ...]
+
+    def __post_init__(self) -> None:
+        if not self.segments:
+            raise ValueError("a timeline needs at least one segment")
+        for duration, count in self.segments:
+            if duration <= 0:
+                raise ValueError(f"segment durations must be > 0, got {duration}")
+            if count < 1:
+                raise ValueError(f"segment thread counts must be >= 1, got {count}")
+
+    @classmethod
+    def from_samples(
+        cls, samples: Sequence[Tuple[float, int]]
+    ) -> "ThreadCountTimeline":
+        return cls(tuple((float(d), int(c)) for d, c in samples))
+
+    @property
+    def total_time(self) -> float:
+        return sum(d for d, _c in self.segments)
+
+    @property
+    def max_threads(self) -> int:
+        return max(c for _d, c in self.segments)
+
+    @property
+    def mean_threads(self) -> float:
+        """Time-weighted average active thread count."""
+        return (
+            sum(d * c for d, c in self.segments) / self.total_time
+        )
+
+    def time_at(self, count: int) -> float:
+        """Total time spent with exactly ``count`` threads active."""
+        return sum(d for d, c in self.segments if c == count)
+
+    def to_distribution(self, max_threads: int = 0) -> ThreadCountDistribution:
+        """The time-weighted thread-count distribution of this timeline.
+
+        Counts above ``max_threads`` (default: the timeline's own maximum)
+        are clamped to it, matching a machine that queues excess jobs.
+        """
+        cap = max_threads if max_threads > 0 else self.max_threads
+        weights = [0.0] * cap
+        for duration, count in self.segments:
+            weights[min(count, cap) - 1] += duration
+        return ThreadCountDistribution.from_weights(
+            f"timeline-{cap}", weights
+        )
+
+
+def simulate_job_arrivals(
+    arrival_rate: float,
+    mean_service_time: float,
+    max_threads: int = 24,
+    horizon: float = 10_000.0,
+    seed: int = 42,
+) -> ThreadCountTimeline:
+    """Synthesize a timeline from a Poisson job arrival/departure process.
+
+    Jobs arrive at ``arrival_rate`` per time unit and each runs for an
+    exponentially distributed service time (mean ``mean_service_time``);
+    at most ``max_threads`` run concurrently (excess arrivals queue).  The
+    offered load ``arrival_rate * mean_service_time`` sets the average
+    parallelism — e.g. rate 0.08 x service 100 ~ 8 concurrently active
+    jobs, a lightly loaded 24-thread server.
+
+    Fully idle periods are dropped (no work to schedule).  Deterministic
+    for a given seed.
+    """
+    check_positive("arrival_rate", arrival_rate)
+    check_positive("mean_service_time", mean_service_time)
+    check_positive("max_threads", max_threads)
+    check_positive("horizon", horizon)
+    rng = random.Random(seed)
+
+    t = 0.0
+    # Absolute completion times of the running jobs (absolute timestamps
+    # avoid the accumulate-tiny-remainders failure mode where a residual
+    # smaller than the ULP of `t` stalls the clock).
+    running: List[float] = []
+    queued = 0
+    next_arrival = rng.expovariate(arrival_rate)
+    segments: List[Tuple[float, int]] = []
+
+    while t < horizon:
+        active = len(running)
+        next_departure = min(running) if running else math.inf
+        next_event = min(next_arrival, next_departure, horizon)
+        span = next_event - t
+        if span > 0 and active > 0:
+            segments.append((span, active))
+        t = next_event
+        if t >= horizon:
+            break
+        if next_event == next_arrival:
+            if len(running) < max_threads:
+                running.append(t + rng.expovariate(1.0 / mean_service_time))
+            else:
+                queued += 1
+            next_arrival = t + rng.expovariate(arrival_rate)
+        # Departures: retire every job due by now, admit queued work.
+        still = [done for done in running if done > t]
+        finished = len(running) - len(still)
+        running = still
+        for _ in range(finished):
+            if queued > 0:
+                queued -= 1
+                running.append(t + rng.expovariate(1.0 / mean_service_time))
+
+    if not segments:
+        raise ValueError(
+            "no active periods in the horizon; raise arrival_rate or horizon"
+        )
+    return ThreadCountTimeline.from_samples(_coalesce(segments))
+
+
+def _coalesce(
+    segments: Sequence[Tuple[float, int]]
+) -> List[Tuple[float, int]]:
+    """Merge adjacent segments with equal thread counts."""
+    out: List[Tuple[float, int]] = []
+    for duration, count in segments:
+        if out and out[-1][1] == count:
+            out[-1] = (out[-1][0] + duration, count)
+        else:
+            out.append((duration, count))
+    return out

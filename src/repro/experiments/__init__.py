@@ -1,0 +1,17 @@
+"""Experiment drivers: one module per paper figure/table.
+
+Each ``figNN_*`` module exposes a ``run(...)`` function returning an
+:class:`~repro.experiments.base.ExperimentTable` whose rows mirror the data
+series of the corresponding figure in the paper, and the benchmark harness
+(`benchmarks/`) simply calls these and prints them.  ``findings`` evaluates
+the paper's eleven findings as boolean claims with tolerances.
+
+All drivers share the memoized study context in
+:mod:`repro.experiments.context`, so regenerating every figure reuses
+common (design, mix, thread count) evaluations.
+"""
+
+from repro.experiments.base import ExperimentTable
+from repro.experiments.context import get_study, reset_context
+
+__all__ = ["ExperimentTable", "get_study", "reset_context"]

@@ -1,0 +1,191 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+* **Co-scheduling** — the paper selects SMT co-schedules offline; the
+  library's heuristic (pressure-balancing snake deal) is compared against
+  local-search-optimized and adversarial (pressure-stacked) schedules.
+* **LLC sharing model** — LRU-like demand occupancy vs idealized even
+  partitioning: quantifies how much a managed shared cache would buy on
+  top of the study's baseline.
+* **ROB partitioning** — static (the paper's SMT core) vs dynamically
+  shared windows.
+* **SMT fetch policy** — the paper's round-robin fetch [24] vs ICOUNT
+  [31]: throughput-vs-fairness under n-way SMT.
+"""
+
+from typing import Dict, List
+
+from repro.core.designs import get_design
+from repro.core.metrics import harmonic_mean, stp
+from repro.core.scheduler import (
+    Scheduler,
+    _cached_isolated_ips,
+    optimize_coschedule,
+)
+from repro.experiments.base import ExperimentTable
+from repro.interval.contention import ChipModel, Placement
+from repro.microarch.config import BIG
+from repro.workloads.multiprogram import heterogeneous_mixes, profiles_for
+
+
+def _score(design, placement: Placement, **model_kwargs) -> float:
+    result = ChipModel(design, **model_kwargs).evaluate(placement)
+    specs = [s for ts in placement.core_threads for s in ts]
+    refs = [_cached_isolated_ips(s.profile, BIG) for s in specs]
+    return stp([t.ips for t in result.threads], refs)
+
+
+def _stacked_placement(design, profiles, smt=True) -> Placement:
+    """Adversarial co-schedule: group similar-pressure threads together."""
+    scheduler = Scheduler(design, smt=smt)
+    counts = scheduler.slot_counts(len(profiles))
+    ordered = sorted(profiles, key=lambda p: p.cache_pressure(), reverse=True)
+    from repro.interval.contention import ThreadSpec
+
+    core_threads: List[List[ThreadSpec]] = []
+    it = iter(ordered)
+    for c in counts:
+        core_threads.append([ThreadSpec(next(it)) for _ in range(c)])
+    return Placement.from_lists(core_threads)
+
+
+def run_scheduling(
+    design_name: str = "4B", n_threads: int = 8, num_mixes: int = 6, seed: int = 7
+) -> ExperimentTable:
+    """Heuristic vs optimized vs adversarial co-scheduling."""
+    design = get_design(design_name)
+    table = ExperimentTable(
+        experiment_id="Ablation: co-scheduling",
+        title=f"Co-schedule quality on {design_name}, {n_threads} threads",
+        columns=["mix", "stacked", "heuristic", "optimized"],
+    )
+    sums: Dict[str, List[float]] = {"stacked": [], "heuristic": [], "optimized": []}
+    for i, mix in enumerate(
+        heterogeneous_mixes(n_threads, num_mixes=num_mixes, seed=seed)
+    ):
+        profiles = profiles_for(mix)
+        heuristic = Scheduler(design, smt=True).place(profiles)
+        stacked = _stacked_placement(design, profiles)
+        optimized = optimize_coschedule(design, heuristic, max_rounds=1)
+        row = {
+            "mix": f"mix{i}",
+            "stacked": _score(design, stacked),
+            "heuristic": _score(design, heuristic),
+            "optimized": _score(design, optimized),
+        }
+        table.rows.append(row)
+        for key in sums:
+            sums[key].append(row[key])
+    means = {k: harmonic_mean(v) for k, v in sums.items()}
+    table.notes.append(
+        "mean STP: "
+        + ", ".join(f"{k}={v:.3f}" for k, v in means.items())
+        + f"; heuristic within {1 - means['heuristic'] / means['optimized']:.1%} "
+        "of optimized"
+    )
+    return table
+
+
+def run_llc_sharing(n_threads: int = 24, num_mixes: int = 6) -> ExperimentTable:
+    """LRU-like demand occupancy vs idealized even LLC partitioning (4B).
+
+    ``demand`` (the study's baseline) models what an unmanaged LRU shared
+    cache converges to: occupancy proportional to miss pressure — which
+    lets thrashing streamers squat on capacity they cannot use.  ``even``
+    models an idealized way-partitioned cache.  Even partitioning winning
+    by a wide margin reproduces the classic motivation for utility-based
+    cache partitioning (Qureshi & Patt's UCP).
+    """
+    design = get_design("4B")
+    table = ExperimentTable(
+        experiment_id="Ablation: LLC sharing",
+        title="LRU-like demand occupancy vs even LLC partitioning (4B)",
+        columns=["mix", "even", "demand"],
+    )
+    gains = []
+    for i, mix in enumerate(heterogeneous_mixes(n_threads, num_mixes=num_mixes)):
+        profiles = profiles_for(mix)
+        placement = Scheduler(design, smt=True).place(profiles)
+        even = _score(design, placement, llc_sharing="even")
+        demand = _score(design, placement, llc_sharing="demand")
+        table.add_row(mix=f"mix{i}", even=even, demand=demand)
+        gains.append(demand / even - 1)
+    table.notes.append(
+        f"LRU-like demand occupancy changes STP by "
+        f"{sum(gains) / len(gains):+.1%} vs idealized even partitioning — "
+        "streamers squat on capacity they cannot use (the UCP motivation)"
+    )
+    return table
+
+
+def run_rob_partitioning(n_threads: int = 24, num_mixes: int = 6) -> ExperimentTable:
+    """Static vs dynamically shared SMT windows on the 4B design."""
+    design = get_design("4B")
+    table = ExperimentTable(
+        experiment_id="Ablation: ROB partitioning",
+        title="Static vs shared ROB partitioning under 6-way SMT (4B)",
+        columns=["mix", "static", "shared"],
+    )
+    gains = []
+    for i, mix in enumerate(heterogeneous_mixes(n_threads, num_mixes=num_mixes)):
+        profiles = profiles_for(mix)
+        placement = Scheduler(design, smt=True).place(profiles)
+        static = _score(design, placement, rob_partitioning="static")
+        shared = _score(design, placement, rob_partitioning="shared")
+        table.add_row(mix=f"mix{i}", static=static, shared=shared)
+        gains.append(shared / static - 1)
+    table.notes.append(
+        f"sharing the window changes STP by {sum(gains) / len(gains):+.1%} "
+        "on average — near-zero: the extra per-thread MLP mostly turns into "
+        "extra bus pressure once the chip is memory-saturated"
+    )
+    return table
+
+
+def run_fetch_policy(n_threads: int = 24, num_mixes: int = 6) -> ExperimentTable:
+    """Round-robin vs ICOUNT SMT fetch on the 4B design.
+
+    Reports both throughput (STP) and fairness (ANTT): ICOUNT equalizes
+    per-thread progress, which typically trades a little peak throughput
+    for a better worst-case slowdown.
+    """
+    from repro.core.metrics import antt
+
+    design = get_design("4B")
+    table = ExperimentTable(
+        experiment_id="Ablation: SMT fetch policy",
+        title="Round-robin vs ICOUNT fetch under 6-way SMT (4B)",
+        columns=["mix", "RR stp", "ICOUNT stp", "RR antt", "ICOUNT antt"],
+    )
+
+    def score_both(placement, policy):
+        result = ChipModel(design, fetch_policy=policy).evaluate(placement)
+        specs = [s for ts in placement.core_threads for s in ts]
+        refs = [_cached_isolated_ips(s.profile, BIG) for s in specs]
+        shared = [t.ips for t in result.threads]
+        return stp(shared, refs), antt(shared, refs)
+
+    stp_deltas = []
+    antt_deltas = []
+    for i, mix in enumerate(heterogeneous_mixes(n_threads, num_mixes=num_mixes)):
+        placement = Scheduler(design, smt=True).place(profiles_for(mix))
+        rr_stp, rr_antt = score_both(placement, "roundrobin")
+        ic_stp, ic_antt = score_both(placement, "icount")
+        table.add_row(
+            mix=f"mix{i}",
+            **{
+                "RR stp": rr_stp,
+                "ICOUNT stp": ic_stp,
+                "RR antt": rr_antt,
+                "ICOUNT antt": ic_antt,
+            },
+        )
+        stp_deltas.append(ic_stp / rr_stp - 1)
+        antt_deltas.append(ic_antt / rr_antt - 1)
+    table.notes.append(
+        f"ICOUNT vs round-robin: STP {sum(stp_deltas) / len(stp_deltas):+.2%}, "
+        f"ANTT {sum(antt_deltas) / len(antt_deltas):+.2%} — near-zero, "
+        "because the statically partitioned window already enforces "
+        "fairness, making the fetch policy secondary (the Raasch & "
+        "Reinhardt [24] observation the paper's SMT core builds on)"
+    )
+    return table

@@ -1,0 +1,75 @@
+"""Shared result-table plumbing for the experiment drivers."""
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+
+@dataclass
+class ExperimentTable:
+    """A figure/table reproduction: named columns and data rows.
+
+    ``rows`` are dicts keyed by column name; values may be strings or
+    numbers.  ``notes`` carries the experiment's paper-vs-measured summary
+    lines used by EXPERIMENTS.md and the benchmark printouts.
+    """
+
+    experiment_id: str
+    title: str
+    columns: List[str]
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, **values: Any) -> None:
+        missing = [c for c in self.columns if c not in values]
+        if missing:
+            raise ValueError(f"row missing columns {missing}")
+        self.rows.append(values)
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one column, in row order."""
+        if name not in self.columns:
+            raise KeyError(f"unknown column {name!r}; have {self.columns}")
+        return [row[name] for row in self.rows]
+
+    def row_by(self, key_column: str, key: Any) -> Dict[str, Any]:
+        """The first row whose ``key_column`` equals ``key``."""
+        for row in self.rows:
+            if row[key_column] == key:
+                return row
+        raise KeyError(f"no row with {key_column}={key!r}")
+
+    def to_json(self, indent: int = 2) -> str:
+        """Machine-readable rendering (used by the CLI's ``--json`` flag)."""
+        return json.dumps(
+            {
+                "experiment_id": self.experiment_id,
+                "title": self.title,
+                "columns": self.columns,
+                "rows": self.rows,
+                "notes": self.notes,
+            },
+            indent=indent,
+        )
+
+    def formatted(self, float_digits: int = 3) -> str:
+        """Human-readable fixed-width rendering (used by the bench harness)."""
+
+        def fmt(value: Any) -> str:
+            if isinstance(value, float):
+                return f"{value:.{float_digits}f}"
+            return str(value)
+
+        header = [self.columns]
+        body = [[fmt(row[c]) for c in self.columns] for row in self.rows]
+        widths = [
+            max(len(r[i]) for r in header + body) for i in range(len(self.columns))
+        ]
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        lines.append("  ".join(c.ljust(w) for c, w in zip(self.columns, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for r in body:
+            lines.append("  ".join(v.ljust(w) for v, w in zip(r, widths)))
+        for note in self.notes:
+            lines.append(f"# {note}")
+        return "\n".join(lines)

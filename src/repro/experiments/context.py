@@ -1,0 +1,26 @@
+"""Shared, memoized evaluation context for the experiment drivers.
+
+Regenerating every figure touches thousands of (design, mix, thread count)
+points, many of them shared between figures; this module keeps one
+:class:`~repro.core.study.DesignSpaceStudy` per uncore configuration so the
+work is done once per process.
+"""
+
+from typing import Dict, Optional
+
+from repro.core.study import DesignSpaceStudy
+from repro.microarch.uncore import UncoreConfig
+
+_STUDIES: Dict[Optional[UncoreConfig], DesignSpaceStudy] = {}
+
+
+def get_study(uncore: Optional[UncoreConfig] = None) -> DesignSpaceStudy:
+    """The process-wide study for a given uncore (None = baseline 8 GB/s)."""
+    if uncore not in _STUDIES:
+        _STUDIES[uncore] = DesignSpaceStudy(uncore=uncore)
+    return _STUDIES[uncore]
+
+
+def reset_context() -> None:
+    """Drop all memoized studies (mainly for tests that tweak globals)."""
+    _STUDIES.clear()

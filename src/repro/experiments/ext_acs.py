@@ -1,0 +1,62 @@
+"""Extension: Accelerating Critical Sections vs SMT flexibility.
+
+The paper's Section 9 argues that the benefits of ACS (Suleman et al. [29]
+— migrating critical sections to a big core in a heterogeneous multi-core)
+"might potentially be achieved through SMT on a homogeneous multi-core":
+on 4B a critical section already runs on a big core with no migration or
+data-marshaling cost.
+
+This experiment runs the lock-heavy PARSEC-like workloads on the
+single-big-core heterogeneous designs with pinned vs ACS critical
+sections, and compares against plain 4B — quantifying how much of ACS's
+gain the homogeneous SMT design gets "for free".
+"""
+
+from typing import Dict
+
+from repro.core.designs import get_design
+from repro.core.metrics import harmonic_mean
+from repro.core.multithreaded import MultithreadedModel, speedup
+from repro.experiments.base import ExperimentTable
+from repro.experiments.fig11_fig12_parsec import _reference
+from repro.workloads.parsec import PARSEC_ORDER, get_workload
+
+#: The lock-heavy applications where critical sections matter.
+ACS_WORKLOADS = ("bodytrack", "swaptions", "ferret", "freqmine", "dedup")
+
+
+def run(n_threads: int = 16) -> ExperimentTable:
+    """Whole-program speedups with pinned vs accelerated critical sections."""
+    table = ExperimentTable(
+        experiment_id="Extension: ACS",
+        title=f"Critical-section acceleration at {n_threads} threads (whole program)",
+        columns=["design", "pinned", "ACS", "ACS gain"],
+    )
+    means: Dict[str, Dict[str, float]] = {}
+    for design_name in ("1B6m", "1B15s", "4B"):
+        model = MultithreadedModel(get_design(design_name))
+        speedups = {"pinned": [], "ACS": []}
+        for w_name in ACS_WORKLOADS:
+            w = get_workload(w_name)
+            ref = _reference(w_name)
+            for mode, key in (("pinned", "pinned"), ("accelerated", "ACS")):
+                run_result = model.run(
+                    w, n_threads, smt=True, critical_sections=mode
+                )
+                speedups[key].append(speedup(run_result, ref, "whole"))
+        pinned = harmonic_mean(speedups["pinned"])
+        acs = harmonic_mean(speedups["ACS"])
+        means[design_name] = {"pinned": pinned, "ACS": acs}
+        table.add_row(
+            design=design_name,
+            pinned=pinned,
+            ACS=acs,
+            **{"ACS gain": f"{acs / pinned - 1:+.1%}"},
+        )
+    best_acs = max(means, key=lambda d: means[d]["ACS"])
+    table.notes.append(
+        f"best with ACS: {best_acs}; plain 4B (SMT) = "
+        f"{means['4B']['pinned']:.2f} — the homogeneous design gets the "
+        "big-core critical-section rate without migration"
+    )
+    return table

@@ -1,0 +1,85 @@
+"""Extension: the study projected to a doubled hardware budget.
+
+The paper argues its results "are general enough to be projected to larger
+hardware budgets and thread counts (e.g., 8 large cores and up to 48
+threads)".  This experiment builds the doubled design space — 8 big cores,
+16 medium, 40 small and the analogous mixes — and repeats the uniform-
+distribution comparison up to 48 threads.  If the paper's projection holds,
+the all-big SMT design stays on top with SMT everywhere.
+"""
+
+from typing import Dict, List, Tuple
+
+from dataclasses import replace
+
+from repro.core.designs import ChipDesign
+from repro.core.distributions import uniform
+from repro.core.study import DesignSpaceStudy
+from repro.experiments.base import ExperimentTable
+from repro.microarch.config import BIG, MEDIUM, SMALL, CacheConfig
+from repro.microarch.uncore import DEFAULT_UNCORE, UncoreConfig
+from repro.util import MB
+
+#: The uncore scales with the budget: twice the LLC, bus and banks.
+SCALED_UNCORE = UncoreConfig(
+    llc=CacheConfig(16 * MB, 16, latency_cycles=32),
+    interconnect=DEFAULT_UNCORE.interconnect,
+    dram=replace(
+        DEFAULT_UNCORE.dram, num_banks=16, bus_bandwidth_bytes_per_s=16e9
+    ),
+)
+
+
+def _mix(name: str, *parts: Tuple[int, object]) -> ChipDesign:
+    cores: List = []
+    for count, config in parts:
+        cores.extend([config] * count)
+    return ChipDesign(name=name, cores=tuple(cores), uncore=SCALED_UNCORE)
+
+
+#: Doubled power budget: 8 big-core equivalents.
+SCALED_DESIGNS = [
+    _mix("8B", (8, BIG)),
+    _mix("6B4m", (6, BIG), (4, MEDIUM)),
+    _mix("6B10s", (6, BIG), (10, SMALL)),
+    _mix("4B8m", (4, BIG), (8, MEDIUM)),
+    _mix("4B20s", (4, BIG), (20, SMALL)),
+    _mix("2B30s", (2, BIG), (30, SMALL)),
+    _mix("16m", (16, MEDIUM)),
+    _mix("40s", (40, SMALL)),
+]
+
+
+def run(max_threads: int = 48, mixes_per_count: int = 12) -> ExperimentTable:
+    """Uniform-distribution comparison at the doubled budget."""
+    study = DesignSpaceStudy(
+        designs=SCALED_DESIGNS, mixes_per_count=mixes_per_count
+    )
+    dist = uniform(max_threads)
+    table = ExperimentTable(
+        experiment_id="Extension: scaled budget",
+        title=f"Doubled power budget (8 big-core equivalents), 1-{max_threads} threads",
+        columns=["design", "no SMT", "SMT"],
+    )
+    values: Dict[str, Dict[str, float]] = {"no SMT": {}, "SMT": {}}
+    for design in SCALED_DESIGNS:
+        values["no SMT"][design.name] = study.aggregate_stp(
+            design.name, "heterogeneous", dist, smt=False
+        )
+        values["SMT"][design.name] = study.aggregate_stp(
+            design.name, "heterogeneous", dist, smt=True
+        )
+        table.add_row(
+            design=design.name,
+            **{
+                "no SMT": values["no SMT"][design.name],
+                "SMT": values["SMT"][design.name],
+            },
+        )
+    for key, vals in values.items():
+        best = max(vals, key=vals.get)
+        table.notes.append(
+            f"{key}: best={best} ({vals[best]:.3f}); 8B "
+            f"{(vals['8B'] / vals[best] - 1):+.1%} vs best"
+        )
+    return table

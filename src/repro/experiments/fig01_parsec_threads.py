@@ -1,0 +1,57 @@
+"""Figure 1: distribution of active thread counts, PARSEC on twenty cores.
+
+The paper runs each PARSEC benchmark with 20 threads on a twenty-core
+machine and reports, per benchmark, the fraction of ROI time spent at each
+active-thread level (bucketed).  Headline statistics: 20 threads are active
+only ~half the time on average, and <= 4 threads ~31 % of the time.
+"""
+
+from typing import List, Tuple
+
+from repro.core.designs import get_design
+from repro.core.multithreaded import MultithreadedModel
+from repro.experiments.base import ExperimentTable
+from repro.workloads.parsec import PARSEC_ORDER, get_workload
+
+#: Active-thread buckets as drawn in Figure 1.
+BUCKETS: List[Tuple[str, int, int]] = [
+    ("1", 1, 1),
+    ("2", 2, 2),
+    ("3", 3, 3),
+    ("4", 4, 4),
+    ("5", 5, 5),
+    ("6-10", 6, 10),
+    ("11-15", 11, 15),
+    ("16-19", 16, 19),
+    ("20", 20, 20),
+]
+
+
+def run(n_threads: int = 20, design_name: str = "20s") -> ExperimentTable:
+    """Reproduce Figure 1 on a twenty-core machine (the 20s design)."""
+    model = MultithreadedModel(get_design(design_name))
+    table = ExperimentTable(
+        experiment_id="Figure 1",
+        title=f"Active-thread distribution, {n_threads} threads on {design_name}",
+        columns=["benchmark"] + [b[0] for b in BUCKETS],
+    )
+    sum_at_max = 0.0
+    sum_le4 = 0.0
+    for name in PARSEC_ORDER:
+        result = model.run(get_workload(name), n_threads, smt=False)
+        values = {"benchmark": name}
+        for label, lo, hi in BUCKETS:
+            values[label] = sum(
+                f
+                for k, f in result.active_thread_fractions.items()
+                if lo <= k <= hi
+            )
+        table.rows.append(values)
+        sum_at_max += result.active_thread_fractions.get(n_threads, 0.0)
+        sum_le4 += result.fraction_at_most(4)
+    n = len(PARSEC_ORDER)
+    table.notes.append(
+        f"avg time at {n_threads} threads: {sum_at_max / n:.2f} (paper ~0.50); "
+        f"avg time at <=4 threads: {sum_le4 / n:.2f} (paper ~0.31)"
+    )
+    return table

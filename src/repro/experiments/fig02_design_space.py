@@ -1,0 +1,40 @@
+"""Figure 2: the nine power-equivalent multi-core designs."""
+
+from repro.core.designs import DESIGN_ORDER, get_design
+from repro.experiments.base import ExperimentTable
+
+
+def run() -> ExperimentTable:
+    """Enumerate the design space with its power-equivalence bookkeeping."""
+    table = ExperimentTable(
+        experiment_id="Figure 2",
+        title="Nine power-equivalent multi-core designs",
+        columns=[
+            "design",
+            "big",
+            "medium",
+            "small",
+            "cores",
+            "max threads (SMT)",
+            "power weight (B-equiv)",
+        ],
+    )
+    for name in DESIGN_ORDER:
+        design = get_design(name)
+        counts = design.core_counts()
+        table.add_row(
+            design=name,
+            big=counts.get("big", 0),
+            medium=counts.get("medium", 0),
+            small=counts.get("small", 0),
+            cores=design.num_cores,
+            **{
+                "max threads (SMT)": design.max_threads,
+                "power weight (B-equiv)": design.power_budget_weight,
+            },
+        )
+    table.notes.append(
+        "1 big ~ 2 medium ~ 5 small in power; every design supports >=24 "
+        "hardware threads with SMT"
+    )
+    return table

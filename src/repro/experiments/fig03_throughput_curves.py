@@ -1,0 +1,53 @@
+"""Figure 3: STP vs thread count for the nine designs (SMT everywhere).
+
+Two panels: (a) homogeneous multi-program workloads, (b) heterogeneous
+mixes.  The paper's anchor points: at 24 threads 4B trails the best design
+(2B10s) by ~11.6 % for homogeneous and ~7.1 % for heterogeneous workloads,
+while leading at low thread counts.
+"""
+
+from typing import Iterable, Optional
+
+from repro.core.designs import DESIGN_ORDER
+from repro.experiments.base import ExperimentTable
+from repro.experiments.context import get_study
+from repro.microarch.uncore import UncoreConfig
+
+
+def run(
+    kind: str = "heterogeneous",
+    thread_counts: Iterable[int] = range(1, 25),
+    smt: bool = True,
+    uncore: Optional[UncoreConfig] = None,
+) -> ExperimentTable:
+    """One panel of Figure 3: STP curves for all nine designs."""
+    study = get_study(uncore)
+    thread_counts = list(thread_counts)
+    table = ExperimentTable(
+        experiment_id="Figure 3" + ("a" if kind == "homogeneous" else "b"),
+        title=f"STP vs thread count, {kind} workloads"
+        + ("" if smt else " (no SMT)"),
+        columns=["threads"] + list(DESIGN_ORDER),
+    )
+    curves = {
+        name: study.throughput_curve(name, kind, thread_counts, smt)
+        for name in DESIGN_ORDER
+    }
+    for n in thread_counts:
+        table.add_row(threads=n, **{name: curves[name][n] for name in DESIGN_ORDER})
+
+    if 24 in thread_counts:
+        at24 = {name: curves[name][24] for name in DESIGN_ORDER}
+        best = max(at24, key=at24.get)
+        gap = 1.0 - at24["4B"] / at24[best]
+        paper_gap = 0.116 if kind == "homogeneous" else 0.071
+        table.notes.append(
+            f"at 24 threads: best={best}, 4B trails by {gap:.1%} "
+            f"(paper: {paper_gap:.1%} behind 2B10s)"
+        )
+    low = min(thread_counts)
+    at_low = {name: curves[name][low] for name in DESIGN_ORDER}
+    table.notes.append(
+        f"at {low} thread(s): best={max(at_low, key=at_low.get)} (paper: 4B)"
+    )
+    return table

@@ -1,0 +1,45 @@
+"""Figure 4: per-benchmark STP curves for tonto and libquantum.
+
+The two benchmarks typify the two behaviour classes the paper observes:
+
+* **tonto** (compute-bound): beyond ~8 threads the many-core designs pull
+  ahead of 4B thanks to their larger aggregate execution resources;
+* **libquantum** (bandwidth-bound): shared-resource contention (memory bus)
+  dominates at high thread counts — its memory access time inflates ~4x
+  from 1 to 24 threads — flattening all designs onto the same curve.
+"""
+
+from typing import Iterable
+
+from repro.core.designs import DESIGN_ORDER
+from repro.experiments.base import ExperimentTable
+from repro.experiments.context import get_study
+
+
+def run(
+    benchmark: str = "tonto", thread_counts: Iterable[int] = range(1, 25)
+) -> ExperimentTable:
+    """One panel of Figure 4: homogeneous mixes of one benchmark."""
+    study = get_study()
+    thread_counts = list(thread_counts)
+    table = ExperimentTable(
+        experiment_id="Figure 4" + ("a" if benchmark == "tonto" else "b"),
+        title=f"STP vs thread count, homogeneous {benchmark} workloads",
+        columns=["threads"] + list(DESIGN_ORDER),
+    )
+    for n in thread_counts:
+        table.add_row(
+            threads=n,
+            **{
+                name: study.evaluate_mix(name, [benchmark] * n).stp
+                for name in DESIGN_ORDER
+            },
+        )
+    if 24 in thread_counts:
+        r = study.evaluate_mix("4B", [benchmark] * 24)
+        table.notes.append(
+            f"{benchmark} on 4B at 24 threads: memory latency inflation "
+            f"{r.mem_latency_inflation:.2f}x, bus utilization "
+            f"{r.bus_utilization:.2f} (paper: ~4x inflation for libquantum)"
+        )
+    return table

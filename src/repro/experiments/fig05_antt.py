@@ -1,0 +1,41 @@
+"""Figure 5: average normalized turnaround time (ANTT) vs thread count.
+
+ANTT is per-program slowdown (lower is better): 4B starts lowest (every
+thread gets a big core) and rises as SMT sharing deepens; 20s starts high
+(weak cores) but stays flatter (less sharing per core).
+"""
+
+from typing import Iterable
+
+from repro.core.designs import DESIGN_ORDER
+from repro.experiments.base import ExperimentTable
+from repro.experiments.context import get_study
+
+
+def run(
+    kind: str = "homogeneous",
+    thread_counts: Iterable[int] = range(1, 25),
+    smt: bool = True,
+) -> ExperimentTable:
+    """Reproduce Figure 5 (ANTT curves for all nine designs)."""
+    study = get_study()
+    thread_counts = list(thread_counts)
+    table = ExperimentTable(
+        experiment_id="Figure 5",
+        title=f"ANTT vs thread count, {kind} workloads",
+        columns=["threads"] + list(DESIGN_ORDER),
+    )
+    curves = {
+        name: study.antt_curve(name, kind, thread_counts, smt)
+        for name in DESIGN_ORDER
+    }
+    for n in thread_counts:
+        table.add_row(threads=n, **{name: curves[name][n] for name in DESIGN_ORDER})
+    low, high = min(thread_counts), max(thread_counts)
+    best_low = min(DESIGN_ORDER, key=lambda d: curves[d][low])
+    table.notes.append(
+        f"lowest ANTT at {low} thread(s): {best_low} (paper: 4B); "
+        f"at {high} threads 4B ANTT {curves['4B'][high]:.1f} vs 20s "
+        f"{curves['20s'][high]:.1f}"
+    )
+    return table

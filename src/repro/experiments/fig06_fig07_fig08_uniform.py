@@ -1,0 +1,84 @@
+"""Figures 6-8: average performance under a uniform thread-count distribution.
+
+Three SMT policies, one figure each:
+
+* **Figure 6** — no SMT anywhere: heterogeneous designs win (Finding #2);
+  among homogeneous designs 4B > 8m > 20s.
+* **Figure 7** — SMT only in the homogeneous designs (4B/8m/20s): 4B now
+  beats every heterogeneous design (Finding #3: SMT outperforms
+  heterogeneity).
+* **Figure 8** — SMT everywhere: the best heterogeneous design is at most
+  a sliver above 4B (Findings #4-5), and the heterogeneous optimum shifts
+  towards fewer, bigger cores (3B2m).
+"""
+
+from typing import Dict, Optional
+
+from repro.core.designs import DESIGN_ORDER, get_design
+from repro.core.distributions import ThreadCountDistribution, uniform
+from repro.experiments.base import ExperimentTable
+from repro.experiments.context import get_study
+from repro.microarch.uncore import UncoreConfig
+
+#: SMT policies keyed by figure.
+SMT_POLICIES = {
+    "fig6": "none",
+    "fig7": "homogeneous-only",
+    "fig8": "all",
+}
+
+
+def smt_enabled(policy: str, design_name: str) -> bool:
+    """Whether SMT is on for ``design_name`` under a figure's policy."""
+    if policy == "none":
+        return False
+    if policy == "all":
+        return True
+    if policy == "homogeneous-only":
+        return get_design(design_name).is_homogeneous
+    raise ValueError(f"unknown SMT policy {policy!r}")
+
+
+def aggregate(
+    policy: str,
+    kind: str,
+    distribution: Optional[ThreadCountDistribution] = None,
+    uncore: Optional[UncoreConfig] = None,
+) -> Dict[str, float]:
+    """Distribution-weighted STP per design under one SMT policy."""
+    study = get_study(uncore)
+    dist = distribution if distribution is not None else uniform(24)
+    return {
+        name: study.aggregate_stp(name, kind, dist, smt=smt_enabled(policy, name))
+        for name in DESIGN_ORDER
+    }
+
+
+def run(policy: str = "none", uncore: Optional[UncoreConfig] = None) -> ExperimentTable:
+    """One of Figures 6/7/8, selected by SMT policy.
+
+    ``policy`` is ``"none"`` (Figure 6), ``"homogeneous-only"`` (Figure 7)
+    or ``"all"`` (Figure 8).
+    """
+    fig = {v: k for k, v in SMT_POLICIES.items()}[policy]
+    number = {"fig6": "Figure 6", "fig7": "Figure 7", "fig8": "Figure 8"}[fig]
+    table = ExperimentTable(
+        experiment_id=number,
+        title=f"Uniform-distribution average STP, SMT policy: {policy}",
+        columns=["design", "homogeneous", "heterogeneous"],
+    )
+    per_kind = {kind: aggregate(policy, kind) for kind in ("homogeneous", "heterogeneous")}
+    for name in DESIGN_ORDER:
+        table.add_row(
+            design=name,
+            homogeneous=per_kind["homogeneous"][name],
+            heterogeneous=per_kind["heterogeneous"][name],
+        )
+    for kind in ("homogeneous", "heterogeneous"):
+        vals = per_kind[kind]
+        best = max(vals, key=vals.get)
+        table.notes.append(
+            f"{kind}: best={best} ({vals[best]:.3f}), 4B={vals['4B']:.3f} "
+            f"({(vals['4B'] / vals[best] - 1):+.1%} vs best)"
+        )
+    return table

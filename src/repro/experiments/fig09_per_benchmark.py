@@ -1,0 +1,37 @@
+"""Figure 9: per-benchmark uniform-distribution performance (SMT everywhere).
+
+For some benchmarks (calculix, h264ref, hmmer, tonto) 4B trails the best
+heterogeneous design; for bandwidth-bound ones (libquantum, mcf) it matches
+or wins — those are bandwidth-limited at high thread counts, so nothing
+beats 4B's low-thread-count advantage.
+"""
+
+from repro.core.designs import DESIGN_ORDER
+from repro.core.distributions import uniform
+from repro.experiments.base import ExperimentTable
+from repro.experiments.context import get_study
+from repro.workloads.spec import SPEC_ORDER
+
+
+def run() -> ExperimentTable:
+    """Reproduce Figure 9 (per-benchmark averages, homogeneous mixes)."""
+    study = get_study()
+    dist = uniform(24)
+    table = ExperimentTable(
+        experiment_id="Figure 9",
+        title="Per-benchmark uniform-distribution STP (SMT in all designs)",
+        columns=["benchmark"] + list(DESIGN_ORDER) + ["best", "4B vs best"],
+    )
+    for bench in SPEC_ORDER:
+        values = {
+            name: study.per_benchmark_aggregate(name, bench, dist)
+            for name in DESIGN_ORDER
+        }
+        best = max(values, key=values.get)
+        table.add_row(
+            benchmark=bench,
+            **values,
+            best=best,
+            **{"4B vs best": f"{values['4B'] / values[best] - 1:+.1%}"},
+        )
+    return table

@@ -1,0 +1,71 @@
+"""Figure 10: datacenter and mirrored-datacenter thread-count distributions.
+
+Panel (a) is the distribution itself (Barroso-Holzle utilization adapted to
+24 threads); panel (b) the per-design averages with and without SMT.  Paper
+anchors: without SMT the optimum is 1B6m (datacenter) and 1B15s (mirrored);
+with SMT the fewer-but-bigger designs win, 4B optimal for the datacenter
+distribution and within ~0.6 % of 3B2m for the mirrored one.
+"""
+
+from typing import Optional
+
+from repro.core.designs import DESIGN_ORDER
+from repro.core.distributions import datacenter, mirrored_datacenter
+from repro.experiments.base import ExperimentTable
+from repro.experiments.context import get_study
+from repro.microarch.uncore import UncoreConfig
+
+
+def run_distribution() -> ExperimentTable:
+    """Figure 10(a): the datacenter thread-count distribution."""
+    dist = datacenter(24)
+    table = ExperimentTable(
+        experiment_id="Figure 10a",
+        title="Datacenter active-thread-count distribution",
+        columns=["threads", "probability"],
+    )
+    for n in range(1, 25):
+        table.add_row(threads=n, probability=dist.probability(n))
+    peak1 = max(range(1, 25), key=dist.probability)
+    mid = max(range(5, 13), key=dist.probability)
+    table.notes.append(
+        f"modes at {peak1} thread(s) and around {mid} threads "
+        "(paper: peaks at 1 and 7-9 threads)"
+    )
+    return table
+
+
+def run(
+    kind: str = "heterogeneous", uncore: Optional[UncoreConfig] = None
+) -> ExperimentTable:
+    """Figure 10(b): average STP under both datacenter distributions."""
+    study = get_study(uncore)
+    table = ExperimentTable(
+        experiment_id="Figure 10b",
+        title="Average STP under datacenter distributions",
+        columns=[
+            "design",
+            "datacenter noSMT",
+            "datacenter SMT",
+            "mirrored noSMT",
+            "mirrored SMT",
+        ],
+    )
+    dists = {"datacenter": datacenter(24), "mirrored": mirrored_datacenter(24)}
+    values = {}
+    for dist_name, dist in dists.items():
+        for smt in (False, True):
+            key = f"{dist_name} {'SMT' if smt else 'noSMT'}"
+            values[key] = {
+                name: study.aggregate_stp(name, kind, dist, smt)
+                for name in DESIGN_ORDER
+            }
+    for name in DESIGN_ORDER:
+        table.add_row(design=name, **{key: values[key][name] for key in values})
+    for key, vals in values.items():
+        best = max(vals, key=vals.get)
+        table.notes.append(
+            f"{key}: best={best} ({vals[best]:.3f}); "
+            f"4B {(vals['4B'] / vals[best] - 1):+.1%} vs best"
+        )
+    return table

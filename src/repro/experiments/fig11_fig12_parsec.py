@@ -1,0 +1,98 @@
+"""Figures 11-12: PARSEC speedups across designs, with and without SMT.
+
+Speedups are normalized to a four-thread execution on the 4B design
+(Section 3.2).  Without SMT the thread count equals the core count; with
+SMT the best thread count in {4, 8, ..., 24} is reported.  Only the
+single-big-core heterogeneous designs (1B6m, 1B15s) are compared, as the
+paper does under pinned scheduling.
+
+Paper anchors: ROI-only without SMT, 8m is optimal; adding SMT pulls 4B
+level with it.  Whole-program, 4B is best both ways, with a bigger margin
+once SMT is enabled (Finding #7).
+"""
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.designs import ChipDesign, get_design
+from repro.core.metrics import harmonic_mean
+from repro.core.multithreaded import MultithreadedModel, MultithreadedResult, speedup
+from repro.experiments.base import ExperimentTable
+from repro.workloads.parsec import PARSEC_ORDER, get_workload
+
+#: Designs shown in Figures 11 and 12.
+PARSEC_DESIGNS = ("4B", "8m", "20s", "1B6m", "1B15s")
+
+_REFERENCES: Dict[str, MultithreadedResult] = {}
+_MODELS: Dict[str, MultithreadedModel] = {}
+
+
+def _model(design_name: str) -> MultithreadedModel:
+    if design_name not in _MODELS:
+        _MODELS[design_name] = MultithreadedModel(get_design(design_name))
+    return _MODELS[design_name]
+
+
+def _reference(workload_name: str) -> MultithreadedResult:
+    """The paper's normalization point: 4 threads on the 4B design."""
+    if workload_name not in _REFERENCES:
+        _REFERENCES[workload_name] = _model("4B").run(
+            get_workload(workload_name), 4, smt=True
+        )
+    return _REFERENCES[workload_name]
+
+
+def benchmark_speedup(
+    design_name: str, workload_name: str, smt: bool, scope: str
+) -> float:
+    """Best speedup of one workload on one design (vs 4 threads on 4B)."""
+    best = _model(design_name).best_run(
+        get_workload(workload_name), smt=smt, scope=scope
+    )
+    return speedup(best, _reference(workload_name), scope)
+
+
+def run_average(scope: str = "roi") -> ExperimentTable:
+    """Figure 11 (one panel): mean normalized speedups across all benchmarks."""
+    table = ExperimentTable(
+        experiment_id="Figure 11" + ("a" if scope == "roi" else "b"),
+        title=f"Average PARSEC speedup ({scope}), vs 4 threads on 4B",
+        columns=["design", "without SMT", "with SMT"],
+    )
+    values: Dict[str, Dict[str, float]] = {}
+    for smt, key in ((False, "without SMT"), (True, "with SMT")):
+        values[key] = {
+            d: harmonic_mean(
+                [benchmark_speedup(d, w, smt, scope) for w in PARSEC_ORDER]
+            )
+            for d in PARSEC_DESIGNS
+        }
+    for d in PARSEC_DESIGNS:
+        table.add_row(
+            design=d,
+            **{key: values[key][d] for key in ("without SMT", "with SMT")},
+        )
+    for key in ("without SMT", "with SMT"):
+        vals = values[key]
+        best = max(vals, key=vals.get)
+        table.notes.append(f"{scope} {key}: best={best} ({vals[best]:.2f})")
+    return table
+
+
+def run_per_benchmark(scope: str = "roi", smt: bool = True) -> ExperimentTable:
+    """Figure 12 (one panel): per-benchmark speedups."""
+    table = ExperimentTable(
+        experiment_id="Figure 12" + ("a" if scope == "roi" else "b"),
+        title=f"Per-benchmark PARSEC speedup ({scope}, SMT={'on' if smt else 'off'})",
+        columns=["benchmark"] + list(PARSEC_DESIGNS) + ["best"],
+    )
+    for w in PARSEC_ORDER:
+        values = {d: benchmark_speedup(d, w, smt, scope) for d in PARSEC_DESIGNS}
+        best = max(values, key=values.get)
+        table.add_row(benchmark=w, **values, best=best)
+    return table
+
+
+def reset_cache() -> None:
+    """Drop memoized models/references (for tests that tweak workloads)."""
+    _REFERENCES.clear()
+    _MODELS.clear()

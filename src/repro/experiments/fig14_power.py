@@ -1,0 +1,48 @@
+"""Figure 14: power consumption vs thread count with power gating.
+
+All designs have SMT enabled; idle cores are power gated.  Paper anchors:
+4B consumes the most power at low thread counts (~17 W with one active big
+core incl. uncore, vs ~13.5/9.8 W for one medium/small core) while
+delivering the highest performance; 4B grows only 42->46 W from 4 to 24
+threads because activating SMT contexts costs far less than waking cores.
+"""
+
+from typing import Iterable
+
+from repro.core.designs import DESIGN_ORDER
+from repro.experiments.base import ExperimentTable
+from repro.experiments.context import get_study
+
+
+def run(
+    kind: str = "homogeneous", thread_counts: Iterable[int] = range(1, 25)
+) -> ExperimentTable:
+    """Reproduce Figure 14 (per-design power curves, idle cores gated)."""
+    study = get_study()
+    thread_counts = list(thread_counts)
+    table = ExperimentTable(
+        experiment_id="Figure 14",
+        title="Chip power (W) vs thread count, power-gated idle cores",
+        columns=["threads"] + list(DESIGN_ORDER),
+    )
+    curves = {
+        name: {
+            n: study.mean_power(name, kind, n, smt=True, power_gate_idle=True)
+            for n in thread_counts
+        }
+        for name in DESIGN_ORDER
+    }
+    for n in thread_counts:
+        table.add_row(threads=n, **{name: curves[name][n] for name in DESIGN_ORDER})
+    if 4 in curves["4B"] and 24 in curves["4B"]:
+        table.notes.append(
+            f"4B: {curves['4B'][4]:.1f} W at 4 threads -> "
+            f"{curves['4B'][24]:.1f} W at 24 threads (paper: 42 -> 46 W)"
+        )
+    if 1 in thread_counts:
+        table.notes.append(
+            "one active core incl. uncore: "
+            f"4B={curves['4B'][1]:.1f} W, 8m={curves['8m'][1]:.1f} W, "
+            f"20s={curves['20s'][1]:.1f} W (paper: 17.3 / 13.5 / 9.8 W)"
+        )
+    return table

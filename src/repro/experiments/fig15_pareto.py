@@ -1,0 +1,67 @@
+"""Figure 15: power and energy versus performance (Pareto analysis).
+
+Under a uniform thread-count distribution with power-gated idle cores,
+each design becomes one (throughput, power) point.  Paper anchors: 20s has
+the lowest power but poor energy (too slow); 4B the highest performance but
+highest power; the Pareto frontier is populated by heterogeneous designs;
+the minimum-EDP design is 3B5s — yet it beats 4B's EDP by only ~4.1 %
+(homogeneous mixes) / ~1.8 % (heterogeneous mixes) — Finding #9.
+"""
+
+from typing import List, Optional
+
+from repro.core.designs import DESIGN_ORDER
+from repro.core.distributions import ThreadCountDistribution, uniform
+from repro.experiments.base import ExperimentTable
+from repro.experiments.context import get_study
+from repro.power.energy import EnergyPoint, best_edp, pareto_front
+
+
+def energy_points(
+    kind: str = "heterogeneous",
+    distribution: Optional[ThreadCountDistribution] = None,
+) -> List[EnergyPoint]:
+    """One (throughput, power) point per design."""
+    study = get_study()
+    dist = distribution if distribution is not None else uniform(24)
+    points = []
+    for name in DESIGN_ORDER:
+        points.append(
+            EnergyPoint(
+                design_name=name,
+                throughput=study.aggregate_stp(name, kind, dist, smt=True),
+                power_w=study.aggregate_power(name, kind, dist, smt=True),
+            )
+        )
+    return points
+
+
+def run(kind: str = "heterogeneous") -> ExperimentTable:
+    """Reproduce Figure 15 (both panels, plus the EDP comparison)."""
+    points = energy_points(kind)
+    table = ExperimentTable(
+        experiment_id="Figure 15",
+        title=f"Throughput vs power and energy, {kind} workloads",
+        columns=["design", "throughput", "power (W)", "energy/work", "EDP"],
+    )
+    for p in points:
+        table.add_row(
+            design=p.design_name,
+            throughput=p.throughput,
+            **{
+                "power (W)": p.power_w,
+                "energy/work": p.energy_per_work,
+                "EDP": p.edp,
+            },
+        )
+    power_front = [p.design_name for p in pareto_front(points, "power")]
+    energy_front = [p.design_name for p in pareto_front(points, "energy")]
+    winner = best_edp(points)
+    four_b = next(p for p in points if p.design_name == "4B")
+    table.notes.append(f"power-performance Pareto front: {power_front}")
+    table.notes.append(f"energy-performance Pareto front: {energy_front}")
+    table.notes.append(
+        f"min EDP: {winner.design_name}, beating 4B by "
+        f"{1 - winner.edp / four_b.edp:.1%} (paper: 3B5s by ~1.8-4.1%)"
+    )
+    return table

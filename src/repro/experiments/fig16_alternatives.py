@@ -1,0 +1,51 @@
+"""Figure 16: larger-cache and higher-frequency medium/small variants.
+
+Keeping private cache sizes equal to the big core's (``_lc``) or raising
+the clock to 3.33 GHz (``_hf``) costs power, shrinking the affordable core
+count to 6 medium / 16 small.  Paper anchors (multi-threaded ROI): the
+small-core configuration gains from both variants (most benchmarks do not
+scale to 20 threads, so trading cores for per-core speed pays off); the
+medium-core configuration loses (core count matters more there); 4B stays
+on top — Finding #10.
+"""
+
+from typing import Dict, Sequence
+
+from repro.core.designs import ALTERNATIVE_DESIGNS, get_design
+from repro.core.metrics import harmonic_mean
+from repro.core.multithreaded import MultithreadedModel, speedup
+from repro.experiments.base import ExperimentTable
+from repro.experiments.fig11_fig12_parsec import _model, _reference
+from repro.workloads.parsec import PARSEC_ORDER, get_workload
+
+#: Designs compared in Figure 16 (all with SMT, ROI-only).
+FIG16_DESIGNS = ("4B", "8m", "20s", "6m_lc", "16s_lc", "6m_hf", "16s_hf")
+
+
+def run(scope: str = "roi", smt: bool = True) -> ExperimentTable:
+    """Reproduce Figure 16 (PARSEC speedups on the alternative designs)."""
+    table = ExperimentTable(
+        experiment_id="Figure 16",
+        title="PARSEC speedup with larger-cache / higher-frequency variants",
+        columns=["design", "mean speedup"],
+    )
+    values: Dict[str, float] = {}
+    for name in FIG16_DESIGNS:
+        model = MultithreadedModel(get_design(name))
+        speedups = []
+        for w in PARSEC_ORDER:
+            best = model.best_run(get_workload(w), smt=smt, scope=scope)
+            speedups.append(speedup(best, _reference(w), scope))
+        values[name] = harmonic_mean(speedups)
+        table.add_row(design=name, **{"mean speedup": values[name]})
+    best = max(values, key=values.get)
+    table.notes.append(f"best design: {best} (paper: 4B)")
+    if values["16s_hf"] > values["20s"]:
+        table.notes.append(
+            "16s_hf > 20s: trading small cores for frequency pays off (paper agrees)"
+        )
+    if values["16s_lc"] > values["20s"]:
+        table.notes.append(
+            "16s_lc > 20s: trading small cores for cache pays off (paper agrees)"
+        )
+    return table

@@ -1,0 +1,6 @@
+"""Interval-analysis performance models (the Sniper-style fast path).
+
+``model`` evaluates one core with its resident SMT threads; ``contention``
+solves a whole chip including shared-cache partitioning and bus/DRAM
+queueing.
+"""

@@ -1,0 +1,441 @@
+"""Chip-level model: shared caches, off-chip bus and DRAM-bank contention.
+
+:class:`ChipModel` evaluates a full chip design with a given placement of
+threads on cores.  It combines the per-core interval models
+(:mod:`repro.interval.model`) with three shared-resource effects the paper
+identifies as decisive at high thread counts (Section 4.1):
+
+* **shared-cache capacity** — co-resident threads partition each cache level
+  in proportion to their demand (miss pressure at that capacity), so a
+  memory-intensive program co-scheduled with compute-intensive programs on
+  an SMT core occupies most of the private L2 — the effect that lets the 4B
+  design use cache "more efficiently through intelligent scheduling";
+* **off-chip bus queueing** — an M/D/1-style queue on the 8 GB/s (or
+  16 GB/s) bus inflates memory latency as utilization grows, which is what
+  flattens the design space for bandwidth-bound workloads (libquantum's
+  4x memory-latency inflation at 24 threads);
+* **DRAM bank pressure** — eight banks bound the service rate behind the bus.
+
+Because per-thread IPC determines traffic and traffic determines latency,
+the solver iterates to a fixed point with damping.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.designs import ChipDesign
+from repro.interval.model import CoreEnvironment, CoreResult, IntervalCoreModel
+from repro.microarch.config import BIG, CoreConfig
+from repro.microarch.uncore import DEFAULT_UNCORE, UncoreConfig
+from repro.util import MB, check_fraction
+from repro.workloads.profiles import BenchmarkProfile
+
+#: Dirty-line writebacks add traffic on top of demand fills.
+WRITEBACK_TRAFFIC_FACTOR = 1.3
+
+#: Utilization cap that keeps the queueing model finite.
+MAX_UTILIZATION = 0.98
+
+#: Bisection controls for the latency fixed point.
+BISECTION_STEPS = 40
+CONVERGENCE_NS = 0.01
+
+
+@dataclass(frozen=True)
+class ThreadSpec:
+    """One software thread to be placed on a hardware context.
+
+    ``duty_cycle`` < 1 models time-sharing: in no-SMT mode with more active
+    threads than cores, each thread on a core runs a fraction of the time.
+    """
+
+    profile: BenchmarkProfile
+    duty_cycle: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_fraction("duty_cycle", self.duty_cycle)
+        if self.duty_cycle == 0.0:
+            raise ValueError("duty_cycle must be > 0")
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Threads assigned to each core of a design (index-aligned with cores)."""
+
+    core_threads: Tuple[Tuple[ThreadSpec, ...], ...]
+
+    @classmethod
+    def from_lists(cls, core_threads: Sequence[Sequence[ThreadSpec]]) -> "Placement":
+        return cls(tuple(tuple(ts) for ts in core_threads))
+
+    @property
+    def num_threads(self) -> int:
+        return sum(len(ts) for ts in self.core_threads)
+
+    def validate_against(self, design: ChipDesign, smt: bool) -> None:
+        """Raise if the placement is infeasible on ``design``.
+
+        Without SMT a core still holds multiple *time-shared* threads, so the
+        per-core bound is only checked in SMT mode (contexts are a hardware
+        limit; time-sharing is not).
+        """
+        if len(self.core_threads) != design.num_cores:
+            raise ValueError(
+                f"placement has {len(self.core_threads)} core slots, design "
+                f"{design.name} has {design.num_cores} cores"
+            )
+        if smt:
+            for core, threads in zip(design.cores, self.core_threads):
+                if len(threads) > core.max_smt_contexts:
+                    raise ValueError(
+                        f"{core.name} core supports {core.max_smt_contexts} "
+                        f"SMT contexts, placement assigns {len(threads)}"
+                    )
+
+
+@dataclass(frozen=True)
+class ThreadOutcome:
+    """Chip-level performance of one thread."""
+
+    core_index: int
+    benchmark: str
+    ipc: float  # instructions per core cycle, duty-scaled
+    ips: float  # instructions per second, duty-scaled
+    duty_cycle: float
+
+
+@dataclass(frozen=True)
+class ChipResult:
+    """Outcome of a chip evaluation at the solved fixed point."""
+
+    design_name: str
+    threads: Tuple[ThreadOutcome, ...]
+    core_results: Tuple[CoreResult, ...]
+    core_utilizations: Tuple[float, ...]
+    mem_latency_ns: float
+    unloaded_mem_latency_ns: float
+    bus_utilization: float
+    iterations: int
+
+    @property
+    def total_ips(self) -> float:
+        return sum(t.ips for t in self.threads)
+
+    @property
+    def mem_latency_inflation(self) -> float:
+        """Loaded over unloaded memory latency (libquantum hits ~4x)."""
+        return self.mem_latency_ns / self.unloaded_mem_latency_ns
+
+
+def _demand_shares(
+    capacity: float, weights: Sequence[float], duties: Sequence[float]
+) -> List[float]:
+    """Demand-proportional capacity shares with residency weighting.
+
+    When all duty cycles are 1 this is plain proportional sharing
+    ``capacity * w_i / sum(w)``.  A time-shared thread (duty < 1) is absent
+    most of the time, so its co-residents see more capacity and it sees
+    nearly the whole cache while it runs (minus a cold-footprint effect
+    captured by the residual term).
+    """
+    if not weights:
+        return []
+    pressure = sum(w * d for w, d in zip(weights, duties))
+    shares = []
+    for w, d in zip(weights, duties):
+        co_resident_pressure = pressure - w * d + w
+        shares.append(capacity * w / co_resident_pressure)
+    return shares
+
+
+class ChipModel:
+    """Evaluates thread placements on a chip design at a solved fixed point.
+
+    ``llc_sharing`` selects the shared-cache capacity model:
+    ``"demand"`` (default) partitions the LLC in proportion to each
+    thread's miss pressure — what an LRU-managed shared cache converges to;
+    ``"even"`` splits it equally regardless of demand, an ablation that
+    removes the cache-usage advantage the paper attributes to intelligent
+    SMT co-scheduling.  ``rob_partitioning`` is forwarded to the per-core
+    interval models (see :class:`~repro.interval.model.IntervalCoreModel`).
+    """
+
+    def __init__(
+        self,
+        design: ChipDesign,
+        llc_sharing: str = "demand",
+        rob_partitioning: str = "static",
+        fetch_policy: str = "roundrobin",
+    ):
+        if llc_sharing not in ("demand", "even"):
+            raise ValueError(
+                f"llc_sharing must be 'demand' or 'even', got {llc_sharing!r}"
+            )
+        self.design = design
+        self.uncore: UncoreConfig = design.uncore
+        self.llc_sharing = llc_sharing
+        self._core_models = [
+            IntervalCoreModel(core, rob_partitioning, fetch_policy)
+            for core in design.cores
+        ]
+
+    # ------------------------------------------------------------------ #
+    # latency building blocks (all in nanoseconds; converted per core)    #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def _llc_latency_ns(self) -> float:
+        unc = self.uncore
+        cycles = unc.llc.latency_cycles + 2 * unc.interconnect.hop_latency_cycles
+        return cycles / unc.interconnect.frequency_ghz
+
+    @property
+    def _line_transfer_ns(self) -> float:
+        line = self.uncore.llc.line_bytes
+        return line / self.uncore.dram.bus_bandwidth_bytes_per_s * 1e9
+
+    @property
+    def unloaded_mem_latency_ns(self) -> float:
+        """DRAM access latency with an idle bus and idle banks."""
+        return (
+            self._llc_latency_ns
+            + self.uncore.dram.access_latency_ns
+            + self._line_transfer_ns
+        )
+
+    def sustainable_traffic_bytes_per_s(self) -> float:
+        """Hard ceiling on off-chip traffic: bus bandwidth or bank service.
+
+        Eight banks at 45 ns can source at most ``banks / access_latency``
+        line fills per second; the bus moves at most its bandwidth.  The
+        queueing model inflates latency as these are approached, but a
+        latency cap keeps it finite, so a saturated system needs this
+        explicit ceiling as well.
+        """
+        dram = self.uncore.dram
+        bank_fills_per_s = dram.num_banks / (dram.access_latency_ns * 1e-9)
+        bank_bytes = bank_fills_per_s * self.uncore.llc.line_bytes * WRITEBACK_TRAFFIC_FACTOR
+        return MAX_UTILIZATION * min(dram.bus_bandwidth_bytes_per_s, bank_bytes)
+
+    def _loaded_mem_latency_ns(self, traffic_bytes_per_s: float) -> float:
+        """Memory latency at a given off-chip traffic level (M/D/1 queues)."""
+        dram = self.uncore.dram
+        rho_bus = min(MAX_UTILIZATION, traffic_bytes_per_s / dram.bus_bandwidth_bytes_per_s)
+        bus_wait = self._line_transfer_ns / 2.0 * rho_bus / (1.0 - rho_bus)
+
+        accesses_per_s = traffic_bytes_per_s / (
+            self.uncore.llc.line_bytes * WRITEBACK_TRAFFIC_FACTOR
+        )
+        bank_service_ns = dram.access_latency_ns
+        rho_bank = min(
+            MAX_UTILIZATION, accesses_per_s * bank_service_ns * 1e-9 / dram.num_banks
+        )
+        bank_wait = bank_service_ns / 2.0 * rho_bank / (1.0 - rho_bank)
+
+        return self.unloaded_mem_latency_ns + bus_wait + bank_wait
+
+    # ------------------------------------------------------------------ #
+    # cache partitioning                                                  #
+    # ------------------------------------------------------------------ #
+
+    def _private_cache_shares(
+        self, core: CoreConfig, threads: Sequence[ThreadSpec]
+    ) -> Tuple[List[float], List[float], List[float]]:
+        """(l1i, l1d, l2) per-thread byte shares on one core."""
+        duties = [t.duty_cycle for t in threads]
+        l1i_w = [t.profile.icurve.mpki(core.l1i.size_bytes) + 1e-3 for t in threads]
+        l1d_w = [t.profile.dcurve.mpki(core.l1d.size_bytes) + 1e-3 for t in threads]
+        l2_w = [t.profile.dcurve.mpki(core.l2.size_bytes) + 1e-3 for t in threads]
+        return (
+            _demand_shares(core.l1i.size_bytes, l1i_w, duties),
+            _demand_shares(core.l1d.size_bytes, l1d_w, duties),
+            _demand_shares(core.l2.size_bytes, l2_w, duties),
+        )
+
+    def _llc_shares(self, placement: Placement) -> List[List[float]]:
+        """Per-core lists of per-thread LLC byte shares (chip-wide sharing)."""
+        all_weights: List[float] = []
+        all_duties: List[float] = []
+        for threads in placement.core_threads:
+            for t in threads:
+                if self.llc_sharing == "demand":
+                    all_weights.append(t.profile.cache_pressure(1 * MB))
+                else:
+                    all_weights.append(1.0)
+                all_duties.append(t.duty_cycle)
+        flat = _demand_shares(self.uncore.llc.size_bytes, all_weights, all_duties)
+        shares: List[List[float]] = []
+        pos = 0
+        for threads in placement.core_threads:
+            shares.append(flat[pos : pos + len(threads)])
+            pos += len(threads)
+        return shares
+
+    # ------------------------------------------------------------------ #
+    # fixed-point evaluation                                              #
+    # ------------------------------------------------------------------ #
+
+    def evaluate(self, placement: Placement, smt: bool = True) -> ChipResult:
+        """Solve the chip for ``placement`` and return per-thread performance.
+
+        ``smt`` only controls placement validation (hardware context bounds);
+        the duty cycles inside the placement already encode time-sharing.
+        """
+        placement.validate_against(self.design, smt)
+        design = self.design
+        llc_lat_ns = self._llc_latency_ns
+        llc_shares = self._llc_shares(placement)
+
+        private_shares = [
+            self._private_cache_shares(core, threads)
+            for core, threads in zip(design.cores, placement.core_threads)
+        ]
+
+        def run_cores(mem_lat_ns: float) -> Tuple[List[CoreResult], float]:
+            """Evaluate every core at a trial memory latency; return traffic."""
+            results: List[CoreResult] = []
+            traffic = 0.0
+            for idx, (core, threads) in enumerate(
+                zip(design.cores, placement.core_threads)
+            ):
+                if not threads:
+                    results.append(CoreResult(threads=(), utilization=0.0))
+                    continue
+                l1i_s, l1d_s, l2_s = private_shares[idx]
+                env = CoreEnvironment(
+                    l1i_share_bytes=tuple(l1i_s),
+                    l1d_share_bytes=tuple(l1d_s),
+                    l2_share_bytes=tuple(l2_s),
+                    llc_share_bytes=tuple(llc_shares[idx]),
+                    llc_latency_cycles=llc_lat_ns * core.frequency_ghz,
+                    mem_latency_cycles=mem_lat_ns * core.frequency_ghz,
+                )
+                result = self._core_models[idx].evaluate(
+                    [t.profile for t in threads],
+                    env,
+                    duty_cycles=[t.duty_cycle for t in threads],
+                )
+                results.append(result)
+                cycles_per_s = core.frequency_ghz * 1e9
+                for perf in result.threads:
+                    traffic += (
+                        perf.ipc
+                        * cycles_per_s
+                        * perf.mem_misses_per_instr
+                        * self.uncore.llc.line_bytes
+                        * WRITEBACK_TRAFFIC_FACTOR
+                    )
+            return results, traffic
+
+        # The loaded latency induced by the traffic generated at latency L is
+        # strictly decreasing in L (more latency -> less traffic -> less
+        # queueing), so g(L) = loaded(traffic(L)) - L has a unique root:
+        # bisect between the unloaded latency and the queueing-model maximum.
+        lo = self.unloaded_mem_latency_ns
+        hi = self._loaded_mem_latency_ns(float("inf"))
+        core_results, traffic = run_cores(lo)
+        iterations = 1
+        if self._loaded_mem_latency_ns(traffic) <= lo + CONVERGENCE_NS:
+            mem_lat_ns = lo  # bus effectively unloaded: no contention
+        else:
+            for iterations in range(2, BISECTION_STEPS + 2):
+                mid = 0.5 * (lo + hi)
+                core_results, traffic = run_cores(mid)
+                induced = self._loaded_mem_latency_ns(traffic)
+                if abs(induced - mid) < CONVERGENCE_NS or hi - lo < CONVERGENCE_NS:
+                    break
+                if induced > mid:
+                    lo = mid
+                else:
+                    hi = mid
+            mem_lat_ns = 0.5 * (lo + hi)
+            core_results, traffic = run_cores(mem_lat_ns)
+
+        # The queueing model's latency cap cannot throttle a deeply
+        # overloaded memory system (many high-MLP threads tolerate the
+        # capped latency), so enforce the physical throughput ceiling:
+        # sustained traffic cannot exceed what the bus and banks can move.
+        # The overload manifests as extra queueing delay per miss, solved so
+        # that traffic meets the ceiling — threads that rarely miss are
+        # (correctly) unaffected.
+        rates: List[float] = []  # instructions/second per thread
+        miss_rates: List[float] = []  # misses/instruction per thread
+        for core, result in zip(design.cores, core_results):
+            cycles_per_s = core.frequency_ghz * 1e9
+            for perf in result.threads:
+                rates.append(perf.ipc * cycles_per_s)
+                miss_rates.append(perf.mem_misses_per_instr)
+        bytes_per_miss = self.uncore.llc.line_bytes * WRITEBACK_TRAFFIC_FACTOR
+
+        def traffic_with_delay(extra_s_per_miss: float) -> float:
+            total = 0.0
+            for rate, mpi in zip(rates, miss_rates):
+                throttled = rate / (1.0 + rate * mpi * extra_s_per_miss)
+                total += throttled * mpi * bytes_per_miss
+            return total
+
+        ceiling = self.sustainable_traffic_bytes_per_s()
+        delay_s = 0.0
+        if traffic_with_delay(0.0) > ceiling:
+            lo_d, hi_d = 0.0, 1e-3  # up to 1 ms of queueing per miss
+            for _ in range(50):
+                mid_d = 0.5 * (lo_d + hi_d)
+                if traffic_with_delay(mid_d) > ceiling:
+                    lo_d = mid_d
+                else:
+                    hi_d = mid_d
+            delay_s = hi_d
+
+        outcomes: List[ThreadOutcome] = []
+        final_traffic = 0.0
+        flat = 0
+        for idx, (core, threads, result) in enumerate(
+            zip(design.cores, placement.core_threads, core_results)
+        ):
+            cycles_per_s = core.frequency_ghz * 1e9
+            for spec, perf in zip(threads, result.threads):
+                rate = rates[flat] / (
+                    1.0 + rates[flat] * miss_rates[flat] * delay_s
+                )
+                flat += 1
+                outcomes.append(
+                    ThreadOutcome(
+                        core_index=idx,
+                        benchmark=spec.profile.name,
+                        ipc=rate / cycles_per_s,
+                        ips=rate,
+                        duty_cycle=spec.duty_cycle,
+                    )
+                )
+                final_traffic += rate * perf.mem_misses_per_instr * bytes_per_miss
+        bus_util = min(
+            1.0, final_traffic / self.uncore.dram.bus_bandwidth_bytes_per_s
+        )
+        return ChipResult(
+            design_name=design.name,
+            threads=tuple(outcomes),
+            core_results=tuple(core_results),
+            core_utilizations=tuple(r.utilization for r in core_results),
+            mem_latency_ns=mem_lat_ns,
+            unloaded_mem_latency_ns=self.unloaded_mem_latency_ns,
+            bus_utilization=bus_util,
+            iterations=iterations,
+        )
+
+
+def isolated_ips(
+    profile: BenchmarkProfile,
+    core: CoreConfig = BIG,
+    uncore: UncoreConfig = DEFAULT_UNCORE,
+) -> float:
+    """Instructions per second of ``profile`` running alone on one ``core``.
+
+    The single thread owns all private caches and the whole LLC; bus and
+    bank queueing still apply (a lone bandwidth-bound thread does load the
+    bus).  This is the reference the paper normalizes STP and ANTT against
+    (isolated execution on the big core).
+    """
+    design = ChipDesign(name=f"iso-{core.name}", cores=(core,), uncore=uncore)
+    placement = Placement.from_lists([[ThreadSpec(profile)]])
+    result = ChipModel(design).evaluate(placement)
+    return result.threads[0].ips

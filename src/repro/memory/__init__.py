@@ -1,0 +1,7 @@
+"""Cycle-level memory-hierarchy components.
+
+True set-associative LRU caches, a banked DRAM timing model, an off-chip
+bus, and the on-chip interconnect used by the cycle-level simulator in
+:mod:`repro.sim`.  (The interval fast path in :mod:`repro.interval` models
+these analytically; this package holds the stateful versions.)
+"""

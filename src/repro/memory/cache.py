@@ -1,0 +1,118 @@
+"""Set-associative write-back caches with true LRU state.
+
+Used by the cycle-level simulator (:mod:`repro.sim`).  A :class:`Cache` is a
+timing-free *contents* model: ``access`` returns whether the line was
+present and updates LRU/dirty state; the caller (the hierarchy) composes
+latencies.  This separation keeps the cache reusable for both the
+single-core and shared-LLC roles.
+"""
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.microarch.config import CacheConfig
+
+
+@dataclass
+class CacheStats:
+    """Access counters for one cache instance."""
+
+    accesses: int = 0
+    hits: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def misses(self) -> int:
+        return self.accesses - self.hits
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class Cache:
+    """A set-associative, write-back, write-allocate cache with LRU replacement.
+
+    Parameters
+    ----------
+    config:
+        Geometry (size, associativity, line size).
+    name:
+        Label used in error messages and result tables.
+    """
+
+    def __init__(self, config: CacheConfig, name: str = "cache"):
+        self.config = config
+        self.name = name
+        self.stats = CacheStats()
+        # One OrderedDict per set: tag -> dirty flag; order is LRU -> MRU.
+        self._sets: List["OrderedDict[int, bool]"] = [
+            OrderedDict() for _ in range(config.num_sets)
+        ]
+        #: Address of the line written back by the most recent access, or
+        #: None if that access evicted nothing dirty.  Lets the hierarchy
+        #: forward LLC writebacks to DRAM without widening the access API.
+        self.last_writeback_address: Optional[int] = None
+
+    def _locate(self, address: int) -> Tuple[int, int]:
+        line = address // self.config.line_bytes
+        return line % self.config.num_sets, line // self.config.num_sets
+
+    def access(self, address: int, is_write: bool = False) -> bool:
+        """Access one address; returns True on hit.
+
+        On a miss the line is allocated (write-allocate); a dirty eviction
+        increments ``stats.writebacks``.
+        """
+        if address < 0:
+            raise ValueError(f"address must be >= 0, got {address}")
+        set_idx, tag = self._locate(address)
+        ways = self._sets[set_idx]
+        self.stats.accesses += 1
+        self.last_writeback_address = None
+        if tag in ways:
+            self.stats.hits += 1
+            ways[tag] = ways[tag] or is_write
+            ways.move_to_end(tag)
+            return True
+        # Miss: allocate, evicting LRU if the set is full.
+        if len(ways) >= self.config.associativity:
+            victim_tag, victim_dirty = ways.popitem(last=False)
+            self.stats.evictions += 1
+            if victim_dirty:
+                self.stats.writebacks += 1
+                self.last_writeback_address = (
+                    victim_tag * self.config.num_sets + set_idx
+                ) * self.config.line_bytes
+        ways[tag] = is_write
+        return False
+
+    def warm(self, address: int) -> None:
+        """Insert a line without touching statistics (checkpoint warming)."""
+        set_idx, tag = self._locate(address)
+        ways = self._sets[set_idx]
+        if tag in ways:
+            ways.move_to_end(tag)
+            return
+        if len(ways) >= self.config.associativity:
+            ways.popitem(last=False)
+        ways[tag] = False
+
+    def probe(self, address: int) -> bool:
+        """Check residency without updating LRU or stats."""
+        set_idx, tag = self._locate(address)
+        return tag in self._sets[set_idx]
+
+    def invalidate(self, address: int) -> bool:
+        """Drop a line if present (no writeback accounting); returns presence."""
+        set_idx, tag = self._locate(address)
+        return self._sets[set_idx].pop(tag, None) is not None
+
+    def reset_stats(self) -> None:
+        self.stats = CacheStats()
+
+    @property
+    def resident_lines(self) -> int:
+        return sum(len(ways) for ways in self._sets)

@@ -1,0 +1,86 @@
+"""Banked DRAM and off-chip bus timing model.
+
+Eight banks with a 45 ns access time behind a shared bus (8 GB/s baseline,
+16 GB/s in Section 8.2).  Timing is modelled with *resource-ready times*:
+each bank and the bus remember when they next become free; a request at time
+``t`` waits for its bank and for the bus, giving realistic queueing and bank
+conflicts without a full DRAM controller model.
+
+All times are in nanoseconds; the caller converts to core cycles.
+"""
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.microarch.uncore import DramConfig
+
+
+@dataclass
+class DramStats:
+    """Aggregate request counters and latency accounting."""
+
+    requests: int = 0
+    total_latency_ns: float = 0.0
+    total_queue_ns: float = 0.0
+
+    @property
+    def mean_latency_ns(self) -> float:
+        return self.total_latency_ns / self.requests if self.requests else 0.0
+
+    @property
+    def mean_queue_ns(self) -> float:
+        return self.total_queue_ns / self.requests if self.requests else 0.0
+
+
+class DramModel:
+    """Timing model of banked DRAM behind a bandwidth-limited bus."""
+
+    def __init__(self, config: DramConfig, line_bytes: int = 64):
+        if line_bytes <= 0:
+            raise ValueError(f"line_bytes must be > 0, got {line_bytes}")
+        self.config = config
+        self.line_bytes = line_bytes
+        self.stats = DramStats()
+        self._bank_free_ns: List[float] = [0.0] * config.num_banks
+        self._bus_free_ns: float = 0.0
+
+    @property
+    def transfer_ns(self) -> float:
+        """Time to move one cache line across the off-chip bus."""
+        return self.line_bytes / self.config.bus_bandwidth_bytes_per_s * 1e9
+
+    def bank_of(self, address: int) -> int:
+        """Line-interleaved bank mapping."""
+        return (address // self.line_bytes) % self.config.num_banks
+
+    def access(self, address: int, now_ns: float) -> float:
+        """Issue a line fill at absolute time ``now_ns``; returns completion time.
+
+        The request first occupies its bank for the access latency (waiting
+        if the bank is busy), then the bus for one line-transfer time.
+        """
+        if now_ns < 0:
+            raise ValueError(f"now_ns must be >= 0, got {now_ns}")
+        bank = self.bank_of(address)
+        bank_start = max(now_ns, self._bank_free_ns[bank])
+        bank_done = bank_start + self.config.access_latency_ns
+        self._bank_free_ns[bank] = bank_done
+
+        bus_start = max(bank_done, self._bus_free_ns)
+        done = bus_start + self.transfer_ns
+        self._bus_free_ns = done
+
+        latency = done - now_ns
+        self.stats.requests += 1
+        self.stats.total_latency_ns += latency
+        self.stats.total_queue_ns += (bank_start - now_ns) + (bus_start - bank_done)
+        return done
+
+    def unloaded_latency_ns(self) -> float:
+        """Latency of a request hitting idle banks and an idle bus."""
+        return self.config.access_latency_ns + self.transfer_ns
+
+    def reset(self) -> None:
+        self.stats = DramStats()
+        self._bank_free_ns = [0.0] * self.config.num_banks
+        self._bus_free_ns = 0.0

@@ -1,0 +1,196 @@
+"""Per-core cache hierarchy plus the chip-shared LLC and DRAM.
+
+:class:`MemoryHierarchy` composes the stateful pieces of
+:mod:`repro.memory.cache` and :mod:`repro.memory.dram` into the paper's
+memory system: private L1I/L1D/L2 per core, one shared LLC, a full crossbar
+(fixed hop latency, contention-free by design — Section 3.1), and banked
+DRAM behind the off-chip bus.
+
+The hierarchy returns *latencies in nanoseconds* for each access so cores
+running at different frequencies (the ``_hf`` variants) convert correctly.
+"""
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.memory.cache import Cache
+from repro.memory.dram import DramModel
+from repro.microarch.config import CoreConfig
+from repro.microarch.uncore import UncoreConfig
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one memory access."""
+
+    latency_ns: float
+    level: str  # "l1", "l2", "llc", "dram"
+
+
+class CoreCaches:
+    """The private cache levels of one core."""
+
+    def __init__(self, core: CoreConfig, core_index: int):
+        self.core = core
+        self.l1i = Cache(core.l1i, name=f"core{core_index}.l1i")
+        self.l1d = Cache(core.l1d, name=f"core{core_index}.l1d")
+        self.l2 = Cache(core.l2, name=f"core{core_index}.l2")
+
+
+class MemoryHierarchy:
+    """Shared memory system for a multi-core chip."""
+
+    def __init__(
+        self,
+        cores: Tuple[CoreConfig, ...],
+        uncore: UncoreConfig,
+        prefetcher: Optional[str] = None,
+    ):
+        """``prefetcher`` installs a per-core data prefetcher: ``None``
+        (the paper's configuration), ``"nextline"`` or ``"stride"``.
+        Prefetch fills land in L2 and the LLC off the demand path, but
+        occupy DRAM banks and the off-chip bus like real traffic."""
+        if prefetcher not in (None, "nextline", "stride"):
+            raise ValueError(
+                f"prefetcher must be None, 'nextline' or 'stride', "
+                f"got {prefetcher!r}"
+            )
+        self.uncore = uncore
+        self.core_caches: List[CoreCaches] = [
+            CoreCaches(core, i) for i, core in enumerate(cores)
+        ]
+        from repro.memory.prefetch import NextLinePrefetcher, StridePrefetcher
+
+        self.prefetchers = [
+            NextLinePrefetcher()
+            if prefetcher == "nextline"
+            else StridePrefetcher()
+            if prefetcher == "stride"
+            else None
+            for _ in cores
+        ]
+        self.llc = Cache(uncore.llc, name="llc")
+        self.dram = DramModel(uncore.dram, line_bytes=uncore.llc.line_bytes)
+        self._cores = cores
+        # A shared-bus interconnect (ablation; the paper's baseline is a
+        # contention-free crossbar) serializes core<->LLC transactions: each
+        # occupies the bus for one hop time.
+        self._llc_bus_free_ns = 0.0
+
+    # ------------------------------------------------------------------ #
+    # latency building blocks (nanoseconds)                               #
+    # ------------------------------------------------------------------ #
+
+    def _cycles_to_ns(self, cycles: float, frequency_ghz: float) -> float:
+        return cycles / frequency_ghz
+
+    def _hop_ns(self) -> float:
+        ic = self.uncore.interconnect
+        return ic.hop_latency_cycles / ic.frequency_ghz
+
+    def _llc_hit_ns(self) -> float:
+        ic = self.uncore.interconnect
+        return (
+            2 * self._hop_ns() + self.uncore.llc.latency_cycles / ic.frequency_ghz
+        )
+
+    def _interconnect_delay_ns(self, now_ns: float) -> float:
+        """Extra queueing before reaching the LLC (zero on the crossbar)."""
+        if self.uncore.interconnect.kind != "bus":
+            return 0.0
+        start = max(now_ns, self._llc_bus_free_ns)
+        self._llc_bus_free_ns = start + self._hop_ns()
+        return start - now_ns
+
+    def warm(self, core_index: int, addresses: List[int]) -> None:
+        """Pre-load caches with a working set (LRU-to-MRU order), statless.
+
+        Every level is warmed; set-associativity naturally keeps only the
+        most recently warmed lines at each level.
+        """
+        caches = self.core_caches[core_index]
+        for address in addresses:
+            caches.l1d.warm(address)
+            caches.l1i.warm(address)
+            caches.l2.warm(address)
+            self.llc.warm(address)
+
+    # ------------------------------------------------------------------ #
+    # accesses                                                            #
+    # ------------------------------------------------------------------ #
+
+    def data_access(
+        self,
+        core_index: int,
+        address: int,
+        now_ns: float,
+        is_write: bool = False,
+        pc: int = 0,
+    ) -> AccessResult:
+        """A load/store from core ``core_index``; returns total latency."""
+        result = self._demand_data_access(core_index, address, now_ns, is_write)
+        prefetcher = self.prefetchers[core_index]
+        if prefetcher is not None:
+            for target in prefetcher.observe(pc, address, result.level != "l1"):
+                self._prefetch_fill(core_index, target, now_ns)
+        return result
+
+    def _prefetch_fill(self, core_index: int, address: int, now_ns: float) -> None:
+        """Bring a predicted line into L2/LLC without charging a consumer."""
+        caches = self.core_caches[core_index]
+        if caches.l2.probe(address):
+            return
+        if not self.llc.probe(address):
+            self.dram.access(address, now_ns)  # occupies bank + bus
+            self.llc.warm(address)
+        caches.l2.warm(address)
+
+    def _demand_data_access(
+        self, core_index: int, address: int, now_ns: float, is_write: bool
+    ) -> AccessResult:
+        caches = self.core_caches[core_index]
+        core = self._cores[core_index]
+        l1_ns = self._cycles_to_ns(core.l1d.latency_cycles, core.frequency_ghz)
+        if caches.l1d.access(address, is_write):
+            return AccessResult(l1_ns, "l1")
+        l2_ns = l1_ns + self._cycles_to_ns(core.l2.latency_cycles, core.frequency_ghz)
+        if caches.l2.access(address, is_write):
+            return AccessResult(l2_ns, "l2")
+        l2_ns += self._interconnect_delay_ns(now_ns + l2_ns)
+        llc_ns = l2_ns + self._llc_hit_ns()
+        if self.llc.access(address, is_write):
+            return AccessResult(llc_ns, "llc")
+        self._drain_llc_writeback(now_ns + llc_ns)
+        done = self.dram.access(address, now_ns + llc_ns)
+        return AccessResult(done - now_ns, "dram")
+
+    def _drain_llc_writeback(self, now_ns: float) -> None:
+        """Send a dirty LLC victim to DRAM (occupies a bank and the bus).
+
+        Writebacks are off the load's critical path, but they do consume
+        memory bandwidth — the cycle-level analogue of the interval tier's
+        writeback traffic factor.
+        """
+        victim = self.llc.last_writeback_address
+        if victim is not None:
+            self.dram.access(victim, now_ns)
+
+    def instruction_access(
+        self, core_index: int, address: int, now_ns: float
+    ) -> AccessResult:
+        """An instruction fetch from core ``core_index``."""
+        caches = self.core_caches[core_index]
+        core = self._cores[core_index]
+        l1_ns = self._cycles_to_ns(core.l1i.latency_cycles, core.frequency_ghz)
+        if caches.l1i.access(address):
+            return AccessResult(l1_ns, "l1")
+        l2_ns = l1_ns + self._cycles_to_ns(core.l2.latency_cycles, core.frequency_ghz)
+        if caches.l2.access(address):
+            return AccessResult(l2_ns, "l2")
+        l2_ns += self._interconnect_delay_ns(now_ns + l2_ns)
+        llc_ns = l2_ns + self._llc_hit_ns()
+        if self.llc.access(address):
+            return AccessResult(llc_ns, "llc")
+        self._drain_llc_writeback(now_ns + llc_ns)
+        done = self.dram.access(address, now_ns + llc_ns)
+        return AccessResult(done - now_ns, "dram")

@@ -1,0 +1,103 @@
+"""Hardware prefetcher models for the cycle-level tier.
+
+Two classic designs, both deterministic and table-based:
+
+* :class:`NextLinePrefetcher` — on a demand miss, prefetch the next
+  ``degree`` sequential lines; catches streaming.
+* :class:`StridePrefetcher` — a per-PC reference-prediction table (Chen &
+  Baer): detects a constant stride per static load and, once confident,
+  prefetches ``degree`` strides ahead; catches array walks with any step.
+
+Prefetchers only *predict*; the memory hierarchy decides what a prediction
+costs (a prefetch fill occupies DRAM banks and the bus like any other
+access, but its latency is off the demand path).  Disabled by default so
+the baseline study matches the paper's configuration, which specifies no
+prefetcher.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.util import check_positive
+
+_LINE = 64
+
+
+@dataclass
+class PrefetchStats:
+    """Issue counters for one prefetcher."""
+
+    observations: int = 0
+    issued: int = 0
+
+
+class NextLinePrefetcher:
+    """Prefetch the next ``degree`` sequential lines after every miss."""
+
+    def __init__(self, degree: int = 2):
+        check_positive("degree", degree)
+        self.degree = degree
+        self.stats = PrefetchStats()
+
+    def observe(self, pc: int, address: int, was_miss: bool) -> List[int]:
+        """Addresses to prefetch following one demand access."""
+        self.stats.observations += 1
+        if not was_miss:
+            return []
+        line = address // _LINE
+        targets = [(line + i) * _LINE for i in range(1, self.degree + 1)]
+        self.stats.issued += len(targets)
+        return targets
+
+
+class StridePrefetcher:
+    """Per-PC stride detection (reference prediction table).
+
+    Each static load's last address and stride are tracked; after
+    ``confidence_threshold`` consecutive confirmations, the next ``degree``
+    strided addresses are prefetched.
+    """
+
+    def __init__(
+        self,
+        table_entries: int = 256,
+        degree: int = 2,
+        confidence_threshold: int = 2,
+    ):
+        check_positive("table_entries", table_entries)
+        check_positive("degree", degree)
+        check_positive("confidence_threshold", confidence_threshold)
+        self.table_entries = table_entries
+        self.degree = degree
+        self.confidence_threshold = confidence_threshold
+        self.stats = PrefetchStats()
+        #: pc-tag -> (last_address, stride, confidence)
+        self._table: Dict[int, Tuple[int, int, int]] = {}
+
+    def observe(self, pc: int, address: int, was_miss: bool) -> List[int]:
+        """Train on one demand access; return addresses to prefetch."""
+        self.stats.observations += 1
+        # Folded-XOR index for better spread of word-aligned PCs.
+        tag = ((pc >> 2) ^ (pc >> 10)) % self.table_entries
+        entry = self._table.get(tag)
+        targets: List[int] = []
+        if entry is None:
+            self._table[tag] = (address, 0, 0)
+            if len(self._table) > self.table_entries:
+                # Evict an arbitrary (oldest-inserted) entry.
+                self._table.pop(next(iter(self._table)))
+            return targets
+        last, stride, confidence = entry
+        new_stride = address - last
+        if new_stride == stride and stride != 0:
+            confidence += 1
+        else:
+            confidence = 0
+        if confidence >= self.confidence_threshold:
+            targets = [
+                address + stride * i for i in range(1, self.degree + 1)
+            ]
+            targets = [t for t in targets if t >= 0]
+            self.stats.issued += len(targets)
+        self._table[tag] = (address, new_stride, confidence)
+        return targets

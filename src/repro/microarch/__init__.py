@@ -1,0 +1,1 @@
+"""Core and uncore microarchitecture configurations (Table 1)."""

@@ -1,0 +1,83 @@
+"""Branch predictor models for the cycle-level tier.
+
+The trace generator emits branch *outcomes* (taken/not-taken with a
+per-profile bias and correlation); the pipeline model consults a predictor
+and charges the front-end redirect penalty on real mispredictions, instead
+of trusting a pre-computed mispredict flag.  Two predictors are provided:
+
+* :class:`GShare` — global-history XOR-indexed table of 2-bit saturating
+  counters, the classic baseline;
+* :class:`Bimodal` — per-PC 2-bit counters, no global history (used by the
+  small in-order core, whose front end is cheaper).
+
+Both are deliberately small, deterministic and dependency-free.
+"""
+
+from typing import List
+
+from repro.util import check_positive
+
+#: 2-bit saturating counter states: 0,1 predict not-taken; 2,3 predict taken.
+_WEAKLY_TAKEN = 2
+_COUNTER_MAX = 3
+
+
+class Bimodal:
+    """Per-PC table of 2-bit saturating counters."""
+
+    def __init__(self, entries: int = 4096):
+        check_positive("entries", entries)
+        if entries & (entries - 1):
+            raise ValueError(f"entries must be a power of two, got {entries}")
+        self._mask = entries - 1
+        self._table: List[int] = [_WEAKLY_TAKEN] * entries
+        self.predictions = 0
+        self.mispredictions = 0
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & self._mask
+
+    def predict(self, pc: int) -> bool:
+        """Predicted direction for the branch at ``pc``."""
+        return self._table[self._index(pc)] >= _WEAKLY_TAKEN
+
+    def update(self, pc: int, taken: bool) -> bool:
+        """Train on the resolved outcome; returns True on a misprediction."""
+        idx = self._index(pc)
+        predicted = self._table[idx] >= _WEAKLY_TAKEN
+        if taken:
+            self._table[idx] = min(_COUNTER_MAX, self._table[idx] + 1)
+        else:
+            self._table[idx] = max(0, self._table[idx] - 1)
+        self.predictions += 1
+        mispredicted = predicted != taken
+        if mispredicted:
+            self.mispredictions += 1
+        return mispredicted
+
+    @property
+    def mispredict_rate(self) -> float:
+        return self.mispredictions / self.predictions if self.predictions else 0.0
+
+
+class GShare(Bimodal):
+    """Global-history gshare predictor (history XOR pc indexes the table)."""
+
+    def __init__(self, entries: int = 8192, history_bits: int = 6):
+        super().__init__(entries)
+        check_positive("history_bits", history_bits)
+        self._history = 0
+        self._history_mask = (1 << history_bits) - 1
+
+    def _index(self, pc: int) -> int:
+        return ((pc >> 2) ^ self._history) & self._mask
+
+    def update(self, pc: int, taken: bool) -> bool:
+        mispredicted = super().update(pc, taken)
+        self._history = ((self._history << 1) | int(taken)) & self._history_mask
+        return mispredicted
+
+
+def predictor_for_core(is_out_of_order: bool) -> Bimodal:
+    """The predictor class matching a core's front-end budget."""
+    return GShare() if is_out_of_order else Bimodal(entries=1024)

@@ -1,0 +1,240 @@
+"""Core microarchitecture configurations (Table 1 of the paper).
+
+Three core types are studied:
+
+* **big** — four-wide out-of-order, 128-entry ROB, up to 6 SMT contexts;
+* **medium** — two-wide out-of-order, 32-entry ROB, up to 3 SMT contexts;
+* **small** — two-wide in-order with fine-grained multithreading, up to
+  2 hardware threads.
+
+All three run at 2.66 GHz in the baseline study.  Private caches scale with
+the core's power budget so that total on-chip cache capacity is constant
+across chip designs (Section 3.1 of the paper): the medium core's private
+caches are half the big core's, the small core's one fifth (rounded to
+"powers of two or just in between").
+
+Section 8.1 of the paper additionally evaluates *larger-cache* (``_lc``) and
+*higher-frequency* (``_hf``) variants of the medium and small cores; those
+are exposed here as well.
+"""
+
+from dataclasses import dataclass, replace
+from enum import Enum
+from typing import Tuple
+
+from repro.util import KB, check_positive
+
+
+class CoreType(Enum):
+    """Execution paradigm of a core pipeline."""
+
+    OUT_OF_ORDER = "out-of-order"
+    IN_ORDER = "in-order"
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and access latency of a single cache.
+
+    Parameters
+    ----------
+    size_bytes:
+        Total capacity in bytes.
+    associativity:
+        Number of ways per set.
+    latency_cycles:
+        Hit latency in core cycles (load-to-use for L1).
+    line_bytes:
+        Cache line size; 64 bytes everywhere in this study.
+    """
+
+    size_bytes: int
+    associativity: int
+    latency_cycles: int
+    line_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        check_positive("size_bytes", self.size_bytes)
+        check_positive("associativity", self.associativity)
+        check_positive("latency_cycles", self.latency_cycles)
+        check_positive("line_bytes", self.line_bytes)
+        if self.size_bytes % self.line_bytes != 0:
+            raise ValueError(
+                f"size_bytes ({self.size_bytes}) must be a multiple of "
+                f"line_bytes ({self.line_bytes})"
+            )
+        lines = self.size_bytes // self.line_bytes
+        if lines % self.associativity != 0:
+            raise ValueError(
+                f"number of lines ({lines}) must be a multiple of "
+                f"associativity ({self.associativity})"
+            )
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets (lines / associativity)."""
+        return self.size_bytes // self.line_bytes // self.associativity
+
+
+@dataclass(frozen=True)
+class FunctionalUnits:
+    """Counts of the execution units in a core (Table 1)."""
+
+    int_alu: int = 3
+    load_store: int = 2
+    mul_div: int = 1
+    fp: int = 1
+
+    def __post_init__(self) -> None:
+        check_positive("int_alu", self.int_alu)
+        check_positive("load_store", self.load_store)
+        check_positive("mul_div", self.mul_div)
+        check_positive("fp", self.fp)
+
+    @property
+    def total(self) -> int:
+        return self.int_alu + self.load_store + self.mul_div + self.fp
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Full configuration of one core, as in Table 1 of the paper.
+
+    ``power_weight`` expresses the power-equivalence used to build the chip
+    designs of Figure 2: one big core is power-equivalent to two medium cores
+    and five small cores, so ``power_weight`` is 1.0 / 0.5 / 0.2 for
+    big / medium / small.  The ``_lc``/``_hf`` variants of Section 8.1 have
+    weights 1/1.5 and 1/4 instead.
+    """
+
+    name: str
+    core_type: CoreType
+    width: int
+    rob_size: int  # 0 for in-order cores (no ROB)
+    functional_units: FunctionalUnits
+    max_smt_contexts: int
+    l1i: CacheConfig
+    l1d: CacheConfig
+    l2: CacheConfig
+    frequency_ghz: float = 2.66
+    frontend_depth: int = 5  # pipeline stages drained on a branch mispredict
+    power_weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_positive("width", self.width)
+        check_positive("max_smt_contexts", self.max_smt_contexts)
+        check_positive("frequency_ghz", self.frequency_ghz)
+        check_positive("frontend_depth", self.frontend_depth)
+        check_positive("power_weight", self.power_weight)
+        if self.core_type is CoreType.OUT_OF_ORDER:
+            check_positive("rob_size", self.rob_size)
+        elif self.rob_size != 0:
+            raise ValueError("in-order cores must have rob_size == 0")
+
+    @property
+    def is_out_of_order(self) -> bool:
+        return self.core_type is CoreType.OUT_OF_ORDER
+
+    def rob_share(self, n_threads: int) -> int:
+        """ROB entries available to one thread under static partitioning.
+
+        The simulated SMT core statically partitions the ROB among the active
+        hardware threads (Raasch & Reinhardt [24]); an in-order core has no
+        ROB and returns 0.
+        """
+        check_positive("n_threads", n_threads)
+        if n_threads > self.max_smt_contexts:
+            raise ValueError(
+                f"{self.name} supports at most {self.max_smt_contexts} SMT "
+                f"contexts, got {n_threads}"
+            )
+        if not self.is_out_of_order:
+            return 0
+        return self.rob_size // n_threads
+
+    def with_frequency(self, frequency_ghz: float) -> "CoreConfig":
+        """A copy of this configuration at a different clock frequency."""
+        return replace(self, frequency_ghz=frequency_ghz)
+
+    def with_caches(
+        self, l1i: CacheConfig, l1d: CacheConfig, l2: CacheConfig
+    ) -> "CoreConfig":
+        """A copy of this configuration with different private caches."""
+        return replace(self, l1i=l1i, l1d=l1d, l2=l2)
+
+
+def _big_caches() -> Tuple[CacheConfig, CacheConfig, CacheConfig]:
+    return (
+        CacheConfig(32 * KB, 4, latency_cycles=2),
+        CacheConfig(32 * KB, 4, latency_cycles=2),
+        CacheConfig(256 * KB, 8, latency_cycles=12),
+    )
+
+
+#: Four-wide out-of-order big core (Table 1, first column).
+BIG = CoreConfig(
+    name="big",
+    core_type=CoreType.OUT_OF_ORDER,
+    width=4,
+    rob_size=128,
+    functional_units=FunctionalUnits(int_alu=3, load_store=2, mul_div=1, fp=1),
+    max_smt_contexts=6,
+    l1i=_big_caches()[0],
+    l1d=_big_caches()[1],
+    l2=_big_caches()[2],
+    power_weight=1.0,
+)
+
+#: Two-wide out-of-order medium core (Table 1, second column).
+MEDIUM = CoreConfig(
+    name="medium",
+    core_type=CoreType.OUT_OF_ORDER,
+    width=2,
+    rob_size=32,
+    functional_units=FunctionalUnits(int_alu=2, load_store=1, mul_div=1, fp=1),
+    max_smt_contexts=3,
+    l1i=CacheConfig(16 * KB, 2, latency_cycles=2),
+    l1d=CacheConfig(16 * KB, 2, latency_cycles=2),
+    l2=CacheConfig(128 * KB, 4, latency_cycles=10),
+    power_weight=0.5,
+)
+
+#: Two-wide in-order small core (Table 1, third column); fine-grained MT.
+SMALL = CoreConfig(
+    name="small",
+    core_type=CoreType.IN_ORDER,
+    width=2,
+    rob_size=0,
+    functional_units=FunctionalUnits(int_alu=2, load_store=1, mul_div=1, fp=1),
+    max_smt_contexts=2,
+    l1i=CacheConfig(6 * KB, 2, latency_cycles=1),
+    l1d=CacheConfig(6 * KB, 2, latency_cycles=1),
+    l2=CacheConfig(48 * KB, 4, latency_cycles=8),
+    frontend_depth=4,
+    power_weight=0.2,
+)
+
+#: Section 8.1 ``lc`` variants: medium/small cores with big-core-sized private
+#: caches.  Larger caches cost power, shifting the power equivalence to
+#: 1 big = 1.5 medium_lc = 4 small_lc.
+MEDIUM_LC = replace(
+    MEDIUM.with_caches(*_big_caches()), name="medium_lc", power_weight=1.0 / 1.5
+)
+
+SMALL_LC = replace(
+    SMALL.with_caches(*_big_caches()), name="small_lc", power_weight=0.25
+)
+
+#: Section 8.1 ``hf`` variants: medium/small cores clocked at 3.33 GHz instead
+#: of 2.66 GHz, again shifting power equivalence to 1:1.5 and 1:4.
+MEDIUM_HF = replace(
+    MEDIUM.with_frequency(3.33), name="medium_hf", power_weight=1.0 / 1.5
+)
+
+SMALL_HF = replace(SMALL.with_frequency(3.33), name="small_hf", power_weight=0.25)
+
+#: All named core configurations, keyed by name.
+CORE_CONFIGS = {
+    cfg.name: cfg
+    for cfg in (BIG, MEDIUM, SMALL, MEDIUM_LC, SMALL_LC, MEDIUM_HF, SMALL_HF)
+}

@@ -1,0 +1,71 @@
+"""Uncore (shared) component configuration: LLC, crossbar, bus, DRAM.
+
+The paper keeps the uncore identical across all chip designs (Section 3.1):
+an 8 MB 16-way shared last-level cache, a full crossbar between all cores and
+the LLC at 2.66 GHz, 8 DRAM banks with 45 ns access time, and an 8 GB/s
+off-chip bus (16 GB/s in the Section 8.2 sensitivity study).
+"""
+
+from dataclasses import dataclass, replace
+
+from repro.microarch.config import CacheConfig
+from repro.util import GHZ, MB, check_positive
+
+
+@dataclass(frozen=True)
+class DramConfig:
+    """Main-memory configuration: banked DRAM behind an off-chip bus."""
+
+    num_banks: int = 8
+    access_latency_ns: float = 45.0
+    bus_bandwidth_bytes_per_s: float = 8e9
+
+    def __post_init__(self) -> None:
+        check_positive("num_banks", self.num_banks)
+        check_positive("access_latency_ns", self.access_latency_ns)
+        check_positive("bus_bandwidth_bytes_per_s", self.bus_bandwidth_bytes_per_s)
+
+
+@dataclass(frozen=True)
+class InterconnectConfig:
+    """On-chip interconnect between private L2s and the shared LLC.
+
+    The baseline is a full crossbar so results are not skewed against
+    many-core designs by network contention (paper, Section 3.1).  A shared
+    bus is provided as an ablation (DESIGN.md Section 6): on a bus, requests
+    from all cores serialize.
+    """
+
+    kind: str = "crossbar"  # "crossbar" | "bus"
+    frequency_ghz: float = 2.66
+    hop_latency_cycles: int = 4
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("crossbar", "bus"):
+            raise ValueError(f"kind must be 'crossbar' or 'bus', got {self.kind!r}")
+        check_positive("frequency_ghz", self.frequency_ghz)
+        check_positive("hop_latency_cycles", self.hop_latency_cycles)
+
+
+@dataclass(frozen=True)
+class UncoreConfig:
+    """Everything shared by all cores on a chip."""
+
+    llc: CacheConfig = CacheConfig(8 * MB, 16, latency_cycles=30)
+    interconnect: InterconnectConfig = InterconnectConfig()
+    dram: DramConfig = DramConfig()
+
+    def with_bandwidth(self, bytes_per_s: float) -> "UncoreConfig":
+        """A copy with a different off-chip bus bandwidth (Section 8.2)."""
+        return replace(self, dram=replace(self.dram, bus_bandwidth_bytes_per_s=bytes_per_s))
+
+    def dram_latency_cycles(self, core_frequency_ghz: float) -> float:
+        """Unloaded DRAM access latency in cycles at ``core_frequency_ghz``."""
+        return self.dram.access_latency_ns * core_frequency_ghz
+
+
+#: Baseline uncore (8 GB/s off-chip bus).
+DEFAULT_UNCORE = UncoreConfig()
+
+#: Section 8.2 uncore with the off-chip bus doubled to 16 GB/s.
+HIGH_BANDWIDTH_UNCORE = DEFAULT_UNCORE.with_bandwidth(16e9)

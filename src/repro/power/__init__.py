@@ -1,0 +1,1 @@
+"""McPAT-style power model and energy/EDP accounting (Section 7)."""

@@ -1,0 +1,74 @@
+"""Energy and energy-delay-product accounting (Section 7 of the paper).
+
+Figure 15 plots, per design and under a thread-count distribution:
+
+* average **power** vs average throughput, and
+* normalized **energy** vs throughput, where energy-per-unit-of-work is
+  average power divided by average throughput;
+* the **EDP** (energy-delay product) per unit of work is ``P / STP**2``.
+
+These helpers also compute the Pareto frontier over (throughput, cost)
+points, which the paper reads off Figure 15.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.util import check_positive
+
+
+@dataclass(frozen=True)
+class EnergyPoint:
+    """Average behaviour of one design under a thread-count distribution."""
+
+    design_name: str
+    throughput: float  # expected STP
+    power_w: float  # expected power (idle cores gated)
+
+    def __post_init__(self) -> None:
+        check_positive("throughput", self.throughput)
+        check_positive("power_w", self.power_w)
+
+    @property
+    def energy_per_work(self) -> float:
+        """Joules per unit of normalized work (P / STP)."""
+        return self.power_w / self.throughput
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product per unit of work (P / STP^2); lower is better."""
+        return self.power_w / self.throughput**2
+
+
+def pareto_front(
+    points: Sequence[EnergyPoint], cost: str = "power"
+) -> List[EnergyPoint]:
+    """Designs not dominated in (higher throughput, lower cost).
+
+    ``cost`` selects the y-axis: ``"power"`` (Figure 15 top) or ``"energy"``
+    (Figure 15 bottom).  A point is dominated if another point has >= its
+    throughput and <= its cost, with at least one strict inequality.
+    """
+    if cost not in ("power", "energy"):
+        raise ValueError(f"cost must be 'power' or 'energy', got {cost!r}")
+
+    def cost_of(p: EnergyPoint) -> float:
+        return p.power_w if cost == "power" else p.energy_per_work
+
+    front = []
+    for p in points:
+        dominated = any(
+            (q.throughput >= p.throughput and cost_of(q) < cost_of(p))
+            or (q.throughput > p.throughput and cost_of(q) <= cost_of(p))
+            for q in points
+        )
+        if not dominated:
+            front.append(p)
+    return sorted(front, key=lambda p: p.throughput)
+
+
+def best_edp(points: Sequence[EnergyPoint]) -> EnergyPoint:
+    """The design with the minimum energy-delay product."""
+    if not points:
+        raise ValueError("best_edp of an empty sequence")
+    return min(points, key=lambda p: p.edp)

@@ -1,0 +1,118 @@
+"""McPAT-like chip power model.
+
+The paper estimates power with McPAT [20] at 45 nm with aggressive clock
+gating.  What the evaluation actually consumes from McPAT is:
+
+* per-core-type **static** power and **activity-dependent dynamic** power
+  (SMT raises utilization and therefore dynamic power, but much less than
+  activating another core — Figure 14);
+* a constant **uncore** term (shared LLC + DRAM interface, ~7 W, always on);
+* **power gating** of idle cores (Section 7).
+
+We model exactly that: ``P_core = static + dyn_slope * utilization`` while a
+core is active, zero when gated, plus the uncore constant.  The coefficients
+are calibrated to the paper's published wattages:
+
+* one big core is ~1.8x a medium and ~4.4x a small core on average, and the
+  chip designs are power-equivalent (1B ~ 2m ~ 5s);
+* the 4B / 8m / 20s chips draw ~46 / 50 / 45 W running 24 threads;
+* 4B grows from ~42 W at 4 threads to ~46 W at 24 threads (SMT's dynamic
+  power uplift);
+* a single active big / medium / small core draws ~17.3 / 13.5 / 9.8 W
+  including the ~7 W uncore.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.designs import ChipDesign
+from repro.interval.contention import ChipResult
+from repro.util import check_fraction, check_positive
+
+#: Shared LLC + DRAM interface power, active regardless of thread count.
+UNCORE_POWER_W = 7.0
+
+
+@dataclass(frozen=True)
+class CorePowerParams:
+    """Static and utilization-proportional dynamic power of one core type."""
+
+    static_w: float
+    dynamic_slope_w: float  # added watts at 100 % issue-bandwidth utilization
+
+    def __post_init__(self) -> None:
+        check_positive("static_w", self.static_w)
+        check_positive("dynamic_slope_w", self.dynamic_slope_w)
+
+    def active_power(self, utilization: float) -> float:
+        """Power of an active (non-gated) core at a given utilization."""
+        check_fraction("utilization", utilization)
+        return self.static_w + self.dynamic_slope_w * utilization
+
+    @property
+    def peak_power(self) -> float:
+        return self.active_power(1.0)
+
+
+#: Calibrated per-core-type power parameters (see module docstring).  The
+#: ``_lc``/``_hf`` variants burn more power per core (larger caches / higher
+#: frequency), reflected in the paper's shifted power equivalence (1 big ~
+#: 1.5 medium_lc ~ 4 small_lc); their coefficients scale accordingly.
+CORE_POWER: Dict[str, CorePowerParams] = {
+    "big": CorePowerParams(static_w=6.40, dynamic_slope_w=6.30),
+    "medium": CorePowerParams(static_w=4.60, dynamic_slope_w=1.70),
+    "small": CorePowerParams(static_w=1.50, dynamic_slope_w=0.80),
+    # 2/1.5 = 1.33x a plain medium core; 5/4 = 1.25x a plain small core.
+    "medium_lc": CorePowerParams(static_w=4.60 * 4 / 3, dynamic_slope_w=1.70 * 4 / 3),
+    "small_lc": CorePowerParams(static_w=1.50 * 1.25, dynamic_slope_w=0.80 * 1.25),
+    "medium_hf": CorePowerParams(static_w=4.60 * 4 / 3, dynamic_slope_w=1.70 * 4 / 3),
+    "small_hf": CorePowerParams(static_w=1.50 * 1.25, dynamic_slope_w=0.80 * 1.25),
+}
+
+
+class ChipPowerModel:
+    """Computes total chip power for a solved :class:`ChipResult`."""
+
+    def __init__(self, design: ChipDesign, uncore_power_w: float = UNCORE_POWER_W):
+        check_positive("uncore_power_w", uncore_power_w)
+        self.design = design
+        self.uncore_power_w = uncore_power_w
+        try:
+            self._params = [CORE_POWER[core.name] for core in design.cores]
+        except KeyError as exc:
+            raise KeyError(
+                f"no power calibration for core type {exc}; known: "
+                f"{sorted(CORE_POWER)}"
+            ) from None
+
+    def power(self, result: ChipResult, power_gate_idle: bool = True) -> float:
+        """Total chip power in watts.
+
+        Parameters
+        ----------
+        result:
+            A chip evaluation from :class:`repro.interval.contention.ChipModel`.
+        power_gate_idle:
+            If True (Section 7), cores with no resident threads draw zero
+            power; otherwise idle cores burn their static power (the
+            equal-power-envelope comparison of Sections 4-6).
+        """
+        if len(result.core_utilizations) != self.design.num_cores:
+            raise ValueError(
+                f"result has {len(result.core_utilizations)} cores, design "
+                f"{self.design.name} has {self.design.num_cores}"
+            )
+        total = self.uncore_power_w
+        for params, core_result, util in zip(
+            self._params, result.core_results, result.core_utilizations
+        ):
+            active = len(core_result.threads) > 0
+            if active:
+                total += params.active_power(util)
+            elif not power_gate_idle:
+                total += params.static_w
+        return total
+
+    def peak_power(self) -> float:
+        """Chip power with every core active at full utilization."""
+        return self.uncore_power_w + sum(p.peak_power for p in self._params)

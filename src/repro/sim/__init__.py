@@ -1,0 +1,18 @@
+"""Cycle-level trace-driven simulator (the detailed validation tier).
+
+``ooo`` and ``inorder`` model single cores with SMT; ``multicore`` composes
+cores with the stateful memory hierarchy of :mod:`repro.memory`.  The
+design-space study itself runs on the fast interval tier
+(:mod:`repro.interval`); this tier exists to cross-validate it and to give
+downstream users a mechanistic reference model.
+"""
+
+from repro.sim.multicore import MulticoreSimulator, SimulationResult, ThreadSim
+from repro.sim.results import CoreSimStats
+
+__all__ = [
+    "MulticoreSimulator",
+    "SimulationResult",
+    "ThreadSim",
+    "CoreSimStats",
+]

@@ -1,0 +1,316 @@
+"""Cycle-level pipeline models: out-of-order and in-order cores with SMT.
+
+One :class:`PipelineCore` advances cycle by cycle:
+
+* **fetch/dispatch** — up to ``width`` instructions per cycle enter the
+  back-end, shared round-robin among the resident hardware threads (the
+  paper's SMT fetch policy [24]); a thread stalls on branch mispredictions
+  (front-end redirect) and instruction-cache misses;
+* **out-of-order back-end** — each thread owns a statically partitioned ROB
+  slice; a dispatched instruction issues once its register producer has
+  completed and a functional unit of its class is free, so independent
+  instructions (including loads) overlap — memory-level parallelism emerges
+  naturally from the window;
+* **in-order back-end** (small cores) — dispatch blocks until the
+  instruction's producer has completed (stall-on-use) and miss latencies
+  serialize; with two hardware threads the core switches to the other
+  thread's instructions while one is stalled (fine-grained MT);
+* **commit** — in order per thread, bounded by width.
+
+Memory latencies come from the shared :class:`~repro.memory.hierarchy.
+MemoryHierarchy`, so co-running threads and other cores contend for L2/LLC
+capacity, DRAM banks and the off-chip bus with real state.
+"""
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.microarch.branch import predictor_for_core
+from repro.microarch.config import CoreConfig
+from repro.sim.results import CoreSimStats
+from repro.workloads.tracegen import EXEC_LATENCY, TraceInstruction
+
+#: Ring size for producer completion-time tracking (max dependence distance).
+_DEP_WINDOW = 64
+
+
+class SimThread:
+    """Architectural state of one hardware thread on a core."""
+
+    def __init__(
+        self,
+        thread_id: int,
+        trace: Sequence[TraceInstruction],
+        warmup_instructions: int = 0,
+    ):
+        self.thread_id = thread_id
+        self.trace = trace
+        self.cursor = 0
+        self.warmup_instructions = min(warmup_instructions, max(0, len(trace) - 1))
+        self.stats = CoreSimStats()
+        #: Per-thread branch predictor (SMT threads keep private history;
+        #: table sharing/aliasing between contexts is not modelled).
+        self.predictor = None  # installed by the owning PipelineCore
+        self._warm_snapshot: Optional[Tuple[int, int, int, Dict[str, int]]] = None
+        #: Completion cycles of the last _DEP_WINDOW dispatched instructions.
+        self.completions: Deque[int] = deque(maxlen=_DEP_WINDOW)
+        #: In-flight (program-ordered) completion times awaiting commit.
+        self.rob: Deque[int] = deque()
+        self.fetch_stalled_until = 0
+        self.last_fetch_line = -1
+        self.done_cycle: Optional[int] = None
+
+    @property
+    def finished(self) -> bool:
+        return self.cursor >= len(self.trace) and not self.rob
+
+    def maybe_snapshot(self, now: int) -> None:
+        """Record the warm-up boundary so cold misses are excluded."""
+        if self._warm_snapshot is None and self.cursor >= self.warmup_instructions:
+            self.stats.cycles = now  # temporary marker; finalized at drain
+            self._warm_snapshot = (
+                self.stats.instructions,
+                now,
+                self.stats.branch_mispredicts,
+                dict(self.stats.level_hits),
+            )
+
+    def finalize_stats(self, done_cycle: int) -> None:
+        """Convert cumulative counters into measured-region statistics."""
+        if self._warm_snapshot is None:
+            self.stats.cycles = done_cycle
+            return
+        instr0, cycle0, mispred0, levels0 = self._warm_snapshot
+        self.stats.instructions -= instr0
+        self.stats.cycles = max(1, done_cycle - cycle0)
+        self.stats.branch_mispredicts -= mispred0
+        for level, count in levels0.items():
+            self.stats.level_hits[level] = self.stats.level_hits[level] - count
+
+    def producer_completion(self, dep_distance: int, now: int) -> int:
+        """Cycle at which this instruction's register input becomes ready."""
+        if dep_distance <= 0 or dep_distance > len(self.completions):
+            return now
+        return max(now, self.completions[-dep_distance])
+
+
+class PipelineCore:
+    """One core (out-of-order or in-order) executing up to N SMT threads."""
+
+    def __init__(
+        self,
+        core: CoreConfig,
+        core_index: int,
+        hierarchy: MemoryHierarchy,
+        traces: Sequence[Sequence[TraceInstruction]],
+        warmup_instructions: int = 0,
+        fetch_policy: str = "roundrobin",
+    ):
+        if fetch_policy not in ("roundrobin", "icount"):
+            raise ValueError(
+                f"fetch_policy must be 'roundrobin' or 'icount', "
+                f"got {fetch_policy!r}"
+            )
+        self.fetch_policy = fetch_policy
+        if not traces:
+            raise ValueError("need at least one thread trace")
+        if len(traces) > core.max_smt_contexts:
+            raise ValueError(
+                f"{core.name} core supports {core.max_smt_contexts} hardware "
+                f"threads, got {len(traces)}"
+            )
+        self.core = core
+        self.core_index = core_index
+        self.hierarchy = hierarchy
+        self.threads = [
+            SimThread(i, t, warmup_instructions) for i, t in enumerate(traces)
+        ]
+        for thread in self.threads:
+            thread.predictor = predictor_for_core(core.is_out_of_order)
+        self.cycle = 0
+        self._rob_share = (
+            core.rob_size // len(self.threads) if core.is_out_of_order else core.width * 2
+        )
+        fu = core.functional_units
+        #: Per-cycle issue-slot usage per functional-unit class.  Issue picks
+        #: the first cycle >= ready with a free slot (hole-filling, so an
+        #: instruction that becomes ready early is not blocked behind
+        #: reservations made for later-ready instructions — proper
+        #: out-of-order issue).
+        self._fu_units: Dict[str, int] = {
+            "int": fu.int_alu,
+            "ldst": fu.load_store,
+            "muldiv": fu.mul_div,
+            "fp": fu.fp,
+        }
+        self._fu_busy: Dict[str, Dict[int, int]] = {k: {} for k in self._fu_units}
+        self._last_prune = 0
+
+    # ------------------------------------------------------------------ #
+    # helpers                                                             #
+    # ------------------------------------------------------------------ #
+
+    def _now_ns(self) -> float:
+        return self.cycle / self.core.frequency_ghz
+
+    def _fu_class(self, kind: str) -> str:
+        if kind in ("load", "store"):
+            return "ldst"
+        if kind in ("muldiv", "fp"):
+            return kind
+        return "int"  # int ops and branches use the integer ALUs
+
+    def _acquire_fu(self, kind: str, ready: int) -> int:
+        """Earliest cycle >= ``ready`` with a free unit of this class."""
+        cls = self._fu_class(kind)
+        units = self._fu_units[cls]
+        busy = self._fu_busy[cls]
+        t = ready
+        while busy.get(t, 0) >= units:
+            t += 1
+        busy[t] = busy.get(t, 0) + 1
+        return t
+
+    def _prune_fu_state(self) -> None:
+        """Drop issue-slot bookkeeping for cycles already in the past."""
+        now = self.cycle
+        for busy in self._fu_busy.values():
+            stale = [c for c in busy if c < now]
+            for c in stale:
+                del busy[c]
+        self._last_prune = now
+
+    def _fetch_line(self, thread: SimThread, instr: TraceInstruction) -> None:
+        """Model instruction-cache behaviour at cache-line granularity."""
+        line = instr.pc // self.hierarchy.llc.config.line_bytes
+        if line == thread.last_fetch_line:
+            return
+        thread.last_fetch_line = line
+        result = self.hierarchy.instruction_access(
+            self.core_index, instr.pc, self._now_ns()
+        )
+        if result.level != "l1":
+            # The front end runs ahead and next-line-prefetches sequential
+            # code, hiding most of an i-miss behind the fetch buffer; only a
+            # fraction of the latency reaches dispatch.
+            delay = int(result.latency_ns * self.core.frequency_ghz * 0.4) + 1
+            thread.fetch_stalled_until = max(
+                thread.fetch_stalled_until, self.cycle + delay
+            )
+
+    # ------------------------------------------------------------------ #
+    # one cycle                                                           #
+    # ------------------------------------------------------------------ #
+
+    def step(self) -> None:
+        """Advance the core by one cycle (commit, then dispatch)."""
+        now = self.cycle
+        width = self.core.width
+        if now - self._last_prune >= 4096:
+            self._prune_fu_state()
+
+        # Commit: in order per thread, up to `width` per thread.
+        for thread in self.threads:
+            retired = 0
+            while thread.rob and retired < width and thread.rob[0] <= now:
+                thread.rob.popleft()
+                retired += 1
+            if thread.finished and thread.done_cycle is None:
+                thread.done_cycle = now
+                thread.finalize_stats(now)
+
+        # Dispatch: share the core width across threads.  Round-robin
+        # rotates priority cycle by cycle [24]; ICOUNT [31] gives the
+        # thread with the fewest in-flight instructions first pick, which
+        # keeps fast-moving threads moving.
+        budget = width
+        n = len(self.threads)
+        if self.fetch_policy == "icount":
+            order = sorted(self.threads, key=lambda th: len(th.rob))
+        else:
+            start = now % n
+            order = [self.threads[(start + off) % n] for off in range(n)]
+        for thread in order:
+            while budget > 0 and self._can_dispatch(thread, now):
+                self._dispatch(thread, now)
+                budget -= 1
+        self.cycle += 1
+
+    def _can_dispatch(self, thread: SimThread, now: int) -> bool:
+        if thread.cursor >= len(thread.trace):
+            return False
+        if now < thread.fetch_stalled_until:
+            return False
+        if len(thread.rob) >= self._rob_share:
+            return False
+        if not self.core.is_out_of_order:
+            # Stall-on-use: the next instruction must have its input ready.
+            instr = thread.trace[thread.cursor]
+            if thread.producer_completion(instr.dep_distance, now) > now:
+                return False
+        return True
+
+    def _dispatch(self, thread: SimThread, now: int) -> None:
+        instr = thread.trace[thread.cursor]
+        thread.cursor += 1
+        self._fetch_line(thread, instr)
+
+        ready = thread.producer_completion(instr.dep_distance, now)
+        issue = self._acquire_fu(instr.kind, ready)
+        latency = EXEC_LATENCY[instr.kind]
+        if instr.kind in ("load", "store"):
+            issue_ns = issue / self.core.frequency_ghz
+            result = self.hierarchy.data_access(
+                self.core_index,
+                instr.address,
+                issue_ns,
+                is_write=(instr.kind == "store"),
+                pc=instr.pc,
+            )
+            thread.stats.record_level(result.level)
+            mem_cycles = (
+                int(result.latency_ns * self.core.frequency_ghz)
+                if instr.kind == "load"
+                else 1  # stores retire through the write buffer
+            )
+            completion = issue + max(1, latency + mem_cycles)
+        else:
+            completion = issue + latency
+
+        if instr.kind == "branch":
+            # A real predictor resolves the trace's concrete outcome; the
+            # front end redirects once the branch executes.
+            if thread.predictor.update(instr.pc, instr.taken):
+                thread.stats.branch_mispredicts += 1
+                thread.fetch_stalled_until = max(
+                    thread.fetch_stalled_until,
+                    completion + self.core.frontend_depth,
+                )
+
+        thread.completions.append(completion)
+        thread.rob.append(completion)
+        thread.stats.instructions += 1
+        thread.maybe_snapshot(now)
+
+    # ------------------------------------------------------------------ #
+    # run loop                                                            #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def finished(self) -> bool:
+        return all(t.finished for t in self.threads)
+
+    def run(self, max_cycles: int = 50_000_000) -> None:
+        """Run until every thread has drained its trace."""
+        while not self.finished:
+            if self.cycle >= max_cycles:
+                raise RuntimeError(
+                    f"core {self.core_index} exceeded {max_cycles} cycles; "
+                    "deadlocked or trace too long"
+                )
+            self.step()
+        for thread in self.threads:
+            if thread.done_cycle is None:
+                thread.done_cycle = self.cycle
+                thread.finalize_stats(self.cycle)

@@ -1,0 +1,25 @@
+"""Result records for the cycle-level simulator."""
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class CoreSimStats:
+    """Per-thread statistics accumulated by a pipeline model."""
+
+    instructions: int = 0
+    cycles: int = 0
+    branch_mispredicts: int = 0
+    level_hits: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+    def record_level(self, level: str) -> None:
+        self.level_hits[level] = self.level_hits.get(level, 0) + 1

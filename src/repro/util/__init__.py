@@ -1,0 +1,15 @@
+"""Small shared utilities: validation, units, deterministic RNG helpers."""
+
+from repro.util.units import KB, MB, GHZ, ns_to_cycles, cycles_to_ns
+from repro.util.validate import check_positive, check_fraction, check_in
+
+__all__ = [
+    "KB",
+    "MB",
+    "GHZ",
+    "ns_to_cycles",
+    "cycles_to_ns",
+    "check_positive",
+    "check_fraction",
+    "check_in",
+]

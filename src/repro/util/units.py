@@ -1,0 +1,37 @@
+"""Unit helpers used throughout the library.
+
+Conventions:
+
+* Cache and memory sizes are in **bytes** (use :data:`KB` / :data:`MB`).
+* Clock frequencies are in **GHz**.
+* Latencies inside a core are in **cycles at the core frequency**; latencies of
+  off-core components (DRAM) are specified in nanoseconds and converted at use
+  sites with :func:`ns_to_cycles`.
+* Bandwidth is in **bytes per second**.
+"""
+
+KB = 1024
+MB = 1024 * KB
+GHZ = 1e9
+
+
+def ns_to_cycles(latency_ns: float, frequency_ghz: float) -> float:
+    """Convert a latency in nanoseconds to cycles at ``frequency_ghz``.
+
+    >>> ns_to_cycles(45.0, 2.66)
+    119.7
+    """
+    if latency_ns < 0:
+        raise ValueError(f"latency_ns must be >= 0, got {latency_ns}")
+    if frequency_ghz <= 0:
+        raise ValueError(f"frequency_ghz must be > 0, got {frequency_ghz}")
+    return latency_ns * frequency_ghz
+
+
+def cycles_to_ns(cycles: float, frequency_ghz: float) -> float:
+    """Convert a cycle count at ``frequency_ghz`` back to nanoseconds."""
+    if cycles < 0:
+        raise ValueError(f"cycles must be >= 0, got {cycles}")
+    if frequency_ghz <= 0:
+        raise ValueError(f"frequency_ghz must be > 0, got {frequency_ghz}")
+    return cycles / frequency_ghz

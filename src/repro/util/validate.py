@@ -1,0 +1,32 @@
+"""Argument-validation helpers.
+
+These raise ``ValueError`` with a message naming the offending parameter, so
+configuration mistakes fail loudly at construction time rather than surfacing
+as nonsensical simulation output.
+"""
+
+from typing import Any, Collection
+
+
+def check_positive(name: str, value: float, allow_zero: bool = False) -> float:
+    """Validate that ``value`` is positive (or non-negative if ``allow_zero``)."""
+    if allow_zero:
+        if value < 0:
+            raise ValueError(f"{name} must be >= 0, got {value!r}")
+    elif value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_fraction(name: str, value: float) -> float:
+    """Validate that ``value`` lies in the closed interval [0, 1]."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_in(name: str, value: Any, allowed: Collection[Any]) -> Any:
+    """Validate that ``value`` is one of ``allowed``."""
+    if value not in allowed:
+        raise ValueError(f"{name} must be one of {sorted(map(str, allowed))}, got {value!r}")
+    return value

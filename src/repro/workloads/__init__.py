@@ -1,0 +1,7 @@
+"""Synthetic workload substitutes for SPEC CPU2006 and PARSEC.
+
+``profiles``/``spec`` provide statistical single-thread benchmark profiles;
+``multiprogram`` builds balanced workload mixes; ``parsec`` models
+multi-threaded fork/join applications with synchronization; ``tracegen``
+emits instruction traces for the cycle-level simulator.
+"""

@@ -1,0 +1,82 @@
+"""Multi-program workload (mix) construction.
+
+The paper evaluates two kinds of multi-program workloads (Section 3.2):
+
+* **homogeneous** mixes — n copies of the same benchmark, for each of the 12
+  selected benchmarks;
+* **heterogeneous** mixes — 12 randomly constructed n-thread combinations
+  per thread count, using *balanced random sampling* (Velasquez et al.
+  [32]): across the 12 n-thread mixes every benchmark appears exactly the
+  same number of times (n times, since 12 mixes x n slots / 12 benchmarks),
+  which is more representative than fully random sampling.
+"""
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.util import check_positive
+from repro.workloads.profiles import BenchmarkProfile
+from repro.workloads.spec import SPEC_ORDER, SPEC_PROFILES
+
+#: A mix is an ordered list of benchmark names, one per active thread.
+Mix = List[str]
+
+
+def homogeneous_mixes(
+    n_threads: int, benchmarks: Optional[Sequence[str]] = None
+) -> List[Mix]:
+    """One n-copy mix per benchmark (12 mixes for the default suite)."""
+    check_positive("n_threads", n_threads)
+    names = list(benchmarks) if benchmarks is not None else list(SPEC_ORDER)
+    _validate_names(names)
+    return [[name] * n_threads for name in names]
+
+
+def heterogeneous_mixes(
+    n_threads: int,
+    num_mixes: int = 12,
+    seed: int = 42,
+    benchmarks: Optional[Sequence[str]] = None,
+) -> List[Mix]:
+    """Balanced random n-thread mixes (Velasquez-style sampling).
+
+    Every benchmark appears the same number of times across all returned
+    mixes whenever ``num_mixes * n_threads`` is a multiple of the benchmark
+    count; otherwise the remainder slots are drawn round-robin from a
+    shuffled benchmark order so counts differ by at most one.
+
+    Deterministic for a fixed ``seed``.
+    """
+    check_positive("n_threads", n_threads)
+    check_positive("num_mixes", num_mixes)
+    names = list(benchmarks) if benchmarks is not None else list(SPEC_ORDER)
+    _validate_names(names)
+
+    rng = random.Random(seed ^ (n_threads * 0x9E3779B1))
+    total_slots = num_mixes * n_threads
+    per_benchmark, remainder = divmod(total_slots, len(names))
+    pool: List[str] = []
+    for name in names:
+        pool.extend([name] * per_benchmark)
+    extra_order = list(names)
+    rng.shuffle(extra_order)
+    pool.extend(extra_order[:remainder])
+    rng.shuffle(pool)
+
+    return [pool[i * n_threads : (i + 1) * n_threads] for i in range(num_mixes)]
+
+
+def profiles_for(mix: Mix) -> List[BenchmarkProfile]:
+    """Resolve a mix's benchmark names to profiles."""
+    _validate_names(mix)
+    return [SPEC_PROFILES[name] for name in mix]
+
+
+def _validate_names(names: Sequence[str]) -> None:
+    if not names:
+        raise ValueError("need at least one benchmark name")
+    unknown = sorted(set(names) - set(SPEC_PROFILES))
+    if unknown:
+        raise ValueError(
+            f"unknown benchmarks {unknown}; known: {sorted(SPEC_PROFILES)}"
+        )

@@ -1,0 +1,289 @@
+"""PARSEC-like multi-threaded workloads (the Section 5 substitute).
+
+PARSEC binaries and inputs are not available here, so each benchmark is
+replaced by a :class:`ParallelWorkload`: a fork/join phase structure —
+
+* a **serial initialization** phase and a **serial finalization** phase
+  (outside the region of interest, ROI);
+* a parallel ROI consisting of ``rounds`` barrier intervals; in each round
+  every thread receives a work share drawn (deterministically, per seed)
+  with a per-app **imbalance**, and a per-round **serialized fraction**
+  models critical sections / reductions executed by one thread while the
+  others wait.
+
+This reproduces the property the paper's Section 2.1 measures (Figure 1):
+the number of *active* threads varies during the parallel phase purely due
+to synchronization — threads that finished their share early wait at the
+barrier, and serialized sections leave a single active thread.
+
+Per-app parameters are chosen to land in the classes Figure 1 reports:
+``blackscholes``/``canneal``/``raytrace`` keep ~20 threads active nearly all
+the time; ``bodytrack``/``swaptions`` alternate between 1 and 20 active
+threads (large serialized sections); ``ferret``/``freqmine`` (pipeline-
+parallel) and ``dedup`` show broad distributions from load imbalance.
+"""
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.util import check_fraction, check_positive
+from repro.workloads.profiles import BenchmarkProfile, MissRateCurve
+
+_QUIET_ICACHE = MissRateCurve(mpki_ref=0.4, alpha=0.5, floor_mpki=0.02, cap_mpki=20.0)
+
+
+@dataclass(frozen=True)
+class ParallelWorkload:
+    """A fork/join multi-threaded application.
+
+    Work quantities are in instructions.  ``imbalance_cv`` is the
+    coefficient of variation of per-thread work within a barrier round
+    (0 = perfectly balanced).  ``serial_fraction_per_round`` is the share
+    of each round's work executed serially (critical sections, reductions),
+    during which exactly one thread is active.
+    """
+
+    name: str
+    kernel: BenchmarkProfile
+    roi_work: float
+    serial_init: float
+    serial_final: float
+    rounds: int
+    imbalance_cv: float
+    serial_fraction_per_round: float
+    #: Critical-section handoff cost: the serialized time per round is
+    #: multiplied by ``1 + cs_contention_per_thread * (n_threads - 1)``
+    #: (lock transfer and cache-line ping-pong grow with contenders), which
+    #: is what makes scaling taper beyond ~8-12 threads for the lock-heavy
+    #: applications ("most applications scale well up to 8 threads, but not
+    #: beyond", Section 5).
+    cs_contention_per_thread: float = 0.0
+    seed: int = 1234
+
+    def __post_init__(self) -> None:
+        check_positive("roi_work", self.roi_work)
+        check_positive("serial_init", self.serial_init, allow_zero=True)
+        check_positive("serial_final", self.serial_final, allow_zero=True)
+        check_positive("rounds", self.rounds)
+        check_positive("imbalance_cv", self.imbalance_cv, allow_zero=True)
+        check_fraction("serial_fraction_per_round", self.serial_fraction_per_round)
+        check_positive(
+            "cs_contention_per_thread", self.cs_contention_per_thread, allow_zero=True
+        )
+
+    @property
+    def total_work(self) -> float:
+        return self.roi_work + self.serial_init + self.serial_final
+
+    def round_shares(self, round_index: int, n_threads: int) -> List[float]:
+        """Per-thread parallel work in one barrier round (deterministic).
+
+        The parallel part of the round (total work minus the serialized
+        fraction) is divided into ``n_threads`` shares whose spread follows
+        ``imbalance_cv``; shares are drawn from a seeded RNG so every run of
+        the same workload is identical.
+        """
+        check_positive("n_threads", n_threads)
+        parallel_work = (
+            self.roi_work
+            / self.rounds
+            * (1.0 - self.serial_fraction_per_round)
+        )
+        mean_share = parallel_work / n_threads
+        if self.imbalance_cv == 0.0:
+            return [mean_share] * n_threads
+        rng = random.Random(
+            (self.seed * 1_000_003 + round_index) ^ (n_threads * 0x9E3779B1)
+        )
+        raw = [
+            max(0.05, rng.gauss(1.0, self.imbalance_cv)) for _ in range(n_threads)
+        ]
+        scale = parallel_work / sum(raw)
+        return [r * scale for r in raw]
+
+    def round_serial_work(self) -> float:
+        """Serialized instructions per barrier round (critical sections)."""
+        return self.roi_work / self.rounds * self.serial_fraction_per_round
+
+
+def _kernel(
+    name: str,
+    ilp: float,
+    ilp_inorder: float,
+    mem_frac: float,
+    branch_mpki: float,
+    dcurve: MissRateCurve,
+    mlp: float,
+) -> BenchmarkProfile:
+    return BenchmarkProfile(
+        name=name,
+        ilp=ilp,
+        ilp_inorder=ilp_inorder,
+        mem_frac=mem_frac,
+        branch_frac=0.12,
+        branch_mpki=branch_mpki,
+        dcurve=dcurve,
+        icurve=_QUIET_ICACHE,
+        mlp=mlp,
+    )
+
+
+#: The eight PARSEC-like applications, keyed by name.  ``roi_work`` is in
+#: instructions; absolute values only set the (arbitrary) time unit, the
+#: ratios between serial and parallel parts set the speedup behaviour.
+PARSEC_WORKLOADS: Dict[str, ParallelWorkload] = {
+    w.name: w
+    for w in (
+        # Embarrassingly parallel option pricing: tiny serial part, balanced.
+        ParallelWorkload(
+            name="blackscholes",
+            kernel=_kernel(
+                "blackscholes.k", 2.0, 1.2, 0.26, 1.0,
+                MissRateCurve(mpki_ref=2.0, alpha=0.4, floor_mpki=0.2), 1.5,
+            ),
+            roi_work=1.0e9,
+            serial_init=0.02e9,
+            serial_final=0.01e9,
+            rounds=10,
+            imbalance_cv=0.015,
+            serial_fraction_per_round=0.002,
+            cs_contention_per_thread=0.01,
+        ),
+        # Simulated annealing on a large netlist: scales, but memory-bound.
+        ParallelWorkload(
+            name="canneal",
+            kernel=_kernel(
+                "canneal.k", 1.6, 0.7, 0.36, 5.0,
+                MissRateCurve(mpki_ref=30.0, alpha=0.35, floor_mpki=8.0), 3.5,
+            ),
+            roi_work=1.0e9,
+            serial_init=0.04e9,
+            serial_final=0.01e9,
+            rounds=12,
+            imbalance_cv=0.02,
+            serial_fraction_per_round=0.004,
+            cs_contention_per_thread=0.01,
+        ),
+        # Raytracing: balanced tiles, compute-heavy, near-perfect ROI scaling.
+        ParallelWorkload(
+            name="raytrace",
+            kernel=_kernel(
+                "raytrace.k", 2.2, 1.1, 0.30, 3.0,
+                MissRateCurve(mpki_ref=6.0, alpha=0.45, floor_mpki=0.5), 1.5,
+            ),
+            roi_work=1.2e9,
+            serial_init=0.06e9,
+            serial_final=0.01e9,
+            rounds=16,
+            imbalance_cv=0.02,
+            serial_fraction_per_round=0.004,
+            cs_contention_per_thread=0.01,
+        ),
+        # Body tracking: parallel bursts separated by big serial model
+        # updates -> alternates between 1 and N active threads (Figure 1).
+        ParallelWorkload(
+            name="bodytrack",
+            kernel=_kernel(
+                "bodytrack.k", 2.0, 1.0, 0.30, 4.0,
+                MissRateCurve(mpki_ref=8.0, alpha=0.45, floor_mpki=1.0), 1.8,
+            ),
+            roi_work=1.0e9,
+            serial_init=0.05e9,
+            serial_final=0.02e9,
+            rounds=20,
+            imbalance_cv=0.08,
+            serial_fraction_per_round=0.055,
+            cs_contention_per_thread=0.06,
+        ),
+        # Option pricing with coarse per-swaption chunks: few big work units,
+        # so most of the time only a few threads still have work.
+        ParallelWorkload(
+            name="swaptions",
+            kernel=_kernel(
+                "swaptions.k", 2.4, 1.1, 0.28, 1.5,
+                MissRateCurve(mpki_ref=3.0, alpha=0.4, floor_mpki=0.3), 1.5,
+            ),
+            roi_work=1.0e9,
+            serial_init=0.02e9,
+            serial_final=0.01e9,
+            rounds=6,
+            imbalance_cv=0.45,
+            serial_fraction_per_round=0.03,
+            cs_contention_per_thread=0.12,
+        ),
+        # Pipeline-parallel similarity search: stage imbalance leaves many
+        # threads idle much of the time.
+        ParallelWorkload(
+            name="ferret",
+            kernel=_kernel(
+                "ferret.k", 1.9, 0.9, 0.32, 5.0,
+                MissRateCurve(mpki_ref=12.0, alpha=0.4, floor_mpki=2.0), 2.0,
+            ),
+            roi_work=1.0e9,
+            serial_init=0.05e9,
+            serial_final=0.02e9,
+            rounds=14,
+            imbalance_cv=0.42,
+            serial_fraction_per_round=0.03,
+            cs_contention_per_thread=0.12,
+        ),
+        # Frequent itemset mining: deep task trees with poor balance.
+        ParallelWorkload(
+            name="freqmine",
+            kernel=_kernel(
+                "freqmine.k", 1.8, 0.9, 0.33, 6.0,
+                MissRateCurve(mpki_ref=14.0, alpha=0.45, floor_mpki=1.5), 1.8,
+            ),
+            roi_work=1.0e9,
+            serial_init=0.06e9,
+            serial_final=0.02e9,
+            rounds=12,
+            imbalance_cv=0.48,
+            serial_fraction_per_round=0.03,
+            cs_contention_per_thread=0.12,
+        ),
+        # Pipeline-parallel compression: broad active-thread distribution.
+        ParallelWorkload(
+            name="dedup",
+            kernel=_kernel(
+                "dedup.k", 2.0, 0.9, 0.34, 4.0,
+                MissRateCurve(mpki_ref=14.0, alpha=0.35, floor_mpki=3.0), 2.5,
+            ),
+            roi_work=1.0e9,
+            serial_init=0.05e9,
+            serial_final=0.03e9,
+            rounds=16,
+            imbalance_cv=0.32,
+            serial_fraction_per_round=0.02,
+            cs_contention_per_thread=0.15,
+        ),
+    )
+}
+
+#: Canonical ordering for per-benchmark figures (Figures 1 and 12).
+PARSEC_ORDER: List[str] = [
+    "blackscholes",
+    "bodytrack",
+    "canneal",
+    "dedup",
+    "ferret",
+    "freqmine",
+    "raytrace",
+    "swaptions",
+]
+
+
+def get_workload(name: str) -> ParallelWorkload:
+    """Look up a PARSEC-like workload by name."""
+    try:
+        return PARSEC_WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {sorted(PARSEC_WORKLOADS)}"
+        ) from None
+
+
+def all_workloads() -> List[ParallelWorkload]:
+    """The eight workloads in canonical order."""
+    return [PARSEC_WORKLOADS[name] for name in PARSEC_ORDER]

@@ -1,0 +1,150 @@
+"""Statistical workload profiles: the SPEC CPU2006 substitute.
+
+The paper drives Sniper with SPEC CPU2006 binaries.  Those are licensed and
+unavailable here, so each benchmark is replaced by a :class:`BenchmarkProfile`
+— a small set of statistics that interval models (and our synthetic trace
+generator) consume:
+
+* instruction-mix fractions (loads/stores, branches),
+* exploitable instruction-level parallelism, out-of-order and in-order,
+* a branch misprediction rate,
+* a *miss-rate curve* giving misses per kilo-instruction as a function of
+  available cache capacity (one curve evaluated at L1, L2 and LLC-share
+  capacities yields the per-level miss rates — the classic stack-distance
+  view of a reference stream),
+* the memory-level parallelism the program exposes.
+
+This is precisely the information an interval simulator such as Sniper
+extracts from the instruction stream, which is why profiles preserve the
+design-space *shapes* the paper reports even though absolute SPEC numbers
+cannot be reproduced.
+"""
+
+from dataclasses import dataclass
+
+from repro.util import KB, check_fraction, check_positive
+
+
+@dataclass(frozen=True)
+class MissRateCurve:
+    """Misses per kilo-instruction (MPKI) as a function of cache capacity.
+
+    The curve is a bounded power law, the usual empirical fit for cache
+    miss-rate behaviour::
+
+        mpki(c) = clamp(mpki_ref * (ref_capacity / c) ** alpha,
+                        floor_mpki, cap_mpki)
+
+    ``floor_mpki`` models compulsory (cold) misses that no capacity removes;
+    ``cap_mpki`` bounds the rate for degenerately small caches.
+
+    Parameters
+    ----------
+    mpki_ref:
+        MPKI when the reference capacity ``ref_bytes`` is available.
+    alpha:
+        Power-law exponent; larger means more capacity-sensitive.
+    floor_mpki:
+        Compulsory-miss floor (MPKI at infinite capacity).
+    cap_mpki:
+        Upper bound on MPKI for very small capacities.
+    ref_bytes:
+        Capacity at which ``mpki_ref`` is measured (default 32 KB).
+    """
+
+    mpki_ref: float
+    alpha: float
+    floor_mpki: float = 0.05
+    cap_mpki: float = 120.0
+    ref_bytes: int = 32 * KB
+
+    def __post_init__(self) -> None:
+        check_positive("mpki_ref", self.mpki_ref, allow_zero=True)
+        check_positive("alpha", self.alpha, allow_zero=True)
+        check_positive("floor_mpki", self.floor_mpki, allow_zero=True)
+        check_positive("cap_mpki", self.cap_mpki)
+        check_positive("ref_bytes", self.ref_bytes)
+        if self.floor_mpki > self.cap_mpki:
+            raise ValueError(
+                f"floor_mpki ({self.floor_mpki}) must not exceed "
+                f"cap_mpki ({self.cap_mpki})"
+            )
+
+    def mpki(self, capacity_bytes: float) -> float:
+        """MPKI seen beyond a cache of ``capacity_bytes`` (monotone non-increasing)."""
+        if capacity_bytes <= 0:
+            return self.cap_mpki
+        raw = self.mpki_ref * (self.ref_bytes / capacity_bytes) ** self.alpha
+        return min(self.cap_mpki, max(self.floor_mpki, raw))
+
+    def misses_per_instruction(self, capacity_bytes: float) -> float:
+        """Convenience: :meth:`mpki` scaled to misses per single instruction."""
+        return self.mpki(capacity_bytes) / 1000.0
+
+
+@dataclass(frozen=True)
+class BenchmarkProfile:
+    """Statistical description of a single-threaded benchmark.
+
+    Attributes
+    ----------
+    name:
+        Benchmark identifier (named after the SPEC benchmark it emulates).
+    ilp:
+        Issue parallelism sustainable with a large out-of-order window.
+    ilp_inorder:
+        Issue parallelism sustainable by a stall-on-use in-order pipeline;
+        at most ``ilp``.
+    mem_frac:
+        Fraction of instructions that are loads or stores.
+    branch_frac:
+        Fraction of instructions that are branches.
+    branch_mpki:
+        Branch mispredictions per kilo-instruction.
+    dcurve / icurve:
+        Miss-rate curves for the data and instruction reference streams.
+    mlp:
+        Maximum memory-level parallelism (independent outstanding long-latency
+        misses) the program exposes, given a sufficiently large window.
+    """
+
+    name: str
+    ilp: float
+    ilp_inorder: float
+    mem_frac: float
+    branch_frac: float
+    branch_mpki: float
+    dcurve: MissRateCurve
+    icurve: MissRateCurve
+    mlp: float = 2.0
+
+    def __post_init__(self) -> None:
+        check_positive("ilp", self.ilp)
+        check_positive("ilp_inorder", self.ilp_inorder)
+        if self.ilp_inorder > self.ilp + 1e-12:
+            raise ValueError(
+                f"{self.name}: ilp_inorder ({self.ilp_inorder}) cannot exceed "
+                f"ilp ({self.ilp})"
+            )
+        check_fraction("mem_frac", self.mem_frac)
+        check_fraction("branch_frac", self.branch_frac)
+        check_positive("branch_mpki", self.branch_mpki, allow_zero=True)
+        check_positive("mlp", self.mlp)
+        if self.mem_frac + self.branch_frac > 1.0:
+            raise ValueError(
+                f"{self.name}: mem_frac + branch_frac must not exceed 1"
+            )
+
+    @property
+    def compute_frac(self) -> float:
+        """Fraction of plain ALU/FP instructions."""
+        return 1.0 - self.mem_frac - self.branch_frac
+
+    def cache_pressure(self, probe_bytes: float = 1024 * KB) -> float:
+        """How hungry this benchmark is for shared cache capacity.
+
+        Used as the weight in demand-proportional sharing of caches: a
+        benchmark that still misses a lot at ``probe_bytes`` occupies a
+        correspondingly larger fraction of a shared cache.
+        """
+        return max(1e-3, self.dcurve.mpki(probe_bytes))

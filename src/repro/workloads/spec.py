@@ -1,0 +1,209 @@
+"""The twelve SPEC-CPU2006-like benchmark profiles used in the study.
+
+The paper selects 12 of the 55 SPEC CPU2006 benchmark-input pairs so that
+their big-core-relative performance on the three core types covers the full
+observed range.  Our synthetic stand-ins are named after those benchmarks and
+are parameterized to land in the same qualitative classes the paper's
+analysis relies on:
+
+* **compute-bound, window-friendly** (``tonto``, ``calculix``, ``hmmer``,
+  ``gamess``, ``h264ref``): high ILP, low miss rates — these gain the most
+  from the big core's width and lose the most from sharing it (Figure 4a's
+  class);
+* **bandwidth-bound streaming** (``libquantum``, ``lbm``, ``milc``): large
+  compulsory-miss floors that no cache capacity removes, high MLP — at high
+  thread counts the off-chip bus saturates and flattens all designs
+  (Figure 4b's class);
+* **cache- and latency-sensitive** (``mcf``, ``omnetpp``, ``astar``): steep
+  miss-rate curves and low MLP — these reward intelligent shared-cache usage;
+* **branch-bound** (``gobmk``): frequent mispredictions cap useful ILP.
+
+Absolute SPEC scores are *not* reproduced (the originals are licensed
+binaries on licensed inputs); what is preserved is the spread of per-core
+relative performance and the memory-intensity mix that drive every figure in
+the paper's evaluation.
+"""
+
+from typing import Dict, List
+
+from repro.util import KB
+from repro.workloads.profiles import BenchmarkProfile, MissRateCurve
+
+_QUIET_ICACHE = MissRateCurve(mpki_ref=0.5, alpha=0.5, floor_mpki=0.02, cap_mpki=20.0)
+_BUSY_ICACHE = MissRateCurve(mpki_ref=4.0, alpha=0.6, floor_mpki=0.1, cap_mpki=40.0)
+
+#: The 12 selected benchmark profiles, keyed by name.
+SPEC_PROFILES: Dict[str, BenchmarkProfile] = {
+    profile.name: profile
+    for profile in (
+        # -- compute-bound, window-friendly ---------------------------------
+        BenchmarkProfile(
+            name="tonto",
+            ilp=3.6,
+            ilp_inorder=1.15,
+            mem_frac=0.30,
+            branch_frac=0.12,
+            branch_mpki=1.5,
+            dcurve=MissRateCurve(mpki_ref=5.0, alpha=0.45, floor_mpki=0.10),
+            icurve=_QUIET_ICACHE,
+            mlp=2.0,
+        ),
+        BenchmarkProfile(
+            name="calculix",
+            ilp=3.8,
+            ilp_inorder=1.2,
+            mem_frac=0.28,
+            branch_frac=0.10,
+            branch_mpki=0.8,
+            dcurve=MissRateCurve(mpki_ref=3.0, alpha=0.40, floor_mpki=0.05),
+            icurve=_QUIET_ICACHE,
+            mlp=1.5,
+        ),
+        BenchmarkProfile(
+            name="hmmer",
+            ilp=3.9,
+            ilp_inorder=1.25,
+            mem_frac=0.30,
+            branch_frac=0.08,
+            branch_mpki=0.3,
+            dcurve=MissRateCurve(mpki_ref=2.5, alpha=0.35, floor_mpki=0.05),
+            icurve=_QUIET_ICACHE,
+            mlp=1.5,
+        ),
+        BenchmarkProfile(
+            name="gamess",
+            ilp=3.4,
+            ilp_inorder=1.15,
+            mem_frac=0.28,
+            branch_frac=0.11,
+            branch_mpki=1.0,
+            dcurve=MissRateCurve(mpki_ref=2.0, alpha=0.40, floor_mpki=0.05),
+            icurve=_BUSY_ICACHE,
+            mlp=1.5,
+        ),
+        BenchmarkProfile(
+            name="h264ref",
+            ilp=3.2,
+            ilp_inorder=1.1,
+            mem_frac=0.32,
+            branch_frac=0.14,
+            branch_mpki=2.5,
+            dcurve=MissRateCurve(mpki_ref=6.0, alpha=0.50, floor_mpki=0.20),
+            icurve=_BUSY_ICACHE,
+            mlp=1.5,
+        ),
+        # -- bandwidth-bound streaming --------------------------------------
+        BenchmarkProfile(
+            name="libquantum",
+            ilp=2.2,
+            ilp_inorder=0.9,
+            mem_frac=0.28,
+            branch_frac=0.15,
+            branch_mpki=0.4,
+            dcurve=MissRateCurve(mpki_ref=28.0, alpha=0.15, floor_mpki=22.0),
+            icurve=_QUIET_ICACHE,
+            mlp=6.0,
+        ),
+        BenchmarkProfile(
+            name="lbm",
+            ilp=2.6,
+            ilp_inorder=0.9,
+            mem_frac=0.34,
+            branch_frac=0.05,
+            branch_mpki=0.3,
+            dcurve=MissRateCurve(mpki_ref=24.0, alpha=0.20, floor_mpki=18.0),
+            icurve=_QUIET_ICACHE,
+            mlp=5.0,
+        ),
+        BenchmarkProfile(
+            name="milc",
+            ilp=2.4,
+            ilp_inorder=0.85,
+            mem_frac=0.36,
+            branch_frac=0.06,
+            branch_mpki=0.5,
+            dcurve=MissRateCurve(mpki_ref=20.0, alpha=0.25, floor_mpki=14.0),
+            icurve=_QUIET_ICACHE,
+            mlp=4.0,
+        ),
+        # -- cache- and latency-sensitive -----------------------------------
+        BenchmarkProfile(
+            name="mcf",
+            ilp=1.6,
+            ilp_inorder=0.55,
+            mem_frac=0.36,
+            branch_frac=0.18,
+            branch_mpki=8.0,
+            dcurve=MissRateCurve(
+                mpki_ref=45.0, alpha=0.50, floor_mpki=6.0, cap_mpki=90.0
+            ),
+            icurve=_QUIET_ICACHE,
+            mlp=2.5,
+        ),
+        BenchmarkProfile(
+            name="omnetpp",
+            ilp=1.9,
+            ilp_inorder=0.65,
+            mem_frac=0.34,
+            branch_frac=0.16,
+            branch_mpki=5.0,
+            dcurve=MissRateCurve(mpki_ref=25.0, alpha=0.45, floor_mpki=3.0),
+            icurve=_QUIET_ICACHE,
+            mlp=2.0,
+        ),
+        BenchmarkProfile(
+            name="astar",
+            ilp=2.0,
+            ilp_inorder=0.7,
+            mem_frac=0.33,
+            branch_frac=0.15,
+            branch_mpki=6.0,
+            dcurve=MissRateCurve(mpki_ref=18.0, alpha=0.45, floor_mpki=2.0),
+            icurve=_QUIET_ICACHE,
+            mlp=1.8,
+        ),
+        # -- branch-bound ----------------------------------------------------
+        BenchmarkProfile(
+            name="gobmk",
+            ilp=2.3,
+            ilp_inorder=0.8,
+            mem_frac=0.30,
+            branch_frac=0.16,
+            branch_mpki=9.0,
+            dcurve=MissRateCurve(mpki_ref=8.0, alpha=0.40, floor_mpki=0.5),
+            icurve=_BUSY_ICACHE,
+            mlp=1.5,
+        ),
+    )
+}
+
+#: Canonical benchmark ordering for per-benchmark figures (Figure 9).
+SPEC_ORDER: List[str] = [
+    "astar",
+    "calculix",
+    "gamess",
+    "gobmk",
+    "h264ref",
+    "hmmer",
+    "lbm",
+    "libquantum",
+    "mcf",
+    "milc",
+    "omnetpp",
+    "tonto",
+]
+
+
+def get_profile(name: str) -> BenchmarkProfile:
+    """Look up one of the 12 SPEC-like profiles by name."""
+    try:
+        return SPEC_PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; known: {sorted(SPEC_PROFILES)}"
+        ) from None
+
+
+def all_profiles() -> List[BenchmarkProfile]:
+    """The 12 profiles in canonical order."""
+    return [SPEC_PROFILES[name] for name in SPEC_ORDER]

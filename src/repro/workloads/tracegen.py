@@ -1,0 +1,308 @@
+"""Synthetic instruction-trace generation from statistical profiles.
+
+The cycle-level simulator (:mod:`repro.sim`) consumes concrete instruction
+traces.  Real SPEC/PARSEC traces are unavailable, so :class:`TraceGenerator`
+synthesizes a deterministic trace whose *statistics* follow a
+:class:`~repro.workloads.profiles.BenchmarkProfile`:
+
+* the instruction mix follows ``mem_frac`` / ``branch_frac``;
+* register dependencies are drawn with a geometric distance whose mean
+  tracks the profile's ILP (longer dependence distances = more independent
+  work in flight);
+* data addresses and instruction-fetch lines both follow an LRU
+  **stack-distance** process: with the compulsory probability a brand-new
+  line is touched (streaming), otherwise a previously used line is reused at
+  a Pareto-distributed stack depth whose tail exponent is the corresponding
+  miss-curve ``alpha`` — by construction the trace's miss rate vs cache size
+  follows the same power law the interval model uses, which is what makes
+  the two tiers comparable;
+* branches mispredict at the profile's rate.
+
+Traces are fully deterministic for a given (profile, seed).
+"""
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from repro.util import check_positive
+from repro.workloads.profiles import BenchmarkProfile, MissRateCurve
+
+#: Instruction kinds understood by the pipeline models.
+KINDS = ("int", "fp", "muldiv", "load", "store", "branch")
+
+#: Execution latencies in cycles (applied on top of memory latency for loads).
+EXEC_LATENCY = {"int": 1, "fp": 3, "muldiv": 8, "load": 0, "store": 1, "branch": 1}
+
+#: Of the memory instructions, this fraction are loads (rest are stores).
+LOAD_SHARE = 0.7
+
+#: Instructions per 64-byte code line (4-byte instructions).
+INSTRS_PER_CODE_LINE = 16
+
+_LINE = 64
+
+
+@dataclass(frozen=True)
+class TraceInstruction:
+    """One instruction of a synthetic trace.
+
+    ``dep_distance`` is the distance (in instructions) back to the producer
+    of this instruction's input register; 0 means no register dependence.
+    ``address`` is -1 for non-memory instructions.
+
+    Branches carry both a concrete ``taken`` outcome (consumed by the
+    cycle-level tier's real branch predictor) and a pre-drawn
+    ``mispredicted`` flag (a shortcut for predictor-less consumers).
+    """
+
+    kind: str
+    pc: int
+    address: int = -1
+    dep_distance: int = 0
+    mispredicted: bool = False
+    taken: bool = False
+
+
+class _StackDistanceProcess:
+    """LRU stack-distance reference stream matching a power-law miss curve.
+
+    Touches return line numbers.  With the compulsory probability (the
+    curve's floor) a brand-new line is allocated; otherwise a previous line
+    is reused at a Pareto(``alpha``) stack depth anchored so that
+    ``P(depth > lines(ref_capacity)) == reuse-miss probability at ref``.
+    Reuse depths beyond the current stack fall through to new lines, exactly
+    like touching a not-yet-seen part of the working set.
+    """
+
+    #: Bound on the LRU reuse stack (lines), for pathological draws.
+    MAX_STACK_LINES = 1 << 18
+
+    def __init__(
+        self,
+        curve: MissRateCurve,
+        refs_per_kilo_instruction: float,
+        rng: random.Random,
+        line_base: int,
+        preseed_lines: int = 0,
+    ):
+        check_positive("refs_per_kilo_instruction", refs_per_kilo_instruction)
+        self._rng = rng
+        # Pre-seed the stack with an already-touched working set so that
+        # deep reuses hit prior lines instead of degenerating into
+        # compulsory misses on short traces (the analogue of starting a
+        # SimPoint mid-execution rather than at program start).
+        self._stack: List[int] = list(range(line_base, line_base + preseed_lines))
+        self._next_new_line = line_base + preseed_lines
+        miss_prob_ref = min(0.95, curve.mpki_ref / refs_per_kilo_instruction)
+        self.compulsory_prob = min(
+            0.9, curve.floor_mpki / refs_per_kilo_instruction
+        )
+        reuse_miss_ref = max(
+            1e-4,
+            (miss_prob_ref - self.compulsory_prob)
+            / max(1e-9, 1.0 - self.compulsory_prob),
+        )
+        alpha = max(0.05, curve.alpha)
+        self.alpha = alpha
+        lines_ref = curve.ref_bytes / _LINE
+        # P(depth > L) = (L0 / L) ** alpha, anchored at the reference size.
+        self.pareto_l0 = lines_ref * reuse_miss_ref ** (1.0 / alpha)
+
+    def touch(self) -> int:
+        """Return the next line of the reference stream."""
+        if self._stack and self._rng.random() >= self.compulsory_prob:
+            depth = int(
+                self.pareto_l0 * self._rng.random() ** (-1.0 / self.alpha)
+            )
+            depth = max(1, depth)
+            if depth <= len(self._stack):
+                line = self._stack[-depth]
+                del self._stack[-depth]
+                self._stack.append(line)
+                return line
+        line = self._next_new_line
+        self._next_new_line += 1
+        self._stack.append(line)
+        if len(self._stack) > self.MAX_STACK_LINES:
+            del self._stack[: len(self._stack) // 4]
+        return line
+
+    def working_set(self) -> List[int]:
+        """Current stack contents, LRU to MRU (for cache warming)."""
+        return list(self._stack)
+
+
+class TraceGenerator:
+    """Deterministic synthetic trace source for one benchmark profile."""
+
+    #: Pre-seeded working-set sizes, in 64-byte lines (2 MB data, 256 KB code).
+    DATA_PRESEED_LINES = 32_768
+    CODE_PRESEED_LINES = 4_096
+
+    def __init__(
+        self, profile: BenchmarkProfile, seed: int = 7, address_offset: int = 0
+    ):
+        """``address_offset`` relocates the whole trace (data and code) so
+        that co-running threads behave like separate processes with disjoint
+        physical address spaces."""
+        if address_offset < 0:
+            raise ValueError(f"address_offset must be >= 0, got {address_offset}")
+        self.profile = profile
+        self.seed = seed
+        self.address_offset = address_offset
+        self._rng = random.Random((hash(profile.name) & 0xFFFFFFFF) ^ seed)
+        # Data and code streams draw from disjoint line-number ranges so the
+        # caches see them as distinct addresses.
+        self._data_stream = _StackDistanceProcess(
+            profile.dcurve,
+            max(1.0, 1000.0 * profile.mem_frac),
+            self._rng,
+            line_base=1,
+            preseed_lines=self.DATA_PRESEED_LINES,
+        )
+        self._code_stream = _StackDistanceProcess(
+            profile.icurve,
+            1000.0 / INSTRS_PER_CODE_LINE,
+            self._rng,
+            line_base=1 << 34,
+            preseed_lines=self.CODE_PRESEED_LINES,
+        )
+        self._code_line = self._code_stream.touch()
+        self._code_offset = 0
+        # Dependence chains: K concurrent chains yield a steady ILP of
+        # roughly K / mean_producer_latency, so K is sized from the
+        # profile's ILP and the execution-latency mix (~1.6 cycles/producer).
+        self._n_chains = max(1, round(profile.ilp * 1.6))
+        self._chain_last: List[int] = [-1] * self._n_chains
+        self._instr_index = 0
+        # Branch-outcome model: a fraction of static branches are "hard"
+        # (near-50/50, data-dependent) and the rest strongly biased.  The
+        # hard fraction is solved so a 2-bit-counter predictor lands near
+        # the profile's mispredict rate: hard branches miss ~46 % of the
+        # time, easy ones ~1 %.
+        if profile.branch_frac > 0:
+            target = min(0.5, profile.branch_mpki / 1000.0 / profile.branch_frac)
+        else:
+            target = 0.0
+        self._hard_branch_frac = min(1.0, max(0.0, (target - 0.012) / 0.45))
+
+    def warm_addresses(self) -> List[int]:
+        """Byte addresses of the initial working set, LRU to MRU.
+
+        Feeding these through a cache hierarchy in order reproduces the
+        cache state an execution arriving at this point would have — the
+        trace-driven analogue of warming from a SimPoint checkpoint.
+        """
+        offset = self.address_offset
+        data = [line * _LINE + offset for line in self._data_stream.working_set()]
+        code = [line * _LINE + offset for line in self._code_stream.working_set()]
+        return code + data
+
+    # ------------------------------------------------------------------ #
+    # draws                                                               #
+    # ------------------------------------------------------------------ #
+
+    def _draw_kind(self) -> str:
+        p = self.profile
+        r = self._rng.random()
+        if r < p.mem_frac:
+            return "load" if self._rng.random() < LOAD_SHARE else "store"
+        r -= p.mem_frac
+        if r < p.branch_frac:
+            return "branch"
+        # Compute mix: mostly simple integer ops, some FP, few long ops.
+        r2 = self._rng.random()
+        if r2 < 0.80:
+            return "int"
+        if r2 < 0.95:
+            return "fp"
+        return "muldiv"
+
+    def _draw_dep_distance(self) -> int:
+        """Dependence distance from the chain-based ILP model.
+
+        The trace maintains K concurrent dependence chains; each instruction
+        extends one of them (mostly round-robin, occasionally a random
+        chain) and depends on that chain's previous member.  K chains of
+        unit-latency producers sustain an ILP of ~K regardless of window
+        size, which is exactly the semantic of the profile's ``ilp`` field —
+        unlike a random single-producer DAG, whose critical path is too
+        shallow to constrain a large window.  ~8 % of instructions start a
+        fresh chain (no register input).
+        """
+        i = self._instr_index
+        self._instr_index += 1
+        if self._rng.random() < 0.2:
+            chain = self._rng.randrange(self._n_chains)
+        else:
+            chain = i % self._n_chains
+        last = self._chain_last[chain]
+        self._chain_last[chain] = i
+        if last < 0 or self._rng.random() < 0.08:
+            return 0
+        return min(63, i - last)
+
+    def _branch_outcome(self, pc: int) -> bool:
+        """Concrete direction for the branch at ``pc``.
+
+        Each static branch (identified by its pc) is deterministically
+        classified as hard or easy via a pc hash; hard branches flip nearly
+        uniformly, easy ones are taken with probability 0.96.
+        """
+        h = (pc * 0x9E3779B97F4A7C15) >> 40 & 0xFFFF
+        if (h / 65536.0) < self._hard_branch_frac:
+            return self._rng.random() < 0.5
+        return self._rng.random() < 0.995
+
+    def _next_pc(self) -> int:
+        """Walk the synthetic code stream (4-byte instructions).
+
+        Sixteen sequential instructions per code line, then the next line is
+        drawn from the instruction-side stack-distance process — so i-cache
+        miss rates follow the profile's i-curve at any cache size.
+        """
+        pc = self._code_line * _LINE + 4 * self._code_offset + self.address_offset
+        self._code_offset += 1
+        if self._code_offset >= INSTRS_PER_CODE_LINE:
+            self._code_offset = 0
+            self._code_line = self._code_stream.touch()
+        return pc
+
+    # ------------------------------------------------------------------ #
+    # generation                                                          #
+    # ------------------------------------------------------------------ #
+
+    def generate(self, num_instructions: int) -> List[TraceInstruction]:
+        """Produce the next ``num_instructions`` of the trace."""
+        check_positive("num_instructions", num_instructions)
+        p = self.profile
+        mispredict_per_branch = (
+            min(0.5, p.branch_mpki / 1000.0 / p.branch_frac) if p.branch_frac else 0.0
+        )
+        out: List[TraceInstruction] = []
+        for _ in range(num_instructions):
+            kind = self._draw_kind()
+            address = (
+                self._data_stream.touch() * _LINE
+                + self._rng.randrange(0, _LINE, 8)
+                + self.address_offset
+                if kind in ("load", "store")
+                else -1
+            )
+            mispredicted = (
+                kind == "branch" and self._rng.random() < mispredict_per_branch
+            )
+            pc = self._next_pc()
+            taken = kind == "branch" and self._branch_outcome(pc)
+            out.append(
+                TraceInstruction(
+                    kind=kind,
+                    pc=pc,
+                    address=address,
+                    dep_distance=self._draw_dep_distance(),
+                    mispredicted=mispredicted,
+                    taken=taken,
+                )
+            )
+        return out

@@ -1,0 +1,11 @@
+"""Shared fixtures: one memoized study per test session."""
+
+import pytest
+
+from repro.core.study import DesignSpaceStudy
+
+
+@pytest.fixture(scope="session")
+def study() -> DesignSpaceStudy:
+    """A session-wide study so expensive grid points are computed once."""
+    return DesignSpaceStudy()

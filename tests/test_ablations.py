@@ -1,0 +1,91 @@
+"""Ablation machinery and the scaled-budget extension."""
+
+import pytest
+
+from repro.core.designs import get_design
+from repro.experiments import ablations, ext_scaled_budget
+from repro.interval.contention import ChipModel
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.microarch.config import BIG
+from repro.microarch.uncore import DEFAULT_UNCORE, InterconnectConfig, UncoreConfig
+
+
+class TestModelOptions:
+    def test_invalid_llc_sharing(self):
+        with pytest.raises(ValueError, match="llc_sharing"):
+            ChipModel(get_design("4B"), llc_sharing="random")
+
+    def test_invalid_rob_partitioning(self):
+        from repro.interval.model import IntervalCoreModel
+
+        with pytest.raises(ValueError, match="rob_partitioning"):
+            IntervalCoreModel(BIG, rob_partitioning="adaptive")
+
+    def test_shared_rob_gives_more_window(self):
+        from repro.interval.model import IntervalCoreModel
+
+        static = IntervalCoreModel(BIG, "static")
+        shared = IntervalCoreModel(BIG, "shared")
+        assert shared._rob_share(6) > static._rob_share(6)
+        assert shared._rob_share(1) == static._rob_share(1)
+        assert shared._rob_share(2) <= BIG.rob_size
+
+
+class TestBusInterconnect:
+    def test_bus_serializes_llc_access(self):
+        bus_uncore = UncoreConfig(interconnect=InterconnectConfig(kind="bus"))
+        h = MemoryHierarchy((BIG, BIG), bus_uncore)
+        # Warm a line into the LLC only (private caches of core 1 are cold).
+        h.llc.warm(0x5000)
+        h.llc.warm(0x6000)
+        first = h.data_access(0, 0x5000, 0.0)
+        second = h.data_access(1, 0x6000, 0.0)
+        assert second.latency_ns > first.latency_ns  # queued behind core 0
+
+    def test_crossbar_does_not_serialize(self):
+        h = MemoryHierarchy((BIG, BIG), DEFAULT_UNCORE)
+        h.llc.warm(0x5000)
+        h.llc.warm(0x6000)
+        first = h.data_access(0, 0x5000, 0.0)
+        second = h.data_access(1, 0x6000, 0.0)
+        assert second.latency_ns == pytest.approx(first.latency_ns)
+
+
+class TestAblationTables:
+    def test_scheduling_ablation_ordering(self):
+        table = ablations.run_scheduling(n_threads=6, num_mixes=3)
+        for row in table.rows:
+            assert row["optimized"] >= row["heuristic"] - 1e-9
+            # The heuristic must capture most of the optimized quality.
+            assert row["heuristic"] >= 0.9 * row["optimized"]
+
+    def test_llc_sharing_ablation_runs(self):
+        table = ablations.run_llc_sharing(n_threads=12, num_mixes=3)
+        assert len(table.rows) == 3
+        for row in table.rows:
+            assert row["demand"] > 0 and row["even"] > 0
+
+    def test_rob_partitioning_ablation(self):
+        # Sharing the window adds per-thread MLP but also bus pressure once
+        # the chip is memory-saturated; the net effect must stay small
+        # (which is itself the ablation's conclusion).
+        table = ablations.run_rob_partitioning(n_threads=24, num_mixes=3)
+        for row in table.rows:
+            assert row["shared"] == pytest.approx(row["static"], rel=0.06)
+
+
+class TestScaledBudget:
+    def test_doubled_budget_findings_project(self):
+        # Reduced mixes for test time; the bench runs the full sweep.
+        table = ext_scaled_budget.run(max_threads=48, mixes_per_count=4)
+        vals_smt = {row["design"]: row["SMT"] for row in table.rows}
+        vals_no = {row["design"]: row["no SMT"] for row in table.rows}
+        # With SMT the all-big design is (near-)optimal, as projected.
+        best_smt = max(vals_smt, key=vals_smt.get)
+        assert vals_smt["8B"] >= 0.97 * vals_smt[best_smt]
+        # Without SMT, a design with small cores beats all-big at 48 threads.
+        assert max(vals_no.values()) > vals_no["8B"]
+
+    def test_designs_power_equivalent(self):
+        for design in ext_scaled_budget.SCALED_DESIGNS:
+            assert design.power_budget_weight == pytest.approx(8.0)

@@ -1,0 +1,81 @@
+"""Offline analyses: benchmark selection and tier cross-validation plumbing."""
+
+import pytest
+
+from repro.analysis.selection import relative_performance, select_representatives
+from repro.analysis.validation import CrossValidation, _ranks
+from repro.microarch.config import MEDIUM, SMALL
+from repro.workloads.spec import all_profiles, get_profile
+
+
+class TestRelativePerformance:
+    def test_below_one_for_weaker_core(self):
+        for target in (MEDIUM, SMALL):
+            assert relative_performance(get_profile("tonto"), target=target) < 1.0
+
+    def test_small_weaker_than_medium(self):
+        p = get_profile("hmmer")
+        assert relative_performance(p, target=SMALL) < relative_performance(
+            p, target=MEDIUM
+        )
+
+
+class TestSelection:
+    def test_selects_requested_count(self):
+        chosen = select_representatives(all_profiles(), 5)
+        assert len(chosen) == 5
+        assert len({p.name for p in chosen}) == 5
+
+    def test_extremes_always_included(self):
+        profiles = all_profiles()
+        scored = sorted(profiles, key=lambda p: relative_performance(p))
+        chosen = select_representatives(profiles, 4)
+        names = {p.name for p in chosen}
+        assert scored[0].name in names
+        assert scored[-1].name in names
+
+    def test_full_selection_is_identity(self):
+        profiles = all_profiles()
+        chosen = select_representatives(profiles, len(profiles))
+        assert {p.name for p in chosen} == {p.name for p in profiles}
+
+    def test_single_selection(self):
+        assert len(select_representatives(all_profiles(), 1)) == 1
+
+    def test_too_many_rejected(self):
+        with pytest.raises(ValueError, match="cannot select"):
+            select_representatives(all_profiles(), 13)
+
+    def test_result_sorted_by_relative_performance(self):
+        chosen = select_representatives(all_profiles(), 6)
+        scores = [relative_performance(p) for p in chosen]
+        assert scores == sorted(scores)
+
+
+class TestCrossValidationMath:
+    def test_ranks(self):
+        assert _ranks([10.0, 30.0, 20.0]) == [0.0, 2.0, 1.0]
+
+    def test_perfect_agreement(self):
+        cv = CrossValidation(
+            core_name="big",
+            interval_ipc={"a": 1.0, "b": 2.0, "c": 3.0},
+            cycle_ipc={"a": 0.9, "b": 1.8, "c": 2.5},
+        )
+        assert cv.rank_correlation == pytest.approx(1.0)
+
+    def test_inverted_ranking(self):
+        cv = CrossValidation(
+            core_name="big",
+            interval_ipc={"a": 1.0, "b": 2.0, "c": 3.0},
+            cycle_ipc={"a": 3.0, "b": 2.0, "c": 1.0},
+        )
+        assert cv.rank_correlation == pytest.approx(-1.0)
+
+    def test_ratios(self):
+        cv = CrossValidation(
+            core_name="big",
+            interval_ipc={"a": 2.0},
+            cycle_ipc={"a": 1.0},
+        )
+        assert cv.ratios == {"a": pytest.approx(0.5)}

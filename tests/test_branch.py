@@ -1,0 +1,115 @@
+"""Branch predictor models (gshare, bimodal) and trace-outcome integration."""
+
+import random
+
+import pytest
+
+from repro.microarch.branch import Bimodal, GShare, predictor_for_core
+from repro.workloads.spec import get_profile
+from repro.workloads.tracegen import TraceGenerator
+
+
+class TestBimodal:
+    def test_learns_always_taken(self):
+        p = Bimodal(256)
+        for _ in range(10):
+            p.update(0x1000, True)
+        assert p.predict(0x1000) is True
+        assert p.mispredictions <= 1  # at most the cold start
+
+    def test_learns_always_not_taken(self):
+        p = Bimodal(256)
+        for _ in range(10):
+            p.update(0x1000, False)
+        assert p.predict(0x1000) is False
+
+    def test_hysteresis_tolerates_single_flip(self):
+        p = Bimodal(256)
+        for _ in range(10):
+            p.update(0x1000, True)
+        p.update(0x1000, False)  # one anomaly
+        assert p.predict(0x1000) is True  # still predicts taken
+
+    def test_alternating_branch_hurts(self):
+        p = Bimodal(256)
+        mis = sum(p.update(0x1000, bool(i % 2)) for i in range(100))
+        assert mis > 30
+
+    def test_random_branch_near_half(self):
+        rng = random.Random(3)
+        p = Bimodal(256)
+        mis = sum(p.update(0x2000, rng.random() < 0.5) for i in range(2000))
+        assert 0.35 < mis / 2000 < 0.6
+
+    def test_biased_branch_low_rate(self):
+        rng = random.Random(3)
+        p = Bimodal(256)
+        mis = sum(p.update(0x2000, rng.random() < 0.98) for i in range(2000))
+        assert mis / 2000 < 0.08
+
+    def test_entries_power_of_two(self):
+        with pytest.raises(ValueError, match="power of two"):
+            Bimodal(1000)
+
+    def test_mispredict_rate_accounting(self):
+        p = Bimodal(256)
+        p.update(0, True)
+        assert p.predictions == 1
+        assert 0.0 <= p.mispredict_rate <= 1.0
+
+
+class TestGShare:
+    def test_captures_global_pattern(self):
+        # A perfectly periodic pattern is learnable with history, but not by
+        # a per-PC counter alone.
+        pattern = [True, True, False, False]
+        g = GShare(1024, history_bits=4)
+        b = Bimodal(1024)
+        g_mis = b_mis = 0
+        for i in range(4000):
+            outcome = pattern[i % 4]
+            g_mis += g.update(0x1000, outcome)
+            b_mis += b.update(0x1000, outcome)
+        assert g_mis < b_mis
+
+    def test_distinct_branches_mostly_independent(self):
+        g = GShare(8192)
+        for _ in range(50):
+            g.update(0x1000, True)
+            g.update(0x2000, False)
+        # Both directions learned despite interleaving.
+        assert g.mispredict_rate < 0.3
+
+
+class TestPredictorSelection:
+    def test_core_front_end_budget(self):
+        assert isinstance(predictor_for_core(True), GShare)
+        small = predictor_for_core(False)
+        assert isinstance(small, Bimodal) and not isinstance(small, GShare)
+
+
+class TestTraceOutcomes:
+    def test_branches_carry_outcomes(self):
+        trace = TraceGenerator(get_profile("gobmk")).generate(5000)
+        branches = [i for i in trace if i.kind == "branch"]
+        assert branches
+        assert any(i.taken for i in branches)
+        assert any(not i.taken for i in branches)
+
+    def test_predictor_rate_tracks_profile(self):
+        # Train a gshare on the synthetic outcome stream; the resulting
+        # mispredict MPKI must land near the profile's target.
+        for name, tolerance in (("gobmk", 3.0), ("hmmer", 1.0)):
+            profile = get_profile(name)
+            trace = TraceGenerator(profile).generate(40000)
+            g = GShare()
+            mis = sum(
+                g.update(i.pc, i.taken) for i in trace if i.kind == "branch"
+            )
+            mpki = mis / len(trace) * 1000
+            assert mpki == pytest.approx(profile.branch_mpki, abs=tolerance)
+
+    def test_hard_fraction_monotone_in_target(self):
+        hungry = TraceGenerator(get_profile("gobmk"))
+        quiet = TraceGenerator(get_profile("hmmer"))
+        assert hungry._hard_branch_frac > quiet._hard_branch_frac

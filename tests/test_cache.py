@@ -1,0 +1,182 @@
+"""Set-associative LRU cache behaviour (with property tests)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.cache import Cache
+from repro.microarch.config import CacheConfig
+from repro.util import KB
+
+
+def small_cache(size=1 * KB, assoc=2):
+    return Cache(CacheConfig(size, assoc, latency_cycles=1))
+
+
+class TestBasics:
+    def test_first_access_misses(self):
+        c = small_cache()
+        assert c.access(0) is False
+        assert c.stats.misses == 1
+
+    def test_second_access_hits(self):
+        c = small_cache()
+        c.access(0)
+        assert c.access(0) is True
+        assert c.stats.hits == 1
+
+    def test_same_line_different_bytes_hit(self):
+        c = small_cache()
+        c.access(0)
+        assert c.access(63) is True
+        assert c.access(64) is False  # next line
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError, match="address"):
+            small_cache().access(-1)
+
+
+class TestLru:
+    def test_lru_eviction_order(self):
+        # 2-way set: third distinct line in one set evicts the least recent.
+        c = small_cache(1 * KB, 2)  # 8 sets
+        set_stride = 8 * 64
+        a, b, d = 0, set_stride, 2 * set_stride  # same set (set 0)
+        c.access(a)
+        c.access(b)
+        c.access(d)  # evicts a
+        assert c.probe(a) is False
+        assert c.probe(b) is True
+
+    def test_touch_refreshes_lru(self):
+        c = small_cache(1 * KB, 2)
+        set_stride = 8 * 64
+        a, b, d = 0, set_stride, 2 * set_stride
+        c.access(a)
+        c.access(b)
+        c.access(a)  # a becomes MRU
+        c.access(d)  # evicts b
+        assert c.probe(a) is True
+        assert c.probe(b) is False
+
+
+class TestWriteback:
+    def test_dirty_eviction_counts_writeback(self):
+        c = small_cache(1 * KB, 2)
+        set_stride = 8 * 64
+        c.access(0, is_write=True)
+        c.access(set_stride)
+        c.access(2 * set_stride)  # evicts dirty line 0
+        assert c.stats.writebacks == 1
+
+    def test_clean_eviction_no_writeback(self):
+        c = small_cache(1 * KB, 2)
+        set_stride = 8 * 64
+        c.access(0)
+        c.access(set_stride)
+        c.access(2 * set_stride)
+        assert c.stats.writebacks == 0
+
+    def test_write_hit_marks_dirty(self):
+        c = small_cache(1 * KB, 2)
+        set_stride = 8 * 64
+        c.access(0)
+        c.access(0, is_write=True)  # hit, now dirty
+        c.access(set_stride)
+        c.access(2 * set_stride)
+        assert c.stats.writebacks == 1
+
+
+class TestWarmAndInvalidate:
+    def test_warm_inserts_without_stats(self):
+        c = small_cache()
+        c.warm(0)
+        assert c.stats.accesses == 0
+        assert c.access(0) is True
+
+    def test_invalidate(self):
+        c = small_cache()
+        c.access(0)
+        assert c.invalidate(0) is True
+        assert c.probe(0) is False
+        assert c.invalidate(0) is False
+
+    def test_reset_stats_keeps_contents(self):
+        c = small_cache()
+        c.access(0)
+        c.reset_stats()
+        assert c.stats.accesses == 0
+        assert c.probe(0) is True
+
+
+class TestProperties:
+    @given(
+        addresses=st.lists(st.integers(0, 1 << 20), min_size=1, max_size=300)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_occupancy_never_exceeds_capacity(self, addresses):
+        c = small_cache(1 * KB, 2)
+        capacity_lines = 1 * KB // 64
+        for a in addresses:
+            c.access(a)
+        assert c.resident_lines <= capacity_lines
+
+    @given(
+        addresses=st.lists(st.integers(0, 1 << 16), min_size=1, max_size=300)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_stats_consistent(self, addresses):
+        c = small_cache()
+        for a in addresses:
+            c.access(a)
+        assert c.stats.hits + c.stats.misses == c.stats.accesses
+        assert 0.0 <= c.stats.miss_rate <= 1.0
+
+    @given(
+        addresses=st.lists(st.integers(0, 1 << 16), min_size=1, max_size=200)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_immediate_reaccess_always_hits(self, addresses):
+        c = small_cache()
+        for a in addresses:
+            c.access(a)
+            assert c.access(a) is True
+
+    def test_bigger_cache_never_misses_more(self):
+        # Same reference stream: a 4 KB cache's misses <= a 1 KB cache's.
+        import random
+
+        rng = random.Random(3)
+        stream = [rng.randrange(0, 16 * KB) for _ in range(2000)]
+        small, big = small_cache(1 * KB, 2), small_cache(4 * KB, 4)
+        for a in stream:
+            small.access(a)
+            big.access(a)
+        assert big.stats.misses <= small.stats.misses
+
+
+class TestWritebackAddress:
+    def test_victim_address_reconstruction(self):
+        c = small_cache(1 * KB, 2)
+        set_stride = 8 * 64
+        c.access(0, is_write=True)
+        c.access(set_stride)
+        c.access(2 * set_stride)  # evicts dirty line 0
+        assert c.last_writeback_address == 0
+
+    def test_clean_eviction_reports_none(self):
+        c = small_cache(1 * KB, 2)
+        set_stride = 8 * 64
+        c.access(0)
+        c.access(set_stride)
+        c.access(2 * set_stride)
+        assert c.last_writeback_address is None
+
+    def test_flag_cleared_on_next_access(self):
+        c = small_cache(1 * KB, 2)
+        set_stride = 8 * 64
+        c.access(0, is_write=True)
+        c.access(set_stride)
+        c.access(2 * set_stride)  # dirty eviction
+        c.access(3 * set_stride)  # clean eviction of set_stride
+        assert c.last_writeback_address is None

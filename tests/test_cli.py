@@ -1,0 +1,114 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import _figure_registry, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands_parse(self):
+        parser = build_parser()
+        for argv in (
+            ["list-designs"],
+            ["list-benchmarks"],
+            ["list-experiments"],
+            ["evaluate", "--mix", "mcf"],
+            ["curve", "--design", "8m"],
+            ["figure", "table1"],
+            ["findings"],
+            ["validate"],
+        ):
+            args = parser.parse_args(argv)
+            assert callable(args.func)
+
+
+class TestCommands:
+    def test_list_designs(self, capsys):
+        assert main(["list-designs"]) == 0
+        out = capsys.readouterr().out
+        assert "4B" in out and "1B15s" in out
+
+    def test_list_benchmarks(self, capsys):
+        assert main(["list-benchmarks"]) == 0
+        out = capsys.readouterr().out
+        assert "libquantum" in out and "blackscholes" in out
+
+    def test_list_experiments(self, capsys):
+        assert main(["list-experiments"]) == 0
+        out = capsys.readouterr().out
+        assert "fig15" in out and "ext-acs" in out
+
+    def test_evaluate(self, capsys):
+        assert main(["evaluate", "--design", "4B", "--mix", "mcf,tonto"]) == 0
+        out = capsys.readouterr().out
+        assert "STP" in out and "power" in out
+
+    def test_evaluate_empty_mix(self, capsys):
+        assert main(["evaluate", "--mix", " , "]) == 2
+
+    def test_evaluate_no_smt_flag(self, capsys):
+        assert main(["evaluate", "--mix", "mcf", "--no-smt"]) == 0
+        assert "SMT             : off" in capsys.readouterr().out
+
+    def test_curve(self, capsys):
+        assert main(["curve", "--design", "20s", "--max-threads", "4"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") >= 4
+
+    def test_figure_table1(self, capsys):
+        assert main(["figure", "table1"]) == 0
+        assert "ROB size" in capsys.readouterr().out
+
+    def test_figure_unknown(self, capsys):
+        assert main(["figure", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_registry_covers_all_paper_figures(self):
+        registry = _figure_registry()
+        for fig in [f"fig{i:02d}" for i in range(1, 18)] + ["table1"]:
+            assert fig in registry
+
+
+class TestJsonExport:
+    def test_figure_json(self, capsys):
+        assert main(["figure", "fig02", "--json"]) == 0
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment_id"] == "Figure 2"
+        assert len(payload["rows"]) == 9
+
+    def test_table_to_json_roundtrip(self):
+        import json
+
+        from repro.experiments.base import ExperimentTable
+
+        t = ExperimentTable("X", "title", columns=["a", "b"])
+        t.add_row(a=1, b=2.5)
+        t.notes.append("n")
+        data = json.loads(t.to_json())
+        assert data["rows"] == [{"a": 1, "b": 2.5}]
+        assert data["notes"] == ["n"]
+
+
+class TestReport:
+    def test_report_restricted_set(self, tmp_path, capsys):
+        out = tmp_path / "r.md"
+        from repro.experiments.report import generate_report
+
+        text = generate_report(include=["table1", "fig02"])
+        assert "Table 1" in text
+        assert "Figure 2" in text
+        assert "eleven findings" in text
+
+    def test_report_unknown_experiment(self):
+        from repro.experiments.report import generate_report
+
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError, match="unknown experiments"):
+            generate_report(include=["fig99"])

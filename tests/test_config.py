@@ -1,0 +1,151 @@
+"""Core microarchitecture configurations (Table 1)."""
+
+import pytest
+
+from repro.microarch.config import (
+    BIG,
+    CORE_CONFIGS,
+    MEDIUM,
+    MEDIUM_HF,
+    MEDIUM_LC,
+    SMALL,
+    SMALL_HF,
+    SMALL_LC,
+    CacheConfig,
+    CoreConfig,
+    CoreType,
+    FunctionalUnits,
+)
+from repro.util import KB
+
+
+class TestCacheConfig:
+    def test_num_sets(self):
+        cfg = CacheConfig(32 * KB, 4, latency_cycles=2)
+        assert cfg.num_sets == 32 * KB // 64 // 4
+
+    def test_rejects_non_multiple_of_line(self):
+        with pytest.raises(ValueError, match="multiple of"):
+            CacheConfig(1000, 2, latency_cycles=1)
+
+    def test_rejects_bad_associativity(self):
+        with pytest.raises(ValueError, match="associativity"):
+            CacheConfig(64 * 3, 2, latency_cycles=1)  # 3 lines, 2-way
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ValueError, match="size_bytes"):
+            CacheConfig(0, 1, latency_cycles=1)
+
+
+class TestTable1Values:
+    """Table 1 of the paper, verbatim."""
+
+    def test_big_core(self):
+        assert BIG.width == 4
+        assert BIG.rob_size == 128
+        assert BIG.max_smt_contexts == 6
+        assert BIG.core_type is CoreType.OUT_OF_ORDER
+        assert BIG.l1i.size_bytes == 32 * KB and BIG.l1i.associativity == 4
+        assert BIG.l1d.size_bytes == 32 * KB
+        assert BIG.l2.size_bytes == 256 * KB and BIG.l2.associativity == 8
+        assert BIG.frequency_ghz == 2.66
+
+    def test_medium_core(self):
+        assert MEDIUM.width == 2
+        assert MEDIUM.rob_size == 32
+        assert MEDIUM.max_smt_contexts == 3
+        assert MEDIUM.core_type is CoreType.OUT_OF_ORDER
+        assert MEDIUM.l1i.size_bytes == 16 * KB
+        assert MEDIUM.l2.size_bytes == 128 * KB and MEDIUM.l2.associativity == 4
+
+    def test_small_core(self):
+        assert SMALL.width == 2
+        assert SMALL.rob_size == 0
+        assert SMALL.max_smt_contexts == 2
+        assert SMALL.core_type is CoreType.IN_ORDER
+        assert SMALL.l1i.size_bytes == 6 * KB
+        assert SMALL.l2.size_bytes == 48 * KB
+
+    def test_functional_units_big(self):
+        fu = BIG.functional_units
+        assert (fu.int_alu, fu.load_store, fu.mul_div, fu.fp) == (3, 2, 1, 1)
+
+    def test_functional_units_medium_small(self):
+        for core in (MEDIUM, SMALL):
+            fu = core.functional_units
+            assert (fu.int_alu, fu.load_store, fu.mul_div, fu.fp) == (2, 1, 1, 1)
+
+    def test_power_weights(self):
+        # 1 big ~ 2 medium ~ 5 small (the Figure 2 power equivalence).
+        assert BIG.power_weight == 1.0
+        assert MEDIUM.power_weight == 0.5
+        assert SMALL.power_weight == 0.2
+
+
+class TestRobShare:
+    def test_full_rob_single_thread(self):
+        assert BIG.rob_share(1) == 128
+
+    def test_static_partitioning(self):
+        assert BIG.rob_share(6) == 128 // 6
+        assert MEDIUM.rob_share(3) == 32 // 3
+
+    def test_exceeding_contexts_rejected(self):
+        with pytest.raises(ValueError, match="at most 6"):
+            BIG.rob_share(7)
+
+    def test_inorder_has_no_rob(self):
+        assert SMALL.rob_share(2) == 0
+
+    def test_inorder_with_rob_rejected(self):
+        with pytest.raises(ValueError, match="in-order"):
+            CoreConfig(
+                name="bad",
+                core_type=CoreType.IN_ORDER,
+                width=2,
+                rob_size=16,
+                functional_units=FunctionalUnits(),
+                max_smt_contexts=2,
+                l1i=SMALL.l1i,
+                l1d=SMALL.l1d,
+                l2=SMALL.l2,
+            )
+
+
+class TestVariants:
+    """Section 8.1 larger-cache and higher-frequency variants."""
+
+    def test_lc_variants_have_big_caches(self):
+        for variant in (MEDIUM_LC, SMALL_LC):
+            assert variant.l1i.size_bytes == BIG.l1i.size_bytes
+            assert variant.l2.size_bytes == BIG.l2.size_bytes
+
+    def test_hf_variants_run_faster(self):
+        assert MEDIUM_HF.frequency_ghz == 3.33
+        assert SMALL_HF.frequency_ghz == 3.33
+        # Caches unchanged from the plain variants.
+        assert SMALL_HF.l2.size_bytes == SMALL.l2.size_bytes
+
+    def test_variant_power_weights_shift(self):
+        # 1 big ~ 1.5 medium_lc/hf ~ 4 small_lc/hf.
+        assert MEDIUM_LC.power_weight == pytest.approx(1 / 1.5)
+        assert SMALL_LC.power_weight == pytest.approx(0.25)
+        assert MEDIUM_HF.power_weight == pytest.approx(1 / 1.5)
+        assert SMALL_HF.power_weight == pytest.approx(0.25)
+
+    def test_registry_contains_all(self):
+        assert set(CORE_CONFIGS) == {
+            "big",
+            "medium",
+            "small",
+            "medium_lc",
+            "small_lc",
+            "medium_hf",
+            "small_hf",
+        }
+
+    def test_with_frequency_preserves_rest(self):
+        fast = BIG.with_frequency(3.0)
+        assert fast.frequency_ghz == 3.0
+        assert fast.rob_size == BIG.rob_size
+        assert fast.name == BIG.name

@@ -1,0 +1,183 @@
+"""Chip-level contention solver: caches, bus, DRAM banks, fixed point."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.designs import ChipDesign, get_design
+from repro.interval.contention import (
+    ChipModel,
+    Placement,
+    ThreadSpec,
+    _demand_shares,
+    isolated_ips,
+)
+from repro.microarch.config import BIG, SMALL
+from repro.microarch.uncore import DEFAULT_UNCORE, HIGH_BANDWIDTH_UNCORE
+from repro.workloads.spec import get_profile
+
+
+def placement_on(design, assignment):
+    """assignment: list per core of benchmark names (or (name, duty))."""
+    core_threads = []
+    for core_list in assignment:
+        specs = []
+        for item in core_list:
+            if isinstance(item, tuple):
+                name, duty = item
+                specs.append(ThreadSpec(get_profile(name), duty_cycle=duty))
+            else:
+                specs.append(ThreadSpec(get_profile(item)))
+        core_threads.append(specs)
+    return Placement.from_lists(core_threads)
+
+
+class TestDemandShares:
+    def test_equal_weights_split_evenly(self):
+        shares = _demand_shares(100.0, [1.0, 1.0], [1.0, 1.0])
+        assert shares == [pytest.approx(50.0)] * 2
+
+    def test_hungry_thread_gets_more(self):
+        shares = _demand_shares(100.0, [3.0, 1.0], [1.0, 1.0])
+        assert shares[0] > shares[1]
+        assert sum(shares) == pytest.approx(100.0)
+
+    def test_single_thread_gets_everything(self):
+        assert _demand_shares(100.0, [2.5], [1.0]) == [pytest.approx(100.0)]
+
+    def test_time_shared_thread_sees_nearly_full_cache(self):
+        # With many low-duty co-residents, a thread's share while running
+        # approaches the full capacity.
+        shares = _demand_shares(100.0, [1.0] * 6, [1.0 / 6] * 6)
+        assert all(s > 50.0 for s in shares)
+
+    def test_empty(self):
+        assert _demand_shares(100.0, [], []) == []
+
+    @given(
+        weights=st.lists(st.floats(0.01, 50.0), min_size=1, max_size=8),
+    )
+    @settings(max_examples=60)
+    def test_full_duty_shares_partition_capacity(self, weights):
+        duties = [1.0] * len(weights)
+        shares = _demand_shares(64.0, weights, duties)
+        assert sum(shares) == pytest.approx(64.0)
+        assert all(s > 0 for s in shares)
+
+    @given(
+        weights=st.lists(st.floats(0.01, 50.0), min_size=1, max_size=8),
+        duties=st.lists(st.floats(0.05, 1.0), min_size=8, max_size=8),
+    )
+    @settings(max_examples=60)
+    def test_shares_never_exceed_capacity(self, weights, duties):
+        shares = _demand_shares(64.0, weights, duties[: len(weights)])
+        assert all(0 < s <= 64.0 + 1e-9 for s in shares)
+
+
+class TestPlacementValidation:
+    def test_wrong_core_count_rejected(self):
+        model = ChipModel(get_design("4B"))
+        with pytest.raises(ValueError, match="core slots"):
+            model.evaluate(placement_on(get_design("8m"), [["tonto"]] * 8))
+
+    def test_too_many_smt_threads_rejected(self):
+        design = get_design("4B")
+        bad = placement_on(design, [["tonto"] * 7, [], [], []])
+        with pytest.raises(ValueError, match="SMT contexts"):
+            ChipModel(design).evaluate(bad, smt=True)
+
+    def test_time_sharing_allowed_without_smt(self):
+        design = get_design("4B")
+        okay = placement_on(
+            design, [[("tonto", 0.5), ("mcf", 0.5)], [], [], []]
+        )
+        result = ChipModel(design).evaluate(okay, smt=False)
+        assert len(result.threads) == 2
+
+    def test_zero_duty_rejected(self):
+        with pytest.raises(ValueError, match="duty_cycle"):
+            ThreadSpec(get_profile("tonto"), duty_cycle=0.0)
+
+
+class TestChipBehaviour:
+    def test_single_thread_matches_isolated(self):
+        design = get_design("4B")
+        p = placement_on(design, [["tonto"], [], [], []])
+        result = ChipModel(design).evaluate(p)
+        iso = isolated_ips(get_profile("tonto"), BIG)
+        assert result.threads[0].ips == pytest.approx(iso, rel=1e-6)
+
+    def test_bus_saturates_for_streaming_threads(self):
+        design = get_design("4B")
+        p = placement_on(design, [["libquantum"] * 6] * 4)
+        result = ChipModel(design).evaluate(p)
+        assert result.bus_utilization > 0.8
+        assert result.mem_latency_inflation > 2.0
+
+    def test_compute_threads_leave_bus_idle(self):
+        design = get_design("4B")
+        p = placement_on(design, [["hmmer"], [], [], []])
+        result = ChipModel(design).evaluate(p)
+        assert result.bus_utilization < 0.2
+        assert result.mem_latency_inflation < 1.2
+
+    def test_throughput_monotone_in_thread_count(self):
+        design = get_design("4B")
+        model = ChipModel(design)
+        one = model.evaluate(placement_on(design, [["tonto"], [], [], []]))
+        four = model.evaluate(placement_on(design, [["tonto"]] * 4))
+        assert four.total_ips > one.total_ips * 2
+
+    def test_co_runner_interference(self):
+        # A cache-hungry co-runner on the same core slows mcf down.
+        design = get_design("4B")
+        model = ChipModel(design)
+        alone = model.evaluate(placement_on(design, [["mcf"], [], [], []]))
+        shared = model.evaluate(placement_on(design, [["mcf", "omnetpp"], [], [], []]))
+        assert shared.threads[0].ips < alone.threads[0].ips
+
+    def test_higher_bandwidth_helps_streaming(self):
+        # Gains are modest because the eight DRAM banks become the next
+        # bottleneck (8 banks / 45 ns ~ 11 GB/s of line fills) — matching
+        # the paper's "performance increases ... albeit by a small margin".
+        base = get_design("4B")
+        fast = base.with_uncore(HIGH_BANDWIDTH_UNCORE)
+        p = [["libquantum"] * 6] * 4
+        slow_ips = ChipModel(base).evaluate(placement_on(base, p)).total_ips
+        fast_ips = ChipModel(fast).evaluate(placement_on(fast, p)).total_ips
+        assert fast_ips > slow_ips * 1.05
+
+    def test_deterministic(self):
+        design = get_design("3B5s")
+        p = placement_on(design, [["mcf"], ["tonto"], ["libquantum"]] + [[]] * 5)
+        a = ChipModel(design).evaluate(p)
+        b = ChipModel(design).evaluate(p)
+        assert [t.ips for t in a.threads] == [t.ips for t in b.threads]
+
+    def test_empty_cores_report_zero_utilization(self):
+        design = get_design("4B")
+        result = ChipModel(design).evaluate(
+            placement_on(design, [["tonto"], [], [], []])
+        )
+        assert result.core_utilizations[1] == 0.0
+        assert result.core_utilizations[0] > 0.0
+
+    def test_hf_cores_convert_latency_correctly(self):
+        # Same profile, same uncore: a 3.33 GHz small core sees more cycles
+        # of memory latency but still wins on wall-clock rate.
+        from repro.microarch.config import SMALL_HF
+
+        slow = isolated_ips(get_profile("hmmer"), SMALL)
+        fast = isolated_ips(get_profile("hmmer"), SMALL_HF)
+        assert fast > slow
+        assert fast < slow * 3.33 / 2.66 + 1e9  # sublinear in frequency
+
+
+class TestIsolatedIps:
+    def test_reference_uses_big_core_by_default(self):
+        tonto = get_profile("tonto")
+        assert isolated_ips(tonto) == isolated_ips(tonto, BIG)
+
+    def test_small_core_slower(self):
+        tonto = get_profile("tonto")
+        assert isolated_ips(tonto, SMALL) < isolated_ips(tonto, BIG)

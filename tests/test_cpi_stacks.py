@@ -1,0 +1,61 @@
+"""CPI-stack characterization tables."""
+
+import pytest
+
+from repro.analysis.cpi_stacks import cpi_stack, cpi_stack_table, smt_cpi_stacks
+from repro.microarch.config import BIG, MEDIUM, SMALL
+from repro.workloads.spec import all_profiles, get_profile
+
+
+class TestSingleStack:
+    def test_components_present_and_nonnegative(self):
+        stack = cpi_stack(get_profile("mcf"))
+        for key in ("base", "branch", "l1i", "l2hit", "llchit", "dram"):
+            assert key in stack
+            assert stack[key] >= 0.0
+
+    def test_memory_bound_dominated_by_dram(self):
+        stack = cpi_stack(get_profile("libquantum"))
+        assert stack["dram"] > stack["base"]
+
+    def test_compute_bound_dominated_by_base(self):
+        stack = cpi_stack(get_profile("hmmer"))
+        assert stack["base"] > 0.5 * sum(stack.values())
+
+    def test_branch_bound_shows_branch_component(self):
+        gobmk = cpi_stack(get_profile("gobmk"))
+        hmmer = cpi_stack(get_profile("hmmer"))
+        assert gobmk["branch"] > 5 * hmmer["branch"]
+
+    def test_inorder_exposes_more_memory_cpi(self):
+        big = cpi_stack(get_profile("mcf"), BIG)
+        small = cpi_stack(get_profile("mcf"), SMALL)
+        assert small["dram"] > big["dram"]
+
+    def test_smt_co_runners_inflate_memory_components(self):
+        alone = cpi_stack(get_profile("mcf"), BIG, co_runners=0)
+        crowded = cpi_stack(get_profile("mcf"), BIG, co_runners=5)
+        assert crowded["dram"] > alone["dram"]
+        assert crowded["llchit"] > alone["llchit"]
+
+
+class TestTables:
+    def test_suite_table_shape(self):
+        table = cpi_stack_table(all_profiles()[:5])
+        assert len(table.rows) == 5
+        for row in table.rows:
+            parts = sum(
+                row[k] for k in ("base", "branch", "l1i", "l2hit", "llchit",
+                                 "dram", "smt_issue")
+            )
+            assert parts == pytest.approx(row["total CPI"])
+
+    def test_smt_depth_table_monotone_total(self):
+        table = smt_cpi_stacks(get_profile("mcf"), BIG)
+        totals = table.column("total CPI")
+        assert len(totals) == BIG.max_smt_contexts
+        assert all(a <= b + 1e-9 for a, b in zip(totals, totals[1:]))
+
+    def test_smt_depth_respects_cap(self):
+        table = smt_cpi_stacks(get_profile("tonto"), MEDIUM)
+        assert len(table.rows) == MEDIUM.max_smt_contexts

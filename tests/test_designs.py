@@ -1,0 +1,85 @@
+"""The nine power-equivalent chip designs (Figure 2)."""
+
+import pytest
+
+from repro.core.designs import (
+    ALTERNATIVE_DESIGNS,
+    DESIGN_ORDER,
+    DESIGNS,
+    ChipDesign,
+    all_designs,
+    get_design,
+)
+from repro.microarch.config import BIG
+from repro.microarch.uncore import HIGH_BANDWIDTH_UNCORE
+
+
+class TestDesignSpace:
+    def test_nine_designs(self):
+        assert len(DESIGNS) == 9
+        assert set(DESIGN_ORDER) == set(DESIGNS)
+
+    @pytest.mark.parametrize(
+        "name,big,medium,small",
+        [
+            ("4B", 4, 0, 0),
+            ("3B2m", 3, 2, 0),
+            ("3B5s", 3, 0, 5),
+            ("2B4m", 2, 4, 0),
+            ("2B10s", 2, 0, 10),
+            ("1B6m", 1, 6, 0),
+            ("1B15s", 1, 0, 15),
+            ("8m", 0, 8, 0),
+            ("20s", 0, 0, 20),
+        ],
+    )
+    def test_compositions(self, name, big, medium, small):
+        counts = get_design(name).core_counts()
+        assert counts.get("big", 0) == big
+        assert counts.get("medium", 0) == medium
+        assert counts.get("small", 0) == small
+
+    def test_all_designs_power_equivalent(self):
+        # Every design sums to 4 big-core equivalents.
+        for design in all_designs():
+            assert design.power_budget_weight == pytest.approx(4.0)
+
+    def test_all_designs_support_24_threads_with_smt(self):
+        for design in all_designs():
+            assert design.max_threads >= 24
+
+    def test_cores_ordered_big_first(self):
+        for design in all_designs():
+            weights = [c.power_weight for c in design.cores]
+            assert weights == sorted(weights, reverse=True)
+
+    def test_homogeneity_flags(self):
+        assert get_design("4B").is_homogeneous
+        assert get_design("8m").is_homogeneous
+        assert get_design("20s").is_homogeneous
+        assert not get_design("3B5s").is_homogeneous
+
+    def test_unknown_design_raises(self):
+        with pytest.raises(KeyError, match="unknown design"):
+            get_design("5B")
+
+    def test_alternative_designs(self):
+        assert set(ALTERNATIVE_DESIGNS) == {"6m_lc", "16s_lc", "6m_hf", "16s_hf"}
+        # Alternative designs respect their shifted power equivalence.
+        assert ALTERNATIVE_DESIGNS["6m_lc"].power_budget_weight == pytest.approx(4.0)
+        assert ALTERNATIVE_DESIGNS["16s_lc"].power_budget_weight == pytest.approx(4.0)
+
+    def test_all_designs_with_alternatives(self):
+        assert len(all_designs(include_alternatives=True)) == 13
+
+    def test_with_uncore(self):
+        fast = get_design("4B").with_uncore(HIGH_BANDWIDTH_UNCORE)
+        assert fast.uncore.dram.bus_bandwidth_bytes_per_s == 16e9
+        assert fast.cores == get_design("4B").cores
+
+    def test_empty_design_rejected(self):
+        with pytest.raises(ValueError, match="at least one core"):
+            ChipDesign(name="none", cores=())
+
+    def test_get_design_finds_alternatives(self):
+        assert get_design("6m_hf").num_cores == 6

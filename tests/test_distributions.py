@@ -1,0 +1,108 @@
+"""Thread-count distributions (Section 4.2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.distributions import (
+    ThreadCountDistribution,
+    datacenter,
+    mirrored_datacenter,
+    uniform,
+)
+
+
+class TestUniform:
+    def test_probabilities_equal(self):
+        dist = uniform(24)
+        assert dist.max_threads == 24
+        for n in range(1, 25):
+            assert dist.probability(n) == pytest.approx(1 / 24)
+
+    def test_expectation_is_plain_mean(self):
+        dist = uniform(4)
+        values = {1: 1.0, 2: 2.0, 3: 3.0, 4: 4.0}
+        assert dist.expectation(values) == pytest.approx(2.5)
+
+
+class TestDatacenter:
+    def test_sums_to_one(self):
+        assert sum(datacenter(24).probabilities) == pytest.approx(1.0)
+
+    def test_peak_at_one_thread(self):
+        dist = datacenter(24)
+        assert max(range(1, 25), key=dist.probability) == 1
+
+    def test_secondary_mode_around_seven_to_nine(self):
+        dist = datacenter(24)
+        # Local maximum inside 5..12 (the 30-40% utilization mode).
+        mid_peak = max(range(5, 13), key=dist.probability)
+        assert 7 <= mid_peak <= 9
+        # It is a genuine local mode: higher than the 4/5-thread dip.
+        assert dist.probability(mid_peak) > dist.probability(4)
+
+    def test_light_tail(self):
+        dist = datacenter(24)
+        assert dist.probability(24) < dist.probability(1) / 5
+
+    def test_mirror_reverses(self):
+        d = datacenter(24)
+        m = mirrored_datacenter(24)
+        for n in range(1, 25):
+            assert m.probability(n) == pytest.approx(d.probability(25 - n))
+
+    def test_mirror_peaks_at_max_threads(self):
+        m = mirrored_datacenter(24)
+        assert max(range(1, 25), key=m.probability) == 24
+
+    def test_resampling_other_sizes(self):
+        d12 = datacenter(12)
+        assert d12.max_threads == 12
+        assert sum(d12.probabilities) == pytest.approx(1.0)
+        assert max(range(1, 13), key=d12.probability) == 1
+
+
+class TestValidation:
+    def test_probabilities_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            ThreadCountDistribution("bad", (0.5, 0.4))
+
+    def test_negative_probability_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            ThreadCountDistribution("bad", (1.5, -0.5))
+
+    def test_probability_out_of_range(self):
+        with pytest.raises(ValueError, match="thread_count"):
+            uniform(4).probability(5)
+
+    def test_expectation_requires_all_counts(self):
+        with pytest.raises(ValueError, match="missing"):
+            uniform(3).expectation({1: 1.0, 2: 2.0})
+
+    @given(
+        weights=st.lists(st.floats(0.001, 10.0), min_size=1, max_size=32)
+    )
+    @settings(max_examples=50)
+    def test_from_weights_normalizes(self, weights):
+        dist = ThreadCountDistribution.from_weights("w", weights)
+        assert sum(dist.probabilities) == pytest.approx(1.0)
+
+    @given(
+        weights=st.lists(st.floats(0.001, 10.0), min_size=2, max_size=24)
+    )
+    @settings(max_examples=50)
+    def test_expectation_within_value_range(self, weights):
+        dist = ThreadCountDistribution.from_weights("w", weights)
+        values = {n: float(n) for n in range(1, dist.max_threads + 1)}
+        e = dist.expectation(values)
+        assert 1.0 <= e <= dist.max_threads
+
+    @given(
+        weights=st.lists(st.floats(0.001, 10.0), min_size=1, max_size=24)
+    )
+    @settings(max_examples=50)
+    def test_double_mirror_is_identity(self, weights):
+        dist = ThreadCountDistribution.from_weights("w", weights)
+        double = dist.mirrored().mirrored()
+        for a, b in zip(dist.probabilities, double.probabilities):
+            assert a == pytest.approx(b)

@@ -1,0 +1,90 @@
+"""Banked DRAM and bus timing model."""
+
+import pytest
+
+from repro.memory.dram import DramModel
+from repro.microarch.uncore import DramConfig
+
+
+def model(banks=8, latency=45.0, bw=8e9):
+    return DramModel(
+        DramConfig(
+            num_banks=banks,
+            access_latency_ns=latency,
+            bus_bandwidth_bytes_per_s=bw,
+        )
+    )
+
+
+class TestMapping:
+    def test_line_interleaving(self):
+        m = model()
+        assert m.bank_of(0) == 0
+        assert m.bank_of(64) == 1
+        assert m.bank_of(8 * 64) == 0
+
+    def test_transfer_time(self):
+        m = model(bw=8e9)
+        assert m.transfer_ns == pytest.approx(8.0)  # 64 B at 8 GB/s
+
+
+class TestTiming:
+    def test_unloaded_latency(self):
+        m = model()
+        done = m.access(0, now_ns=0.0)
+        assert done == pytest.approx(45.0 + 8.0)
+        assert done == pytest.approx(m.unloaded_latency_ns())
+
+    def test_same_bank_serializes(self):
+        m = model()
+        first = m.access(0, 0.0)
+        second = m.access(8 * 64, 0.0)  # same bank 0
+        assert second >= first + 45.0 - 1e-9
+
+    def test_different_banks_overlap(self):
+        m = model()
+        m.access(0, 0.0)
+        second = m.access(64, 0.0)  # bank 1: only bus conflicts
+        assert second < 45.0 + 3 * 8.0
+
+    def test_bus_serializes_transfers(self):
+        m = model()
+        done = [m.access(i * 64, 0.0) for i in range(8)]  # 8 distinct banks
+        # All bank accesses overlap, but the bus moves one line at a time.
+        assert done[-1] >= 45.0 + 8 * 8.0 - 1e-9
+
+    def test_idle_gap_resets_queueing(self):
+        m = model()
+        m.access(0, 0.0)
+        late = m.access(8 * 64, 1e6)  # long after the first completed
+        assert late - 1e6 == pytest.approx(m.unloaded_latency_ns())
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError, match="now_ns"):
+            model().access(0, -1.0)
+
+
+class TestStats:
+    def test_latency_accounting(self):
+        m = model()
+        m.access(0, 0.0)
+        assert m.stats.requests == 1
+        assert m.stats.mean_latency_ns == pytest.approx(53.0)
+        assert m.stats.mean_queue_ns == pytest.approx(0.0)
+
+    def test_queue_accounting_under_conflict(self):
+        m = model()
+        m.access(0, 0.0)
+        m.access(8 * 64, 0.0)
+        assert m.stats.mean_queue_ns > 0.0
+
+    def test_reset(self):
+        m = model()
+        m.access(0, 0.0)
+        m.reset()
+        assert m.stats.requests == 0
+        assert m.access(0, 0.0) == pytest.approx(53.0)
+
+    def test_higher_bandwidth_faster_transfers(self):
+        slow, fast = model(bw=8e9), model(bw=16e9)
+        assert fast.transfer_ns == pytest.approx(slow.transfer_ns / 2)

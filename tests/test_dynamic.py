@@ -1,0 +1,49 @@
+"""Ideal dynamic multi-core oracle (Section 6)."""
+
+import pytest
+
+from repro.core.designs import DESIGN_ORDER
+from repro.core.dynamic import IdealDynamicMulticore
+
+
+class TestOracle:
+    def test_oracle_at_least_as_good_as_any_design(self, study):
+        oracle = IdealDynamicMulticore(study)
+        for n in (1, 4, 12):
+            best_fixed = max(
+                study.mean_stp(d, "homogeneous", n, smt=False)
+                for d in DESIGN_ORDER
+            )
+            # Per-workload choice can only improve on per-thread-count choice.
+            assert oracle.mean_stp("homogeneous", n, smt=False) >= best_fixed - 1e-9
+
+    def test_mix_stp_is_max_over_designs(self, study):
+        oracle = IdealDynamicMulticore(study)
+        mix = ["tonto"] * 4
+        expected = max(
+            study.evaluate_mix(d, mix, smt=False).stp for d in DESIGN_ORDER
+        )
+        assert oracle.mix_stp(mix, smt=False) == pytest.approx(expected)
+
+    def test_restricted_design_set(self, study):
+        oracle = IdealDynamicMulticore(study, design_names=["4B", "20s"])
+        mix = ["hmmer"]
+        assert oracle.mix_stp(mix, smt=False) == pytest.approx(
+            study.evaluate_mix("4B", mix, smt=False).stp
+        )
+
+    def test_unknown_design_rejected(self, study):
+        with pytest.raises(ValueError, match="not present"):
+            IdealDynamicMulticore(study, design_names=["5B"])
+
+    def test_smt_oracle_beats_no_smt_oracle_at_high_counts(self, study):
+        oracle = IdealDynamicMulticore(study)
+        n = 24
+        assert oracle.mean_stp("homogeneous", n, smt=True) >= oracle.mean_stp(
+            "homogeneous", n, smt=False
+        )
+
+    def test_throughput_curve_shape(self, study):
+        oracle = IdealDynamicMulticore(study)
+        curve = oracle.throughput_curve("homogeneous", [1, 4], smt=False)
+        assert curve[4] > curve[1]

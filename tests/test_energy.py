@@ -1,0 +1,93 @@
+"""Energy accounting and Pareto analysis (with property tests)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.power.energy import EnergyPoint, best_edp, pareto_front
+
+
+def point(name, throughput, power):
+    return EnergyPoint(design_name=name, throughput=throughput, power_w=power)
+
+
+class TestEnergyPoint:
+    def test_energy_per_work(self):
+        p = point("x", 4.0, 40.0)
+        assert p.energy_per_work == pytest.approx(10.0)
+
+    def test_edp(self):
+        p = point("x", 4.0, 40.0)
+        assert p.edp == pytest.approx(2.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            point("x", 0.0, 10.0)
+        with pytest.raises(ValueError):
+            point("x", 1.0, -1.0)
+
+
+class TestParetoFront:
+    def test_dominated_point_removed(self):
+        pts = [point("good", 4.0, 30.0), point("bad", 3.0, 40.0)]
+        front = pareto_front(pts, "power")
+        assert [p.design_name for p in front] == ["good"]
+
+    def test_tradeoff_points_kept(self):
+        pts = [point("fast", 4.0, 40.0), point("frugal", 2.0, 15.0)]
+        front = pareto_front(pts, "power")
+        assert {p.design_name for p in front} == {"fast", "frugal"}
+
+    def test_front_sorted_by_throughput(self):
+        pts = [point("a", 4.0, 40.0), point("b", 2.0, 15.0), point("c", 3.0, 25.0)]
+        front = pareto_front(pts, "power")
+        xs = [p.throughput for p in front]
+        assert xs == sorted(xs)
+
+    def test_energy_cost_axis(self):
+        # Lower power but disproportionately lower throughput loses on energy.
+        pts = [point("slow", 1.0, 10.0), point("fast", 4.0, 20.0)]
+        front = pareto_front(pts, "energy")
+        assert [p.design_name for p in front] == ["fast"]
+
+    def test_unknown_cost_rejected(self):
+        with pytest.raises(ValueError, match="cost"):
+            pareto_front([point("a", 1.0, 1.0)], "area")
+
+    @given(
+        data=st.lists(
+            st.tuples(st.floats(0.1, 10.0), st.floats(1.0, 100.0)),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=60)
+    def test_front_members_are_mutually_nondominated(self, data):
+        pts = [point(f"d{i}", t, p) for i, (t, p) in enumerate(data)]
+        front = pareto_front(pts, "power")
+        assert front  # never empty
+        for a in front:
+            for b in front:
+                if a is b:
+                    continue
+                dominates = (
+                    b.throughput >= a.throughput and b.power_w < a.power_w
+                ) or (b.throughput > a.throughput and b.power_w <= a.power_w)
+                assert not dominates
+
+    @given(
+        data=st.lists(
+            st.tuples(st.floats(0.1, 10.0), st.floats(1.0, 100.0)),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=60)
+    def test_best_edp_is_global_minimum(self, data):
+        pts = [point(f"d{i}", t, p) for i, (t, p) in enumerate(data)]
+        winner = best_edp(pts)
+        assert all(winner.edp <= p.edp for p in pts)
+
+    def test_best_edp_empty_rejected(self):
+        with pytest.raises(ValueError):
+            best_edp([])

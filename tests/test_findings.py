@@ -1,0 +1,31 @@
+"""The paper's eleven findings must hold in the reproduction.
+
+This is the repository's headline integration test: each finding is a
+directional claim (who wins, orderings, within-x-percent margins) evaluated
+over the full design-space grid.
+"""
+
+import pytest
+
+from repro.experiments import findings
+
+
+@pytest.fixture(scope="module")
+def all_findings():
+    return {f.number: f for f in findings.evaluate_all()}
+
+
+@pytest.mark.parametrize("number", range(1, 12))
+def test_finding_holds(all_findings, number):
+    finding = all_findings[number]
+    assert finding.holds, f"Finding {number} failed: {finding.evidence}"
+
+
+def test_all_findings_present(all_findings):
+    assert set(all_findings) == set(range(1, 12))
+
+
+def test_findings_carry_evidence(all_findings):
+    for f in all_findings.values():
+        assert f.claim
+        assert f.evidence

@@ -1,0 +1,91 @@
+"""Memory hierarchy composition: levels, latencies, sharing."""
+
+import pytest
+
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.microarch.config import BIG, SMALL
+from repro.microarch.uncore import DEFAULT_UNCORE
+
+
+@pytest.fixture()
+def hierarchy():
+    return MemoryHierarchy((BIG, BIG), DEFAULT_UNCORE)
+
+
+class TestLevels:
+    def test_cold_access_goes_to_dram(self, hierarchy):
+        result = hierarchy.data_access(0, 0x1000, 0.0)
+        assert result.level == "dram"
+
+    def test_second_access_hits_l1(self, hierarchy):
+        hierarchy.data_access(0, 0x1000, 0.0)
+        result = hierarchy.data_access(0, 0x1000, 100.0)
+        assert result.level == "l1"
+
+    def test_latencies_increase_down_the_hierarchy(self, hierarchy):
+        cold = hierarchy.data_access(0, 0x2000, 0.0)
+        warm = hierarchy.data_access(0, 0x2000, 100.0)
+        assert cold.latency_ns > warm.latency_ns
+        assert warm.latency_ns == pytest.approx(
+            BIG.l1d.latency_cycles / BIG.frequency_ghz
+        )
+
+    def test_llc_shared_across_cores(self, hierarchy):
+        # Core 0 brings a line to the LLC; core 1's first access finds it
+        # there (not in its private levels).
+        hierarchy.data_access(0, 0x3000, 0.0)
+        result = hierarchy.data_access(1, 0x3000, 100.0)
+        assert result.level == "llc"
+
+    def test_private_caches_not_shared(self, hierarchy):
+        hierarchy.data_access(0, 0x4000, 0.0)
+        hierarchy.data_access(0, 0x4000, 50.0)  # in core 0's L1 now
+        result = hierarchy.data_access(1, 0x4000, 100.0)
+        assert result.level in ("llc", "dram")  # never l1/l2 of core 1
+
+    def test_instruction_access_separate_path(self, hierarchy):
+        cold = hierarchy.instruction_access(0, 0x8000, 0.0)
+        warm = hierarchy.instruction_access(0, 0x8000, 100.0)
+        assert cold.level == "dram"
+        assert warm.level == "l1"
+
+    def test_warm_preloads_all_levels(self, hierarchy):
+        hierarchy.warm(0, [0x9000])
+        assert hierarchy.data_access(0, 0x9000, 0.0).level == "l1"
+
+    def test_warm_respects_capacity(self, hierarchy):
+        # Warming far more lines than L1 capacity leaves only the most
+        # recent ones there; older ones still hit in L2/LLC.
+        lines = [0x100000 + 64 * i for i in range(4096)]
+        hierarchy.warm(0, lines)
+        early = hierarchy.data_access(0, lines[0], 0.0)
+        late = hierarchy.data_access(0, lines[-1], 0.0)
+        assert late.level == "l1"
+        assert early.level in ("l2", "llc")
+
+
+class TestFrequencyConversion:
+    def test_small_core_latency_in_ns(self):
+        h = MemoryHierarchy((SMALL,), DEFAULT_UNCORE)
+        h.data_access(0, 0x1000, 0.0)
+        warm = h.data_access(0, 0x1000, 100.0)
+        assert warm.latency_ns == pytest.approx(
+            SMALL.l1d.latency_cycles / SMALL.frequency_ghz
+        )
+
+
+class TestLlcWritebacks:
+    def test_dirty_llc_victims_reach_dram(self):
+        from repro.microarch.config import CacheConfig
+        from repro.microarch.uncore import UncoreConfig
+        from repro.util import KB
+
+        # A tiny LLC so evictions happen quickly.
+        uncore = UncoreConfig(llc=CacheConfig(4 * KB, 2, latency_cycles=10))
+        h = MemoryHierarchy((BIG,), uncore)
+        # Write lines that all land in the same LLC set and overflow it.
+        set_stride = uncore.llc.num_sets * 64
+        for i in range(8):
+            h.data_access(0, i * set_stride, float(i) * 1000, is_write=True)
+        demand_fills = 8
+        assert h.dram.stats.requests > demand_fills  # writebacks added traffic

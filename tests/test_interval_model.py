@@ -1,0 +1,183 @@
+"""Interval core model: single-thread behaviour, SMT sharing, partitioning."""
+
+import pytest
+
+from repro.interval.model import (
+    CoreEnvironment,
+    IntervalCoreModel,
+    smt_issue_efficiency,
+    window_limited_ilp,
+)
+from repro.microarch.config import BIG, MEDIUM, SMALL
+from repro.util import MB
+from repro.workloads.spec import get_profile
+
+LLC_LAT = 38.0
+MEM_LAT = 180.0
+
+
+def env_for(core, n_threads, llc_bytes=8 * MB, mem_lat=MEM_LAT):
+    return CoreEnvironment.unloaded(core, n_threads, llc_bytes, LLC_LAT, mem_lat)
+
+
+def evaluate(core, bench_names, mem_lat=MEM_LAT, duty=None):
+    profiles = [get_profile(n) for n in bench_names]
+    env = env_for(core, len(profiles), mem_lat=mem_lat)
+    return IntervalCoreModel(core).evaluate(profiles, env, duty_cycles=duty)
+
+
+class TestSingleThread:
+    def test_big_faster_than_medium_faster_than_small(self):
+        for bench in ("tonto", "mcf", "libquantum"):
+            ipcs = [
+                evaluate(core, [bench]).threads[0].ipc
+                for core in (BIG, MEDIUM, SMALL)
+            ]
+            assert ipcs[0] > ipcs[1] > ipcs[2]
+
+    def test_ipc_bounded_by_width(self):
+        for core in (BIG, MEDIUM, SMALL):
+            result = evaluate(core, ["hmmer"])
+            assert result.threads[0].ipc <= core.width
+
+    def test_compute_bound_beats_memory_bound(self):
+        hmmer = evaluate(BIG, ["hmmer"]).threads[0].ipc
+        mcf = evaluate(BIG, ["mcf"]).threads[0].ipc
+        assert hmmer > 2 * mcf
+
+    def test_memory_latency_hurts(self):
+        fast = evaluate(BIG, ["mcf"], mem_lat=120.0).threads[0].ipc
+        slow = evaluate(BIG, ["mcf"], mem_lat=480.0).threads[0].ipc
+        assert slow < fast
+
+    def test_memory_latency_hurts_inorder_more(self):
+        # No ROB, no MLP: the small core eats the whole latency increase.
+        def slowdown(core):
+            fast = evaluate(core, ["libquantum"], mem_lat=120.0).threads[0].ipc
+            slow = evaluate(core, ["libquantum"], mem_lat=480.0).threads[0].ipc
+            return fast / slow
+
+        assert slowdown(SMALL) > slowdown(BIG)
+
+    def test_cpi_breakdown_sums_to_cpi(self):
+        perf = evaluate(BIG, ["tonto"]).threads[0]
+        assert sum(perf.cpi_breakdown.values()) == pytest.approx(
+            1.0 / perf.unconstrained_ipc
+        )
+
+    def test_mlp_limited_by_window(self):
+        big = evaluate(BIG, ["libquantum"]).threads[0]
+        med = evaluate(MEDIUM, ["libquantum"]).threads[0]
+        assert big.mlp > med.mlp
+        assert big.mlp <= get_profile("libquantum").mlp
+
+    def test_inorder_has_unit_mlp(self):
+        assert evaluate(SMALL, ["libquantum"]).threads[0].mlp == 1.0
+
+
+class TestSmt:
+    def test_total_throughput_rises_with_threads(self):
+        # SMT improves core throughput for every benchmark class.
+        for bench in ("tonto", "mcf", "libquantum"):
+            one = evaluate(BIG, [bench]).total_ipc
+            four = evaluate(BIG, [bench] * 4).total_ipc
+            assert four > one
+
+    def test_per_thread_ipc_drops_with_threads(self):
+        one = evaluate(BIG, ["tonto"]).threads[0].ipc
+        six = evaluate(BIG, ["tonto"] * 6).threads[0].ipc
+        assert six < one
+
+    def test_smt_gain_sublinear_for_compute_bound(self):
+        one = evaluate(BIG, ["hmmer"]).total_ipc
+        six = evaluate(BIG, ["hmmer"] * 6).total_ipc
+        assert six < 3 * one  # nowhere near 6x
+
+    def test_max_contexts_enforced(self):
+        with pytest.raises(ValueError, match="at most"):
+            evaluate(BIG, ["tonto"] * 7)
+
+    def test_fgmt_two_threads_gain_on_small_core(self):
+        one = evaluate(SMALL, ["mcf"]).total_ipc
+        two = evaluate(SMALL, ["mcf"] * 2).total_ipc
+        assert two > one * 1.2  # stalls of one thread hide the other's work
+
+    def test_utilization_bounded(self):
+        result = evaluate(BIG, ["hmmer"] * 6)
+        assert 0.0 < result.utilization <= 1.0
+
+    def test_duty_cycles_scale_rates(self):
+        full = evaluate(BIG, ["tonto"]).threads[0].ipc
+        half = evaluate(BIG, ["tonto"], duty=[0.5]).threads[0].ipc
+        assert half == pytest.approx(full * 0.5, rel=1e-6)
+
+    def test_time_shared_threads_keep_full_window(self):
+        # Six threads at duty 1/6 emulate no-SMT time sharing: each sees the
+        # full ROB, so summed throughput matches one full-duty thread.
+        shared = evaluate(BIG, ["libquantum"] * 6, duty=[1 / 6] * 6)
+        alone = evaluate(BIG, ["libquantum"])
+        assert shared.total_ipc == pytest.approx(alone.total_ipc, rel=0.05)
+
+    def test_empty_core(self):
+        result = IntervalCoreModel(BIG).evaluate([], env_for(BIG, 1))
+        assert result.total_ipc == 0.0
+        assert result.utilization == 0.0
+
+    def test_misaligned_duty_cycles_rejected(self):
+        with pytest.raises(ValueError, match="align"):
+            evaluate(BIG, ["tonto", "mcf"], duty=[1.0])
+
+
+class TestModelHelpers:
+    def test_smt_efficiency_decreasing(self):
+        effs = [smt_issue_efficiency(n) for n in range(1, 7)]
+        assert effs[0] == 1.0
+        assert all(a >= b for a, b in zip(effs, effs[1:]))
+        assert effs[-1] >= 0.8
+
+    def test_window_ilp_monotone(self):
+        assert window_limited_ilp(128) > window_limited_ilp(32)
+
+    def test_window_ilp_big_unconstrained(self):
+        # A 128-entry window must not throttle a 4-wide core.
+        assert window_limited_ilp(128) > 4.0
+
+    def test_window_ilp_inorder_unbounded(self):
+        assert window_limited_ilp(0) == float("inf")
+
+
+class TestFetchPolicy:
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError, match="fetch_policy"):
+            IntervalCoreModel(BIG, fetch_policy="random")
+
+    def test_icount_equalizes_rates(self):
+        profiles = ["hmmer", "hmmer", "mcf", "mcf", "libquantum", "tonto"]
+        env = env_for(BIG, 6)
+        rr = IntervalCoreModel(BIG, fetch_policy="roundrobin").evaluate(
+            [get_profile(n) for n in profiles], env
+        )
+        ic = IntervalCoreModel(BIG, fetch_policy="icount").evaluate(
+            [get_profile(n) for n in profiles], env
+        )
+        def spread(result):
+            rates = [t.ipc for t in result.threads]
+            return max(rates) / min(rates)
+        assert spread(ic) <= spread(rr) + 1e-9
+
+    def test_policies_agree_single_thread(self):
+        env = env_for(BIG, 1)
+        rr = IntervalCoreModel(BIG, fetch_policy="roundrobin").evaluate(
+            [get_profile("tonto")], env
+        )
+        ic = IntervalCoreModel(BIG, fetch_policy="icount").evaluate(
+            [get_profile("tonto")], env
+        )
+        assert rr.threads[0].ipc == pytest.approx(ic.threads[0].ipc)
+
+    def test_icount_respects_capacity(self):
+        env = env_for(BIG, 6)
+        ic = IntervalCoreModel(BIG, fetch_policy="icount").evaluate(
+            [get_profile("hmmer")] * 6, env
+        )
+        assert ic.total_ipc <= BIG.width

@@ -1,0 +1,103 @@
+"""System-level metrics: STP, ANTT, means, EDP (with property tests)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics import (
+    antt,
+    arithmetic_mean,
+    energy_delay_product,
+    harmonic_mean,
+    stp,
+)
+
+perf_lists = st.lists(st.floats(0.01, 100.0), min_size=1, max_size=16)
+
+
+class TestStp:
+    def test_unshared_execution_counts_each_thread_once(self):
+        assert stp([2.0, 3.0], [2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_half_speed_threads(self):
+        assert stp([1.0, 1.0], [2.0, 2.0]) == pytest.approx(1.0)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError, match="length mismatch"):
+            stp([1.0], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            stp([], [])
+
+    @given(shared=perf_lists)
+    @settings(max_examples=50)
+    def test_stp_bounded_by_thread_count(self, shared):
+        # Shared performance can never exceed isolated performance, so with
+        # isolated == shared the STP equals the thread count.
+        assert stp(shared, shared) == pytest.approx(len(shared))
+
+    @given(shared=perf_lists, factor=st.floats(0.1, 1.0))
+    @settings(max_examples=50)
+    def test_stp_scales_linearly(self, shared, factor):
+        isolated = [s / factor for s in shared]
+        assert stp(shared, isolated) == pytest.approx(factor * len(shared))
+
+
+class TestAntt:
+    def test_antt_of_unshared_is_one(self):
+        assert antt([5.0, 7.0], [5.0, 7.0]) == pytest.approx(1.0)
+
+    def test_antt_of_half_speed_is_two(self):
+        assert antt([1.0, 2.0], [2.0, 4.0]) == pytest.approx(2.0)
+
+    @given(shared=perf_lists, factor=st.floats(0.05, 1.0))
+    @settings(max_examples=50)
+    def test_antt_at_least_slowdown(self, shared, factor):
+        isolated = [s / factor for s in shared]
+        assert antt(shared, isolated) == pytest.approx(1.0 / factor)
+
+
+class TestMeans:
+    def test_harmonic_below_arithmetic(self):
+        vals = [1.0, 2.0, 4.0]
+        assert harmonic_mean(vals) < arithmetic_mean(vals)
+
+    def test_harmonic_of_constant(self):
+        assert harmonic_mean([3.0, 3.0]) == pytest.approx(3.0)
+
+    def test_harmonic_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([1.0, 0.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([])
+        with pytest.raises(ValueError):
+            arithmetic_mean([])
+
+    @given(vals=st.lists(st.floats(0.01, 50.0), min_size=1, max_size=12))
+    @settings(max_examples=50)
+    def test_means_bracket_range(self, vals):
+        h = harmonic_mean(vals)
+        a = arithmetic_mean(vals)
+        assert min(vals) <= h + 1e-9
+        assert h <= a + 1e-9
+        assert a <= max(vals) + 1e-9
+
+
+class TestEdp:
+    def test_edp_definition(self):
+        assert energy_delay_product(50.0, 5.0) == pytest.approx(2.0)
+
+    def test_faster_is_better_quadratically(self):
+        # Doubling throughput at equal power quarters the EDP.
+        assert energy_delay_product(50.0, 10.0) == pytest.approx(
+            energy_delay_product(50.0, 5.0) / 4
+        )
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            energy_delay_product(0.0, 1.0)
+        with pytest.raises(ValueError):
+            energy_delay_product(1.0, 0.0)

@@ -1,0 +1,71 @@
+"""Multi-program mix construction (balanced random sampling)."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.multiprogram import (
+    heterogeneous_mixes,
+    homogeneous_mixes,
+    profiles_for,
+)
+from repro.workloads.spec import SPEC_ORDER
+
+
+class TestHomogeneous:
+    def test_one_mix_per_benchmark(self):
+        mixes = homogeneous_mixes(4)
+        assert len(mixes) == 12
+        for mix in mixes:
+            assert len(mix) == 4
+            assert len(set(mix)) == 1
+
+    def test_custom_benchmark_list(self):
+        mixes = homogeneous_mixes(2, benchmarks=["mcf", "tonto"])
+        assert mixes == [["mcf", "mcf"], ["tonto", "tonto"]]
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(ValueError, match="unknown benchmarks"):
+            homogeneous_mixes(2, benchmarks=["gcc"])
+
+
+class TestHeterogeneous:
+    @given(n=st.integers(1, 24))
+    @settings(max_examples=24, deadline=None)
+    def test_balanced_when_divisible(self, n):
+        mixes = heterogeneous_mixes(n, num_mixes=12)
+        counts = Counter(name for m in mixes for name in m)
+        # 12 mixes x n slots over 12 benchmarks: perfectly balanced.
+        assert set(counts.values()) == {n}
+
+    def test_mix_sizes(self):
+        for mix in heterogeneous_mixes(5):
+            assert len(mix) == 5
+
+    def test_deterministic_for_seed(self):
+        assert heterogeneous_mixes(6, seed=1) == heterogeneous_mixes(6, seed=1)
+
+    def test_different_seeds_differ(self):
+        assert heterogeneous_mixes(6, seed=1) != heterogeneous_mixes(6, seed=2)
+
+    def test_remainder_distributed_evenly(self):
+        # 5 mixes x 3 threads = 15 slots over 12 benchmarks: counts differ
+        # by at most one.
+        mixes = heterogeneous_mixes(3, num_mixes=5)
+        counts = Counter(name for m in mixes for name in m)
+        assert max(counts.values()) - min(counts.values()) <= 1
+
+    def test_profiles_for_resolution(self):
+        profiles = profiles_for(["mcf", "tonto"])
+        assert [p.name for p in profiles] == ["mcf", "tonto"]
+
+    def test_profiles_for_unknown(self):
+        with pytest.raises(ValueError, match="unknown"):
+            profiles_for(["nope"])
+
+    def test_all_benchmarks_used(self):
+        mixes = heterogeneous_mixes(24, num_mixes=12)
+        used = {name for m in mixes for name in m}
+        assert used == set(SPEC_ORDER)

@@ -1,0 +1,142 @@
+"""Multithreaded execution model (Section 5 machinery)."""
+
+import pytest
+
+from repro.core.designs import get_design
+from repro.core.multithreaded import MultithreadedModel, speedup
+from repro.workloads.parsec import get_workload
+
+
+@pytest.fixture(scope="module")
+def model_4b():
+    return MultithreadedModel(get_design("4B"))
+
+
+@pytest.fixture(scope="module")
+def model_20s():
+    return MultithreadedModel(get_design("20s"))
+
+
+class TestRun:
+    def test_histogram_sums_to_one(self, model_20s):
+        r = model_20s.run(get_workload("dedup"), 20, smt=False)
+        assert sum(r.active_thread_fractions.values()) == pytest.approx(1.0)
+
+    def test_histogram_levels_within_bounds(self, model_20s):
+        r = model_20s.run(get_workload("ferret"), 16, smt=False)
+        assert all(1 <= k <= 16 for k in r.active_thread_fractions)
+
+    def test_whole_includes_roi(self, model_4b):
+        r = model_4b.run(get_workload("bodytrack"), 4)
+        assert r.total_seconds > r.roi_seconds
+
+    def test_more_threads_speed_up_scalable_app(self, model_20s):
+        w = get_workload("blackscholes")
+        t4 = model_20s.run(w, 4, smt=False).roi_seconds
+        t16 = model_20s.run(w, 16, smt=False).roi_seconds
+        assert t16 < t4 / 2
+
+    def test_poorly_scaling_app_saturates(self, model_20s):
+        w = get_workload("swaptions")
+        t8 = model_20s.run(w, 8, smt=False).roi_seconds
+        t20 = model_20s.run(w, 20, smt=False).roi_seconds
+        assert t20 > t8 * 0.6  # far from linear scaling
+
+    def test_smt_extends_thread_range_on_4b(self, model_4b):
+        w = get_workload("blackscholes")
+        smt = model_4b.run(w, 8, smt=True).roi_seconds
+        no_smt = model_4b.run(w, 8, smt=False).roi_seconds  # time-shared
+        assert smt < no_smt
+
+    def test_fraction_helpers(self, model_20s):
+        r = model_20s.run(get_workload("bodytrack"), 20, smt=False)
+        assert r.fraction_at_least(1) == pytest.approx(1.0)
+        assert r.fraction_at_most(20) == pytest.approx(1.0)
+        total = r.fraction_at_most(4) + r.fraction_at_least(5)
+        assert total == pytest.approx(1.0)
+
+    def test_deterministic(self, model_4b):
+        w = get_workload("freqmine")
+        a = model_4b.run(w, 8)
+        b = model_4b.run(w, 8)
+        assert a.roi_seconds == b.roi_seconds
+
+    def test_invalid_thread_count(self, model_4b):
+        with pytest.raises(ValueError):
+            model_4b.run(get_workload("dedup"), 0)
+
+
+class TestSerialPhases:
+    def test_serial_rate_uses_strongest_core(self):
+        w = get_workload("bodytrack")
+        big_rate = MultithreadedModel(get_design("1B15s")).serial_rate(w)
+        small_rate = MultithreadedModel(get_design("20s")).serial_rate(w)
+        assert big_rate > small_rate
+
+    def test_heterogeneous_accelerates_whole_program(self):
+        # 1B15s and 20s have similar parallel fabric, but 1B15s runs the
+        # serial phases on its big core.
+        w = get_workload("bodytrack")
+        het = MultithreadedModel(get_design("1B15s")).run(w, 16, smt=False)
+        homog = MultithreadedModel(get_design("20s")).run(w, 16, smt=False)
+        het_serial = het.total_seconds - het.roi_seconds
+        homog_serial = homog.total_seconds - homog.roi_seconds
+        assert het_serial < homog_serial
+
+
+class TestBestRun:
+    def test_no_smt_uses_core_count(self, model_4b):
+        best = model_4b.best_run(get_workload("blackscholes"), smt=False)
+        assert best.n_threads == 4
+
+    def test_smt_sweeps_thread_counts(self, model_4b):
+        best = model_4b.best_run(get_workload("blackscholes"), smt=True)
+        assert best.n_threads in range(4, 25, 4)
+        assert best.n_threads > 4  # SMT should help this scalable app
+
+    def test_scope_validation(self, model_4b):
+        with pytest.raises(ValueError, match="scope"):
+            model_4b.best_run(get_workload("dedup"), smt=True, scope="partial")
+
+    def test_speedup_definition(self, model_4b):
+        w = get_workload("raytrace")
+        ref = model_4b.run(w, 4)
+        fast = model_4b.run(w, 16)
+        assert speedup(fast, ref, "roi") == pytest.approx(
+            ref.roi_seconds / fast.roi_seconds
+        )
+
+    def test_speedup_scope_validation(self, model_4b):
+        w = get_workload("raytrace")
+        r = model_4b.run(w, 4)
+        with pytest.raises(ValueError, match="scope"):
+            speedup(r, r, "both")
+
+
+class TestAcceleratedCriticalSections:
+    def test_acs_helps_heterogeneous_designs(self):
+        from repro.workloads.parsec import get_workload
+
+        model = MultithreadedModel(get_design("1B15s"))
+        w = get_workload("bodytrack")
+        pinned = model.run(w, 16, smt=True, critical_sections="pinned")
+        acs = model.run(w, 16, smt=True, critical_sections="accelerated")
+        assert acs.total_seconds < pinned.total_seconds
+
+    def test_acs_near_noop_on_homogeneous_big(self):
+        from repro.workloads.parsec import get_workload
+
+        model = MultithreadedModel(get_design("4B"))
+        w = get_workload("bodytrack")
+        pinned = model.run(w, 16, smt=True, critical_sections="pinned")
+        acs = model.run(w, 16, smt=True, critical_sections="accelerated")
+        # Same core class either way; ACS only adds the migration tax.
+        assert acs.total_seconds >= pinned.total_seconds
+        assert acs.total_seconds < pinned.total_seconds * 1.05
+
+    def test_invalid_mode_rejected(self):
+        from repro.workloads.parsec import get_workload
+
+        model = MultithreadedModel(get_design("4B"))
+        with pytest.raises(ValueError, match="critical_sections"):
+            model.run(get_workload("dedup"), 8, critical_sections="magic")

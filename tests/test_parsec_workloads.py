@@ -1,0 +1,104 @@
+"""PARSEC-like parallel workload definitions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.parsec import (
+    PARSEC_ORDER,
+    PARSEC_WORKLOADS,
+    ParallelWorkload,
+    all_workloads,
+    get_workload,
+)
+
+
+class TestRegistry:
+    def test_eight_workloads(self):
+        assert len(PARSEC_WORKLOADS) == 8
+        assert set(PARSEC_ORDER) == set(PARSEC_WORKLOADS)
+
+    def test_get_workload(self):
+        assert get_workload("dedup").name == "dedup"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            get_workload("facesim")
+
+    def test_ordering(self):
+        assert [w.name for w in all_workloads()] == PARSEC_ORDER
+
+
+class TestRoundShares:
+    @given(
+        name=st.sampled_from(PARSEC_ORDER),
+        r=st.integers(0, 19),
+        n=st.integers(1, 24),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_shares_sum_to_parallel_work(self, name, r, n):
+        w = get_workload(name)
+        shares = w.round_shares(r, n)
+        assert len(shares) == n
+        expected = w.roi_work / w.rounds * (1 - w.serial_fraction_per_round)
+        assert sum(shares) == pytest.approx(expected)
+        assert all(s > 0 for s in shares)
+
+    def test_deterministic(self):
+        w = get_workload("ferret")
+        assert w.round_shares(3, 8) == w.round_shares(3, 8)
+
+    def test_rounds_differ(self):
+        w = get_workload("ferret")
+        assert w.round_shares(0, 8) != w.round_shares(1, 8)
+
+    def test_balanced_app_has_tight_shares(self):
+        w = get_workload("blackscholes")
+        shares = w.round_shares(0, 20)
+        assert max(shares) / min(shares) < 1.2
+
+    def test_imbalanced_app_has_spread_shares(self):
+        w = get_workload("ferret")
+        spread = []
+        for r in range(w.rounds):
+            shares = w.round_shares(r, 20)
+            spread.append(max(shares) / min(shares))
+        assert max(spread) > 2.0
+
+    def test_serial_work_accounting(self):
+        w = get_workload("bodytrack")
+        per_round = w.round_serial_work()
+        assert per_round * w.rounds == pytest.approx(
+            w.roi_work * w.serial_fraction_per_round
+        )
+
+
+class TestClasses:
+    """Figure 1's qualitative classes must be encoded in the parameters."""
+
+    def test_scalable_apps_balanced(self):
+        for name in ("blackscholes", "canneal", "raytrace"):
+            w = get_workload(name)
+            assert w.imbalance_cv <= 0.05
+            assert w.serial_fraction_per_round <= 0.01
+
+    def test_bodytrack_serializes(self):
+        assert get_workload("bodytrack").serial_fraction_per_round >= 0.05
+
+    def test_pipeline_apps_imbalanced(self):
+        for name in ("ferret", "freqmine", "dedup", "swaptions"):
+            assert get_workload(name).imbalance_cv >= 0.3
+
+    def test_validation_rejects_bad_fraction(self):
+        w = get_workload("dedup")
+        with pytest.raises(ValueError):
+            ParallelWorkload(
+                name="bad",
+                kernel=w.kernel,
+                roi_work=1e9,
+                serial_init=0,
+                serial_final=0,
+                rounds=4,
+                imbalance_cv=0.1,
+                serial_fraction_per_round=1.5,
+            )

@@ -1,0 +1,120 @@
+"""McPAT-like power model: calibration anchors and gating behaviour."""
+
+import pytest
+
+from repro.core.designs import ChipDesign, get_design
+from repro.core.scheduler import Scheduler
+from repro.interval.contention import ChipModel, Placement, ThreadSpec
+from repro.power.mcpat import CORE_POWER, ChipPowerModel, CorePowerParams, UNCORE_POWER_W
+from repro.workloads.spec import SPEC_ORDER, get_profile
+
+
+def evaluate(design_name, n_threads, bench="tonto", smt=True):
+    design = get_design(design_name)
+    placement = Scheduler(design, smt=smt).place([get_profile(bench)] * n_threads)
+    return design, ChipModel(design).evaluate(placement, smt=smt)
+
+
+class TestCorePowerParams:
+    def test_active_power_linear_in_utilization(self):
+        params = CorePowerParams(static_w=5.0, dynamic_slope_w=2.0)
+        assert params.active_power(0.0) == 5.0
+        assert params.active_power(1.0) == 7.0
+        assert params.peak_power == 7.0
+
+    def test_utilization_validated(self):
+        with pytest.raises(ValueError, match="utilization"):
+            CorePowerParams(1.0, 1.0).active_power(1.5)
+
+    def test_power_equivalence_one_big_two_medium_five_small(self):
+        big = CORE_POWER["big"].peak_power
+        medium = CORE_POWER["medium"].peak_power
+        small = CORE_POWER["small"].peak_power
+        assert 2 * medium == pytest.approx(big, rel=0.15)
+        assert 5 * small == pytest.approx(big, rel=0.15)
+
+    def test_variant_cores_cost_more(self):
+        assert CORE_POWER["medium_lc"].peak_power > CORE_POWER["medium"].peak_power
+        assert CORE_POWER["small_hf"].peak_power > CORE_POWER["small"].peak_power
+
+
+class TestChipPower:
+    def test_gating_saves_static_power(self):
+        design, result = evaluate("4B", 1)
+        model = ChipPowerModel(design)
+        gated = model.power(result, power_gate_idle=True)
+        ungated = model.power(result, power_gate_idle=False)
+        assert ungated - gated == pytest.approx(3 * CORE_POWER["big"].static_w)
+
+    def test_uncore_always_on(self):
+        design, result = evaluate("20s", 1)
+        power = ChipPowerModel(design).power(result)
+        assert power > UNCORE_POWER_W
+
+    def test_power_rises_with_active_cores(self):
+        design = get_design("20s")
+        model = ChipPowerModel(design)
+        powers = []
+        for n in (1, 5, 20):
+            _, result = evaluate("20s", n)
+            powers.append(model.power(result))
+        assert powers[0] < powers[1] < powers[2]
+
+    def test_smt_uplift_smaller_than_core_activation(self):
+        # Going 4 -> 8 threads on 4B engages SMT only; on 8m it wakes cores.
+        d4, r4 = evaluate("4B", 4)
+        d4b, r8 = evaluate("4B", 8)
+        m4 = ChipPowerModel(d4)
+        smt_uplift = m4.power(r8) - m4.power(r4)
+        d8, r8m = evaluate("8m", 8)
+        d8a, r4m = evaluate("8m", 4)
+        m8 = ChipPowerModel(d8)
+        core_uplift = m8.power(r8m) - m8.power(r4m)
+        assert smt_uplift < core_uplift
+
+    def test_paper_chip_envelope_at_24_threads(self):
+        # All chips land in the paper's 45-50 W envelope (+/- a few watts).
+        import statistics as st
+
+        for design_name in ("4B", "8m", "20s"):
+            design = get_design(design_name)
+            model = ChipPowerModel(design)
+            values = []
+            for bench in SPEC_ORDER:
+                placement = Scheduler(design, smt=True).place(
+                    [get_profile(bench)] * 24
+                )
+                result = ChipModel(design).evaluate(placement)
+                values.append(model.power(result))
+            assert 38.0 < st.mean(values) < 54.0
+
+    def test_single_big_core_near_17w(self):
+        import statistics as st
+
+        design = get_design("4B")
+        model = ChipPowerModel(design)
+        values = []
+        for bench in SPEC_ORDER:
+            placement = Scheduler(design, smt=True).place([get_profile(bench)])
+            values.append(model.power(ChipModel(design).evaluate(placement)))
+        assert st.mean(values) == pytest.approx(17.3, abs=2.5)
+
+    def test_peak_power_is_upper_bound(self):
+        design, result = evaluate("4B", 24)
+        model = ChipPowerModel(design)
+        assert model.power(result, power_gate_idle=False) <= model.peak_power()
+
+    def test_mismatched_result_rejected(self):
+        design4, result4 = evaluate("4B", 4)
+        model8 = ChipPowerModel(get_design("8m"))
+        with pytest.raises(ValueError, match="cores"):
+            model8.power(result4)
+
+    def test_unknown_core_type_rejected(self):
+        from dataclasses import replace
+
+        from repro.microarch.config import BIG
+
+        weird = ChipDesign(name="w", cores=(replace(BIG, name="huge"),))
+        with pytest.raises(KeyError, match="no power calibration"):
+            ChipPowerModel(weird)

@@ -1,0 +1,108 @@
+"""Prefetcher models and their hierarchy integration."""
+
+import pytest
+
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.prefetch import NextLinePrefetcher, StridePrefetcher
+from repro.microarch.config import BIG
+from repro.microarch.uncore import DEFAULT_UNCORE
+
+
+class TestNextLine:
+    def test_prefetches_after_miss(self):
+        p = NextLinePrefetcher(degree=2)
+        targets = p.observe(pc=0x100, address=0x1000, was_miss=True)
+        assert targets == [0x1040, 0x1080]
+
+    def test_quiet_on_hits(self):
+        p = NextLinePrefetcher()
+        assert p.observe(0x100, 0x1000, was_miss=False) == []
+
+    def test_stats(self):
+        p = NextLinePrefetcher(degree=1)
+        p.observe(0, 0, True)
+        p.observe(0, 0, False)
+        assert p.stats.observations == 2
+        assert p.stats.issued == 1
+
+
+class TestStride:
+    def test_detects_constant_stride(self):
+        p = StridePrefetcher(degree=2, confidence_threshold=2)
+        pc = 0x400
+        targets = []
+        for i in range(6):
+            targets = p.observe(pc, 0x1000 + i * 256, was_miss=True)
+        assert targets == [0x1000 + 5 * 256 + 256, 0x1000 + 5 * 256 + 512]
+
+    def test_no_prefetch_before_confidence(self):
+        p = StridePrefetcher(confidence_threshold=2)
+        pc = 0x400
+        assert p.observe(pc, 0x1000, True) == []
+        assert p.observe(pc, 0x1100, True) == []  # stride learned, conf 0
+
+    def test_stride_change_resets(self):
+        p = StridePrefetcher(confidence_threshold=1)
+        pc = 0x400
+        p.observe(pc, 0x1000, True)
+        p.observe(pc, 0x1100, True)
+        p.observe(pc, 0x1200, True)
+        assert p.observe(pc, 0x5000, True) == []  # broken stride
+
+    def test_distinct_pcs_tracked_separately(self):
+        p = StridePrefetcher(confidence_threshold=1, degree=1)
+        for i in range(4):
+            a = p.observe(0x400, 0x1000 + i * 64, True)
+            b = p.observe(0x800, 0x9000 + i * 4096, True)
+        assert a == [0x1000 + 3 * 64 + 64]
+        assert b == [0x9000 + 3 * 4096 + 4096]
+
+    def test_table_bounded(self):
+        p = StridePrefetcher(table_entries=4)
+        for pc in range(0, 4096, 4):
+            p.observe(pc, pc * 16, True)
+        assert len(p._table) <= 4 + 1
+
+    def test_negative_targets_dropped(self):
+        p = StridePrefetcher(confidence_threshold=1, degree=2)
+        pc = 0x400
+        p.observe(pc, 0x300, True)
+        p.observe(pc, 0x200, True)
+        targets = p.observe(pc, 0x100, True)
+        assert all(t >= 0 for t in targets)
+
+
+class TestHierarchyIntegration:
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValueError, match="prefetcher"):
+            MemoryHierarchy((BIG,), DEFAULT_UNCORE, prefetcher="oracle")
+
+    def test_nextline_turns_stream_misses_into_hits(self):
+        plain = MemoryHierarchy((BIG,), DEFAULT_UNCORE)
+        fetching = MemoryHierarchy((BIG,), DEFAULT_UNCORE, prefetcher="nextline")
+        t = 0.0
+        plain_dram = fetch_dram = 0
+        for i in range(200):
+            addr = 0x100000 + i * 64  # pure streaming
+            if plain.data_access(0, addr, t).level == "dram":
+                plain_dram += 1
+            if fetching.data_access(0, addr, t, pc=0x40).level == "dram":
+                fetch_dram += 1
+            t += 100.0
+        assert fetch_dram < plain_dram / 4
+
+    def test_stride_covers_large_steps(self):
+        fetching = MemoryHierarchy((BIG,), DEFAULT_UNCORE, prefetcher="stride")
+        t = 0.0
+        dram_hits = 0
+        for i in range(100):
+            addr = 0x100000 + i * 1024  # stride of 16 lines
+            if fetching.data_access(0, addr, t, pc=0x40).level == "dram":
+                dram_hits += 1
+            t += 100.0
+        assert dram_hits < 30  # most covered after warm-up
+
+    def test_prefetch_traffic_reaches_dram(self):
+        fetching = MemoryHierarchy((BIG,), DEFAULT_UNCORE, prefetcher="nextline")
+        fetching.data_access(0, 0x100000, 0.0, pc=0x40)  # miss -> 2 prefetches
+        assert fetching.dram.stats.requests == 3

@@ -1,0 +1,100 @@
+"""Miss-rate curves and benchmark profiles, including property-based tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util import KB, MB
+from repro.workloads.profiles import BenchmarkProfile, MissRateCurve
+
+curves = st.builds(
+    MissRateCurve,
+    mpki_ref=st.floats(0.1, 80.0),
+    alpha=st.floats(0.05, 1.0),
+    floor_mpki=st.floats(0.01, 0.1),
+    cap_mpki=st.floats(90.0, 200.0),
+)
+
+
+class TestMissRateCurve:
+    def test_reference_point(self):
+        curve = MissRateCurve(mpki_ref=10.0, alpha=0.5)
+        assert curve.mpki(32 * KB) == pytest.approx(10.0)
+
+    def test_power_law_shape(self):
+        curve = MissRateCurve(mpki_ref=10.0, alpha=0.5, floor_mpki=0.01)
+        # Quadrupling capacity halves MPKI at alpha = 0.5.
+        assert curve.mpki(128 * KB) == pytest.approx(5.0)
+
+    def test_floor_binds_at_large_capacity(self):
+        curve = MissRateCurve(mpki_ref=10.0, alpha=0.5, floor_mpki=2.0)
+        assert curve.mpki(1024 * MB) == 2.0
+
+    def test_cap_binds_at_tiny_capacity(self):
+        curve = MissRateCurve(mpki_ref=10.0, alpha=1.0, cap_mpki=50.0)
+        assert curve.mpki(64) == 50.0
+
+    def test_zero_capacity_gives_cap(self):
+        curve = MissRateCurve(mpki_ref=10.0, alpha=0.5, cap_mpki=77.0)
+        assert curve.mpki(0) == 77.0
+
+    def test_misses_per_instruction_scaling(self):
+        curve = MissRateCurve(mpki_ref=10.0, alpha=0.5)
+        assert curve.misses_per_instruction(32 * KB) == pytest.approx(0.01)
+
+    def test_floor_above_cap_rejected(self):
+        with pytest.raises(ValueError, match="floor_mpki"):
+            MissRateCurve(mpki_ref=1.0, alpha=0.5, floor_mpki=10.0, cap_mpki=5.0)
+
+    @given(curve=curves, c1=st.floats(256, 64 * MB), c2=st.floats(256, 64 * MB))
+    @settings(max_examples=80)
+    def test_monotone_non_increasing(self, curve, c1, c2):
+        lo, hi = sorted((c1, c2))
+        assert curve.mpki(lo) >= curve.mpki(hi)
+
+    @given(curve=curves, c=st.floats(1, 64 * MB))
+    @settings(max_examples=80)
+    def test_bounded(self, curve, c):
+        assert curve.floor_mpki <= curve.mpki(c) <= curve.cap_mpki
+
+
+def _profile(**overrides):
+    base = dict(
+        name="x",
+        ilp=2.0,
+        ilp_inorder=1.0,
+        mem_frac=0.3,
+        branch_frac=0.1,
+        branch_mpki=1.0,
+        dcurve=MissRateCurve(5.0, 0.4),
+        icurve=MissRateCurve(0.5, 0.4),
+        mlp=2.0,
+    )
+    base.update(overrides)
+    return BenchmarkProfile(**base)
+
+
+class TestBenchmarkProfile:
+    def test_compute_frac(self):
+        assert _profile().compute_frac == pytest.approx(0.6)
+
+    def test_inorder_ilp_cannot_exceed_ooo(self):
+        with pytest.raises(ValueError, match="ilp_inorder"):
+            _profile(ilp=1.0, ilp_inorder=2.0)
+
+    def test_fractions_must_fit(self):
+        with pytest.raises(ValueError, match="must not exceed 1"):
+            _profile(mem_frac=0.7, branch_frac=0.5)
+
+    def test_cache_pressure_tracks_curve(self):
+        hungry = _profile(dcurve=MissRateCurve(40.0, 0.2, floor_mpki=20.0))
+        modest = _profile(dcurve=MissRateCurve(2.0, 0.5, floor_mpki=0.05))
+        assert hungry.cache_pressure() > modest.cache_pressure()
+
+    def test_cache_pressure_never_zero(self):
+        tiny = _profile(dcurve=MissRateCurve(0.01, 0.9, floor_mpki=0.01))
+        assert tiny.cache_pressure() > 0
+
+    def test_profiles_hashable(self):
+        # Scheduling caches key on profiles; they must stay hashable.
+        assert hash(_profile()) == hash(_profile())

@@ -1,0 +1,155 @@
+"""Scheduling policy: big-first, spread-before-SMT, co-schedule quality."""
+
+import pytest
+
+from repro.core.designs import get_design
+from repro.core.scheduler import Scheduler, big_core_affinity, optimize_coschedule
+from repro.interval.contention import ChipModel
+from repro.microarch.config import SMALL
+from repro.workloads.spec import SPEC_ORDER, get_profile
+
+
+class TestSlotCountsSmt:
+    def test_spread_before_smt(self):
+        counts = Scheduler(get_design("4B"), smt=True).slot_counts(4)
+        assert counts == [1, 1, 1, 1]
+
+    def test_stacking_after_spread(self):
+        counts = Scheduler(get_design("4B"), smt=True).slot_counts(10)
+        assert sum(counts) == 10
+        assert all(c >= 2 for c in counts)  # everyone spread first
+
+    def test_full_capacity(self):
+        counts = Scheduler(get_design("4B"), smt=True).slot_counts(24)
+        assert counts == [6, 6, 6, 6]
+
+    def test_big_cores_first_in_heterogeneous(self):
+        # 1B15s with one thread: it must land on the big core (index 0).
+        counts = Scheduler(get_design("1B15s"), smt=True).slot_counts(1)
+        assert counts[0] == 1
+        assert sum(counts) == 1
+
+    def test_big_core_stacks_before_small_smt(self):
+        # After spreading 16 threads on 1B15s, extras fill the big core's
+        # SMT contexts first (lowest occupancy ratio): the big core absorbs
+        # three extras before its ratio (4/6) exceeds a small core's (1/2).
+        counts = Scheduler(get_design("1B15s"), smt=True).slot_counts(20)
+        assert counts[0] == 4
+        assert sum(counts) == 20
+
+    def test_mixed_design_capacity(self):
+        # 3B5s: 3x6 + 5x2 = 28 hardware threads.
+        counts = Scheduler(get_design("3B5s"), smt=True).slot_counts(24)
+        assert sum(counts) == 24
+        assert all(c <= 6 for c in counts[:3])
+        assert all(c <= 2 for c in counts[3:])
+
+
+class TestSlotCountsNoSmt:
+    def test_one_thread_per_core(self):
+        counts = Scheduler(get_design("4B"), smt=False).slot_counts(4)
+        assert counts == [1, 1, 1, 1]
+
+    def test_time_sharing_beyond_core_count(self):
+        counts = Scheduler(get_design("4B"), smt=False).slot_counts(24)
+        assert counts == [6, 6, 6, 6]
+
+    def test_remainder_lands_on_big_cores(self):
+        counts = Scheduler(get_design("1B6m"), smt=False).slot_counts(8)
+        assert counts[0] == 2  # the big core takes the extra thread
+        assert sum(counts) == 8
+
+
+class TestPlacement:
+    def test_duty_cycles_for_time_sharing(self):
+        design = get_design("4B")
+        placement = Scheduler(design, smt=False).place(
+            [get_profile("tonto")] * 8
+        )
+        for threads in placement.core_threads:
+            assert len(threads) == 2
+            for spec in threads:
+                assert spec.duty_cycle == pytest.approx(0.5)
+
+    def test_smt_placement_full_duty(self):
+        design = get_design("4B")
+        placement = Scheduler(design, smt=True).place(
+            [get_profile("tonto")] * 8
+        )
+        for threads in placement.core_threads:
+            for spec in threads:
+                assert spec.duty_cycle == 1.0
+
+    def test_high_affinity_thread_gets_big_core(self):
+        design = get_design("1B15s")
+        profiles = [get_profile("hmmer"), get_profile("libquantum")]
+        placement = Scheduler(design, smt=True).place(profiles)
+        big_core_threads = placement.core_threads[0]
+        assert len(big_core_threads) == 1
+        weakest = design.cores[-1]
+        placed_on_big = big_core_threads[0].profile
+        other = [p for p in profiles if p.name != placed_on_big.name][0]
+        assert big_core_affinity(placed_on_big, weakest) >= big_core_affinity(
+            other, weakest
+        )
+
+    def test_smt_coscheduling_mixes_pressure(self):
+        # 8 threads (4 hungry, 4 quiet) on 4B: each core should co-run one
+        # hungry with one quiet thread rather than pairing hungry together.
+        design = get_design("4B")
+        profiles = [get_profile("mcf")] * 4 + [get_profile("hmmer")] * 4
+        placement = Scheduler(design, smt=True).place(profiles)
+        for threads in placement.core_threads:
+            names = {t.profile.name for t in threads}
+            assert names == {"mcf", "hmmer"}
+
+    def test_placement_evaluates(self):
+        design = get_design("3B5s")
+        profiles = [get_profile(n) for n in SPEC_ORDER]
+        placement = Scheduler(design, smt=True).place(profiles)
+        result = ChipModel(design).evaluate(placement)
+        assert len(result.threads) == 12
+
+    def test_empty_thread_list_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Scheduler(get_design("4B")).place([])
+
+    def test_all_threads_placed(self):
+        design = get_design("2B10s")
+        for n in (1, 5, 12, 24):
+            placement = Scheduler(design, smt=True).place(
+                [get_profile("astar")] * n
+            )
+            assert placement.num_threads == n
+
+
+class TestAffinity:
+    def test_affinity_above_one(self):
+        for name in SPEC_ORDER:
+            assert big_core_affinity(get_profile(name), SMALL) > 1.0
+
+    def test_compute_bound_has_high_affinity(self):
+        assert big_core_affinity(get_profile("hmmer"), SMALL) > 2.0
+
+
+class TestOptimizeCoschedule:
+    def test_never_worse_than_heuristic(self):
+        from repro.core.metrics import stp
+        from repro.core.scheduler import _cached_isolated_ips
+        from repro.microarch.config import BIG
+
+        design = get_design("4B")
+        profiles = [
+            get_profile(n)
+            for n in ("mcf", "mcf", "hmmer", "hmmer", "libquantum", "tonto")
+        ]
+        heuristic = Scheduler(design, smt=True).place(profiles)
+        optimized = optimize_coschedule(design, heuristic, max_rounds=1)
+
+        def score(p):
+            result = ChipModel(design).evaluate(p)
+            specs = [s for ts in p.core_threads for s in ts]
+            refs = [_cached_isolated_ips(s.profile, BIG) for s in specs]
+            return stp([t.ips for t in result.threads], refs)
+
+        assert score(optimized) >= score(heuristic) - 1e-9

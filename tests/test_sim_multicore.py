@@ -1,0 +1,108 @@
+"""Cycle-level multi-core simulation: placement, sharing, determinism."""
+
+import pytest
+
+from repro.core.designs import ChipDesign, get_design
+from repro.microarch.config import BIG
+from repro.sim import MulticoreSimulator, ThreadSim
+from repro.workloads.spec import get_profile
+
+
+class TestRun:
+    def test_basic_run(self):
+        sim = MulticoreSimulator(get_design("4B"))
+        result = sim.run(
+            [ThreadSim(get_profile("tonto"), 0)], instructions_per_thread=4000
+        )
+        assert result.ipc_of(0) > 0.5
+        assert result.total_cycles > 0
+
+    def test_multiple_cores_progress_in_parallel(self):
+        sim = MulticoreSimulator(get_design("4B"))
+        single = sim.run(
+            [ThreadSim(get_profile("tonto"), 0)], instructions_per_thread=4000
+        )
+        quad = sim.run(
+            [ThreadSim(get_profile("tonto"), i) for i in range(4)],
+            instructions_per_thread=4000,
+        )
+        # Four independent copies should not take 4x the cycles.
+        assert quad.total_cycles < single.total_cycles * 2
+
+    def test_shared_llc_contention_slows_threads(self):
+        sim = MulticoreSimulator(get_design("4B"))
+        mcf = get_profile("mcf")
+        alone = sim.run([ThreadSim(mcf, 0)], instructions_per_thread=6000)
+        crowded = sim.run(
+            [ThreadSim(mcf, i) for i in range(4)], instructions_per_thread=6000
+        )
+        assert crowded.ipc_of(0) < alone.ipc_of(0) * 1.02
+
+    def test_bus_contention_visible_in_dram_latency(self):
+        sim = MulticoreSimulator(get_design("4B"))
+        lq = get_profile("libquantum")
+        alone = sim.run([ThreadSim(lq, 0)], instructions_per_thread=6000)
+        crowded = sim.run(
+            [ThreadSim(lq, i) for i in range(4)], instructions_per_thread=6000
+        )
+        assert crowded.dram_mean_latency_ns > alone.dram_mean_latency_ns
+
+    def test_smt_threads_on_one_core(self):
+        sim = MulticoreSimulator(get_design("4B"))
+        result = sim.run(
+            [ThreadSim(get_profile("mcf"), 0, seed=s) for s in (1, 2, 3)],
+            instructions_per_thread=4000,
+        )
+        assert len(result.thread_stats) == 3
+        assert result.total_ipc > 0
+
+    def test_deterministic(self):
+        sim = MulticoreSimulator(get_design("4B"))
+        threads = [ThreadSim(get_profile("astar"), 0)]
+        a = sim.run(threads, instructions_per_thread=3000)
+        b = sim.run(threads, instructions_per_thread=3000)
+        assert a.ipc_of(0) == b.ipc_of(0)
+        assert a.total_cycles == b.total_cycles
+
+    def test_invalid_core_index(self):
+        sim = MulticoreSimulator(get_design("4B"))
+        with pytest.raises(ValueError, match="core_index"):
+            sim.run([ThreadSim(get_profile("mcf"), 9)])
+
+    def test_empty_thread_list(self):
+        sim = MulticoreSimulator(get_design("4B"))
+        with pytest.raises(ValueError, match="at least one"):
+            sim.run([])
+
+    def test_warmup_excluded_from_stats(self):
+        sim = MulticoreSimulator(ChipDesign("one", cores=(BIG,)))
+        result = sim.run(
+            [ThreadSim(get_profile("tonto"), 0)],
+            instructions_per_thread=3000,
+            warmup_instructions=3000,
+        )
+        # Measured region is exactly the post-warmup budget.
+        assert result.thread_stats[0][1].instructions == 3000
+
+
+class TestSimulatorOptions:
+    def test_prefetcher_reduces_streaming_dram_latency_exposure(self):
+        lbm = get_profile("lbm")
+        plain = MulticoreSimulator(get_design("4B"))
+        fetching = MulticoreSimulator(get_design("4B"), prefetcher="nextline")
+        base = plain.run([ThreadSim(lbm, 0)], instructions_per_thread=6000)
+        pre = fetching.run([ThreadSim(lbm, 0)], instructions_per_thread=6000)
+        # Prefetching must not slow the streaming workload down, and should
+        # convert some demand DRAM fills into L2 hits.
+        assert pre.ipc_of(0) >= base.ipc_of(0) * 0.95
+        base_dram = base.thread_stats[0][1].level_hits.get("dram", 0)
+        pre_dram = pre.thread_stats[0][1].level_hits.get("dram", 0)
+        assert pre_dram <= base_dram
+
+    def test_icount_policy_runs_full_chip(self):
+        sim = MulticoreSimulator(get_design("4B"), fetch_policy="icount")
+        result = sim.run(
+            [ThreadSim(get_profile("mcf"), 0, seed=s) for s in (1, 2)],
+            instructions_per_thread=3000,
+        )
+        assert result.total_ipc > 0

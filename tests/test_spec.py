@@ -1,0 +1,84 @@
+"""The 12 SPEC-like benchmark profiles (Section 3.2 selection)."""
+
+import pytest
+
+from repro.interval.contention import isolated_ips
+from repro.microarch.config import BIG, MEDIUM, SMALL
+from repro.util import MB
+from repro.workloads.spec import SPEC_ORDER, SPEC_PROFILES, all_profiles, get_profile
+
+
+class TestRegistry:
+    def test_twelve_profiles(self):
+        assert len(SPEC_PROFILES) == 12
+        assert len(SPEC_ORDER) == 12
+        assert set(SPEC_ORDER) == set(SPEC_PROFILES)
+
+    def test_get_profile(self):
+        assert get_profile("mcf").name == "mcf"
+
+    def test_get_profile_unknown(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            get_profile("gcc")
+
+    def test_all_profiles_ordered(self):
+        assert [p.name for p in all_profiles()] == SPEC_ORDER
+
+    def test_paper_named_benchmarks_present(self):
+        # The paper names these six explicitly in its analysis.
+        for name in ("calculix", "h264ref", "hmmer", "tonto", "libquantum", "mcf"):
+            assert name in SPEC_PROFILES
+
+
+class TestBehaviouralClasses:
+    """The selection must span the paper's behaviour classes."""
+
+    def test_streaming_benchmarks_have_high_floors(self):
+        # Bandwidth-bound: capacity cannot remove their misses.
+        for name in ("libquantum", "lbm", "milc"):
+            assert get_profile(name).dcurve.floor_mpki >= 10.0
+
+    def test_compute_benchmarks_have_low_floors(self):
+        for name in ("tonto", "calculix", "hmmer", "gamess"):
+            assert get_profile(name).dcurve.floor_mpki < 1.0
+
+    def test_mcf_is_cache_sensitive(self):
+        mcf = get_profile("mcf").dcurve
+        # Steep curve: 8 MB removes most of the 32 KB misses.
+        assert mcf.mpki(8 * MB) < mcf.mpki(32 * 1024) / 4
+
+    def test_streaming_benchmarks_expose_mlp(self):
+        assert get_profile("libquantum").mlp >= 4.0
+        assert get_profile("hmmer").mlp < 2.0
+
+    def test_gobmk_is_branch_bound(self):
+        assert get_profile("gobmk").branch_mpki == max(
+            p.branch_mpki for p in SPEC_PROFILES.values()
+        ) or get_profile("gobmk").branch_mpki >= 8.0
+
+
+class TestRelativePerformanceSpread:
+    """Section 3.2: the 12 benchmarks cover the performance range."""
+
+    def test_big_always_fastest(self):
+        for p in all_profiles():
+            big = isolated_ips(p, BIG)
+            assert big > isolated_ips(p, MEDIUM)
+            assert big > isolated_ips(p, SMALL)
+
+    def test_big_to_small_ratio_spread(self):
+        ratios = [
+            isolated_ips(p, BIG) / isolated_ips(p, SMALL) for p in all_profiles()
+        ]
+        assert max(ratios) / min(ratios) > 1.5, "selection should span a range"
+        assert min(ratios) > 1.5
+        assert max(ratios) < 8.0
+
+    def test_medium_between_big_and_small_on_average(self):
+        mean_ratio_m = sum(
+            isolated_ips(p, BIG) / isolated_ips(p, MEDIUM) for p in all_profiles()
+        ) / 12
+        mean_ratio_s = sum(
+            isolated_ips(p, BIG) / isolated_ips(p, SMALL) for p in all_profiles()
+        ) / 12
+        assert 1.2 < mean_ratio_m < mean_ratio_s

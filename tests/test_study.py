@@ -1,0 +1,124 @@
+"""Design-space study orchestration: mixes, curves, aggregates, caching."""
+
+import pytest
+
+from repro.core.designs import DESIGN_ORDER
+from repro.core.distributions import uniform
+from repro.core.study import DesignSpaceStudy
+from repro.microarch.uncore import HIGH_BANDWIDTH_UNCORE
+
+
+class TestEvaluateMix:
+    def test_single_thread_on_big_is_unity(self, study):
+        # One thread of anything on 4B runs isolated on a big core: STP = 1.
+        for bench in ("tonto", "mcf", "libquantum"):
+            result = study.evaluate_mix("4B", [bench])
+            assert result.stp == pytest.approx(1.0, rel=1e-6)
+            assert result.antt == pytest.approx(1.0, rel=1e-6)
+
+    def test_single_thread_on_small_below_unity(self, study):
+        result = study.evaluate_mix("20s", ["tonto"])
+        assert result.stp < 0.6
+
+    def test_stp_bounded_by_thread_count(self, study):
+        result = study.evaluate_mix("4B", ["tonto"] * 8)
+        assert result.stp <= 8.0
+
+    def test_antt_at_least_one_on_big_cores(self, study):
+        result = study.evaluate_mix("4B", ["tonto"] * 8)
+        assert result.antt >= 1.0
+
+    def test_memoization_returns_same_object(self, study):
+        a = study.evaluate_mix("4B", ["mcf", "tonto"])
+        b = study.evaluate_mix("4B", ["mcf", "tonto"])
+        assert a is b
+
+    def test_smt_beats_time_sharing_at_high_counts(self, study):
+        smt = study.evaluate_mix("4B", ["tonto"] * 12, smt=True)
+        shared = study.evaluate_mix("4B", ["tonto"] * 12, smt=False)
+        assert smt.stp > shared.stp
+
+    def test_unknown_design_rejected(self, study):
+        with pytest.raises(KeyError, match="not in this study"):
+            study.evaluate_mix("5B", ["tonto"])
+
+    def test_power_fields_consistent(self, study):
+        result = study.evaluate_mix("4B", ["tonto"])
+        # Gating three idle big cores must save power.
+        assert result.power_gated_w < result.power_ungated_w
+
+
+class TestMixes:
+    def test_homogeneous_mixes(self, study):
+        mixes = study.mixes("homogeneous", 4)
+        assert len(mixes) == 12
+        assert all(len(set(m)) == 1 and len(m) == 4 for m in mixes)
+
+    def test_heterogeneous_mixes_balanced(self, study):
+        mixes = study.mixes("heterogeneous", 6)
+        assert len(mixes) == 12
+        from collections import Counter
+
+        counts = Counter(name for m in mixes for name in m)
+        assert len(set(counts.values())) == 1  # perfectly balanced
+
+    def test_unknown_kind_rejected(self, study):
+        with pytest.raises(ValueError, match="kind"):
+            study.mixes("mixed", 4)
+
+
+class TestCurvesAndAggregates:
+    def test_throughput_curve_keys(self, study):
+        curve = study.throughput_curve("4B", "homogeneous", [1, 2, 4])
+        assert set(curve) == {1, 2, 4}
+        assert curve[1] < curve[4]
+
+    def test_mean_stp_positive(self, study):
+        assert study.mean_stp("8m", "heterogeneous", 4) > 0
+
+    def test_aggregate_between_extremes(self, study):
+        dist = uniform(8)
+        curve = study.throughput_curve("4B", "homogeneous", range(1, 9))
+        agg = study.aggregate_stp("4B", "homogeneous", dist)
+        assert min(curve.values()) <= agg <= max(curve.values())
+
+    def test_antt_curve_increasing_under_smt_pressure(self, study):
+        curve = study.antt_curve("4B", "homogeneous", [1, 24])
+        assert curve[24] > curve[1]
+
+    def test_best_design_returns_member(self, study):
+        dist = uniform(4)
+        name, value = study.best_design("homogeneous", dist, smt=True)
+        assert name in DESIGN_ORDER
+        assert value > 0
+
+    def test_best_design_exclusion(self, study):
+        dist = uniform(4)
+        full, _ = study.best_design("homogeneous", dist, smt=True)
+        other, _ = study.best_design(
+            "homogeneous", dist, smt=True, exclude=[full]
+        )
+        assert other != full
+
+
+class TestUncoreOverride:
+    def test_high_bandwidth_study_normalizes_to_its_own_baseline(self):
+        base = DesignSpaceStudy()
+        fast = DesignSpaceStudy(uncore=HIGH_BANDWIDTH_UNCORE)
+        # A lone bandwidth-bound thread gains from 16 GB/s, but so does its
+        # reference, so STP stays 1.0 in both studies.
+        assert base.evaluate_mix("4B", ["libquantum"]).stp == pytest.approx(1.0)
+        assert fast.evaluate_mix("4B", ["libquantum"]).stp == pytest.approx(1.0)
+
+    def test_high_bandwidth_improves_saturated_stp(self):
+        base = DesignSpaceStudy()
+        fast = DesignSpaceStudy(uncore=HIGH_BANDWIDTH_UNCORE)
+        mix = ["libquantum"] * 24
+        assert (
+            fast.evaluate_mix("4B", mix).stp
+            >= base.evaluate_mix("4B", mix).stp * 0.99
+        )
+
+    def test_subset_of_designs(self):
+        study = DesignSpaceStudy(designs=[])
+        assert study.designs == {}

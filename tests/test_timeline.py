@@ -1,0 +1,83 @@
+"""Active-thread timelines and the job arrival/departure simulator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.timeline import ThreadCountTimeline, simulate_job_arrivals
+
+
+class TestTimeline:
+    def test_basic_accounting(self):
+        tl = ThreadCountTimeline.from_samples([(2.0, 1), (1.0, 4)])
+        assert tl.total_time == pytest.approx(3.0)
+        assert tl.max_threads == 4
+        assert tl.mean_threads == pytest.approx(2.0)
+        assert tl.time_at(1) == pytest.approx(2.0)
+        assert tl.time_at(2) == 0.0
+
+    def test_to_distribution_time_weighted(self):
+        tl = ThreadCountTimeline.from_samples([(3.0, 1), (1.0, 2)])
+        dist = tl.to_distribution()
+        assert dist.probability(1) == pytest.approx(0.75)
+        assert dist.probability(2) == pytest.approx(0.25)
+
+    def test_to_distribution_clamps(self):
+        tl = ThreadCountTimeline.from_samples([(1.0, 30), (1.0, 2)])
+        dist = tl.to_distribution(max_threads=24)
+        assert dist.max_threads == 24
+        assert dist.probability(24) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            ThreadCountTimeline(())
+        with pytest.raises(ValueError, match="durations"):
+            ThreadCountTimeline.from_samples([(0.0, 1)])
+        with pytest.raises(ValueError, match="counts"):
+            ThreadCountTimeline.from_samples([(1.0, 0)])
+
+    def test_distribution_feeds_study(self, study):
+        tl = ThreadCountTimeline.from_samples([(1.0, 1), (1.0, 4), (2.0, 8)])
+        dist = tl.to_distribution()
+        value = study.aggregate_stp("4B", "heterogeneous", dist, smt=True)
+        assert value > 0
+
+
+class TestJobArrivals:
+    def test_deterministic(self):
+        a = simulate_job_arrivals(0.05, 100.0, seed=3)
+        b = simulate_job_arrivals(0.05, 100.0, seed=3)
+        assert a.segments == b.segments
+
+    def test_seed_changes_outcome(self):
+        a = simulate_job_arrivals(0.05, 100.0, seed=3)
+        b = simulate_job_arrivals(0.05, 100.0, seed=4)
+        assert a.segments != b.segments
+
+    def test_mean_threads_tracks_offered_load(self):
+        # Little's law: mean concurrency ~ arrival_rate x service time.
+        light = simulate_job_arrivals(0.02, 100.0, horizon=50_000.0)
+        heavy = simulate_job_arrivals(0.12, 100.0, horizon=50_000.0)
+        assert light.mean_threads < heavy.mean_threads
+        assert light.mean_threads == pytest.approx(2.0, abs=1.2)
+
+    def test_capacity_respected(self):
+        tl = simulate_job_arrivals(1.0, 100.0, max_threads=8, horizon=2_000.0)
+        assert tl.max_threads <= 8
+
+    def test_segments_coalesced(self):
+        tl = simulate_job_arrivals(0.05, 100.0, horizon=5_000.0)
+        for (d1, c1), (d2, c2) in zip(tl.segments, tl.segments[1:]):
+            assert c1 != c2
+
+    @given(
+        rate=st.floats(0.01, 0.3),
+        service=st.floats(20.0, 200.0),
+        seed=st.integers(0, 50),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_distribution_always_valid(self, rate, service, seed):
+        tl = simulate_job_arrivals(rate, service, horizon=3_000.0, seed=seed)
+        dist = tl.to_distribution(max_threads=24)
+        assert sum(dist.probabilities) == pytest.approx(1.0)
+        assert tl.total_time > 0

@@ -1,0 +1,123 @@
+"""Synthetic trace generation: determinism, mix, miss-curve fidelity."""
+
+import pytest
+
+from repro.memory.cache import Cache
+from repro.microarch.config import CacheConfig
+from repro.util import KB
+from repro.workloads.spec import get_profile
+from repro.workloads.tracegen import (
+    EXEC_LATENCY,
+    KINDS,
+    TraceGenerator,
+    TraceInstruction,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        a = TraceGenerator(get_profile("mcf"), seed=5).generate(2000)
+        b = TraceGenerator(get_profile("mcf"), seed=5).generate(2000)
+        assert a == b
+
+    def test_different_seed_different_trace(self):
+        a = TraceGenerator(get_profile("mcf"), seed=5).generate(2000)
+        b = TraceGenerator(get_profile("mcf"), seed=6).generate(2000)
+        assert a != b
+
+    def test_warm_addresses_deterministic(self):
+        a = TraceGenerator(get_profile("mcf"), seed=5).warm_addresses()
+        b = TraceGenerator(get_profile("mcf"), seed=5).warm_addresses()
+        assert a == b
+
+
+class TestInstructionMix:
+    def test_kinds_valid(self):
+        trace = TraceGenerator(get_profile("tonto")).generate(5000)
+        assert all(i.kind in KINDS for i in trace)
+        assert all(i.kind in EXEC_LATENCY for i in trace)
+
+    def test_mem_fraction_matches_profile(self):
+        p = get_profile("mcf")
+        trace = TraceGenerator(p).generate(20000)
+        mem = sum(i.kind in ("load", "store") for i in trace) / len(trace)
+        assert mem == pytest.approx(p.mem_frac, abs=0.03)
+
+    def test_branch_fraction_matches_profile(self):
+        p = get_profile("gobmk")
+        trace = TraceGenerator(p).generate(20000)
+        br = sum(i.kind == "branch" for i in trace) / len(trace)
+        assert br == pytest.approx(p.branch_frac, abs=0.02)
+
+    def test_mispredict_rate_matches_profile(self):
+        p = get_profile("gobmk")
+        trace = TraceGenerator(p).generate(50000)
+        mispred_mpki = sum(i.mispredicted for i in trace) / len(trace) * 1000
+        assert mispred_mpki == pytest.approx(p.branch_mpki, rel=0.35)
+
+    def test_memory_instructions_have_addresses(self):
+        trace = TraceGenerator(get_profile("mcf")).generate(2000)
+        for i in trace:
+            if i.kind in ("load", "store"):
+                assert i.address >= 0
+            else:
+                assert i.address == -1
+
+    def test_dep_distance_tracks_ilp(self):
+        import statistics as st
+
+        def mean_dist(name):
+            trace = TraceGenerator(get_profile(name)).generate(20000)
+            return st.mean(i.dep_distance for i in trace if i.dep_distance)
+
+        assert mean_dist("hmmer") > mean_dist("mcf")
+
+
+class TestMissCurveFidelity:
+    """Feeding the trace through real caches must reproduce the curve shape."""
+
+    @staticmethod
+    def miss_rate(profile, cache_kb, n=40000):
+        gen = TraceGenerator(profile)
+        cache = Cache(CacheConfig(cache_kb * KB, 4, latency_cycles=1))
+        for addr in gen.warm_addresses():
+            cache.warm(addr)
+        trace = gen.generate(n)
+        for i in trace:
+            if i.kind in ("load", "store"):
+                cache.access(i.address)
+        return cache.stats.misses / n * 1000  # MPKI
+
+    def test_mpki_decreases_with_capacity(self):
+        p = get_profile("mcf")
+        small = self.miss_rate(p, 16)
+        big = self.miss_rate(p, 256)
+        assert big < small
+
+    def test_mpki_near_curve_at_reference(self):
+        p = get_profile("mcf")
+        measured = self.miss_rate(p, 32)
+        expected = p.dcurve.mpki(32 * KB)
+        assert measured == pytest.approx(expected, rel=0.5)
+
+    def test_streaming_profile_insensitive_to_capacity(self):
+        p = get_profile("libquantum")
+        small = self.miss_rate(p, 32)
+        big = self.miss_rate(p, 512)
+        assert big > 0.5 * small  # compulsory floor dominates
+
+    def test_hungry_profile_misses_more(self):
+        mcf = self.miss_rate(get_profile("mcf"), 32)
+        hmmer = self.miss_rate(get_profile("hmmer"), 32)
+        assert mcf > 3 * hmmer
+
+
+class TestValidation:
+    def test_zero_instructions_rejected(self):
+        with pytest.raises(ValueError):
+            TraceGenerator(get_profile("mcf")).generate(0)
+
+    def test_instruction_record_shape(self):
+        i = TraceInstruction(kind="load", pc=0x1000, address=64, dep_distance=3)
+        assert i.pc == 0x1000
+        assert not i.mispredicted

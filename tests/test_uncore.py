@@ -1,0 +1,56 @@
+"""Uncore configuration: LLC, interconnect, DRAM, bandwidth variants."""
+
+import pytest
+
+from repro.microarch.uncore import (
+    DEFAULT_UNCORE,
+    HIGH_BANDWIDTH_UNCORE,
+    DramConfig,
+    InterconnectConfig,
+    UncoreConfig,
+)
+from repro.util import MB
+
+
+class TestDefaults:
+    def test_llc_is_8mb_16way(self):
+        assert DEFAULT_UNCORE.llc.size_bytes == 8 * MB
+        assert DEFAULT_UNCORE.llc.associativity == 16
+
+    def test_dram_parameters(self):
+        dram = DEFAULT_UNCORE.dram
+        assert dram.num_banks == 8
+        assert dram.access_latency_ns == 45.0
+        assert dram.bus_bandwidth_bytes_per_s == 8e9
+
+    def test_interconnect_is_crossbar_at_core_clock(self):
+        ic = DEFAULT_UNCORE.interconnect
+        assert ic.kind == "crossbar"
+        assert ic.frequency_ghz == 2.66
+
+    def test_high_bandwidth_variant(self):
+        assert HIGH_BANDWIDTH_UNCORE.dram.bus_bandwidth_bytes_per_s == 16e9
+        # Everything else unchanged.
+        assert HIGH_BANDWIDTH_UNCORE.llc == DEFAULT_UNCORE.llc
+
+    def test_with_bandwidth_returns_new_object(self):
+        changed = DEFAULT_UNCORE.with_bandwidth(4e9)
+        assert changed.dram.bus_bandwidth_bytes_per_s == 4e9
+        assert DEFAULT_UNCORE.dram.bus_bandwidth_bytes_per_s == 8e9
+
+
+class TestValidation:
+    def test_bad_interconnect_kind(self):
+        with pytest.raises(ValueError, match="crossbar"):
+            InterconnectConfig(kind="mesh")
+
+    def test_bus_kind_allowed(self):
+        assert InterconnectConfig(kind="bus").kind == "bus"
+
+    def test_bad_dram_banks(self):
+        with pytest.raises(ValueError, match="num_banks"):
+            DramConfig(num_banks=0)
+
+    def test_dram_latency_cycles(self):
+        cycles = DEFAULT_UNCORE.dram_latency_cycles(2.66)
+        assert cycles == pytest.approx(45.0 * 2.66)

@@ -1,0 +1,68 @@
+"""Unit helpers: conversions and validation."""
+
+import pytest
+
+from repro.util import (
+    GHZ,
+    KB,
+    MB,
+    check_fraction,
+    check_in,
+    check_positive,
+    cycles_to_ns,
+    ns_to_cycles,
+)
+
+
+class TestUnits:
+    def test_kb_mb(self):
+        assert KB == 1024
+        assert MB == 1024 * 1024
+
+    def test_ns_to_cycles(self):
+        assert ns_to_cycles(45.0, 2.66) == pytest.approx(119.7)
+
+    def test_ns_to_cycles_zero_latency(self):
+        assert ns_to_cycles(0.0, 2.66) == 0.0
+
+    def test_roundtrip(self):
+        assert cycles_to_ns(ns_to_cycles(45.0, 2.66), 2.66) == pytest.approx(45.0)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError, match="latency_ns"):
+            ns_to_cycles(-1.0, 2.66)
+
+    def test_zero_frequency_rejected(self):
+        with pytest.raises(ValueError, match="frequency_ghz"):
+            ns_to_cycles(1.0, 0.0)
+
+    def test_cycles_to_ns_negative_rejected(self):
+        with pytest.raises(ValueError, match="cycles"):
+            cycles_to_ns(-5, 1.0)
+
+
+class TestValidate:
+    def test_check_positive_accepts(self):
+        assert check_positive("x", 3) == 3
+
+    def test_check_positive_rejects_zero(self):
+        with pytest.raises(ValueError, match="x must be > 0"):
+            check_positive("x", 0)
+
+    def test_check_positive_allow_zero(self):
+        assert check_positive("x", 0, allow_zero=True) == 0
+        with pytest.raises(ValueError, match="x must be >= 0"):
+            check_positive("x", -1, allow_zero=True)
+
+    def test_check_fraction_bounds(self):
+        assert check_fraction("f", 0.0) == 0.0
+        assert check_fraction("f", 1.0) == 1.0
+        with pytest.raises(ValueError, match="f must be in"):
+            check_fraction("f", 1.01)
+        with pytest.raises(ValueError):
+            check_fraction("f", -0.01)
+
+    def test_check_in(self):
+        assert check_in("k", "a", {"a", "b"}) == "a"
+        with pytest.raises(ValueError, match="k must be one of"):
+            check_in("k", "c", {"a", "b"})

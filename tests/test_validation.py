@@ -1,0 +1,82 @@
+"""Cross-validation: the interval tier against the cycle-level tier.
+
+These are the repository's trust anchor: the design-space figures run on
+the interval model, so its single-thread predictions must track the
+mechanistic cycle-level simulator in ranking and magnitude.
+"""
+
+import pytest
+
+from repro.analysis.validation import cross_validate
+from repro.microarch.config import BIG, SMALL
+from repro.workloads.spec import all_profiles
+
+#: Per-benchmark IPC ratio band (cycle / interval) the tiers must stay in.
+RATIO_BAND = (0.55, 1.75)
+
+
+@pytest.fixture(scope="module")
+def cv_big():
+    return cross_validate(all_profiles(), BIG, instructions=15_000)
+
+
+@pytest.fixture(scope="module")
+def cv_small():
+    return cross_validate(all_profiles(), SMALL, instructions=15_000)
+
+
+class TestBigCoreAgreement:
+    def test_rank_correlation(self, cv_big):
+        assert cv_big.rank_correlation > 0.8
+
+    def test_ipc_ratio_band(self, cv_big):
+        for name, ratio in cv_big.ratios.items():
+            assert RATIO_BAND[0] < ratio < RATIO_BAND[1], (
+                f"{name}: cycle/interval IPC ratio {ratio:.2f} out of band"
+            )
+
+    def test_extremes_agree(self, cv_big):
+        # The fastest and slowest benchmarks match across tiers (top-2 sets).
+        def top(d):
+            return set(sorted(d, key=d.get)[-2:])
+
+        def bottom(d):
+            return set(sorted(d, key=d.get)[:2])
+
+        assert top(cv_big.interval_ipc) & top(cv_big.cycle_ipc)
+        assert bottom(cv_big.interval_ipc) & bottom(cv_big.cycle_ipc)
+
+
+class TestSmallCoreAgreement:
+    def test_rank_correlation(self, cv_small):
+        assert cv_small.rank_correlation > 0.75
+
+    def test_ipc_ratio_band(self, cv_small):
+        for name, ratio in cv_small.ratios.items():
+            assert RATIO_BAND[0] < ratio < RATIO_BAND[1], (
+                f"{name}: cycle/interval IPC ratio {ratio:.2f} out of band"
+            )
+
+    def test_small_core_slower_in_both_tiers(self, cv_big, cv_small):
+        for name in cv_big.interval_ipc:
+            assert cv_small.interval_ipc[name] < cv_big.interval_ipc[name]
+            assert cv_small.cycle_ipc[name] < cv_big.cycle_ipc[name]
+
+
+class TestChipLevelAgreement:
+    def test_full_chip_totals_agree(self):
+        # End-to-end: the same scheduled 8-thread mix on 4B through both
+        # tiers, including SMT sharing and memory-system contention.
+        from repro.analysis.validation import cross_validate_chip
+        from repro.core.designs import get_design
+        from repro.workloads.spec import get_profile
+
+        mix = [
+            get_profile(n)
+            for n in ("mcf", "tonto", "hmmer", "libquantum",
+                      "omnetpp", "calculix", "astar", "gobmk")
+        ]
+        interval_ipc, cycle_ipc = cross_validate_chip(
+            get_design("4B"), mix, instructions=8_000
+        )
+        assert 0.6 < cycle_ipc / interval_ipc < 1.4
