@@ -1,6 +1,10 @@
 """Bench extension: Accelerating Critical Sections vs SMT flexibility."""
 
+import pytest
+
 from repro.experiments import ext_acs
+
+pytestmark = pytest.mark.slow
 
 
 def test_ext_acs(record_table):

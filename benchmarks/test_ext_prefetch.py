@@ -1,6 +1,10 @@
 """Bench extension: hardware prefetchers on the cycle-level tier."""
 
+import pytest
+
 from repro.experiments import ext_prefetch
+
+pytestmark = pytest.mark.slow
 
 
 def test_ext_prefetch(record_table):

@@ -1,6 +1,10 @@
 """Bench extension: the study at a doubled hardware budget (8B / 48 threads)."""
 
+import pytest
+
 from repro.experiments import ext_scaled_budget
+
+pytestmark = pytest.mark.slow
 
 
 def test_ext_scaled_budget(record_table):

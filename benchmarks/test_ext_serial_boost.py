@@ -1,6 +1,10 @@
 """Bench extension: EPI-style serial-phase frequency boosting."""
 
+import pytest
+
 from repro.experiments import ext_serial_boost
+
+pytestmark = pytest.mark.slow
 
 
 def test_ext_serial_boost(record_table):

@@ -1,6 +1,10 @@
 """Bench: Figure 6 — uniform distribution, no SMT anywhere."""
 
+import pytest
+
 from repro.experiments import fig06_fig07_fig08_uniform as uniform_figs
+
+pytestmark = pytest.mark.slow
 
 
 def test_fig06(record_table):

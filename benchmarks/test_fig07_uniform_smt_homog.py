@@ -1,6 +1,10 @@
 """Bench: Figure 7 — uniform distribution, SMT in homogeneous designs only."""
 
+import pytest
+
 from repro.experiments import fig06_fig07_fig08_uniform as uniform_figs
+
+pytestmark = pytest.mark.slow
 
 
 def test_fig07(record_table):

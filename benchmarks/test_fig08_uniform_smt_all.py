@@ -1,6 +1,10 @@
 """Bench: Figure 8 — uniform distribution, SMT everywhere."""
 
+import pytest
+
 from repro.experiments import fig06_fig07_fig08_uniform as uniform_figs
+
+pytestmark = pytest.mark.slow
 
 
 def test_fig08(record_table):

@@ -1,6 +1,10 @@
 """Bench: Figure 9 — per-benchmark uniform-distribution averages."""
 
+import pytest
+
 from repro.experiments import fig09_per_benchmark
+
+pytestmark = pytest.mark.slow
 
 
 def test_fig09(record_table):

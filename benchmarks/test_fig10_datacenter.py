@@ -1,6 +1,10 @@
 """Bench: Figure 10 — datacenter and mirrored thread-count distributions."""
 
+import pytest
+
 from repro.experiments import fig10_datacenter
+
+pytestmark = pytest.mark.slow
 
 
 def test_fig10a_distribution(record_table):

@@ -1,6 +1,10 @@
 """Bench: Figure 13 — 4B with SMT versus the ideal dynamic multi-core."""
 
+import pytest
+
 from repro.experiments import fig13_dynamic
+
+pytestmark = pytest.mark.slow
 
 
 def test_fig13a_homogeneous(record_table):

@@ -1,6 +1,10 @@
 """Bench: Figure 15 — power/energy vs performance Pareto analysis."""
 
+import pytest
+
 from repro.experiments import fig15_pareto
+
+pytestmark = pytest.mark.slow
 
 
 def test_fig15(record_table):

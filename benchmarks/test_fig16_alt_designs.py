@@ -1,6 +1,10 @@
 """Bench: Figure 16 — larger-cache / higher-frequency alternative designs."""
 
+import pytest
+
 from repro.experiments import fig16_alternatives
+
+pytestmark = pytest.mark.slow
 
 
 def test_fig16(record_table):

@@ -1,8 +1,12 @@
 """Bench: the paper's eleven findings, evaluated end to end."""
 
+import pytest
+
 import pathlib
 
 from repro.experiments import findings
+
+pytestmark = pytest.mark.slow
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 

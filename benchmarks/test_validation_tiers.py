@@ -5,11 +5,15 @@ cycle-level + interval sweep over the benchmark suite and reports the
 per-benchmark IPC agreement.
 """
 
+import pytest
+
 import pathlib
 
 from repro.analysis.validation import cross_validate
 from repro.microarch.config import BIG
 from repro.workloads.spec import all_profiles
+
+pytestmark = pytest.mark.slow
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 

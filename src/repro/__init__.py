@@ -38,6 +38,7 @@ from repro.core.timeline import ThreadCountTimeline, simulate_job_arrivals
 from repro.core.metrics import antt, energy_delay_product, harmonic_mean, stp
 from repro.core.scheduler import Scheduler, big_core_affinity, optimize_coschedule
 from repro.core.study import DesignSpaceStudy, MixResult
+from repro.engine import Engine, EngineStats, ResultStore, WorkUnit
 from repro.interval.contention import (
     ChipModel,
     ChipResult,
@@ -113,6 +114,11 @@ __all__ = [
     # study
     "DesignSpaceStudy",
     "MixResult",
+    # evaluation engine
+    "Engine",
+    "EngineStats",
+    "ResultStore",
+    "WorkUnit",
     "Scheduler",
     "big_core_affinity",
     "optimize_coschedule",

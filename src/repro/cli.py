@@ -7,12 +7,17 @@ Commands:
   design (STP, ANTT, power, bus state);
 * ``curve --design 4B --kind heterogeneous`` — STP vs thread count;
 * ``figure <id>`` — regenerate one of the paper's tables/figures
-  (``table1``, ``fig01`` ... ``fig17``, ``ablation-*``, ``ext-*``);
+  (``table1``, ``fig01`` ... ``fig17``, ``ablation-*``, ``ext-*``),
+  optionally through the evaluation engine (``--jobs``, ``--cache-dir``);
+* ``sweep`` — evaluate a design-space grid through the parallel engine
+  with the persistent result store (``--jobs N --cache-dir PATH``);
+* ``cache stats`` / ``cache clear`` — inspect or empty the result store;
 * ``findings`` — evaluate the paper's eleven findings;
 * ``validate`` — cross-validate the interval tier against the cycle tier.
 """
 
 import argparse
+import json
 import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -158,6 +163,25 @@ def _cmd_curve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_engine(
+    jobs: int, cache_dir: Optional[str], no_cache: bool = False
+):
+    """An engine with the persistent store (unless ``no_cache``)."""
+    from repro.engine import Engine, ResultStore
+
+    if jobs < 1:
+        print(f"error: --jobs must be >= 1, got {jobs}", file=sys.stderr)
+        raise SystemExit(2)
+    store = None if no_cache else ResultStore(cache_dir)
+    return Engine(jobs=jobs, store=store)
+
+
+def _finish_engine(engine) -> None:
+    """Persist the run summary and report stats (stderr keeps stdout clean)."""
+    engine.write_summary()
+    print(engine.stats.formatted(), file=sys.stderr)
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
     registry = _figure_registry()
     if args.id not in registry:
@@ -166,9 +190,89 @@ def _cmd_figure(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    for table in registry[args.id]():
-        print(table.to_json() if args.json else table.formatted())
-        print()
+    engine = None
+    if args.jobs != 1 or args.cache_dir is not None:
+        from repro.experiments.context import set_engine
+
+        engine = _build_engine(args.jobs, args.cache_dir)
+        set_engine(engine)
+    try:
+        for table in registry[args.id]():
+            print(table.to_json() if args.json else table.formatted())
+            print()
+    finally:
+        if engine is not None:
+            _finish_engine(engine)
+            set_engine(None)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.design.strip().lower() == "all":
+        designs: Sequence[str] = DESIGN_ORDER
+    else:
+        designs = [d.strip() for d in args.design.split(",") if d.strip()]
+    if not designs:
+        print("error: --design needs at least one design name", file=sys.stderr)
+        return 2
+    engine = _build_engine(args.jobs, args.cache_dir, args.no_cache)
+    study = DesignSpaceStudy(engine=engine)
+    counts = list(range(1, args.max_threads + 1))
+    smt = not args.no_smt
+    try:
+        study.prefetch(designs, args.kind, counts, smt)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    table = ExperimentTable(
+        experiment_id="sweep",
+        title=f"mean STP vs thread count, {args.kind} workloads, "
+        f"SMT {'on' if smt else 'off'}",
+        columns=["threads"] + list(designs),
+    )
+    for n in counts:
+        table.add_row(
+            threads=n,
+            **{name: study.mean_stp(name, args.kind, n, smt) for name in designs},
+        )
+    print(table.to_json() if args.json else table.formatted())
+    _finish_engine(engine)
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.engine import ResultStore
+
+    store = ResultStore(args.cache_dir)
+    if args.cache_command == "clear":
+        removed = store.clear()
+        print(f"evicted {removed} record(s) from {store.cache_dir}")
+        return 0
+
+    content = store.content_summary()
+    last_run = store.read_run_summary()
+    if args.json:
+        print(json.dumps({"store": content, "last_run": last_run}, indent=2))
+        return 0
+    print(f"cache dir       : {content['cache_dir']}")
+    print(f"schema version  : {content['schema_version']}")
+    print(f"records         : {content['records']}")
+    print(f"total bytes     : {content['total_bytes']}")
+    if last_run is None:
+        print("last run        : (none recorded)")
+        return 0
+    print(f"last run        : {last_run.get('finished_at', '?')}")
+    print(f"  jobs          : {last_run.get('jobs', '?')}")
+    print(f"  units         : {last_run.get('units_total', '?')}")
+    hit_rate = last_run.get("store_hit_rate")
+    if isinstance(hit_rate, (int, float)):
+        print(f"  store hits    : {last_run.get('store_hits', '?')} ({hit_rate:.1%})")
+    wall = last_run.get("wall_seconds")
+    if isinstance(wall, (int, float)):
+        print(f"  wall time     : {wall:.3f} s")
+    utilization = last_run.get("worker_utilization")
+    if isinstance(utilization, (int, float)):
+        print(f"  utilization   : {utilization:.0%}")
     return 0
 
 
@@ -249,7 +353,68 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig = sub.add_parser("figure", help="regenerate a paper table/figure")
     p_fig.add_argument("id", help="e.g. fig03, fig15, table1, ext-acs")
     p_fig.add_argument("--json", action="store_true", help="machine-readable output")
+    p_fig.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="evaluate grid points on N worker processes (engine mode)",
+    )
+    p_fig.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help="persistent result store location (default: ~/.cache/repro; "
+        "engine mode is enabled whenever this or --jobs > 1 is given)",
+    )
     p_fig.set_defaults(func=_cmd_figure)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="evaluate a design-space grid through the parallel engine",
+    )
+    p_sweep.add_argument(
+        "--design",
+        default="all",
+        help="comma-separated design names, or 'all' (default)",
+    )
+    p_sweep.add_argument(
+        "--kind",
+        default="heterogeneous",
+        choices=("homogeneous", "heterogeneous"),
+    )
+    p_sweep.add_argument("--max-threads", type=int, default=24)
+    p_sweep.add_argument("--no-smt", action="store_true")
+    p_sweep.add_argument(
+        "--jobs", type=int, default=1, metavar="N", help="worker processes"
+    )
+    p_sweep.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help="persistent result store location (default: ~/.cache/repro)",
+    )
+    p_sweep.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="skip the persistent store (compute everything)",
+    )
+    p_sweep.add_argument("--json", action="store_true", help="machine-readable output")
+    p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_cache = sub.add_parser("cache", help="inspect or clear the result store")
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    p_cache_stats = cache_sub.add_parser(
+        "stats", help="store contents and last engine run summary"
+    )
+    p_cache_stats.add_argument("--cache-dir", default=None, metavar="PATH")
+    p_cache_stats.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    p_cache_stats.set_defaults(func=_cmd_cache)
+    p_cache_clear = cache_sub.add_parser("clear", help="evict every stored record")
+    p_cache_clear.add_argument("--cache-dir", default=None, metavar="PATH")
+    p_cache_clear.set_defaults(func=_cmd_cache)
 
     sub.add_parser("findings", help="evaluate the 11 findings").set_defaults(
         func=_cmd_findings

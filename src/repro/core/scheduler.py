@@ -24,10 +24,10 @@ The paper's scheduling principles, reproduced here:
    (equal duty cycles).
 """
 
-from functools import lru_cache
 from typing import List, Optional, Sequence, Tuple
 
 from repro.core.designs import ChipDesign
+from repro.engine.store import KeyedCache
 from repro.interval.contention import (
     ChipModel,
     Placement,
@@ -38,10 +38,23 @@ from repro.microarch.config import BIG, CoreConfig
 from repro.util import check_positive
 from repro.workloads.profiles import BenchmarkProfile
 
+#: Isolated per-core-type performance, memoized under the engine's keyed
+#: content-key scheme (a pure function of (profile, core), so a
+#: process-wide cache is sound).  Unlike the former module-level
+#: ``lru_cache``, it is observable (hit/miss counters) and explicitly
+#: clearable via :func:`clear_isolated_ips_cache`.
+_ISOLATED_IPS_CACHE = KeyedCache("scheduler-isolated-ips")
 
-@lru_cache(maxsize=4096)
+
 def _cached_isolated_ips(profile: BenchmarkProfile, core: CoreConfig) -> float:
-    return isolated_ips(profile, core)
+    return _ISOLATED_IPS_CACHE.get_or_compute(
+        (profile, core), lambda: isolated_ips(profile, core)
+    )
+
+
+def clear_isolated_ips_cache() -> None:
+    """Drop the memoized isolated-IPS values (tests that tweak model globals)."""
+    _ISOLATED_IPS_CACHE.clear()
 
 
 def big_core_affinity(profile: BenchmarkProfile, weakest: CoreConfig) -> float:

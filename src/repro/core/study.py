@@ -11,21 +11,23 @@ figures do:
 * per-benchmark averages for Figure 9;
 * power and energy per point for Figures 14-15.
 
-All evaluations are memoized, so the benchmark harness can regenerate every
-figure without recomputing shared points.
+All evaluations are memoized in-process; pass an
+:class:`~repro.engine.executor.Engine` to add parallel evaluation and a
+persistent, content-addressed result store shared across processes and runs
+(see :mod:`repro.engine`).
 """
 
 from dataclasses import dataclass
-from functools import lru_cache
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.designs import ChipDesign, all_designs
 from repro.core.distributions import ThreadCountDistribution
 from repro.core.metrics import antt, arithmetic_mean, harmonic_mean, stp
-from repro.core.scheduler import Scheduler, _cached_isolated_ips
+from repro.core.scheduler import Scheduler
+from repro.engine.store import KeyedCache
 from repro.interval.contention import ChipModel, ChipResult
 from repro.microarch.config import BIG
-from repro.microarch.uncore import UncoreConfig
+from repro.microarch.uncore import DEFAULT_UNCORE, UncoreConfig
 from repro.power.mcpat import ChipPowerModel
 from repro.workloads.multiprogram import (
     Mix,
@@ -33,6 +35,9 @@ from repro.workloads.multiprogram import (
     homogeneous_mixes,
     profiles_for,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.executor import Engine
 
 #: Workload-mix kinds, matching the paper's terminology.
 WORKLOAD_KINDS = ("homogeneous", "heterogeneous")
@@ -70,6 +75,14 @@ class DesignSpaceStudy:
         Seed for balanced random heterogeneous mixes.
     mixes_per_count:
         Number of heterogeneous mixes per thread count (the paper uses 12).
+    engine:
+        Optional :class:`repro.engine.executor.Engine`: batch evaluations
+        are then looked up in its persistent result store and misses are
+        computed in parallel across worker processes.  Without an engine,
+        everything runs serially in-process exactly as before.
+    reference_uncore:
+        Uncore for the isolated-on-big reference runs that normalize STP
+        and ANTT; defaults to the first design's uncore.
     """
 
     def __init__(
@@ -79,6 +92,8 @@ class DesignSpaceStudy:
         benchmarks: Optional[Sequence[str]] = None,
         seed: int = 42,
         mixes_per_count: int = 12,
+        engine: Optional["Engine"] = None,
+        reference_uncore: Optional[UncoreConfig] = None,
     ):
         base = list(designs) if designs is not None else all_designs()
         if uncore is not None:
@@ -87,6 +102,13 @@ class DesignSpaceStudy:
         self.benchmarks = list(benchmarks) if benchmarks is not None else None
         self.seed = seed
         self.mixes_per_count = mixes_per_count
+        self.engine = engine
+        if reference_uncore is not None:
+            self.reference_uncore = reference_uncore
+        elif base:
+            self.reference_uncore = base[0].uncore
+        else:
+            self.reference_uncore = DEFAULT_UNCORE
         self._chip_models: Dict[str, ChipModel] = {}
         self._power_models: Dict[str, ChipPowerModel] = {}
         self._mix_cache: Dict[Tuple[str, Tuple[str, ...], bool], MixResult] = {}
@@ -118,7 +140,99 @@ class DesignSpaceStudy:
         key = (design_name, tuple(mix), smt)
         if key in self._mix_cache:
             return self._mix_cache[key]
+        return self.evaluate_mixes(design_name, [mix], smt)[0]
 
+    def evaluate_mixes(
+        self, design_name: str, mixes: Sequence[Mix], smt: bool = True
+    ) -> List[MixResult]:
+        """Evaluate a batch of mixes on one design (memoized).
+
+        With an engine attached, uncached points are looked up in the
+        persistent store and misses are computed in parallel; otherwise the
+        batch runs serially through the same code path as before.
+        """
+        keys = [(design_name, tuple(mix), smt) for mix in mixes]
+        pending: List[Tuple[str, Tuple[str, ...], bool]] = []
+        seen = set()
+        for key in keys:
+            if key not in self._mix_cache and key not in seen:
+                pending.append(key)
+                seen.add(key)
+        if pending:
+            if self.engine is not None:
+                from repro.engine.tasks import WorkUnit
+
+                design = self.design(design_name)
+                units = [
+                    WorkUnit(
+                        design=design,
+                        mix=key[1],
+                        smt=smt,
+                        reference_uncore=self.reference_uncore,
+                    )
+                    for key in pending
+                ]
+                computed = self.engine.evaluate(units)
+            else:
+                computed = [
+                    self._compute_mix(design_name, list(key[1]), smt)
+                    for key in pending
+                ]
+            for key, result in zip(pending, computed):
+                self._mix_cache[key] = result
+        return [self._mix_cache[key] for key in keys]
+
+    def prefetch(
+        self,
+        design_names: Sequence[str],
+        kind: str,
+        thread_counts: Iterable[int],
+        smt: bool = True,
+    ) -> int:
+        """Warm the memo for a (designs x thread counts) slab of the grid.
+
+        All uncached points across every design go to the engine as one
+        batch, maximizing worker occupancy; without an engine this is a
+        plain serial warm-up.  Returns the number of points evaluated.
+        """
+        thread_counts = list(thread_counts)
+        per_design_mixes = {n: self.mixes(kind, n) for n in thread_counts}
+        pending: List[Tuple[str, Tuple[str, ...], bool]] = []
+        seen = set()
+        for name in design_names:
+            self.design(name)  # fail fast on unknown designs
+            for n in thread_counts:
+                for mix in per_design_mixes[n]:
+                    key = (name, tuple(mix), smt)
+                    if key not in self._mix_cache and key not in seen:
+                        pending.append(key)
+                        seen.add(key)
+        if not pending:
+            return 0
+        if self.engine is not None:
+            from repro.engine.tasks import WorkUnit
+
+            units = [
+                WorkUnit(
+                    design=self.design(name),
+                    mix=mix,
+                    smt=point_smt,
+                    reference_uncore=self.reference_uncore,
+                )
+                for name, mix, point_smt in pending
+            ]
+            computed = self.engine.evaluate(units)
+        else:
+            computed = [
+                self._compute_mix(name, list(mix), point_smt)
+                for name, mix, point_smt in pending
+            ]
+        for key, result in zip(pending, computed):
+            self._mix_cache[key] = result
+        return len(pending)
+
+    def _compute_mix(self, design_name: str, mix: Mix, smt: bool) -> MixResult:
+        """The actual single-point evaluation (no memo, no engine)."""
         design = self.design(design_name)
         profiles = profiles_for(mix)
         placement = Scheduler(design, smt=smt).place(profiles)
@@ -138,7 +252,6 @@ class DesignSpaceStudy:
             bus_utilization=result.bus_utilization,
             mem_latency_inflation=result.mem_latency_inflation,
         )
-        self._mix_cache[key] = mix_result
         return mix_result
 
     def _reference_ips(self, profile) -> float:
@@ -148,8 +261,7 @@ class DesignSpaceStudy:
         Section 8.2 experiment normalizes against a 16 GB/s baseline just as
         the paper does.
         """
-        any_design = next(iter(self.designs.values()))
-        return _study_reference(profile, any_design.uncore)
+        return _study_reference(profile, self.reference_uncore)
 
     # ------------------------------------------------------------------ #
     # mixes                                                               #
@@ -171,18 +283,12 @@ class DesignSpaceStudy:
 
     def mean_stp(self, design_name: str, kind: str, n_threads: int, smt: bool = True) -> float:
         """Harmonic-mean STP across the mixes at one thread count."""
-        results = [
-            self.evaluate_mix(design_name, mix, smt)
-            for mix in self.mixes(kind, n_threads)
-        ]
+        results = self.evaluate_mixes(design_name, self.mixes(kind, n_threads), smt)
         return harmonic_mean([r.stp for r in results])
 
     def mean_antt(self, design_name: str, kind: str, n_threads: int, smt: bool = True) -> float:
         """Arithmetic-mean ANTT across the mixes at one thread count."""
-        results = [
-            self.evaluate_mix(design_name, mix, smt)
-            for mix in self.mixes(kind, n_threads)
-        ]
+        results = self.evaluate_mixes(design_name, self.mixes(kind, n_threads), smt)
         return arithmetic_mean([r.antt for r in results])
 
     def mean_power(
@@ -194,10 +300,7 @@ class DesignSpaceStudy:
         power_gate_idle: bool = True,
     ) -> float:
         """Arithmetic-mean chip power across the mixes at one thread count."""
-        results = [
-            self.evaluate_mix(design_name, mix, smt)
-            for mix in self.mixes(kind, n_threads)
-        ]
+        results = self.evaluate_mixes(design_name, self.mixes(kind, n_threads), smt)
         values = [
             r.power_gated_w if power_gate_idle else r.power_ungated_w
             for r in results
@@ -212,6 +315,8 @@ class DesignSpaceStudy:
         smt: bool = True,
     ) -> Dict[int, float]:
         """Mean STP as a function of thread count (Figure 3)."""
+        thread_counts = list(thread_counts)
+        self.prefetch([design_name], kind, thread_counts, smt)
         return {
             n: self.mean_stp(design_name, kind, n, smt) for n in thread_counts
         }
@@ -224,6 +329,8 @@ class DesignSpaceStudy:
         smt: bool = True,
     ) -> Dict[int, float]:
         """Mean ANTT as a function of thread count (Figure 5)."""
+        thread_counts = list(thread_counts)
+        self.prefetch([design_name], kind, thread_counts, smt)
         return {
             n: self.mean_antt(design_name, kind, n, smt) for n in thread_counts
         }
@@ -250,9 +357,11 @@ class DesignSpaceStudy:
         power_gate_idle: bool = True,
     ) -> float:
         """Distribution-weighted average chip power (Figure 15)."""
+        counts = range(1, distribution.max_threads + 1)
+        self.prefetch([design_name], kind, counts, smt)
         values = {
             n: self.mean_power(design_name, kind, n, smt, power_gate_idle)
-            for n in range(1, distribution.max_threads + 1)
+            for n in counts
         }
         return distribution.expectation(values)
 
@@ -264,10 +373,11 @@ class DesignSpaceStudy:
         smt: bool = True,
     ) -> float:
         """Distribution-weighted STP for homogeneous mixes of one benchmark (Figure 9)."""
-        values = {
-            n: self.evaluate_mix(design_name, [benchmark] * n, smt).stp
-            for n in range(1, distribution.max_threads + 1)
-        }
+        counts = range(1, distribution.max_threads + 1)
+        results = self.evaluate_mixes(
+            design_name, [[benchmark] * n for n in counts], smt
+        )
+        values = {n: r.stp for n, r in zip(counts, results)}
         return distribution.expectation(values)
 
     def best_design(
@@ -287,9 +397,21 @@ class DesignSpaceStudy:
         return best, scored[best]
 
 
-@lru_cache(maxsize=4096)
+#: Keyed memo of isolated-on-big references; values depend only on
+#: (profile, uncore), so sharing it process-wide is sound.  Cleared by
+#: :func:`clear_reference_cache` (tests that tweak model globals).
+_REFERENCE_CACHE = KeyedCache("study-reference-ips")
+
+
 def _study_reference(profile, uncore) -> float:
     """Isolated-on-big instructions/second under a given uncore (memoized)."""
     from repro.interval.contention import isolated_ips
 
-    return isolated_ips(profile, BIG, uncore)
+    return _REFERENCE_CACHE.get_or_compute(
+        (profile, uncore), lambda: isolated_ips(profile, BIG, uncore)
+    )
+
+
+def clear_reference_cache() -> None:
+    """Drop the memoized isolated-on-big references."""
+    _REFERENCE_CACHE.clear()

@@ -1,0 +1,59 @@
+"""Parallel evaluation engine with a persistent, content-addressed store.
+
+The design-space grid — 9 chip designs x {homogeneous, heterogeneous} mixes
+x 1-24 thread counts x SMT on/off — is embarrassingly parallel, and most of
+its points recur across figures and across runs.  This package turns grid
+evaluation into explicit work units and makes both kinds of reuse cheap:
+
+* :mod:`repro.engine.tasks` — :class:`WorkUnit`, the unit of evaluation:
+  one (design, mix, SMT) point, picklable for worker dispatch;
+* :mod:`repro.engine.keys` — deterministic, version-stamped content keys
+  derived from the *full* configuration (design, uncore, workload profiles,
+  model version), so any config or model change invalidates cleanly;
+* :mod:`repro.engine.store` — :class:`ResultStore`, an on-disk
+  content-addressed JSON store with atomic writes, schema versioning and
+  corruption tolerance, plus :class:`KeyedCache` for in-process memoization
+  under the same key scheme;
+* :mod:`repro.engine.executor` — :class:`ParallelExecutor` (process pool
+  with a bit-identical serial fallback) and :class:`Engine`, the facade
+  that checks the store, computes misses in parallel and writes back;
+* :mod:`repro.engine.stats` — :class:`EngineStats`: per-phase wall time,
+  worker utilization and cache hit rates.
+
+Typical use::
+
+    from repro.engine import Engine, ResultStore
+    from repro.core.study import DesignSpaceStudy
+
+    engine = Engine(jobs=4, store=ResultStore("~/.cache/repro"))
+    study = DesignSpaceStudy(engine=engine)
+    study.throughput_curve("4B", "heterogeneous")   # parallel + cached
+    print(engine.stats.formatted())
+"""
+
+from repro.engine.executor import Engine, ParallelExecutor
+from repro.engine.keys import MODEL_VERSION, canonicalize, content_key
+from repro.engine.stats import EngineStats
+from repro.engine.store import KeyedCache, ResultStore, StoreStats
+from repro.engine.tasks import (
+    WorkUnit,
+    evaluate_work_unit,
+    payload_from_result,
+    result_from_payload,
+)
+
+__all__ = [
+    "Engine",
+    "ParallelExecutor",
+    "EngineStats",
+    "ResultStore",
+    "StoreStats",
+    "KeyedCache",
+    "WorkUnit",
+    "evaluate_work_unit",
+    "payload_from_result",
+    "result_from_payload",
+    "content_key",
+    "canonicalize",
+    "MODEL_VERSION",
+]

@@ -1,0 +1,139 @@
+"""Parallel execution of work units and the engine facade.
+
+:class:`ParallelExecutor` maps work units over a process pool with chunked
+dispatch and *ordered* result collection; ``jobs=1`` short-circuits to a
+plain loop in the calling process — no pickling, no pool — which is
+bit-identical to the pre-engine serial path.
+
+:class:`Engine` composes the executor with the persistent
+:class:`~repro.engine.store.ResultStore`: look every unit up by content
+key, compute only the misses (in parallel), write the new results back
+atomically, and account for everything in
+:class:`~repro.engine.stats.EngineStats`.
+"""
+
+import datetime
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Optional, Sequence, Tuple
+
+from repro.engine.stats import EngineStats
+from repro.engine.store import ResultStore
+from repro.engine.tasks import (
+    WorkUnit,
+    evaluate_work_unit,
+    payload_from_result,
+    result_from_payload,
+)
+
+#: Chunks per worker when auto-sizing dispatch: small enough to balance
+#: load across heterogeneous unit costs, large enough to amortize IPC.
+_CHUNKS_PER_WORKER = 4
+
+
+def _timed_evaluate(unit: WorkUnit):
+    """Worker entry point: evaluate one unit and report its busy time."""
+    start = time.perf_counter()
+    result = evaluate_work_unit(unit)
+    return result, time.perf_counter() - start
+
+
+class ParallelExecutor:
+    """Maps work units to results, preserving submission order."""
+
+    def __init__(self, jobs: int = 1, chunksize: Optional[int] = None):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if chunksize is not None and chunksize < 1:
+            raise ValueError(f"chunksize must be >= 1, got {chunksize}")
+        self.jobs = jobs
+        self.chunksize = chunksize
+
+    def map(self, units: Sequence[WorkUnit]) -> List[Tuple[object, float]]:
+        """(result, busy-seconds) per unit, in submission order."""
+        if self.jobs == 1 or len(units) <= 1:
+            # Serial fallback: same process, same code path as before the
+            # engine existed — bit-identical by construction.
+            return [_timed_evaluate(unit) for unit in units]
+        workers = min(self.jobs, len(units))
+        chunksize = self.chunksize or max(
+            1, -(-len(units) // (workers * _CHUNKS_PER_WORKER))
+        )
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(_timed_evaluate, units, chunksize=chunksize))
+
+
+class Engine:
+    """Store-backed, parallel evaluator of work units."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        store: Optional[ResultStore] = None,
+        chunksize: Optional[int] = None,
+    ):
+        self.executor = ParallelExecutor(jobs=jobs, chunksize=chunksize)
+        self.store = store
+        self.stats = EngineStats(jobs=jobs)
+
+    @property
+    def jobs(self) -> int:
+        return self.executor.jobs
+
+    def evaluate(self, units: Sequence[WorkUnit]) -> List[object]:
+        """Evaluate ``units``; results align index-for-index with input.
+
+        Store hits skip computation entirely; misses are computed through
+        the executor and written back.  A corrupt or malformed record is
+        treated as a miss and overwritten with a fresh result.
+        """
+        units = list(units)
+        results: List[Optional[object]] = [None] * len(units)
+        misses: List[int] = []
+
+        with self.stats.phase("lookup"):
+            for i, unit in enumerate(units):
+                payload = self.store.get(unit.content_key) if self.store else None
+                if payload is not None:
+                    try:
+                        results[i] = result_from_payload(payload)
+                        continue
+                    except (KeyError, TypeError, ValueError):
+                        self.store.stats.corrupt += 1
+                misses.append(i)
+
+        busy = 0.0
+        if misses:
+            with self.stats.phase("compute"):
+                computed = self.executor.map([units[i] for i in misses])
+            with self.stats.phase("write-back"):
+                for i, (result, seconds) in zip(misses, computed):
+                    results[i] = result
+                    busy += seconds
+                    if self.store is not None:
+                        self.store.put(
+                            units[i].content_key, payload_from_result(result)
+                        )
+
+        self.stats.record_batch(
+            total=len(units),
+            hits=len(units) - len(misses),
+            computed=len(misses),
+            busy=busy,
+        )
+        return results
+
+    def run_summary(self) -> dict:
+        """This engine's lifetime stats plus store accounting."""
+        summary = {
+            "finished_at": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+            **self.stats.as_dict(),
+        }
+        if self.store is not None:
+            summary["store"] = self.store.stats.as_dict()
+        return summary
+
+    def write_summary(self) -> None:
+        """Persist the run summary next to the store (``cache stats`` reads it)."""
+        if self.store is not None:
+            self.store.write_run_summary(self.run_summary())

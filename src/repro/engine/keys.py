@@ -1,0 +1,72 @@
+"""Deterministic, version-stamped content keys for evaluation results.
+
+A result is addressed by a SHA-256 digest of the *full* configuration that
+produced it: the chip design (cores, caches, uncore), the workload profiles
+behind every benchmark name in the mix, the SMT flag, and the model version.
+Two consequences:
+
+* **stability** — the same configuration hashes to the same key in any
+  process on any machine (canonicalization sorts dict keys, spells out
+  dataclass types, and renders floats via ``repr``, Python's shortest
+  round-trip form);
+* **clean invalidation** — editing a core config, a miss-rate curve or the
+  model itself changes the key, so stale records are simply never looked
+  up; there is no invalidation protocol to get wrong.
+
+Bump :data:`MODEL_VERSION` whenever the evaluation *math* changes in a way
+that alters results without changing any configuration dataclass.
+"""
+
+import dataclasses
+import hashlib
+import json
+from enum import Enum
+from typing import Any
+
+#: Version of the evaluation model.  Part of every content key: bump it when
+#: the interval model, scheduler policy or power model changes numerically.
+MODEL_VERSION = "1"
+
+#: Version of the key derivation itself (canonicalization rules).
+KEY_SCHEMA_VERSION = 1
+
+
+def canonicalize(obj: Any) -> Any:
+    """Reduce ``obj`` to a JSON-serializable canonical form.
+
+    Dataclasses become dicts tagged with their type name (so two distinct
+    config types with identical fields cannot collide), enums collapse to
+    their values, sequences to lists, and floats to their ``repr`` (the
+    shortest string that round-trips exactly, identical across processes).
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        out = {"__type__": type(obj).__name__}
+        for field in dataclasses.fields(obj):
+            out[field.name] = canonicalize(getattr(obj, field.name))
+        return out
+    if isinstance(obj, Enum):
+        return canonicalize(obj.value)
+    if isinstance(obj, dict):
+        return {str(k): canonicalize(v) for k, v in sorted(obj.items())}
+    if isinstance(obj, (list, tuple)):
+        return [canonicalize(v) for v in obj]
+    if isinstance(obj, float):
+        return repr(obj)
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    raise TypeError(f"cannot canonicalize {type(obj).__name__!r} for keying")
+
+
+def content_key(payload: Any) -> str:
+    """SHA-256 hex digest of the canonical form of ``payload``.
+
+    The digest covers :data:`KEY_SCHEMA_VERSION` and :data:`MODEL_VERSION`,
+    so bumping either retires every previously stored key at once.
+    """
+    document = {
+        "key_schema": KEY_SCHEMA_VERSION,
+        "model": MODEL_VERSION,
+        "payload": canonicalize(payload),
+    }
+    text = json.dumps(document, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()

@@ -1,0 +1,97 @@
+"""Engine run accounting: phase wall times, utilization, hit rates.
+
+One :class:`EngineStats` instance accumulates over an engine's lifetime
+(possibly many ``evaluate`` calls), so a figure regeneration or a benchmark
+session reports totals, not just the last batch.
+"""
+
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator
+
+
+class EngineStats:
+    """Counters and timers for one :class:`~repro.engine.executor.Engine`."""
+
+    def __init__(self, jobs: int = 1):
+        self.jobs = jobs
+        self.phase_seconds: Dict[str, float] = {}
+        self.units_total = 0
+        self.store_hits = 0
+        self.units_computed = 0
+        #: Sum of per-unit evaluation times, as measured inside the workers.
+        self.compute_seconds = 0.0
+
+    # ------------------------------------------------------------------ #
+    # recording                                                           #
+    # ------------------------------------------------------------------ #
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time a named engine phase (lookup / compute / write-back)."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + elapsed
+
+    def record_batch(self, total: int, hits: int, computed: int, busy: float) -> None:
+        self.units_total += total
+        self.store_hits += hits
+        self.units_computed += computed
+        self.compute_seconds += busy
+
+    # ------------------------------------------------------------------ #
+    # derived metrics                                                     #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def wall_seconds(self) -> float:
+        return sum(self.phase_seconds.values())
+
+    @property
+    def store_hit_rate(self) -> float:
+        return self.store_hits / self.units_total if self.units_total else 0.0
+
+    @property
+    def worker_utilization(self) -> float:
+        """Fraction of worker capacity kept busy during the compute phase.
+
+        ``sum(per-unit busy time) / (jobs * compute wall time)``: 1.0 means
+        every worker computed the whole time; low values mean dispatch
+        overhead or load imbalance dominated.
+        """
+        wall = self.phase_seconds.get("compute", 0.0)
+        if wall <= 0.0 or self.jobs <= 0:
+            return 0.0
+        return min(1.0, self.compute_seconds / (self.jobs * wall))
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "jobs": self.jobs,
+            "units_total": self.units_total,
+            "store_hits": self.store_hits,
+            "units_computed": self.units_computed,
+            "store_hit_rate": self.store_hit_rate,
+            "wall_seconds": self.wall_seconds,
+            "phase_seconds": dict(self.phase_seconds),
+            "compute_seconds": self.compute_seconds,
+            "worker_utilization": self.worker_utilization,
+        }
+
+    def formatted(self) -> str:
+        """Human-readable multi-line report."""
+        lines = [
+            f"engine: jobs={self.jobs}  units={self.units_total}  "
+            f"store hits={self.store_hits} ({self.store_hit_rate:.0%})  "
+            f"computed={self.units_computed}",
+            f"wall: {self.wall_seconds:.3f}s total"
+            + "".join(
+                f"  {name}={seconds:.3f}s"
+                for name, seconds in sorted(self.phase_seconds.items())
+            ),
+            f"worker utilization: {self.worker_utilization:.0%} "
+            f"(busy {self.compute_seconds:.3f}s across {self.jobs} job(s))",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,282 @@
+"""Persistent, content-addressed result store (plus in-process keyed cache).
+
+Layout (one JSON record per result, sharded by key prefix to keep
+directories small)::
+
+    <cache-dir>/
+        last_run.json              # summary of the most recent engine run
+        v<schema>/
+            ab/
+                ab12...ef.json     # {"schema": .., "key": .., "payload": ..}
+
+Properties:
+
+* **atomic writes** — records are written to a temp file in the same
+  directory and ``os.replace``d into place, so readers never observe a
+  half-written record, even across concurrent processes;
+* **schema versioning** — the record format version is baked into both the
+  directory name and each record; a reader that finds a mismatched or
+  foreign record treats it as a miss;
+* **corruption tolerance** — truncated/garbage/mismatched records are
+  counted, deleted and recomputed, never raised;
+* **accounting** — hits, misses, writes, corrupt records and evictions are
+  tallied in :class:`StoreStats`.
+"""
+
+import json
+import os
+import tempfile
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.engine.keys import content_key
+
+#: Record format version.  Bump on layout changes; old records become
+#: invisible (they live under the previous ``v<N>`` directory).
+STORE_SCHEMA_VERSION = 1
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Fallback cache location (per the XDG convention).
+DEFAULT_CACHE_DIR = "~/.cache/repro"
+
+
+def default_cache_dir() -> Path:
+    """The store location: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
+    return Path(os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR).expanduser()
+
+
+@dataclass
+class StoreStats:
+    """Session counters for one :class:`ResultStore`."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    corrupt: int = 0
+    evicted: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        out = asdict(self)
+        out["hit_rate"] = self.hit_rate
+        return out
+
+
+class ResultStore:
+    """On-disk content-addressed store of JSON result records."""
+
+    def __init__(self, cache_dir: Optional[os.PathLike] = None):
+        self.cache_dir = (
+            Path(cache_dir).expanduser() if cache_dir is not None else default_cache_dir()
+        )
+        self.root = self.cache_dir / f"v{STORE_SCHEMA_VERSION}"
+        self.stats = StoreStats()
+
+    # ------------------------------------------------------------------ #
+    # record I/O                                                          #
+    # ------------------------------------------------------------------ #
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The payload stored under ``key``, or None (miss or bad record)."""
+        path = self._path(key)
+        try:
+            text = path.read_text()
+        except OSError:
+            self.stats.misses += 1
+            return None
+        try:
+            record = json.loads(text)
+            if (
+                not isinstance(record, dict)
+                or record.get("schema") != STORE_SCHEMA_VERSION
+                or record.get("key") != key
+                or not isinstance(record.get("payload"), dict)
+            ):
+                raise ValueError("malformed record")
+            payload = record["payload"]
+        except (ValueError, KeyError, TypeError):
+            # Corrupt/truncated/foreign record: drop it and recompute.
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        return payload
+
+    def put(self, key: str, payload: Dict[str, Any]) -> None:
+        """Atomically write ``payload`` under ``key``."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        record = {"schema": STORE_SCHEMA_VERSION, "key": key, "payload": payload}
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f".{key[:8]}-", suffix=".tmp", dir=path.parent
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(record, handle)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.writes += 1
+
+    # ------------------------------------------------------------------ #
+    # maintenance                                                         #
+    # ------------------------------------------------------------------ #
+
+    def _record_paths(self) -> List[Path]:
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every record; returns how many were evicted."""
+        removed = 0
+        for path in self._record_paths():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        self.stats.evicted += removed
+        return removed
+
+    def prune(self, max_records: int) -> int:
+        """Evict oldest records (by mtime) down to ``max_records``."""
+        if max_records < 0:
+            raise ValueError("max_records must be >= 0")
+        paths = self._record_paths()
+        if len(paths) <= max_records:
+            return 0
+        def mtime(path: Path) -> float:
+            try:
+                return path.stat().st_mtime
+            except OSError:
+                return 0.0
+        paths.sort(key=mtime)
+        removed = 0
+        for path in paths[: len(paths) - max_records]:
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        self.stats.evicted += removed
+        return removed
+
+    def content_summary(self) -> Dict[str, Any]:
+        """What is on disk right now (for ``repro cache stats``)."""
+        paths = self._record_paths()
+        total_bytes = 0
+        for path in paths:
+            try:
+                total_bytes += path.stat().st_size
+            except OSError:
+                pass
+        return {
+            "cache_dir": str(self.cache_dir),
+            "schema_version": STORE_SCHEMA_VERSION,
+            "records": len(paths),
+            "total_bytes": total_bytes,
+        }
+
+    # ------------------------------------------------------------------ #
+    # run summaries                                                       #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def summary_path(self) -> Path:
+        return self.cache_dir / "last_run.json"
+
+    def write_run_summary(self, summary: Dict[str, Any]) -> None:
+        """Persist the last engine run's stats (read by ``cache stats``)."""
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=".last_run-", suffix=".tmp", dir=self.cache_dir
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(summary, handle, indent=2)
+            os.replace(tmp_name, self.summary_path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def read_run_summary(self) -> Optional[Dict[str, Any]]:
+        try:
+            summary = json.loads(self.summary_path.read_text())
+        except (OSError, ValueError):
+            return None
+        return summary if isinstance(summary, dict) else None
+
+
+class KeyedCache:
+    """In-process memo keyed by the engine's content-key scheme.
+
+    This replaces ad-hoc module-level ``lru_cache``s: values are addressed
+    by the same deterministic keys the persistent store uses (namespaced so
+    different value kinds cannot collide), the cache is observable
+    (hit/miss counters, ``len``) and explicitly clearable by tests.  A
+    side table memoizes key derivation for hashable argument tuples so the
+    hot path stays close to ``lru_cache`` speed.
+    """
+
+    def __init__(self, namespace: str):
+        self.namespace = namespace
+        self._values: Dict[str, Any] = {}
+        self._key_memo: Dict[Tuple, str] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def key_for(self, parts: Tuple) -> str:
+        try:
+            return self._key_memo[parts]
+        except KeyError:
+            key = content_key({"namespace": self.namespace, "parts": list(parts)})
+            self._key_memo[parts] = key
+            return key
+        except TypeError:  # unhashable parts: derive without memoizing
+            return content_key({"namespace": self.namespace, "parts": list(parts)})
+
+    def get_or_compute(self, parts: Tuple, compute: Callable[[], Any]) -> Any:
+        key = self.key_for(parts)
+        try:
+            value = self._values[key]
+        except KeyError:
+            self.misses += 1
+            value = compute()
+            self._values[key] = value
+            return value
+        self.hits += 1
+        return value
+
+    def clear(self) -> None:
+        self._values.clear()
+        self._key_memo.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._values)

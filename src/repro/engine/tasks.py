@@ -1,0 +1,126 @@
+"""Work units: the engine's unit of evaluation.
+
+A :class:`WorkUnit` is one (design, mix, SMT) grid point, self-contained
+enough to evaluate in another process: it carries the full
+:class:`~repro.core.designs.ChipDesign` (not just a name, so custom designs
+work) and the uncore used for isolated-on-big reference runs.  Benchmark
+names resolve to profiles at key-derivation and evaluation time, so a
+profile edit changes the key.
+
+:func:`evaluate_work_unit` is the worker entry point.  It funnels into the
+exact same :meth:`DesignSpaceStudy.evaluate_mix` code path the serial tier
+uses — per-process studies are memoized so a worker pays model construction
+once — which is what makes ``jobs=N`` bit-identical to ``jobs=1``.
+"""
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Dict, Optional, Tuple
+
+from repro.core.designs import ChipDesign
+from repro.engine.keys import content_key
+from repro.microarch.uncore import UncoreConfig
+from repro.workloads.multiprogram import profiles_for
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One (design, mix, thread count, SMT) evaluation point.
+
+    ``reference_uncore`` is the uncore the owning study normalizes against
+    (isolated-on-big runs); it defaults to the design's own uncore and is
+    part of the content key because it changes STP/ANTT.
+    """
+
+    design: ChipDesign
+    mix: Tuple[str, ...]
+    smt: bool = True
+    reference_uncore: Optional[UncoreConfig] = None
+
+    def __post_init__(self) -> None:
+        if not self.mix:
+            raise ValueError("a work unit needs at least one benchmark")
+        object.__setattr__(self, "mix", tuple(self.mix))
+        if self.reference_uncore is None:
+            object.__setattr__(self, "reference_uncore", self.design.uncore)
+
+    @property
+    def n_threads(self) -> int:
+        return len(self.mix)
+
+    @cached_property
+    def content_key(self) -> str:
+        """Deterministic key over the full configuration behind this point."""
+        return content_key(
+            {
+                "kind": "mix-result",
+                "design": self.design,
+                "reference_uncore": self.reference_uncore,
+                "mix": list(self.mix),
+                "profiles": list(profiles_for(list(self.mix))),
+                "smt": self.smt,
+            }
+        )
+
+
+def payload_from_result(result) -> Dict[str, object]:
+    """JSON-serializable record payload for a :class:`MixResult`."""
+    return {
+        "design_name": result.design_name,
+        "mix": list(result.mix),
+        "smt": result.smt,
+        "stp": result.stp,
+        "antt": result.antt,
+        "power_gated_w": result.power_gated_w,
+        "power_ungated_w": result.power_ungated_w,
+        "bus_utilization": result.bus_utilization,
+        "mem_latency_inflation": result.mem_latency_inflation,
+    }
+
+
+def result_from_payload(payload: Dict[str, object]):
+    """Rebuild a :class:`MixResult` from a store payload.
+
+    Raises ``KeyError``/``TypeError`` on malformed payloads; callers treat
+    that as a cache miss, not an error.
+    """
+    from repro.core.study import MixResult
+
+    return MixResult(
+        design_name=str(payload["design_name"]),
+        mix=tuple(str(b) for b in payload["mix"]),
+        smt=bool(payload["smt"]),
+        stp=float(payload["stp"]),
+        antt=float(payload["antt"]),
+        power_gated_w=float(payload["power_gated_w"]),
+        power_ungated_w=float(payload["power_ungated_w"]),
+        bus_utilization=float(payload["bus_utilization"]),
+        mem_latency_inflation=float(payload["mem_latency_inflation"]),
+    )
+
+
+#: Per-process study memo so pool workers build each chip model once.
+_WORKER_STUDIES: Dict[Tuple[ChipDesign, Optional[UncoreConfig]], object] = {}
+
+
+def evaluate_work_unit(unit: WorkUnit):
+    """Evaluate one work unit (in this or a worker process).
+
+    Returns the same :class:`MixResult` the serial
+    :meth:`DesignSpaceStudy.evaluate_mix` path produces, bit for bit.
+    """
+    from repro.core.study import DesignSpaceStudy
+
+    memo_key = (unit.design, unit.reference_uncore)
+    study = _WORKER_STUDIES.get(memo_key)
+    if study is None:
+        study = DesignSpaceStudy(
+            designs=[unit.design], reference_uncore=unit.reference_uncore
+        )
+        _WORKER_STUDIES[memo_key] = study
+    return study.evaluate_mix(unit.design.name, list(unit.mix), unit.smt)
+
+
+def clear_worker_studies() -> None:
+    """Drop per-process worker studies (tests and long-lived servers)."""
+    _WORKER_STUDIES.clear()

@@ -4,23 +4,52 @@ Regenerating every figure touches thousands of (design, mix, thread count)
 points, many of them shared between figures; this module keeps one
 :class:`~repro.core.study.DesignSpaceStudy` per uncore configuration so the
 work is done once per process.
+
+An :class:`~repro.engine.executor.Engine` can be installed with
+:func:`set_engine`; every study created afterwards submits its grid points
+through it, gaining parallel evaluation and the persistent result store.
+The CLI (``figure --jobs/--cache-dir``) and the benchmark harness
+(``benchmarks/conftest.py``) both use this hook.
 """
 
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.core.study import DesignSpaceStudy
 from repro.microarch.uncore import UncoreConfig
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.executor import Engine
+
 _STUDIES: Dict[Optional[UncoreConfig], DesignSpaceStudy] = {}
+_ENGINE: Optional["Engine"] = None
 
 
 def get_study(uncore: Optional[UncoreConfig] = None) -> DesignSpaceStudy:
     """The process-wide study for a given uncore (None = baseline 8 GB/s)."""
     if uncore not in _STUDIES:
-        _STUDIES[uncore] = DesignSpaceStudy(uncore=uncore)
+        _STUDIES[uncore] = DesignSpaceStudy(uncore=uncore, engine=_ENGINE)
     return _STUDIES[uncore]
 
 
+def set_engine(engine: Optional["Engine"]) -> None:
+    """Install (or remove, with None) the engine behind future studies.
+
+    Existing memoized studies are dropped so they cannot keep submitting
+    through a stale engine; their in-memory results are recomputed on
+    demand (or served from the new engine's store).
+    """
+    global _ENGINE
+    _ENGINE = engine
+    _STUDIES.clear()
+
+
+def get_engine() -> Optional["Engine"]:
+    """The currently installed engine, if any."""
+    return _ENGINE
+
+
 def reset_context() -> None:
-    """Drop all memoized studies (mainly for tests that tweak globals)."""
+    """Drop all memoized studies and any installed engine (mainly tests)."""
+    global _ENGINE
+    _ENGINE = None
     _STUDIES.clear()

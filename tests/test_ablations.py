@@ -74,6 +74,7 @@ class TestAblationTables:
             assert row["shared"] == pytest.approx(row["static"], rel=0.06)
 
 
+@pytest.mark.slow
 class TestScaledBudget:
     def test_doubled_budget_findings_project(self):
         # Reduced mixes for test time; the bench runs the full sweep.

@@ -19,6 +19,10 @@ class TestParser:
             ["evaluate", "--mix", "mcf"],
             ["curve", "--design", "8m"],
             ["figure", "table1"],
+            ["figure", "fig03", "--jobs", "4", "--cache-dir", "/tmp/x"],
+            ["sweep", "--design", "4B", "--jobs", "2"],
+            ["cache", "stats"],
+            ["cache", "clear", "--cache-dir", "/tmp/x"],
             ["findings"],
             ["validate"],
         ):
@@ -73,6 +77,81 @@ class TestCommands:
             assert fig in registry
 
 
+class TestSweepAndCache:
+    def test_sweep_writes_store_and_cache_stats_reads_it(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        argv = [
+            "sweep", "--design", "4B", "--max-threads", "2",
+            "--jobs", "1", "--cache-dir", cache_dir,
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr()
+        assert "mean STP" in cold.out
+        assert "store hits=0" in cold.err
+
+        # Warm run against the same cache dir: everything served from disk.
+        assert main(argv) == 0
+        warm = capsys.readouterr()
+        assert warm.out == cold.out  # numerically identical table
+        assert "(100%)" in warm.err
+
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        stats_out = capsys.readouterr().out
+        assert "records" in stats_out and "100.0%" in stats_out
+
+    def test_cache_stats_json(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        main(["sweep", "--design", "8m", "--max-threads", "1",
+              "--cache-dir", cache_dir])
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", cache_dir, "--json"]) == 0
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["store"]["records"] > 0
+        assert payload["last_run"]["units_total"] > 0
+
+    def test_cache_clear(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        main(["sweep", "--design", "8m", "--max-threads", "1",
+              "--cache-dir", cache_dir])
+        capsys.readouterr()
+        assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+        assert "evicted" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache-dir", cache_dir, "--json"]) == 0
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["store"]["records"] == 0
+
+    def test_sweep_no_cache_flag(self, tmp_path, capsys):
+        assert main(["sweep", "--design", "8m", "--max-threads", "1",
+                     "--no-cache"]) == 0
+        assert "mean STP" in capsys.readouterr().out
+
+    def test_sweep_unknown_design(self, capsys):
+        assert main(["sweep", "--design", "5Z", "--max-threads", "1",
+                     "--no-cache"]) == 2
+        assert "not in this study" in capsys.readouterr().err
+
+    def test_sweep_empty_design_list(self, capsys):
+        assert main(["sweep", "--design", " , ", "--no-cache"]) == 2
+
+    def test_figure_with_engine_matches_serial(self, tmp_path, capsys):
+        from repro.experiments.context import get_engine
+
+        assert main(["figure", "fig02", "--json"]) == 0
+        serial = capsys.readouterr().out
+        cache_dir = str(tmp_path / "cache")
+        assert main(["figure", "fig02", "--json", "--jobs", "2",
+                     "--cache-dir", cache_dir]) == 0
+        engine_run = capsys.readouterr()
+        assert engine_run.out == serial
+        assert "engine:" in engine_run.err
+        # The figure command uninstalls its engine when done.
+        assert get_engine() is None
+
+
 class TestJsonExport:
     def test_figure_json(self, capsys):
         assert main(["figure", "fig02", "--json"]) == 0
@@ -95,6 +174,7 @@ class TestJsonExport:
         assert data["notes"] == ["n"]
 
 
+@pytest.mark.slow
 class TestReport:
     def test_report_restricted_set(self, tmp_path, capsys):
         out = tmp_path / "r.md"

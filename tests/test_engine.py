@@ -1,0 +1,269 @@
+"""The evaluation engine: work units, keys, store, parallel execution."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core.designs import get_design
+from repro.core.scheduler import (
+    _ISOLATED_IPS_CACHE,
+    _cached_isolated_ips,
+    clear_isolated_ips_cache,
+)
+from repro.core.study import DesignSpaceStudy
+from repro.engine import (
+    Engine,
+    KeyedCache,
+    ParallelExecutor,
+    ResultStore,
+    WorkUnit,
+    content_key,
+    evaluate_work_unit,
+    payload_from_result,
+    result_from_payload,
+)
+from repro.engine.store import STORE_SCHEMA_VERSION
+from repro.microarch.config import BIG, SMALL
+from repro.microarch.uncore import HIGH_BANDWIDTH_UNCORE
+from repro.workloads.spec import get_profile
+
+MIX = ("mcf", "tonto", "libquantum", "hmmer")
+
+
+def unit(design="4B", mix=MIX, smt=True, **kwargs):
+    return WorkUnit(design=get_design(design), mix=tuple(mix), smt=smt, **kwargs)
+
+
+class TestWorkUnit:
+    def test_requires_benchmarks(self):
+        with pytest.raises(ValueError, match="at least one benchmark"):
+            unit(mix=())
+
+    def test_reference_uncore_defaults_to_design_uncore(self):
+        u = unit()
+        assert u.reference_uncore == get_design("4B").uncore
+
+    def test_evaluate_matches_study(self, study):
+        expected = study.evaluate_mix("4B", list(MIX))
+        assert evaluate_work_unit(unit()) == expected
+
+
+class TestContentKeys:
+    def test_key_is_hex_digest(self):
+        key = unit().content_key
+        assert len(key) == 64
+        int(key, 16)
+
+    def test_key_depends_on_design_mix_and_smt(self):
+        base = unit()
+        assert base.content_key != unit(design="8m").content_key
+        assert base.content_key != unit(mix=MIX[:2]).content_key
+        assert base.content_key != unit(smt=False).content_key
+        assert base.content_key != unit(mix=tuple(reversed(MIX))).content_key
+
+    def test_key_depends_on_uncore(self):
+        fast = unit(reference_uncore=HIGH_BANDWIDTH_UNCORE)
+        assert unit().content_key != fast.content_key
+
+    def test_key_stable_within_process(self):
+        assert unit().content_key == unit().content_key
+
+    def test_key_stable_across_processes(self):
+        """The same configuration must hash identically in a fresh interpreter."""
+        script = (
+            "from repro.core.designs import get_design\n"
+            "from repro.engine import WorkUnit\n"
+            f"u = WorkUnit(design=get_design('4B'), mix={MIX!r}, smt=True)\n"
+            "print(u.content_key)\n"
+        )
+        src_dir = Path(__file__).resolve().parent.parent / "src"
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": str(src_dir), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.strip() == unit().content_key
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError, match="canonicalize"):
+            content_key({"bad": object()})
+
+
+class TestSerialParallelEquivalence:
+    def test_jobs4_bit_identical_to_jobs1(self):
+        units = [
+            unit(design=name, mix=MIX[: n + 1], smt=smt)
+            for name in ("4B", "8m", "3B5s")
+            for n in range(3)
+            for smt in (True, False)
+        ]
+        serial = Engine(jobs=1).evaluate(units)
+        parallel = Engine(jobs=4).evaluate(units)
+        assert serial == parallel  # dataclass equality: exact floats
+
+    def test_study_with_engine_matches_plain_study(self, study):
+        engine_study = DesignSpaceStudy(engine=Engine(jobs=2))
+        for n in (1, 4, 8):
+            mixes = study.mixes("heterogeneous", n)
+            assert engine_study.evaluate_mixes("4B", mixes) == [
+                study.evaluate_mix("4B", m) for m in mixes
+            ]
+
+    def test_executor_preserves_order(self):
+        units = [unit(mix=(b,)) for b in ("mcf", "tonto", "hmmer", "libquantum")]
+        results = [r for r, _ in ParallelExecutor(jobs=2).map(units)]
+        assert [r.mix for r in results] == [u.mix for u in units]
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ValueError, match="jobs"):
+            ParallelExecutor(jobs=0)
+
+
+class TestResultStore:
+    def test_round_trip(self, tmp_path, study):
+        store = ResultStore(tmp_path)
+        result = study.evaluate_mix("4B", list(MIX))
+        key = unit().content_key
+        store.put(key, payload_from_result(result))
+        assert result_from_payload(store.get(key)) == result
+        assert store.stats.writes == 1 and store.stats.hits == 1
+
+    def test_miss_on_absent_key(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.get("0" * 64) is None
+        assert store.stats.misses == 1
+
+    def test_corrupted_record_recovers(self, tmp_path):
+        store = ResultStore(tmp_path)
+        engine = Engine(jobs=1, store=store)
+        u = unit()
+        (first,) = engine.evaluate([u])
+        record_path = store._path(u.content_key)
+        record_path.write_text("{ this is not json")
+        (again,) = engine.evaluate([u])
+        assert again == first  # recomputed, not crashed
+        assert store.stats.corrupt == 1
+        # and the fresh record was written back
+        assert result_from_payload(store.get(u.content_key)) == first
+
+    def test_truncated_record_recovers(self, tmp_path):
+        store = ResultStore(tmp_path)
+        engine = Engine(jobs=1, store=store)
+        u = unit()
+        (first,) = engine.evaluate([u])
+        record_path = store._path(u.content_key)
+        record_path.write_text(record_path.read_text()[:25])
+        (again,) = engine.evaluate([u])
+        assert again == first
+        assert store.stats.corrupt == 1
+
+    def test_schema_mismatch_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        u = unit()
+        path = store._path(u.content_key)
+        path.parent.mkdir(parents=True)
+        path.write_text(
+            json.dumps(
+                {
+                    "schema": STORE_SCHEMA_VERSION + 1,
+                    "key": u.content_key,
+                    "payload": {},
+                }
+            )
+        )
+        assert store.get(u.content_key) is None
+        assert store.stats.corrupt == 1
+
+    def test_clear_counts_evictions(self, tmp_path):
+        store = ResultStore(tmp_path)
+        Engine(jobs=1, store=store).evaluate([unit(), unit(smt=False)])
+        assert store.clear() == 2
+        assert store.stats.evicted == 2
+        assert store.content_summary()["records"] == 0
+
+    def test_prune_evicts_down_to_limit(self, tmp_path):
+        store = ResultStore(tmp_path)
+        units = [unit(mix=(b,)) for b in ("mcf", "tonto", "hmmer")]
+        Engine(jobs=1, store=store).evaluate(units)
+        assert store.prune(max_records=1) == 2
+        assert store.content_summary()["records"] == 1
+        assert store.stats.evicted == 2
+
+    def test_run_summary_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        engine = Engine(jobs=1, store=store)
+        engine.evaluate([unit()])
+        engine.write_summary()
+        summary = store.read_run_summary()
+        assert summary["units_total"] == 1
+        assert summary["store"]["writes"] == 1
+
+
+class TestEngineCaching:
+    def test_second_run_hits_store(self, tmp_path):
+        units = [unit(mix=MIX[: n + 1]) for n in range(4)]
+        cold = Engine(jobs=1, store=ResultStore(tmp_path))
+        cold_results = cold.evaluate(units)
+        assert cold.stats.store_hits == 0
+
+        warm = Engine(jobs=1, store=ResultStore(tmp_path))
+        warm_results = warm.evaluate(units)
+        assert warm_results == cold_results
+        assert warm.stats.store_hits == len(units)
+        assert warm.stats.store_hit_rate == 1.0
+        assert warm.stats.units_computed == 0
+
+    def test_stats_phases_recorded(self, tmp_path):
+        engine = Engine(jobs=1, store=ResultStore(tmp_path))
+        engine.evaluate([unit()])
+        assert {"lookup", "compute", "write-back"} <= set(engine.stats.phase_seconds)
+        assert engine.stats.wall_seconds > 0
+        assert 0.0 < engine.stats.worker_utilization <= 1.0
+        assert "engine:" in engine.stats.formatted()
+
+
+class TestKeyedCache:
+    def test_get_or_compute_memoizes(self):
+        cache = KeyedCache("test")
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return 42
+
+        assert cache.get_or_compute(("a", 1), compute) == 42
+        assert cache.get_or_compute(("a", 1), compute) == 42
+        assert len(calls) == 1
+        assert cache.hits == 1 and cache.misses == 1 and len(cache) == 1
+
+    def test_namespaces_do_not_collide(self):
+        a, b = KeyedCache("ns-a"), KeyedCache("ns-b")
+        assert a.key_for((1,)) != b.key_for((1,))
+
+    def test_clear_resets(self):
+        cache = KeyedCache("test")
+        cache.get_or_compute((1,), lambda: "x")
+        cache.clear()
+        assert len(cache) == 0 and cache.hits == 0 and cache.misses == 0
+
+
+class TestSchedulerCache:
+    def test_isolated_ips_routed_through_keyed_cache(self):
+        clear_isolated_ips_cache()
+        profile = get_profile("mcf")
+        first = _cached_isolated_ips(profile, BIG)
+        assert len(_ISOLATED_IPS_CACHE) == 1
+        assert _cached_isolated_ips(profile, BIG) == first
+        assert _ISOLATED_IPS_CACHE.hits >= 1
+        assert _cached_isolated_ips(profile, SMALL) != first
+
+    def test_explicit_clear(self):
+        _cached_isolated_ips(get_profile("mcf"), BIG)
+        assert len(_ISOLATED_IPS_CACHE) > 0
+        clear_isolated_ips_cache()
+        assert len(_ISOLATED_IPS_CACHE) == 0

@@ -9,6 +9,8 @@ import pytest
 
 from repro.experiments import findings
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def all_findings():

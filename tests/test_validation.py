@@ -11,6 +11,8 @@ from repro.analysis.validation import cross_validate
 from repro.microarch.config import BIG, SMALL
 from repro.workloads.spec import all_profiles
 
+pytestmark = pytest.mark.slow
+
 #: Per-benchmark IPC ratio band (cycle / interval) the tiers must stay in.
 RATIO_BAND = (0.55, 1.75)
 
