@@ -164,7 +164,11 @@ def _cmd_curve(args: argparse.Namespace) -> int:
 
 
 def _build_engine(
-    jobs: int, cache_dir: Optional[str], no_cache: bool = False
+    jobs: int,
+    cache_dir: Optional[str],
+    no_cache: bool = False,
+    retries: int = 1,
+    unit_timeout: Optional[float] = None,
 ):
     """An engine with the persistent store (unless ``no_cache``)."""
     from repro.engine import Engine, ResultStore
@@ -172,14 +176,38 @@ def _build_engine(
     if jobs < 1:
         print(f"error: --jobs must be >= 1, got {jobs}", file=sys.stderr)
         raise SystemExit(2)
+    if retries < 0:
+        print(f"error: --retries must be >= 0, got {retries}", file=sys.stderr)
+        raise SystemExit(2)
+    if unit_timeout is not None and unit_timeout <= 0:
+        print(
+            f"error: --unit-timeout must be > 0, got {unit_timeout}",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
     store = None if no_cache else ResultStore(cache_dir)
-    return Engine(jobs=jobs, store=store)
+    return Engine(
+        jobs=jobs, store=store, retries=retries, unit_timeout=unit_timeout
+    )
 
 
 def _finish_engine(engine) -> None:
     """Persist the run summary and report stats (stderr keeps stdout clean)."""
     engine.write_summary()
     print(engine.stats.formatted(), file=sys.stderr)
+    for failure in engine.stats.failures:
+        print(
+            f"failed unit: {failure['design']}/{'+'.join(failure['mix'])} "
+            f"{failure['error_type']}: {failure['message']} "
+            f"({failure['attempts']} attempt(s))",
+            file=sys.stderr,
+        )
+    if engine.store is not None and engine.store.degraded:
+        print(
+            f"store: DEGRADED to in-memory caching "
+            f"({engine.store.degraded_reason})",
+            file=sys.stderr,
+        )
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
@@ -194,7 +222,10 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     if args.jobs != 1 or args.cache_dir is not None:
         from repro.experiments.context import set_engine
 
-        engine = _build_engine(args.jobs, args.cache_dir)
+        engine = _build_engine(
+            args.jobs, args.cache_dir, retries=args.retries,
+            unit_timeout=args.unit_timeout,
+        )
         set_engine(engine)
     try:
         for table in registry[args.id]():
@@ -215,7 +246,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if not designs:
         print("error: --design needs at least one design name", file=sys.stderr)
         return 2
-    engine = _build_engine(args.jobs, args.cache_dir, args.no_cache)
+    engine = _build_engine(
+        args.jobs, args.cache_dir, args.no_cache,
+        retries=args.retries, unit_timeout=args.unit_timeout,
+    )
     study = DesignSpaceStudy(engine=engine)
     counts = list(range(1, args.max_threads + 1))
     smt = not args.no_smt
@@ -258,6 +292,14 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     print(f"schema version  : {content['schema_version']}")
     print(f"records         : {content['records']}")
     print(f"total bytes     : {content['total_bytes']}")
+    if content["orphan_tmp_files"] or content["empty_shards"]:
+        print(
+            f"debris          : {content['orphan_tmp_files']} orphan tmp "
+            f"file(s), {content['empty_shards']} empty shard dir(s) "
+            "(swept on next clear/prune)"
+        )
+    if content["degraded"]:
+        print(f"degraded        : yes ({content['degraded_reason']})")
     if last_run is None:
         print("last run        : (none recorded)")
         return 0
@@ -273,6 +315,14 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     utilization = last_run.get("worker_utilization")
     if isinstance(utilization, (int, float)):
         print(f"  utilization   : {utilization:.0%}")
+    failed = last_run.get("units_failed", 0)
+    retried = last_run.get("units_retried", 0)
+    broken = last_run.get("broken_pools", 0)
+    if failed or retried or broken:
+        print(
+            f"  faults        : {failed} failed, {retried} retried, "
+            f"{broken} broken pool(s)"
+        )
     return 0
 
 
@@ -314,6 +364,25 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         )
     print(f"Spearman rank correlation: {cv.rank_correlation:.3f}")
     return 0 if cv.rank_correlation > 0.8 else 1
+
+
+def _add_fault_tolerance_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help="retry a failing grid point N times with exponential backoff "
+        "before reporting it as a structured failure (default: 1)",
+    )
+    parser.add_argument(
+        "--unit-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-unit wall-clock budget; a unit exceeding it counts as a "
+        "failed attempt and is retried (default: no timeout)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -367,6 +436,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="persistent result store location (default: ~/.cache/repro; "
         "engine mode is enabled whenever this or --jobs > 1 is given)",
     )
+    _add_fault_tolerance_flags(p_fig)
     p_fig.set_defaults(func=_cmd_figure)
 
     p_sweep = sub.add_parser(
@@ -399,6 +469,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the persistent store (compute everything)",
     )
+    _add_fault_tolerance_flags(p_sweep)
     p_sweep.add_argument("--json", action="store_true", help="machine-readable output")
     p_sweep.set_defaults(func=_cmd_sweep)
 

@@ -172,14 +172,14 @@ class DesignSpaceStudy:
                     )
                     for key in pending
                 ]
-                computed = self.engine.evaluate(units)
+                computed = self.engine.evaluate(units, on_failure="return")
             else:
                 computed = [
                     self._compute_mix(design_name, list(key[1]), smt)
                     for key in pending
                 ]
             for key, result in zip(pending, computed):
-                self._mix_cache[key] = result
+                self._mix_cache[key] = self._resolve_engine_result(key, result)
         return [self._mix_cache[key] for key in keys]
 
     def prefetch(
@@ -221,15 +221,36 @@ class DesignSpaceStudy:
                 )
                 for name, mix, point_smt in pending
             ]
-            computed = self.engine.evaluate(units)
+            computed = self.engine.evaluate(units, on_failure="return")
         else:
             computed = [
                 self._compute_mix(name, list(mix), point_smt)
                 for name, mix, point_smt in pending
             ]
         for key, result in zip(pending, computed):
-            self._mix_cache[key] = result
+            self._mix_cache[key] = self._resolve_engine_result(key, result)
         return len(pending)
+
+    def _resolve_engine_result(
+        self, key: Tuple[str, Tuple[str, ...], bool], result
+    ) -> MixResult:
+        """Unwrap one engine result, healing structured failures in-process.
+
+        The engine isolates a crashing unit into a
+        :class:`~repro.engine.tasks.UnitFailure` rather than aborting the
+        batch; every other point's result (and its store write-back) has
+        already survived.  For the failed point the study falls back to the
+        plain serial evaluation path — the exact code that runs with no
+        engine attached — so an engine-environment failure self-heals and a
+        genuinely broken configuration raises the same error it would have
+        raised before the engine existed.
+        """
+        from repro.engine.tasks import UnitFailure
+
+        if not isinstance(result, UnitFailure):
+            return result
+        name, mix, smt = key
+        return self._compute_mix(name, list(mix), smt)
 
     def _compute_mix(self, design_name: str, mix: Mix, smt: bool) -> MixResult:
         """The actual single-point evaluation (no memo, no engine)."""

@@ -18,7 +18,16 @@ evaluation into explicit work units and makes both kinds of reuse cheap:
   with a bit-identical serial fallback) and :class:`Engine`, the facade
   that checks the store, computes misses in parallel and writes back;
 * :mod:`repro.engine.stats` — :class:`EngineStats`: per-phase wall time,
-  worker utilization and cache hit rates.
+  worker utilization, cache hit rates and fault accounting;
+* :mod:`repro.engine.faults` — deterministic fault injection
+  (``$REPRO_FAULT_SPEC``): unit exceptions, worker kills, slow units and
+  store I/O errors, so every failure path above is testable.
+
+Failures are isolated per unit: a crashing unit yields a structured
+:class:`UnitFailure` (with configurable retries, exponential backoff and a
+per-unit timeout) instead of poisoning its chunk, a dead worker's chunk is
+re-executed serially, and an unwritable cache directory degrades the store
+to in-memory caching with a warning instead of aborting the run.
 
 Typical use::
 
@@ -31,11 +40,19 @@ Typical use::
     print(engine.stats.formatted())
 """
 
-from repro.engine.executor import Engine, ParallelExecutor
+from repro.engine.executor import (
+    Engine,
+    EngineFailureError,
+    ParallelExecutor,
+    UnitOutcome,
+    UnitTimeoutError,
+)
+from repro.engine.faults import FAULT_SPEC_ENV, InjectedFault, InjectedStoreError
 from repro.engine.keys import MODEL_VERSION, canonicalize, content_key
 from repro.engine.stats import EngineStats
 from repro.engine.store import KeyedCache, ResultStore, StoreStats
 from repro.engine.tasks import (
+    UnitFailure,
     WorkUnit,
     evaluate_work_unit,
     payload_from_result,
@@ -44,7 +61,11 @@ from repro.engine.tasks import (
 
 __all__ = [
     "Engine",
+    "EngineFailureError",
     "ParallelExecutor",
+    "UnitOutcome",
+    "UnitTimeoutError",
+    "UnitFailure",
     "EngineStats",
     "ResultStore",
     "StoreStats",
@@ -56,4 +77,7 @@ __all__ = [
     "content_key",
     "canonicalize",
     "MODEL_VERSION",
+    "FAULT_SPEC_ENV",
+    "InjectedFault",
+    "InjectedStoreError",
 ]

@@ -5,21 +5,37 @@ dispatch and *ordered* result collection; ``jobs=1`` short-circuits to a
 plain loop in the calling process — no pickling, no pool — which is
 bit-identical to the pre-engine serial path.
 
+Failures are isolated per unit: every evaluation runs inside a guard that
+retries with exponential backoff (``retries``/``backoff``), enforces an
+optional per-unit wall-clock ``unit_timeout``, and on exhaustion returns a
+structured :class:`~repro.engine.tasks.UnitFailure` in the unit's result
+slot instead of poisoning its whole chunk.  A worker process dying
+(``BrokenProcessPool``) re-executes the lost chunk serially in the parent
+and resumes the rest on a fresh pool.
+
 :class:`Engine` composes the executor with the persistent
 :class:`~repro.engine.store.ResultStore`: look every unit up by content
 key, compute only the misses (in parallel), write the new results back
-atomically, and account for everything in
-:class:`~repro.engine.stats.EngineStats`.
+atomically, and account for everything — including failures, retries and
+broken pools — in :class:`~repro.engine.stats.EngineStats`.
 """
 
+import dataclasses
 import datetime
+import functools
+import signal
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
-from typing import List, Optional, Sequence, Tuple
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
+from typing import Iterator, List, NamedTuple, Optional, Sequence
 
+from repro.engine import faults
 from repro.engine.stats import EngineStats
 from repro.engine.store import ResultStore
 from repro.engine.tasks import (
+    UnitFailure,
     WorkUnit,
     evaluate_work_unit,
     payload_from_result,
@@ -30,63 +46,236 @@ from repro.engine.tasks import (
 #: load across heterogeneous unit costs, large enough to amortize IPC.
 _CHUNKS_PER_WORKER = 4
 
+#: Ceiling on a single backoff sleep, whatever the retry count.
+_MAX_BACKOFF_SECONDS = 2.0
 
-def _timed_evaluate(unit: WorkUnit):
-    """Worker entry point: evaluate one unit and report its busy time."""
+
+class UnitTimeoutError(Exception):
+    """A unit exceeded the per-unit wall-clock budget."""
+
+
+class EngineFailureError(RuntimeError):
+    """One or more units failed after every retry; carries the details."""
+
+    def __init__(self, failures: Sequence[UnitFailure]):
+        self.failures = list(failures)
+        lines = "\n".join(f"  {f.describe()}" for f in self.failures[:10])
+        if len(self.failures) > 10:
+            lines += f"\n  ... and {len(self.failures) - 10} more"
+        super().__init__(
+            f"{len(self.failures)} work unit(s) failed after retries:\n{lines}"
+        )
+
+
+class UnitOutcome(NamedTuple):
+    """One unit's guarded evaluation: result (or failure), cost, attempts."""
+
+    value: object  # MixResult on success, UnitFailure on exhaustion
+    seconds: float
+    attempts: int
+
+    @property
+    def ok(self) -> bool:
+        return not isinstance(self.value, UnitFailure)
+
+
+@contextmanager
+def _deadline(seconds: Optional[float]) -> Iterator[None]:
+    """Raise :class:`UnitTimeoutError` if the block outlives ``seconds``.
+
+    SIGALRM-based, so it only arms on platforms that have it and in the
+    main thread (always true in pool workers); elsewhere it is a no-op
+    rather than a crash.
+    """
+    if (
+        not seconds
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise UnitTimeoutError(f"unit exceeded the {seconds}s per-unit timeout")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _guarded_evaluate(
+    unit: WorkUnit,
+    retries: int = 0,
+    backoff: float = 0.05,
+    timeout: Optional[float] = None,
+) -> UnitOutcome:
+    """Worker entry point: evaluate one unit inside the failure guard.
+
+    Never raises (short of ``KeyboardInterrupt``/``SystemExit``): after
+    ``retries`` extra attempts with exponential backoff the exception is
+    folded into a :class:`UnitFailure` carried in the outcome's value slot.
+    """
     start = time.perf_counter()
-    result = evaluate_work_unit(unit)
-    return result, time.perf_counter() - start
+    attempts = retries + 1
+    error: Optional[BaseException] = None
+    for attempt in range(1, attempts + 1):
+        try:
+            with _deadline(timeout):
+                faults.inject_unit_faults(unit)
+                result = evaluate_work_unit(unit)
+            return UnitOutcome(result, time.perf_counter() - start, attempt)
+        except Exception as exc:  # per-unit isolation boundary
+            error = exc
+            if attempt < attempts and backoff > 0:
+                time.sleep(min(backoff * 2 ** (attempt - 1), _MAX_BACKOFF_SECONDS))
+    failure = UnitFailure(
+        content_key=unit.content_key,
+        design_name=unit.design.name,
+        mix=unit.mix,
+        smt=unit.smt,
+        error_type=type(error).__name__,
+        message=str(error),
+        attempts=attempts,
+    )
+    return UnitOutcome(failure, time.perf_counter() - start, attempts)
 
 
 class ParallelExecutor:
-    """Maps work units to results, preserving submission order."""
+    """Maps work units to outcomes, preserving submission order."""
 
-    def __init__(self, jobs: int = 1, chunksize: Optional[int] = None):
+    def __init__(
+        self,
+        jobs: int = 1,
+        chunksize: Optional[int] = None,
+        retries: int = 0,
+        backoff: float = 0.05,
+        unit_timeout: Optional[float] = None,
+    ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         if chunksize is not None and chunksize < 1:
             raise ValueError(f"chunksize must be >= 1, got {chunksize}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if backoff < 0:
+            raise ValueError(f"backoff must be >= 0, got {backoff}")
+        if unit_timeout is not None and unit_timeout <= 0:
+            raise ValueError(f"unit_timeout must be > 0, got {unit_timeout}")
         self.jobs = jobs
         self.chunksize = chunksize
+        self.retries = retries
+        self.backoff = backoff
+        self.unit_timeout = unit_timeout
+        #: Worker crashes survived so far (``BrokenProcessPool`` recoveries).
+        self.broken_pools = 0
 
-    def map(self, units: Sequence[WorkUnit]) -> List[Tuple[object, float]]:
-        """(result, busy-seconds) per unit, in submission order."""
+    def _guard(self):
+        return functools.partial(
+            _guarded_evaluate,
+            retries=self.retries,
+            backoff=self.backoff,
+            timeout=self.unit_timeout,
+        )
+
+    def map(self, units: Sequence[WorkUnit]) -> List[UnitOutcome]:
+        """One :class:`UnitOutcome` per unit, in submission order.
+
+        Never raises for a unit-level failure (the outcome carries a
+        :class:`UnitFailure` instead), and survives worker deaths: when the
+        pool breaks, the lost chunk is re-executed serially in the parent
+        process and the remaining units resume on a fresh pool.
+        """
+        units = list(units)
+        guard = self._guard()
         if self.jobs == 1 or len(units) <= 1:
             # Serial fallback: same process, same code path as before the
             # engine existed — bit-identical by construction.
-            return [_timed_evaluate(unit) for unit in units]
-        workers = min(self.jobs, len(units))
-        chunksize = self.chunksize or max(
-            1, -(-len(units) // (workers * _CHUNKS_PER_WORKER))
-        )
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(_timed_evaluate, units, chunksize=chunksize))
+            return [guard(unit) for unit in units]
+        outcomes: List[UnitOutcome] = []
+        remaining = units
+        while remaining:
+            workers = min(self.jobs, len(remaining))
+            chunksize = self.chunksize or max(
+                1, -(-len(remaining) // (workers * _CHUNKS_PER_WORKER))
+            )
+            collected = 0
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=workers, initializer=faults.mark_worker_process
+                ) as pool:
+                    for outcome in pool.map(guard, remaining, chunksize=chunksize):
+                        outcomes.append(outcome)
+                        collected += 1
+                remaining = []
+            except BrokenProcessPool:
+                # A worker died mid-batch.  Results are yielded in chunk
+                # order, so everything past `collected` is unaccounted for:
+                # run the first lost chunk serially here (kill-type faults
+                # are worker-only, so the parent survives) and push the
+                # rest back through a fresh pool.
+                self.broken_pools += 1
+                remaining = remaining[collected:]
+                lost, remaining = remaining[:chunksize], remaining[chunksize:]
+                outcomes.extend(guard(unit) for unit in lost)
+        return outcomes
 
 
 class Engine:
-    """Store-backed, parallel evaluator of work units."""
+    """Store-backed, parallel, fault-tolerant evaluator of work units."""
 
     def __init__(
         self,
         jobs: int = 1,
         store: Optional[ResultStore] = None,
         chunksize: Optional[int] = None,
+        retries: int = 0,
+        backoff: float = 0.05,
+        unit_timeout: Optional[float] = None,
     ):
-        self.executor = ParallelExecutor(jobs=jobs, chunksize=chunksize)
+        self.executor = ParallelExecutor(
+            jobs=jobs,
+            chunksize=chunksize,
+            retries=retries,
+            backoff=backoff,
+            unit_timeout=unit_timeout,
+        )
         self.store = store
         self.stats = EngineStats(jobs=jobs)
+        self._broken_pools_seen = 0
+        self._last_recovered = 0
 
     @property
     def jobs(self) -> int:
         return self.executor.jobs
 
-    def evaluate(self, units: Sequence[WorkUnit]) -> List[object]:
+    def evaluate(
+        self, units: Sequence[WorkUnit], on_failure: str = "raise"
+    ) -> List[object]:
         """Evaluate ``units``; results align index-for-index with input.
 
         Store hits skip computation entirely; misses are computed through
         the executor and written back.  A corrupt or malformed record is
-        treated as a miss and overwritten with a fresh result.
+        deleted on detection and recomputed.
+
+        A unit that keeps failing after the executor's retries gets one
+        last serial attempt in this process (workers can die or be
+        environmentally broken in ways the parent is not); if that fails
+        too, behaviour follows ``on_failure``:
+
+        * ``"raise"`` (default) — raise :class:`EngineFailureError` *after*
+          writing every successful result back to the store, so completed
+          work is never lost;
+        * ``"return"`` — put the :class:`UnitFailure` in the unit's result
+          slot and let the caller decide.
         """
+        if on_failure not in ("raise", "return"):
+            raise ValueError(
+                f"on_failure must be 'raise' or 'return', got {on_failure!r}"
+            )
         units = list(units)
         results: List[Optional[object]] = [None] * len(units)
         misses: List[int] = []
@@ -99,29 +288,88 @@ class Engine:
                         results[i] = result_from_payload(payload)
                         continue
                     except (KeyError, TypeError, ValueError):
+                        # Bad payload inside a well-formed record: delete it
+                        # now so the "deleted and recomputed" contract holds
+                        # even if the recompute below fails.
                         self.store.stats.corrupt += 1
+                        self.store.delete(unit.content_key)
                 misses.append(i)
 
         busy = 0.0
+        retried = 0
+        retry_attempts = 0
+        failures: List[UnitFailure] = []
         if misses:
             with self.stats.phase("compute"):
-                computed = self.executor.map([units[i] for i in misses])
+                outcomes = self.executor.map([units[i] for i in misses])
+            if self.executor.jobs > 1 and not all(o.ok for o in outcomes):
+                outcomes = self._recover_serially(
+                    [units[i] for i in misses], outcomes
+                )
             with self.stats.phase("write-back"):
-                for i, (result, seconds) in zip(misses, computed):
-                    results[i] = result
-                    busy += seconds
+                for i, outcome in zip(misses, outcomes):
+                    results[i] = outcome.value
+                    busy += outcome.seconds
+                    if not outcome.ok:
+                        failures.append(outcome.value)
+                        continue
+                    if outcome.attempts > 1:
+                        retried += 1
+                        retry_attempts += outcome.attempts - 1
                     if self.store is not None:
                         self.store.put(
-                            units[i].content_key, payload_from_result(result)
+                            units[i].content_key,
+                            payload_from_result(outcome.value),
                         )
 
+        recovered = self._last_recovered
+        self._last_recovered = 0
+        broken = self.executor.broken_pools - self._broken_pools_seen
+        self._broken_pools_seen = self.executor.broken_pools
         self.stats.record_batch(
             total=len(units),
             hits=len(units) - len(misses),
-            computed=len(misses),
+            computed=len(misses) - len(failures),
             busy=busy,
+            failed=len(failures),
+            retried=retried,
+            retry_attempts=retry_attempts,
+            recovered=recovered,
+            broken_pools=broken,
         )
+        self.stats.record_failures(failures)
+        if failures and on_failure == "raise":
+            raise EngineFailureError(failures)
         return results
+
+    def _recover_serially(
+        self, units: Sequence[WorkUnit], outcomes: List[UnitOutcome]
+    ) -> List[UnitOutcome]:
+        """One last in-parent attempt for units that failed in the pool.
+
+        Worker-environment failures (a dead process, an injected
+        worker-only fault, a transient resource error) often do not
+        reproduce in the parent; a genuinely broken unit fails again and
+        keeps its :class:`UnitFailure` with the attempt count accumulated.
+        """
+        recovered = 0
+        with self.stats.phase("recover"):  # in-parent healing pass
+            healed: List[UnitOutcome] = []
+            for unit, outcome in zip(units, outcomes):
+                if outcome.ok:
+                    healed.append(outcome)
+                    continue
+                retry = _guarded_evaluate(unit, timeout=self.executor.unit_timeout)
+                attempts = outcome.attempts + retry.attempts
+                seconds = outcome.seconds + retry.seconds
+                if retry.ok:
+                    recovered += 1
+                    healed.append(UnitOutcome(retry.value, seconds, attempts))
+                else:
+                    failure = dataclasses.replace(retry.value, attempts=attempts)
+                    healed.append(UnitOutcome(failure, seconds, attempts))
+        self._last_recovered += recovered
+        return healed
 
     def run_summary(self) -> dict:
         """This engine's lifetime stats plus store accounting."""
@@ -130,7 +378,7 @@ class Engine:
             **self.stats.as_dict(),
         }
         if self.store is not None:
-            summary["store"] = self.store.stats.as_dict()
+            summary["store"] = self.store.status_dict()
         return summary
 
     def write_summary(self) -> None:

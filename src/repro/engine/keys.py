@@ -47,7 +47,13 @@ def canonicalize(obj: Any) -> Any:
     if isinstance(obj, Enum):
         return canonicalize(obj.value)
     if isinstance(obj, dict):
-        return {str(k): canonicalize(v) for k, v in sorted(obj.items())}
+        # Stringify keys *before* sorting: mixed-type keys (int + str) are
+        # not mutually orderable, and an int key must land in the same slot
+        # as its str() form so equivalent dicts hash identically.
+        return {
+            str(k): canonicalize(v)
+            for k, v in sorted(obj.items(), key=lambda item: str(item[0]))
+        }
     if isinstance(obj, (list, tuple)):
         return [canonicalize(v) for v in obj]
     if isinstance(obj, float):

@@ -1,13 +1,20 @@
-"""Engine run accounting: phase wall times, utilization, hit rates.
+"""Engine run accounting: phase wall times, utilization, hit rates, faults.
 
 One :class:`EngineStats` instance accumulates over an engine's lifetime
 (possibly many ``evaluate`` calls), so a figure regeneration or a benchmark
-session reports totals, not just the last batch.
+session reports totals, not just the last batch.  Fault tolerance is part
+of the ledger: failed units, retries, serial recoveries and survived worker
+crashes (broken pools) are all counted, and the most recent failures are
+kept verbatim for ``last_run.json`` and the CLI failure summary.
 """
 
 import time
 from contextlib import contextmanager
-from typing import Any, Dict, Iterator
+from typing import Any, Dict, Iterator, List, Sequence
+
+#: How many structured failure records to keep (newest win); the counters
+#: keep counting past this cap.
+MAX_RECORDED_FAILURES = 20
 
 
 class EngineStats:
@@ -21,6 +28,18 @@ class EngineStats:
         self.units_computed = 0
         #: Sum of per-unit evaluation times, as measured inside the workers.
         self.compute_seconds = 0.0
+        #: Units still failing after every retry and the serial recovery pass.
+        self.units_failed = 0
+        #: Units that eventually succeeded but needed more than one attempt.
+        self.units_retried = 0
+        #: Extra attempts spent beyond the first, across all units.
+        self.retry_attempts = 0
+        #: Units healed by the in-parent serial recovery pass.
+        self.units_recovered = 0
+        #: Worker crashes survived (one per ``BrokenProcessPool`` recovery).
+        self.broken_pools = 0
+        #: Structured details of the most recent failures (capped).
+        self.failures: List[Dict[str, Any]] = []
 
     # ------------------------------------------------------------------ #
     # recording                                                           #
@@ -28,7 +47,7 @@ class EngineStats:
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
-        """Time a named engine phase (lookup / compute / write-back)."""
+        """Time a named engine phase (lookup / compute / recover / write-back)."""
         start = time.perf_counter()
         try:
             yield
@@ -36,11 +55,34 @@ class EngineStats:
             elapsed = time.perf_counter() - start
             self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + elapsed
 
-    def record_batch(self, total: int, hits: int, computed: int, busy: float) -> None:
+    def record_batch(
+        self,
+        total: int,
+        hits: int,
+        computed: int,
+        busy: float,
+        failed: int = 0,
+        retried: int = 0,
+        retry_attempts: int = 0,
+        recovered: int = 0,
+        broken_pools: int = 0,
+    ) -> None:
         self.units_total += total
         self.store_hits += hits
         self.units_computed += computed
         self.compute_seconds += busy
+        self.units_failed += failed
+        self.units_retried += retried
+        self.retry_attempts += retry_attempts
+        self.units_recovered += recovered
+        self.broken_pools += broken_pools
+
+    def record_failures(self, failures: Sequence) -> None:
+        """Keep the structured details of the newest failures (capped)."""
+        for failure in failures:
+            self.failures.append(failure.as_dict())
+        if len(self.failures) > MAX_RECORDED_FAILURES:
+            del self.failures[: len(self.failures) - MAX_RECORDED_FAILURES]
 
     # ------------------------------------------------------------------ #
     # derived metrics                                                     #
@@ -67,6 +109,16 @@ class EngineStats:
             return 0.0
         return min(1.0, self.compute_seconds / (self.jobs * wall))
 
+    @property
+    def fault_free(self) -> bool:
+        """True when nothing went wrong at all this run."""
+        return not (
+            self.units_failed
+            or self.units_retried
+            or self.units_recovered
+            or self.broken_pools
+        )
+
     def as_dict(self) -> Dict[str, Any]:
         return {
             "jobs": self.jobs,
@@ -78,6 +130,12 @@ class EngineStats:
             "phase_seconds": dict(self.phase_seconds),
             "compute_seconds": self.compute_seconds,
             "worker_utilization": self.worker_utilization,
+            "units_failed": self.units_failed,
+            "units_retried": self.units_retried,
+            "retry_attempts": self.retry_attempts,
+            "units_recovered": self.units_recovered,
+            "broken_pools": self.broken_pools,
+            "failures": list(self.failures),
         }
 
     def formatted(self) -> str:
@@ -94,4 +152,12 @@ class EngineStats:
             f"worker utilization: {self.worker_utilization:.0%} "
             f"(busy {self.compute_seconds:.3f}s across {self.jobs} job(s))",
         ]
+        if not self.fault_free:
+            lines.append(
+                f"faults: {self.units_failed} failed  "
+                f"{self.units_retried} retried "
+                f"(+{self.retry_attempts} attempt(s))  "
+                f"{self.units_recovered} recovered serially  "
+                f"{self.broken_pools} broken pool(s) survived"
+            )
         return "\n".join(lines)

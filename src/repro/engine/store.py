@@ -19,17 +19,23 @@ Properties:
   foreign record treats it as a miss;
 * **corruption tolerance** — truncated/garbage/mismatched records are
   counted, deleted and recomputed, never raised;
-* **accounting** — hits, misses, writes, corrupt records and evictions are
-  tallied in :class:`StoreStats`.
+* **graceful degradation** — a read-only or otherwise unwritable cache
+  directory demotes the store to **in-memory caching** with a one-time
+  warning instead of aborting the run; disk records that are still
+  readable keep serving hits;
+* **accounting** — hits, misses, writes, corrupt records, evictions and
+  degraded-mode writes are tallied in :class:`StoreStats`.
 """
 
 import json
 import os
 import tempfile
+import warnings
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.engine import faults
 from repro.engine.keys import content_key
 
 #: Record format version.  Bump on layout changes; old records become
@@ -57,6 +63,8 @@ class StoreStats:
     writes: int = 0
     corrupt: int = 0
     evicted: int = 0
+    #: Writes absorbed by the in-memory fallback after degradation.
+    memory_writes: int = 0
 
     @property
     def lookups(self) -> int:
@@ -73,7 +81,15 @@ class StoreStats:
 
 
 class ResultStore:
-    """On-disk content-addressed store of JSON result records."""
+    """On-disk content-addressed store of JSON result records.
+
+    If the cache directory turns out to be unwritable or corrupt (a
+    read-only mount, a path that is actually a file, an I/O error), the
+    store *degrades* rather than raises: subsequent writes land in an
+    in-process dictionary, reads fall back to it, and a single
+    ``RuntimeWarning`` explains what happened.  The run completes; only
+    cross-run persistence is lost.
+    """
 
     def __init__(self, cache_dir: Optional[os.PathLike] = None):
         self.cache_dir = (
@@ -81,6 +97,26 @@ class ResultStore:
         )
         self.root = self.cache_dir / f"v{STORE_SCHEMA_VERSION}"
         self.stats = StoreStats()
+        self.degraded = False
+        self.degraded_reason: Optional[str] = None
+        self._memory: Dict[str, Dict[str, Any]] = {}
+        self._memory_summary: Optional[Dict[str, Any]] = None
+
+    # ------------------------------------------------------------------ #
+    # degradation                                                         #
+    # ------------------------------------------------------------------ #
+
+    def _degrade(self, reason: str) -> None:
+        if self.degraded:
+            return
+        self.degraded = True
+        self.degraded_reason = reason
+        warnings.warn(
+            f"result store degraded to in-memory caching ({reason}); "
+            f"results from this run will not persist under {self.cache_dir}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
     # ------------------------------------------------------------------ #
     # record I/O                                                          #
@@ -91,8 +127,12 @@ class ResultStore:
 
     def get(self, key: str) -> Optional[Dict[str, Any]]:
         """The payload stored under ``key``, or None (miss or bad record)."""
+        if key in self._memory:
+            self.stats.hits += 1
+            return self._memory[key]
         path = self._path(key)
         try:
+            faults.inject_store_fault("read")
             text = path.read_text()
         except OSError:
             self.stats.misses += 1
@@ -120,24 +160,53 @@ class ResultStore:
         return payload
 
     def put(self, key: str, payload: Dict[str, Any]) -> None:
-        """Atomically write ``payload`` under ``key``."""
+        """Write ``payload`` under ``key``: atomically on disk, or to the
+        in-memory fallback once the store has degraded."""
+        if self.degraded:
+            self._memory[key] = payload
+            self.stats.memory_writes += 1
+            return
         path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         record = {"schema": STORE_SCHEMA_VERSION, "key": key, "payload": payload}
-        fd, tmp_name = tempfile.mkstemp(
-            prefix=f".{key[:8]}-", suffix=".tmp", dir=path.parent
-        )
+        tmp_name = None
         try:
+            faults.inject_store_fault("write")
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                prefix=f".{key[:8]}-", suffix=".tmp", dir=path.parent
+            )
             with os.fdopen(fd, "w") as handle:
                 json.dump(record, handle)
             os.replace(tmp_name, path)
+            tmp_name = None
+        except OSError as exc:
+            self._cleanup_tmp(tmp_name)
+            self._degrade(f"write failed: {exc}")
+            self._memory[key] = payload
+            self.stats.memory_writes += 1
+            return
         except BaseException:
+            self._cleanup_tmp(tmp_name)
+            raise
+        self.stats.writes += 1
+
+    @staticmethod
+    def _cleanup_tmp(tmp_name: Optional[str]) -> None:
+        if tmp_name is not None:
             try:
                 os.unlink(tmp_name)
             except OSError:
                 pass
-            raise
-        self.stats.writes += 1
+
+    def delete(self, key: str) -> bool:
+        """Remove the record under ``key`` (memory and disk); True if a
+        disk record was actually unlinked."""
+        self._memory.pop(key, None)
+        try:
+            self._path(key).unlink()
+            return True
+        except OSError:
+            return False
 
     # ------------------------------------------------------------------ #
     # maintenance                                                         #
@@ -148,9 +217,50 @@ class ResultStore:
             return []
         return sorted(self.root.glob("*/*.json"))
 
+    def _orphan_tmp_paths(self) -> List[Path]:
+        """Leftover ``.tmp`` files from writers that died mid-write."""
+        orphans: List[Path] = []
+        if self.root.is_dir():
+            orphans.extend(self.root.glob("*/.*.tmp"))
+        if self.cache_dir.is_dir():
+            orphans.extend(self.cache_dir.glob(".last_run-*.tmp"))
+        return sorted(orphans)
+
+    def _empty_shard_dirs(self) -> List[Path]:
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            child
+            for child in self.root.iterdir()
+            if child.is_dir() and not any(child.iterdir())
+        )
+
+    def sweep_debris(self) -> Dict[str, int]:
+        """Remove orphaned temp files and empty shard directories.
+
+        Runs automatically after :meth:`clear` and :meth:`prune`; safe to
+        call any time.  Returns what was removed.
+        """
+        removed_tmp = 0
+        for path in self._orphan_tmp_paths():
+            try:
+                path.unlink()
+                removed_tmp += 1
+            except OSError:
+                pass
+        removed_dirs = 0
+        for shard in self._empty_shard_dirs():
+            try:
+                shard.rmdir()
+                removed_dirs += 1
+            except OSError:
+                pass
+        return {"tmp_files": removed_tmp, "empty_shards": removed_dirs}
+
     def clear(self) -> int:
         """Delete every record; returns how many were evicted."""
-        removed = 0
+        removed = len(self._memory)
+        self._memory.clear()
         for path in self._record_paths():
             try:
                 path.unlink()
@@ -158,6 +268,7 @@ class ResultStore:
             except OSError:
                 pass
         self.stats.evicted += removed
+        self.sweep_debris()
         return removed
 
     def prune(self, max_records: int) -> int:
@@ -166,6 +277,7 @@ class ResultStore:
             raise ValueError("max_records must be >= 0")
         paths = self._record_paths()
         if len(paths) <= max_records:
+            self.sweep_debris()
             return 0
         def mtime(path: Path) -> float:
             try:
@@ -181,6 +293,7 @@ class ResultStore:
             except OSError:
                 pass
         self.stats.evicted += removed
+        self.sweep_debris()
         return removed
 
     def content_summary(self) -> Dict[str, Any]:
@@ -197,7 +310,20 @@ class ResultStore:
             "schema_version": STORE_SCHEMA_VERSION,
             "records": len(paths),
             "total_bytes": total_bytes,
+            "orphan_tmp_files": len(self._orphan_tmp_paths()),
+            "empty_shards": len(self._empty_shard_dirs()),
+            "memory_records": len(self._memory),
+            "degraded": self.degraded,
+            "degraded_reason": self.degraded_reason,
         }
+
+    def status_dict(self) -> Dict[str, Any]:
+        """Session stats plus degradation state (for run summaries)."""
+        out = self.stats.as_dict()
+        out["degraded"] = self.degraded
+        out["degraded_reason"] = self.degraded_reason
+        out["memory_records"] = len(self._memory)
+        return out
 
     # ------------------------------------------------------------------ #
     # run summaries                                                       #
@@ -208,28 +334,39 @@ class ResultStore:
         return self.cache_dir / "last_run.json"
 
     def write_run_summary(self, summary: Dict[str, Any]) -> None:
-        """Persist the last engine run's stats (read by ``cache stats``)."""
-        self.cache_dir.mkdir(parents=True, exist_ok=True)
-        fd, tmp_name = tempfile.mkstemp(
-            prefix=".last_run-", suffix=".tmp", dir=self.cache_dir
-        )
+        """Persist the last engine run's stats (read by ``cache stats``).
+
+        Never raises for an unwritable cache directory: the summary is kept
+        in memory instead (and the store degrades, with its warning).
+        """
+        if self.degraded:
+            self._memory_summary = summary
+            return
+        tmp_name = None
         try:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                prefix=".last_run-", suffix=".tmp", dir=self.cache_dir
+            )
             with os.fdopen(fd, "w") as handle:
                 json.dump(summary, handle, indent=2)
             os.replace(tmp_name, self.summary_path)
+            tmp_name = None
+        except OSError as exc:
+            self._cleanup_tmp(tmp_name)
+            self._degrade(f"run summary write failed: {exc}")
+            self._memory_summary = summary
+            return
         except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
+            self._cleanup_tmp(tmp_name)
             raise
 
     def read_run_summary(self) -> Optional[Dict[str, Any]]:
         try:
             summary = json.loads(self.summary_path.read_text())
         except (OSError, ValueError):
-            return None
-        return summary if isinstance(summary, dict) else None
+            return self._memory_summary
+        return summary if isinstance(summary, dict) else self._memory_summary
 
 
 class KeyedCache:

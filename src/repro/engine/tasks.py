@@ -15,7 +15,7 @@ once — which is what makes ``jobs=N`` bit-identical to ``jobs=1``.
 
 from dataclasses import dataclass
 from functools import cached_property
-from typing import Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from repro.core.designs import ChipDesign
 from repro.engine.keys import content_key
@@ -61,6 +61,43 @@ class WorkUnit:
                 "smt": self.smt,
             }
         )
+
+
+@dataclass(frozen=True)
+class UnitFailure:
+    """Structured outcome of a work unit whose evaluation kept failing.
+
+    The executor returns one of these *in the unit's result slot* instead
+    of letting the exception poison the whole chunk: every other unit's
+    result survives, aligned index-for-index with the input.
+    """
+
+    content_key: str
+    design_name: str
+    mix: Tuple[str, ...]
+    smt: bool
+    error_type: str
+    message: str
+    attempts: int
+
+    def describe(self) -> str:
+        smt_note = "" if self.smt else " (no SMT)"
+        return (
+            f"{self.design_name}/{'+'.join(self.mix)}{smt_note}: "
+            f"{self.error_type}: {self.message} "
+            f"(after {self.attempts} attempt(s))"
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "content_key": self.content_key,
+            "design": self.design_name,
+            "mix": list(self.mix),
+            "smt": self.smt,
+            "error_type": self.error_type,
+            "message": self.message,
+            "attempts": self.attempts,
+        }
 
 
 def payload_from_result(result) -> Dict[str, object]:

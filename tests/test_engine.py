@@ -116,8 +116,9 @@ class TestSerialParallelEquivalence:
 
     def test_executor_preserves_order(self):
         units = [unit(mix=(b,)) for b in ("mcf", "tonto", "hmmer", "libquantum")]
-        results = [r for r, _ in ParallelExecutor(jobs=2).map(units)]
-        assert [r.mix for r in results] == [u.mix for u in units]
+        outcomes = ParallelExecutor(jobs=2).map(units)
+        assert all(o.ok and o.attempts == 1 for o in outcomes)
+        assert [o.value.mix for o in outcomes] == [u.mix for u in units]
 
     def test_invalid_jobs_rejected(self):
         with pytest.raises(ValueError, match="jobs"):
