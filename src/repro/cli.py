@@ -14,6 +14,12 @@ Commands:
 * ``cache stats`` / ``cache clear`` — inspect or empty the result store;
 * ``findings`` — evaluate the paper's eleven findings;
 * ``validate`` — cross-validate the interval tier against the cycle tier.
+
+Observability (:mod:`repro.obs`): every command honours ``--log-level`` and
+``--log-json`` (status output on stderr; stdout stays machine-stable), and
+``sweep``/``figure`` accept ``--trace FILE`` (Chrome trace-event JSON,
+including worker-process spans), ``--metrics FILE`` (counter/histogram
+snapshot) and ``--progress/--no-progress`` (live ETA line, auto on a TTY).
 """
 
 import argparse
@@ -24,8 +30,18 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro.core.designs import ALTERNATIVE_DESIGNS, DESIGN_ORDER, get_design
 from repro.core.study import DesignSpaceStudy
 from repro.experiments.base import ExperimentTable
+from repro.obs import (
+    METRICS,
+    TRACER,
+    ProgressLine,
+    configure_logging,
+    get_logger,
+    reset_observability,
+)
 from repro.workloads.parsec import PARSEC_ORDER
 from repro.workloads.spec import SPEC_ORDER
+
+_LOG = get_logger("cli")
 
 
 def _figure_registry() -> Dict[str, Callable[[], List[ExperimentTable]]]:
@@ -132,7 +148,7 @@ def _cmd_list_experiments(_args: argparse.Namespace) -> int:
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     mix = [b.strip() for b in args.mix.split(",") if b.strip()]
     if not mix:
-        print("error: --mix needs at least one benchmark", file=sys.stderr)
+        _LOG.error("error: --mix needs at least one benchmark")
         return 2
     study = DesignSpaceStudy()
     result = study.evaluate_mix(args.design, mix, smt=not args.no_smt)
@@ -174,16 +190,13 @@ def _build_engine(
     from repro.engine import Engine, ResultStore
 
     if jobs < 1:
-        print(f"error: --jobs must be >= 1, got {jobs}", file=sys.stderr)
+        _LOG.error(f"error: --jobs must be >= 1, got {jobs}")
         raise SystemExit(2)
     if retries < 0:
-        print(f"error: --retries must be >= 0, got {retries}", file=sys.stderr)
+        _LOG.error(f"error: --retries must be >= 0, got {retries}")
         raise SystemExit(2)
     if unit_timeout is not None and unit_timeout <= 0:
-        print(
-            f"error: --unit-timeout must be > 0, got {unit_timeout}",
-            file=sys.stderr,
-        )
+        _LOG.error(f"error: --unit-timeout must be > 0, got {unit_timeout}")
         raise SystemExit(2)
     store = None if no_cache else ResultStore(cache_dir)
     return Engine(
@@ -194,29 +207,47 @@ def _build_engine(
 def _finish_engine(engine) -> None:
     """Persist the run summary and report stats (stderr keeps stdout clean)."""
     engine.write_summary()
-    print(engine.stats.formatted(), file=sys.stderr)
+    _LOG.info(engine.stats.formatted())
     for failure in engine.stats.failures:
-        print(
+        _LOG.warning(
             f"failed unit: {failure['design']}/{'+'.join(failure['mix'])} "
             f"{failure['error_type']}: {failure['message']} "
-            f"({failure['attempts']} attempt(s))",
-            file=sys.stderr,
+            f"({failure['attempts']} attempt(s))"
         )
     if engine.store is not None and engine.store.degraded:
-        print(
+        _LOG.warning(
             f"store: DEGRADED to in-memory caching "
-            f"({engine.store.degraded_reason})",
-            file=sys.stderr,
+            f"({engine.store.degraded_reason})"
         )
+
+
+def _obs_begin(args: argparse.Namespace) -> None:
+    """Enable the global tracer/metrics registry per ``--trace``/``--metrics``."""
+    if getattr(args, "trace", None):
+        TRACER.reset()
+        TRACER.enable()
+    if getattr(args, "metrics", None):
+        METRICS.reset()
+        METRICS.enable()
+
+
+def _obs_finish(args: argparse.Namespace) -> None:
+    """Write any requested trace/metrics files, then disable and reset."""
+    try:
+        if getattr(args, "trace", None) and TRACER.enabled:
+            count = TRACER.write(args.trace)
+            _LOG.info(f"wrote trace: {args.trace}", events=count)
+        if getattr(args, "metrics", None) and METRICS.enabled:
+            METRICS.write(args.metrics)
+            _LOG.info(f"wrote metrics: {args.metrics}")
+    finally:
+        reset_observability()
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
     registry = _figure_registry()
     if args.id not in registry:
-        print(
-            f"unknown experiment {args.id!r}; try: {', '.join(registry)}",
-            file=sys.stderr,
-        )
+        _LOG.error(f"unknown experiment {args.id!r}; try: {', '.join(registry)}")
         return 2
     engine = None
     if args.jobs != 1 or args.cache_dir is not None:
@@ -226,7 +257,9 @@ def _cmd_figure(args: argparse.Namespace) -> int:
             args.jobs, args.cache_dir, retries=args.retries,
             unit_timeout=args.unit_timeout,
         )
+        engine.progress = ProgressLine(f"figure {args.id}", enabled=args.progress)
         set_engine(engine)
+    _obs_begin(args)
     try:
         for table in registry[args.id]():
             print(table.to_json() if args.json else table.formatted())
@@ -235,6 +268,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         if engine is not None:
             _finish_engine(engine)
             set_engine(None)
+        _obs_finish(args)
     return 0
 
 
@@ -244,34 +278,42 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     else:
         designs = [d.strip() for d in args.design.split(",") if d.strip()]
     if not designs:
-        print("error: --design needs at least one design name", file=sys.stderr)
+        _LOG.error("error: --design needs at least one design name")
         return 2
     engine = _build_engine(
         args.jobs, args.cache_dir, args.no_cache,
         retries=args.retries, unit_timeout=args.unit_timeout,
     )
+    engine.progress = ProgressLine("sweep", enabled=args.progress)
     study = DesignSpaceStudy(engine=engine)
     counts = list(range(1, args.max_threads + 1))
     smt = not args.no_smt
+    _obs_begin(args)
     try:
-        study.prefetch(designs, args.kind, counts, smt)
-    except KeyError as exc:
-        print(f"error: {exc.args[0]}", file=sys.stderr)
-        return 2
-    table = ExperimentTable(
-        experiment_id="sweep",
-        title=f"mean STP vs thread count, {args.kind} workloads, "
-        f"SMT {'on' if smt else 'off'}",
-        columns=["threads"] + list(designs),
-    )
-    for n in counts:
-        table.add_row(
-            threads=n,
-            **{name: study.mean_stp(name, args.kind, n, smt) for name in designs},
+        try:
+            study.prefetch(designs, args.kind, counts, smt)
+        except KeyError as exc:
+            _LOG.error(f"error: {exc.args[0]}")
+            return 2
+        table = ExperimentTable(
+            experiment_id="sweep",
+            title=f"mean STP vs thread count, {args.kind} workloads, "
+            f"SMT {'on' if smt else 'off'}",
+            columns=["threads"] + list(designs),
         )
-    print(table.to_json() if args.json else table.formatted())
-    _finish_engine(engine)
-    return 0
+        for n in counts:
+            table.add_row(
+                threads=n,
+                **{
+                    name: study.mean_stp(name, args.kind, n, smt)
+                    for name in designs
+                },
+            )
+        print(table.to_json() if args.json else table.formatted())
+        _finish_engine(engine)
+        return 0
+    finally:
+        _obs_finish(args)
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -323,6 +365,28 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             f"  faults        : {failed} failed, {retried} retried, "
             f"{broken} broken pool(s)"
         )
+    phases = last_run.get("phase_seconds")
+    shares = last_run.get("phase_shares") or {}
+    if isinstance(phases, dict) and phases:
+        breakdown = "  ".join(
+            f"{name}={seconds:.3f}s/{shares.get(name, 0.0):.0%}"
+            for name, seconds in sorted(phases.items())
+        )
+        print(f"  phases        : {breakdown}")
+    unit_seconds = last_run.get("unit_seconds")
+    if isinstance(unit_seconds, dict) and unit_seconds.get("count"):
+        print(
+            f"  unit latency  : p50 {unit_seconds['p50'] * 1e3:.1f} ms  "
+            f"p95 {unit_seconds['p95'] * 1e3:.1f} ms  "
+            f"over {unit_seconds['count']} computed unit(s)"
+        )
+    metrics = last_run.get("metrics")
+    if isinstance(metrics, dict):
+        print(
+            f"  metrics       : {len(metrics.get('counters', {}))} counter(s), "
+            f"{len(metrics.get('gauges', {}))} gauge(s), "
+            f"{len(metrics.get('histograms', {}))} histogram(s)"
+        )
     return 0
 
 
@@ -366,6 +430,37 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0 if cv.rank_correlation > 0.8 else 1
 
 
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="write a Chrome trace-event JSON file (load in Perfetto or "
+        "chrome://tracing); includes spans from worker processes",
+    )
+    parser.add_argument(
+        "--metrics",
+        default=None,
+        metavar="FILE",
+        help="write a JSON snapshot of counters/gauges/histograms",
+    )
+    progress = parser.add_mutually_exclusive_group()
+    progress.add_argument(
+        "--progress",
+        action="store_true",
+        dest="progress",
+        default=None,
+        help="show a live progress line with ETA on stderr (default: "
+        "auto, only when stderr is a TTY)",
+    )
+    progress.add_argument(
+        "--no-progress",
+        action="store_false",
+        dest="progress",
+        help="never show the progress line",
+    )
+
+
 def _add_fault_tolerance_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--retries",
@@ -389,6 +484,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of 'The Benefit of SMT in the Multi-Core Era' (ASPLOS 2014)",
+    )
+    parser.add_argument(
+        "--log-level",
+        default="info",
+        choices=("debug", "info", "warning", "error"),
+        help="status output verbosity on stderr (default: info)",
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit status output as JSON lines instead of text",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -437,6 +543,7 @@ def build_parser() -> argparse.ArgumentParser:
         "engine mode is enabled whenever this or --jobs > 1 is given)",
     )
     _add_fault_tolerance_flags(p_fig)
+    _add_obs_flags(p_fig)
     p_fig.set_defaults(func=_cmd_figure)
 
     p_sweep = sub.add_parser(
@@ -470,6 +577,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the persistent store (compute everything)",
     )
     _add_fault_tolerance_flags(p_sweep)
+    _add_obs_flags(p_sweep)
     p_sweep.add_argument("--json", action="store_true", help="machine-readable output")
     p_sweep.set_defaults(func=_cmd_sweep)
 
@@ -531,6 +639,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    configure_logging(level=args.log_level, json_mode=args.log_json)
     try:
         return args.func(args)
     except BrokenPipeError:

@@ -35,6 +35,7 @@ from repro.interval.contention import (
     isolated_ips,
 )
 from repro.microarch.config import BIG, CoreConfig
+from repro.obs import METRICS, TRACER
 from repro.util import check_positive
 from repro.workloads.profiles import BenchmarkProfile
 
@@ -114,19 +115,30 @@ class Scheduler:
         """Produce a :class:`Placement` for the given active threads."""
         if not profiles:
             raise ValueError("need at least one active thread")
-        counts = self.slot_counts(len(profiles))
-        assignment = self._deal_threads(list(profiles), counts)
-
-        core_threads: List[List[ThreadSpec]] = []
-        for core, threads in zip(self.design.cores, assignment):
-            cap = core.max_smt_contexts if self.smt else 1
-            duty = 1.0 if len(threads) <= cap else cap / len(threads)
-            core_threads.append([ThreadSpec(p, duty_cycle=duty) for p in threads])
-        placement = Placement.from_lists(core_threads)
-        if len(profiles) <= sum(
-            (c.max_smt_contexts if self.smt else 1) for c in self.design.cores
+        if METRICS.enabled:
+            METRICS.inc("schedule.placements")
+        with TRACER.span(
+            "schedule.place",
+            cat="schedule",
+            design=self.design.name,
+            threads=len(profiles),
+            smt=self.smt,
         ):
-            placement.validate_against(self.design, self.smt)
+            counts = self.slot_counts(len(profiles))
+            assignment = self._deal_threads(list(profiles), counts)
+
+            core_threads: List[List[ThreadSpec]] = []
+            for core, threads in zip(self.design.cores, assignment):
+                cap = core.max_smt_contexts if self.smt else 1
+                duty = 1.0 if len(threads) <= cap else cap / len(threads)
+                core_threads.append(
+                    [ThreadSpec(p, duty_cycle=duty) for p in threads]
+                )
+            placement = Placement.from_lists(core_threads)
+            if len(profiles) <= sum(
+                (c.max_smt_contexts if self.smt else 1) for c in self.design.cores
+            ):
+                placement.validate_against(self.design, self.smt)
         return placement
 
     def _deal_threads(

@@ -26,6 +26,7 @@ from repro.core.metrics import antt, arithmetic_mean, harmonic_mean, stp
 from repro.core.scheduler import Scheduler
 from repro.engine.store import KeyedCache
 from repro.interval.contention import ChipModel, ChipResult
+from repro.obs import METRICS, TRACER
 from repro.microarch.config import BIG
 from repro.microarch.uncore import DEFAULT_UNCORE, UncoreConfig
 from repro.power.mcpat import ChipPowerModel
@@ -159,27 +160,34 @@ class DesignSpaceStudy:
                 pending.append(key)
                 seen.add(key)
         if pending:
-            if self.engine is not None:
-                from repro.engine.tasks import WorkUnit
+            with TRACER.span(
+                "study.evaluate-batch",
+                cat="study",
+                design=design_name,
+                pending=len(pending),
+                smt=smt,
+            ):
+                if self.engine is not None:
+                    from repro.engine.tasks import WorkUnit
 
-                design = self.design(design_name)
-                units = [
-                    WorkUnit(
-                        design=design,
-                        mix=key[1],
-                        smt=smt,
-                        reference_uncore=self.reference_uncore,
-                    )
-                    for key in pending
-                ]
-                computed = self.engine.evaluate(units, on_failure="return")
-            else:
-                computed = [
-                    self._compute_mix(design_name, list(key[1]), smt)
-                    for key in pending
-                ]
-            for key, result in zip(pending, computed):
-                self._mix_cache[key] = self._resolve_engine_result(key, result)
+                    design = self.design(design_name)
+                    units = [
+                        WorkUnit(
+                            design=design,
+                            mix=key[1],
+                            smt=smt,
+                            reference_uncore=self.reference_uncore,
+                        )
+                        for key in pending
+                    ]
+                    computed = self.engine.evaluate(units, on_failure="return")
+                else:
+                    computed = [
+                        self._compute_mix(design_name, list(key[1]), smt)
+                        for key in pending
+                    ]
+                for key, result in zip(pending, computed):
+                    self._mix_cache[key] = self._resolve_engine_result(key, result)
         return [self._mix_cache[key] for key in keys]
 
     def prefetch(
@@ -209,26 +217,33 @@ class DesignSpaceStudy:
                         seen.add(key)
         if not pending:
             return 0
-        if self.engine is not None:
-            from repro.engine.tasks import WorkUnit
+        with TRACER.span(
+            "study.prefetch",
+            cat="study",
+            designs=list(design_names),
+            kind=kind,
+            pending=len(pending),
+        ):
+            if self.engine is not None:
+                from repro.engine.tasks import WorkUnit
 
-            units = [
-                WorkUnit(
-                    design=self.design(name),
-                    mix=mix,
-                    smt=point_smt,
-                    reference_uncore=self.reference_uncore,
-                )
-                for name, mix, point_smt in pending
-            ]
-            computed = self.engine.evaluate(units, on_failure="return")
-        else:
-            computed = [
-                self._compute_mix(name, list(mix), point_smt)
-                for name, mix, point_smt in pending
-            ]
-        for key, result in zip(pending, computed):
-            self._mix_cache[key] = self._resolve_engine_result(key, result)
+                units = [
+                    WorkUnit(
+                        design=self.design(name),
+                        mix=mix,
+                        smt=point_smt,
+                        reference_uncore=self.reference_uncore,
+                    )
+                    for name, mix, point_smt in pending
+                ]
+                computed = self.engine.evaluate(units, on_failure="return")
+            else:
+                computed = [
+                    self._compute_mix(name, list(mix), point_smt)
+                    for name, mix, point_smt in pending
+                ]
+            for key, result in zip(pending, computed):
+                self._mix_cache[key] = self._resolve_engine_result(key, result)
         return len(pending)
 
     def _resolve_engine_result(
@@ -254,25 +269,30 @@ class DesignSpaceStudy:
 
     def _compute_mix(self, design_name: str, mix: Mix, smt: bool) -> MixResult:
         """The actual single-point evaluation (no memo, no engine)."""
-        design = self.design(design_name)
-        profiles = profiles_for(mix)
-        placement = Scheduler(design, smt=smt).place(profiles)
-        result = self._chip_model(design_name).evaluate(placement, smt=smt)
-        specs = [spec for threads in placement.core_threads for spec in threads]
-        refs = [self._reference_ips(spec.profile) for spec in specs]
-        shared = [t.ips for t in result.threads]
-        power_model = self._power_model(design_name)
-        mix_result = MixResult(
-            design_name=design_name,
-            mix=tuple(mix),
-            smt=smt,
-            stp=stp(shared, refs),
-            antt=antt(shared, refs),
-            power_gated_w=power_model.power(result, power_gate_idle=True),
-            power_ungated_w=power_model.power(result, power_gate_idle=False),
-            bus_utilization=result.bus_utilization,
-            mem_latency_inflation=result.mem_latency_inflation,
-        )
+        if METRICS.enabled:
+            METRICS.inc("study.mix_computations")
+        with TRACER.span(
+            "study.compute-mix", cat="study", design=design_name, smt=smt
+        ):
+            design = self.design(design_name)
+            profiles = profiles_for(mix)
+            placement = Scheduler(design, smt=smt).place(profiles)
+            result = self._chip_model(design_name).evaluate(placement, smt=smt)
+            specs = [spec for threads in placement.core_threads for spec in threads]
+            refs = [self._reference_ips(spec.profile) for spec in specs]
+            shared = [t.ips for t in result.threads]
+            power_model = self._power_model(design_name)
+            mix_result = MixResult(
+                design_name=design_name,
+                mix=tuple(mix),
+                smt=smt,
+                stp=stp(shared, refs),
+                antt=antt(shared, refs),
+                power_gated_w=power_model.power(result, power_gate_idle=True),
+                power_ungated_w=power_model.power(result, power_gate_idle=False),
+                bus_utilization=result.bus_utilization,
+                mem_latency_inflation=result.mem_latency_inflation,
+            )
         return mix_result
 
     def _reference_ips(self, profile) -> float:

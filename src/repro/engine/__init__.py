@@ -23,6 +23,13 @@ evaluation into explicit work units and makes both kinds of reuse cheap:
   (``$REPRO_FAULT_SPEC``): unit exceptions, worker kills, slow units and
   store I/O errors, so every failure path above is testable.
 
+The engine is also the observability boundary (:mod:`repro.obs`): when
+tracing/metrics are enabled, engine phases and per-unit evaluations become
+spans on one Perfetto-loadable timeline — including spans recorded inside
+pool workers, which travel back in each :class:`UnitOutcome` — and the
+run summary gains a metrics snapshot.  All of it is off by default and
+free when off.
+
 Failures are isolated per unit: a crashing unit yields a structured
 :class:`UnitFailure` (with configurable retries, exponential backoff and a
 per-unit timeout) instead of poisoning its chunk, a dead worker's chunk is

@@ -34,6 +34,7 @@ from typing import Iterator, List, NamedTuple, Optional, Sequence
 from repro.engine import faults
 from repro.engine.stats import EngineStats
 from repro.engine.store import ResultStore
+from repro.obs import METRICS, TRACER, observation_flags
 from repro.engine.tasks import (
     UnitFailure,
     WorkUnit,
@@ -68,11 +69,18 @@ class EngineFailureError(RuntimeError):
 
 
 class UnitOutcome(NamedTuple):
-    """One unit's guarded evaluation: result (or failure), cost, attempts."""
+    """One unit's guarded evaluation: result (or failure), cost, attempts.
+
+    When observability is live, ``spans`` carries the trace events and
+    ``metrics`` the drained metrics recorded while evaluating this unit —
+    collected in the worker process and marshalled back to the parent.
+    """
 
     value: object  # MixResult on success, UnitFailure on exhaustion
     seconds: float
     attempts: int
+    spans: tuple = ()
+    metrics: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -112,26 +120,70 @@ def _guarded_evaluate(
     retries: int = 0,
     backoff: float = 0.05,
     timeout: Optional[float] = None,
+    observe: tuple = (),
 ) -> UnitOutcome:
     """Worker entry point: evaluate one unit inside the failure guard.
 
     Never raises (short of ``KeyboardInterrupt``/``SystemExit``): after
     ``retries`` extra attempts with exponential backoff the exception is
     folded into a :class:`UnitFailure` carried in the outcome's value slot.
+
+    ``observe`` names the collectors to run ("trace"/"metrics"); it is what
+    makes observability work across processes — the parent pickles the
+    flags into the guard, the worker enables its own (fresh) collectors,
+    and everything recorded while evaluating the unit is drained into the
+    outcome and marshalled back.  In the serial path the parent's own
+    collectors are drained and re-absorbed, which is net-zero.
     """
+    collect_trace = "trace" in observe
+    collect_metrics = "metrics" in observe
+    if collect_trace and not TRACER.enabled:
+        TRACER.enable()
+    if collect_metrics and not METRICS.enabled:
+        METRICS.enable()
+    mark = TRACER.mark() if collect_trace else 0
+
+    def _finish(value, attempts_used) -> UnitOutcome:
+        return UnitOutcome(
+            value,
+            time.perf_counter() - start,
+            attempts_used,
+            TRACER.drain(mark) if collect_trace else (),
+            METRICS.drain_raw() if collect_metrics else None,
+        )
+
     start = time.perf_counter()
     attempts = retries + 1
     error: Optional[BaseException] = None
     for attempt in range(1, attempts + 1):
         try:
             with _deadline(timeout):
-                faults.inject_unit_faults(unit)
-                result = evaluate_work_unit(unit)
-            return UnitOutcome(result, time.perf_counter() - start, attempt)
+                with TRACER.span(
+                    "unit.evaluate",
+                    cat="unit",
+                    design=unit.design.name,
+                    mix=list(unit.mix),
+                    smt=unit.smt,
+                    attempt=attempt,
+                ):
+                    faults.inject_unit_faults(unit)
+                    result = evaluate_work_unit(unit)
+            return _finish(result, attempt)
         except Exception as exc:  # per-unit isolation boundary
             error = exc
-            if attempt < attempts and backoff > 0:
-                time.sleep(min(backoff * 2 ** (attempt - 1), _MAX_BACKOFF_SECONDS))
+            if attempt < attempts:
+                TRACER.instant(
+                    "unit.retry",
+                    cat="unit",
+                    design=unit.design.name,
+                    error=type(exc).__name__,
+                    attempt=attempt,
+                )
+                METRICS.inc("engine.unit_retries")
+                if backoff > 0:
+                    time.sleep(
+                        min(backoff * 2 ** (attempt - 1), _MAX_BACKOFF_SECONDS)
+                    )
     failure = UnitFailure(
         content_key=unit.content_key,
         design_name=unit.design.name,
@@ -141,7 +193,7 @@ def _guarded_evaluate(
         message=str(error),
         attempts=attempts,
     )
-    return UnitOutcome(failure, time.perf_counter() - start, attempts)
+    return _finish(failure, attempts)
 
 
 class ParallelExecutor:
@@ -173,28 +225,43 @@ class ParallelExecutor:
         #: Worker crashes survived so far (``BrokenProcessPool`` recoveries).
         self.broken_pools = 0
 
-    def _guard(self):
+    def _guard(self, observe: tuple = ()):
         return functools.partial(
             _guarded_evaluate,
             retries=self.retries,
             backoff=self.backoff,
             timeout=self.unit_timeout,
+            observe=observe,
         )
 
-    def map(self, units: Sequence[WorkUnit]) -> List[UnitOutcome]:
+    def map(
+        self,
+        units: Sequence[WorkUnit],
+        observe: tuple = (),
+        progress=None,
+    ) -> List[UnitOutcome]:
         """One :class:`UnitOutcome` per unit, in submission order.
 
         Never raises for a unit-level failure (the outcome carries a
         :class:`UnitFailure` instead), and survives worker deaths: when the
         pool breaks, the lost chunk is re-executed serially in the parent
         process and the remaining units resume on a fresh pool.
+
+        ``observe`` is forwarded into the worker guard (see
+        :func:`_guarded_evaluate`); ``progress``, when given, is called
+        with the number of completed units after each outcome arrives.
         """
         units = list(units)
-        guard = self._guard()
+        guard = self._guard(observe)
         if self.jobs == 1 or len(units) <= 1:
             # Serial fallback: same process, same code path as before the
             # engine existed — bit-identical by construction.
-            return [guard(unit) for unit in units]
+            outcomes = []
+            for unit in units:
+                outcomes.append(guard(unit))
+                if progress is not None:
+                    progress(len(outcomes))
+            return outcomes
         outcomes: List[UnitOutcome] = []
         remaining = units
         while remaining:
@@ -210,6 +277,8 @@ class ParallelExecutor:
                     for outcome in pool.map(guard, remaining, chunksize=chunksize):
                         outcomes.append(outcome)
                         collected += 1
+                        if progress is not None:
+                            progress(len(outcomes))
                 remaining = []
             except BrokenProcessPool:
                 # A worker died mid-batch.  Results are yielded in chunk
@@ -218,9 +287,16 @@ class ParallelExecutor:
                 # are worker-only, so the parent survives) and push the
                 # rest back through a fresh pool.
                 self.broken_pools += 1
+                TRACER.instant(
+                    "pool.broken", cat="engine", lost_units=len(remaining) - collected
+                )
+                METRICS.inc("engine.broken_pools")
                 remaining = remaining[collected:]
                 lost, remaining = remaining[:chunksize], remaining[chunksize:]
-                outcomes.extend(guard(unit) for unit in lost)
+                for unit in lost:
+                    outcomes.append(guard(unit))
+                    if progress is not None:
+                        progress(len(outcomes))
         return outcomes
 
 
@@ -245,6 +321,8 @@ class Engine:
         )
         self.store = store
         self.stats = EngineStats(jobs=jobs)
+        #: Optional :class:`repro.obs.ProgressLine` driven during compute.
+        self.progress = None
         self._broken_pools_seen = 0
         self._last_recovered = 0
 
@@ -299,15 +377,32 @@ class Engine:
         retried = 0
         retry_attempts = 0
         failures: List[UnitFailure] = []
+        observe = observation_flags()
         if misses:
-            with self.stats.phase("compute"):
-                outcomes = self.executor.map([units[i] for i in misses])
+            reporter = self.progress
+            if reporter is not None:
+                reporter.begin(len(misses))
+            try:
+                with self.stats.phase("compute"):
+                    outcomes = self.executor.map(
+                        [units[i] for i in misses],
+                        observe=observe,
+                        progress=None if reporter is None else reporter.update,
+                    )
+            finally:
+                if reporter is not None:
+                    reporter.finish()
             if self.executor.jobs > 1 and not all(o.ok for o in outcomes):
                 outcomes = self._recover_serially(
-                    [units[i] for i in misses], outcomes
+                    [units[i] for i in misses], outcomes, observe
                 )
             with self.stats.phase("write-back"):
                 for i, outcome in zip(misses, outcomes):
+                    if outcome.spans:
+                        TRACER.absorb(outcome.spans)
+                    if outcome.metrics:
+                        METRICS.merge_raw(outcome.metrics)
+                    self.stats.unit_seconds.observe(outcome.seconds)
                     results[i] = outcome.value
                     busy += outcome.seconds
                     if not outcome.ok:
@@ -338,12 +433,23 @@ class Engine:
             broken_pools=broken,
         )
         self.stats.record_failures(failures)
+        if METRICS.enabled:
+            METRICS.inc("engine.units_total", len(units))
+            METRICS.inc("engine.store_hits", len(units) - len(misses))
+            METRICS.inc("engine.units_computed", len(misses) - len(failures))
+            if failures:
+                METRICS.inc("engine.units_failed", len(failures))
+            if recovered:
+                METRICS.inc("engine.units_recovered", recovered)
         if failures and on_failure == "raise":
             raise EngineFailureError(failures)
         return results
 
     def _recover_serially(
-        self, units: Sequence[WorkUnit], outcomes: List[UnitOutcome]
+        self,
+        units: Sequence[WorkUnit],
+        outcomes: List[UnitOutcome],
+        observe: tuple = (),
     ) -> List[UnitOutcome]:
         """One last in-parent attempt for units that failed in the pool.
 
@@ -359,15 +465,34 @@ class Engine:
                 if outcome.ok:
                     healed.append(outcome)
                     continue
-                retry = _guarded_evaluate(unit, timeout=self.executor.unit_timeout)
+                # Keep what the failed worker attempt recorded, then retry
+                # here; the healed outcome carries only the retry's events.
+                if outcome.spans:
+                    TRACER.absorb(outcome.spans)
+                if outcome.metrics:
+                    METRICS.merge_raw(outcome.metrics)
+                TRACER.instant(
+                    "unit.recovery", cat="engine", design=unit.design.name
+                )
+                retry = _guarded_evaluate(
+                    unit, timeout=self.executor.unit_timeout, observe=observe
+                )
                 attempts = outcome.attempts + retry.attempts
                 seconds = outcome.seconds + retry.seconds
                 if retry.ok:
                     recovered += 1
-                    healed.append(UnitOutcome(retry.value, seconds, attempts))
+                    healed.append(
+                        UnitOutcome(
+                            retry.value, seconds, attempts, retry.spans, retry.metrics
+                        )
+                    )
                 else:
                     failure = dataclasses.replace(retry.value, attempts=attempts)
-                    healed.append(UnitOutcome(failure, seconds, attempts))
+                    healed.append(
+                        UnitOutcome(
+                            failure, seconds, attempts, retry.spans, retry.metrics
+                        )
+                    )
         self._last_recovered += recovered
         return healed
 
@@ -379,6 +504,8 @@ class Engine:
         }
         if self.store is not None:
             summary["store"] = self.store.status_dict()
+        if METRICS.enabled:
+            summary["metrics"] = METRICS.snapshot()
         return summary
 
     def write_summary(self) -> None:

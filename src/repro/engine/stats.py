@@ -12,6 +12,9 @@ import time
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Sequence
 
+from repro.obs.metrics import Histogram
+from repro.obs.trace import TRACER
+
 #: How many structured failure records to keep (newest win); the counters
 #: keep counting past this cap.
 MAX_RECORDED_FAILURES = 20
@@ -40,6 +43,8 @@ class EngineStats:
         self.broken_pools = 0
         #: Structured details of the most recent failures (capped).
         self.failures: List[Dict[str, Any]] = []
+        #: Per-unit evaluation latency distribution (p50/p95 in summaries).
+        self.unit_seconds = Histogram()
 
     # ------------------------------------------------------------------ #
     # recording                                                           #
@@ -47,10 +52,15 @@ class EngineStats:
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
-        """Time a named engine phase (lookup / compute / recover / write-back)."""
+        """Time a named engine phase (lookup / compute / recover / write-back).
+
+        When tracing is live, the phase also lands on the timeline as an
+        ``engine.<name>`` span.
+        """
         start = time.perf_counter()
         try:
-            yield
+            with TRACER.span(f"engine.{name}", cat="engine"):
+                yield
         finally:
             elapsed = time.perf_counter() - start
             self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + elapsed
@@ -110,6 +120,16 @@ class EngineStats:
         return min(1.0, self.compute_seconds / (self.jobs * wall))
 
     @property
+    def phase_shares(self) -> Dict[str, float]:
+        """Each phase's fraction of the total engine wall time."""
+        wall = self.wall_seconds
+        if wall <= 0.0:
+            return {name: 0.0 for name in self.phase_seconds}
+        return {
+            name: seconds / wall for name, seconds in self.phase_seconds.items()
+        }
+
+    @property
     def fault_free(self) -> bool:
         """True when nothing went wrong at all this run."""
         return not (
@@ -128,6 +148,8 @@ class EngineStats:
             "store_hit_rate": self.store_hit_rate,
             "wall_seconds": self.wall_seconds,
             "phase_seconds": dict(self.phase_seconds),
+            "phase_shares": self.phase_shares,
+            "unit_seconds": self.unit_seconds.snapshot(),
             "compute_seconds": self.compute_seconds,
             "worker_utilization": self.worker_utilization,
             "units_failed": self.units_failed,
@@ -140,18 +162,25 @@ class EngineStats:
 
     def formatted(self) -> str:
         """Human-readable multi-line report."""
+        shares = self.phase_shares
         lines = [
             f"engine: jobs={self.jobs}  units={self.units_total}  "
             f"store hits={self.store_hits} ({self.store_hit_rate:.0%})  "
             f"computed={self.units_computed}",
             f"wall: {self.wall_seconds:.3f}s total"
             + "".join(
-                f"  {name}={seconds:.3f}s"
+                f"  {name}={seconds:.3f}s/{shares[name]:.0%}"
                 for name, seconds in sorted(self.phase_seconds.items())
             ),
             f"worker utilization: {self.worker_utilization:.0%} "
             f"(busy {self.compute_seconds:.3f}s across {self.jobs} job(s))",
         ]
+        if self.unit_seconds.count:
+            lines.append(
+                f"unit latency: p50 {self.unit_seconds.percentile(50) * 1e3:.1f}ms  "
+                f"p95 {self.unit_seconds.percentile(95) * 1e3:.1f}ms  "
+                f"over {self.unit_seconds.count} computed unit(s)"
+            )
         if not self.fault_free:
             lines.append(
                 f"faults: {self.units_failed} failed  "

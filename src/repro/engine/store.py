@@ -37,6 +37,8 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.engine import faults
 from repro.engine.keys import content_key
+from repro.obs import METRICS, TRACER
+from repro.util.io import atomic_write_json
 
 #: Record format version.  Bump on layout changes; old records become
 #: invisible (they live under the previous ``v<N>`` directory).
@@ -111,6 +113,8 @@ class ResultStore:
             return
         self.degraded = True
         self.degraded_reason = reason
+        TRACER.instant("store.degraded", cat="store", reason=reason)
+        METRICS.inc("store.degradations")
         warnings.warn(
             f"result store degraded to in-memory caching ({reason}); "
             f"results from this run will not persist under {self.cache_dir}",
@@ -129,6 +133,7 @@ class ResultStore:
         """The payload stored under ``key``, or None (miss or bad record)."""
         if key in self._memory:
             self.stats.hits += 1
+            METRICS.inc("store.hits")
             return self._memory[key]
         path = self._path(key)
         try:
@@ -136,6 +141,7 @@ class ResultStore:
             text = path.read_text()
         except OSError:
             self.stats.misses += 1
+            METRICS.inc("store.misses")
             return None
         try:
             record = json.loads(text)
@@ -151,12 +157,16 @@ class ResultStore:
             # Corrupt/truncated/foreign record: drop it and recompute.
             self.stats.corrupt += 1
             self.stats.misses += 1
+            METRICS.inc("store.corrupt")
+            METRICS.inc("store.misses")
+            TRACER.instant("store.corrupt-record", cat="store", key=key[:12])
             try:
                 path.unlink()
             except OSError:
                 pass
             return None
         self.stats.hits += 1
+        METRICS.inc("store.hits")
         return payload
 
     def put(self, key: str, payload: Dict[str, Any]) -> None:
@@ -165,6 +175,7 @@ class ResultStore:
         if self.degraded:
             self._memory[key] = payload
             self.stats.memory_writes += 1
+            METRICS.inc("store.memory_writes")
             return
         path = self._path(key)
         record = {"schema": STORE_SCHEMA_VERSION, "key": key, "payload": payload}
@@ -184,11 +195,13 @@ class ResultStore:
             self._degrade(f"write failed: {exc}")
             self._memory[key] = payload
             self.stats.memory_writes += 1
+            METRICS.inc("store.memory_writes")
             return
         except BaseException:
             self._cleanup_tmp(tmp_name)
             raise
         self.stats.writes += 1
+        METRICS.inc("store.writes")
 
     @staticmethod
     def _cleanup_tmp(tmp_name: Optional[str]) -> None:
@@ -223,7 +236,7 @@ class ResultStore:
         if self.root.is_dir():
             orphans.extend(self.root.glob("*/.*.tmp"))
         if self.cache_dir.is_dir():
-            orphans.extend(self.cache_dir.glob(".last_run-*.tmp"))
+            orphans.extend(self.cache_dir.glob(".last_run*.tmp"))
         return sorted(orphans)
 
     def _empty_shard_dirs(self) -> List[Path]:
@@ -342,24 +355,11 @@ class ResultStore:
         if self.degraded:
             self._memory_summary = summary
             return
-        tmp_name = None
         try:
-            self.cache_dir.mkdir(parents=True, exist_ok=True)
-            fd, tmp_name = tempfile.mkstemp(
-                prefix=".last_run-", suffix=".tmp", dir=self.cache_dir
-            )
-            with os.fdopen(fd, "w") as handle:
-                json.dump(summary, handle, indent=2)
-            os.replace(tmp_name, self.summary_path)
-            tmp_name = None
+            atomic_write_json(self.summary_path, summary)
         except OSError as exc:
-            self._cleanup_tmp(tmp_name)
             self._degrade(f"run summary write failed: {exc}")
             self._memory_summary = summary
-            return
-        except BaseException:
-            self._cleanup_tmp(tmp_name)
-            raise
 
     def read_run_summary(self) -> Optional[Dict[str, Any]]:
         try:
@@ -403,10 +403,14 @@ class KeyedCache:
             value = self._values[key]
         except KeyError:
             self.misses += 1
+            if METRICS.enabled:
+                METRICS.inc(f"keyed_cache.{self.namespace}.misses")
             value = compute()
             self._values[key] = value
             return value
         self.hits += 1
+        if METRICS.enabled:
+            METRICS.inc(f"keyed_cache.{self.namespace}.hits")
         return value
 
     def clear(self) -> None:

@@ -27,6 +27,7 @@ from repro.core.designs import ChipDesign
 from repro.interval.model import CoreEnvironment, CoreResult, IntervalCoreModel
 from repro.microarch.config import BIG, CoreConfig
 from repro.microarch.uncore import DEFAULT_UNCORE, UncoreConfig
+from repro.obs import METRICS, TRACER
 from repro.util import MB, check_fraction
 from repro.workloads.profiles import BenchmarkProfile
 
@@ -280,16 +281,57 @@ class ChipModel:
 
         ``smt`` only controls placement validation (hardware context bounds);
         the duty cycles inside the placement already encode time-sharing.
+
+        When observability is off (the default) this delegates straight to
+        the solver; the instrumented path adds an ``interval.model`` span
+        (with cache-share and DRAM-contention sub-spans from the solver)
+        plus solver counters and per-component CPI histograms.
         """
+        if not TRACER.enabled and not METRICS.enabled:
+            return self._solve(placement, smt)
+        with TRACER.span(
+            "interval.model",
+            cat="interval",
+            design=self.design.name,
+            threads=placement.num_threads,
+            smt=smt,
+        ) as span:
+            result = self._solve(placement, smt)
+            span.set(
+                iterations=result.iterations,
+                mem_latency_ns=round(result.mem_latency_ns, 3),
+                bus_utilization=round(result.bus_utilization, 4),
+            )
+        if METRICS.enabled:
+            self._record_metrics(result)
+        return result
+
+    def _record_metrics(self, result: ChipResult) -> None:
+        """Solver counters and CPI-component histograms for one solve.
+
+        CPI components are observed once per solve from the *final* core
+        results, not per bisection step — the distribution reflects solved
+        operating points, and the volume stays bounded.
+        """
+        METRICS.inc("interval.solves")
+        METRICS.inc("interval.solve_iterations", result.iterations)
+        METRICS.observe("interval.mem_latency_inflation", result.mem_latency_inflation)
+        METRICS.observe("interval.bus_utilization", result.bus_utilization)
+        for core_result in result.core_results:
+            for perf in core_result.threads:
+                for component, value in perf.cpi_breakdown.items():
+                    METRICS.observe(f"interval.cpi.{component}", value)
+
+    def _solve(self, placement: Placement, smt: bool = True) -> ChipResult:
         placement.validate_against(self.design, smt)
         design = self.design
         llc_lat_ns = self._llc_latency_ns
-        llc_shares = self._llc_shares(placement)
-
-        private_shares = [
-            self._private_cache_shares(core, threads)
-            for core, threads in zip(design.cores, placement.core_threads)
-        ]
+        with TRACER.span("interval.cache-shares", cat="interval"):
+            llc_shares = self._llc_shares(placement)
+            private_shares = [
+                self._private_cache_shares(core, threads)
+                for core, threads in zip(design.cores, placement.core_threads)
+            ]
 
         def run_cores(mem_lat_ns: float) -> Tuple[List[CoreResult], float]:
             """Evaluate every core at a trial memory latency; return traffic."""
@@ -331,25 +373,30 @@ class ChipModel:
         # strictly decreasing in L (more latency -> less traffic -> less
         # queueing), so g(L) = loaded(traffic(L)) - L has a unique root:
         # bisect between the unloaded latency and the queueing-model maximum.
-        lo = self.unloaded_mem_latency_ns
-        hi = self._loaded_mem_latency_ns(float("inf"))
-        core_results, traffic = run_cores(lo)
-        iterations = 1
-        if self._loaded_mem_latency_ns(traffic) <= lo + CONVERGENCE_NS:
-            mem_lat_ns = lo  # bus effectively unloaded: no contention
-        else:
-            for iterations in range(2, BISECTION_STEPS + 2):
-                mid = 0.5 * (lo + hi)
-                core_results, traffic = run_cores(mid)
-                induced = self._loaded_mem_latency_ns(traffic)
-                if abs(induced - mid) < CONVERGENCE_NS or hi - lo < CONVERGENCE_NS:
-                    break
-                if induced > mid:
-                    lo = mid
-                else:
-                    hi = mid
-            mem_lat_ns = 0.5 * (lo + hi)
-            core_results, traffic = run_cores(mem_lat_ns)
+        with TRACER.span("interval.dram-contention", cat="interval") as dram_span:
+            lo = self.unloaded_mem_latency_ns
+            hi = self._loaded_mem_latency_ns(float("inf"))
+            core_results, traffic = run_cores(lo)
+            iterations = 1
+            if self._loaded_mem_latency_ns(traffic) <= lo + CONVERGENCE_NS:
+                mem_lat_ns = lo  # bus effectively unloaded: no contention
+            else:
+                for iterations in range(2, BISECTION_STEPS + 2):
+                    mid = 0.5 * (lo + hi)
+                    core_results, traffic = run_cores(mid)
+                    induced = self._loaded_mem_latency_ns(traffic)
+                    if (
+                        abs(induced - mid) < CONVERGENCE_NS
+                        or hi - lo < CONVERGENCE_NS
+                    ):
+                        break
+                    if induced > mid:
+                        lo = mid
+                    else:
+                        hi = mid
+                mem_lat_ns = 0.5 * (lo + hi)
+                core_results, traffic = run_cores(mem_lat_ns)
+            dram_span.set(iterations=iterations)
 
         # The queueing model's latency cap cannot throttle a deeply
         # overloaded memory system (many high-MLP threads tolerate the
@@ -435,6 +482,8 @@ def isolated_ips(
     bus).  This is the reference the paper normalizes STP and ANTT against
     (isolated execution on the big core).
     """
+    if METRICS.enabled:
+        METRICS.inc("interval.isolated_ips_evals")
     design = ChipDesign(name=f"iso-{core.name}", cores=(core,), uncore=uncore)
     placement = Placement.from_lists([[ThreadSpec(profile)]])
     result = ChipModel(design).evaluate(placement)

@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.microarch.config import CoreConfig
+from repro.obs import METRICS
 from repro.util import check_fraction, check_positive
 from repro.workloads.profiles import BenchmarkProfile
 
@@ -358,6 +359,13 @@ class IntervalCoreModel:
         # six threads round-robining a non-SMT core each see the full window
         # while scheduled.  The expected concurrency is the summed duty.
         n_ctx = min(self.core.max_smt_contexts, max(1, round(sum(duty_cycles))))
+
+        # Hot path (~40 calls per chip solve): a single guard keeps the
+        # disabled cost to one attribute check.
+        if METRICS.enabled:
+            METRICS.inc("interval.core_evals")
+            if n_ctx > 1:
+                METRICS.inc("interval.core_evals_smt")
 
         solo = [self._thread_cpi(p, env, i, n_ctx) for i, p in enumerate(profiles)]
         rates = [t.unconstrained_ipc * d for t, d in zip(solo, duty_cycles)]

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.microarch.config import CacheConfig
+from repro.obs import METRICS
 
 
 @dataclass
@@ -46,6 +47,9 @@ class Cache:
     def __init__(self, config: CacheConfig, name: str = "cache"):
         self.config = config
         self.name = name
+        # Metric level label: "core0.l1d" -> "l1d" so per-level counters
+        # aggregate across cores.
+        self._level = name.rsplit(".", 1)[-1]
         self.stats = CacheStats()
         # One OrderedDict per set: tag -> dirty flag; order is LRU -> MRU.
         self._sets: List["OrderedDict[int, bool]"] = [
@@ -74,15 +78,21 @@ class Cache:
         self.last_writeback_address = None
         if tag in ways:
             self.stats.hits += 1
+            if METRICS.enabled:
+                METRICS.inc(f"sim.cache.{self._level}.hits")
             ways[tag] = ways[tag] or is_write
             ways.move_to_end(tag)
             return True
         # Miss: allocate, evicting LRU if the set is full.
+        if METRICS.enabled:
+            METRICS.inc(f"sim.cache.{self._level}.misses")
         if len(ways) >= self.config.associativity:
             victim_tag, victim_dirty = ways.popitem(last=False)
             self.stats.evictions += 1
             if victim_dirty:
                 self.stats.writebacks += 1
+                if METRICS.enabled:
+                    METRICS.inc(f"sim.cache.{self._level}.writebacks")
                 self.last_writeback_address = (
                     victim_tag * self.config.num_sets + set_idx
                 ) * self.config.line_bytes

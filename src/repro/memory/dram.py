@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import List
 
 from repro.microarch.uncore import DramConfig
+from repro.obs import METRICS
 
 
 @dataclass
@@ -74,6 +75,13 @@ class DramModel:
         self.stats.requests += 1
         self.stats.total_latency_ns += latency
         self.stats.total_queue_ns += (bank_start - now_ns) + (bus_start - bank_done)
+        if METRICS.enabled:
+            METRICS.inc("sim.dram.requests")
+            if bank_start > now_ns:
+                METRICS.inc("sim.dram.bank_conflicts")
+            if bus_start > bank_done:
+                METRICS.inc("sim.dram.bus_queued")
+            METRICS.observe("sim.dram.latency_ns", latency)
         return done
 
     def unloaded_latency_ns(self) -> float:

@@ -17,6 +17,7 @@ from repro.memory.cache import Cache
 from repro.memory.dram import DramModel
 from repro.microarch.config import CoreConfig
 from repro.microarch.uncore import UncoreConfig
+from repro.obs import METRICS
 
 
 @dataclass(frozen=True)
@@ -129,6 +130,8 @@ class MemoryHierarchy:
     ) -> AccessResult:
         """A load/store from core ``core_index``; returns total latency."""
         result = self._demand_data_access(core_index, address, now_ns, is_write)
+        if METRICS.enabled:
+            METRICS.inc(f"sim.mem.data.{result.level}")
         prefetcher = self.prefetchers[core_index]
         if prefetcher is not None:
             for target in prefetcher.observe(pc, address, result.level != "l1"):
@@ -140,6 +143,8 @@ class MemoryHierarchy:
         caches = self.core_caches[core_index]
         if caches.l2.probe(address):
             return
+        if METRICS.enabled:
+            METRICS.inc("sim.mem.prefetch_fills")
         if not self.llc.probe(address):
             self.dram.access(address, now_ns)  # occupies bank + bus
             self.llc.warm(address)
@@ -179,6 +184,14 @@ class MemoryHierarchy:
         self, core_index: int, address: int, now_ns: float
     ) -> AccessResult:
         """An instruction fetch from core ``core_index``."""
+        result = self._demand_instruction_access(core_index, address, now_ns)
+        if METRICS.enabled:
+            METRICS.inc(f"sim.mem.inst.{result.level}")
+        return result
+
+    def _demand_instruction_access(
+        self, core_index: int, address: int, now_ns: float
+    ) -> AccessResult:
         caches = self.core_caches[core_index]
         core = self._cores[core_index]
         l1_ns = self._cycles_to_ns(core.l1i.latency_cycles, core.frequency_ghz)

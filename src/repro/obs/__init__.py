@@ -1,0 +1,79 @@
+"""repro.obs — zero-dependency observability: tracing, metrics, logging.
+
+Three singletons cover the whole stack:
+
+* :data:`TRACER` — span tracer exporting Chrome trace-event JSON
+  (Perfetto / ``chrome://tracing``), with cross-process span marshalling
+  through the engine;
+* :data:`METRICS` — counters/gauges/histograms with deterministic
+  snapshots;
+* :func:`get_logger` — structured stderr logging (text or JSON lines).
+
+Everything is disabled by default and costs one attribute check per call
+site when off.  See ``docs/observability.md`` for the full catalog.
+"""
+
+from repro.obs.logging import (
+    JsonFormatter,
+    StructuredLogger,
+    TextFormatter,
+    configure_logging,
+    get_logger,
+)
+from repro.obs.metrics import METRICS, Histogram, MetricsRegistry
+from repro.obs.progress import ProgressLine
+from repro.obs.trace import (
+    TRACER,
+    Span,
+    Tracer,
+    traced,
+    validate_trace,
+    validate_trace_file,
+)
+
+__all__ = [
+    "METRICS",
+    "TRACER",
+    "Histogram",
+    "JsonFormatter",
+    "MetricsRegistry",
+    "ProgressLine",
+    "Span",
+    "StructuredLogger",
+    "TextFormatter",
+    "Tracer",
+    "configure_logging",
+    "enable_observation",
+    "get_logger",
+    "observation_flags",
+    "reset_observability",
+    "traced",
+    "validate_trace",
+    "validate_trace_file",
+]
+
+
+def observation_flags() -> tuple:
+    """Which collectors are live, as a picklable tuple for worker handoff."""
+    flags = []
+    if TRACER.enabled:
+        flags.append("trace")
+    if METRICS.enabled:
+        flags.append("metrics")
+    return tuple(flags)
+
+
+def enable_observation(flags) -> None:
+    """Enable the collectors named in ``flags`` (inverse of the above)."""
+    if "trace" in flags:
+        TRACER.enable()
+    if "metrics" in flags:
+        METRICS.enable()
+
+
+def reset_observability() -> None:
+    """Disable and clear both collectors (tests and CLI teardown)."""
+    TRACER.disable()
+    TRACER.reset()
+    METRICS.disable()
+    METRICS.reset()

@@ -1,0 +1,124 @@
+"""Structured logging for the CLI and engine.
+
+All repro status output goes through the ``repro`` logger hierarchy with
+two formats:
+
+* **text** (default) — the bare message, followed by ``[k=v ...]`` when
+  structured fields are attached.  At the default ``info`` level this
+  renders exactly the status lines the CLI printed before this layer
+  existed, so scripted consumers of stderr keep working.
+* **json** (``--log-json``) — one JSON object per line with ``ts``,
+  ``level``, ``logger``, ``event``, and any structured fields flattened
+  in, keys sorted for deterministic output.
+
+Handlers resolve ``sys.stderr`` at *emit* time, not at configuration
+time, so pytest's ``capsys`` (which swaps ``sys.stderr``) captures log
+output like it captures prints.
+"""
+
+import json
+import logging
+import sys
+from typing import Any
+
+_ROOT_NAME = "repro"
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+
+class _DynamicStderrHandler(logging.Handler):
+    """Writes to whatever ``sys.stderr`` is when the record is emitted."""
+
+    def emit(self, record: logging.LogRecord) -> None:
+        try:
+            message = self.format(record)
+            stream = sys.stderr
+            stream.write(message + "\n")
+        except Exception:  # pragma: no cover - mirrors logging's own policy
+            self.handleError(record)
+
+
+class TextFormatter(logging.Formatter):
+    def format(self, record: logging.LogRecord) -> str:
+        message = record.getMessage()
+        fields = getattr(record, "fields", None)
+        if fields:
+            rendered = " ".join(f"{k}={fields[k]}" for k in fields)
+            message = f"{message} [{rendered}]"
+        return message
+
+
+class JsonFormatter(logging.Formatter):
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        fields = getattr(record, "fields", None)
+        if fields:
+            for key, value in fields.items():
+                payload.setdefault(key, _jsonable(value))
+        return json.dumps(payload, sort_keys=True)
+
+
+def _jsonable(value: Any) -> Any:
+    try:
+        json.dumps(value)
+        return value
+    except (TypeError, ValueError):
+        return repr(value)
+
+
+def configure_logging(level: str = "info", json_mode: bool = False) -> None:
+    """(Re)configure the ``repro`` logger for one CLI invocation."""
+    logger = logging.getLogger(_ROOT_NAME)
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    handler = _DynamicStderrHandler()
+    handler.setFormatter(JsonFormatter() if json_mode else TextFormatter())
+    logger.addHandler(handler)
+    logger.setLevel(_LEVELS.get(level, logging.INFO))
+    logger.propagate = False
+
+
+class StructuredLogger:
+    """Thin wrapper turning keyword fields into structured record extras."""
+
+    __slots__ = ("_logger",)
+
+    def __init__(self, logger: logging.Logger):
+        self._logger = logger
+
+    def debug(self, event: str, **fields: Any) -> None:
+        self._log(logging.DEBUG, event, fields)
+
+    def info(self, event: str, **fields: Any) -> None:
+        self._log(logging.INFO, event, fields)
+
+    def warning(self, event: str, **fields: Any) -> None:
+        self._log(logging.WARNING, event, fields)
+
+    def error(self, event: str, **fields: Any) -> None:
+        self._log(logging.ERROR, event, fields)
+
+    def _log(self, level: int, event: str, fields: Any) -> None:
+        if self._logger.isEnabledFor(level):
+            self._logger._log(level, event, (), extra={"fields": fields})
+
+
+def get_logger(name: str = "") -> StructuredLogger:
+    """A structured logger under the ``repro`` hierarchy."""
+    full = f"{_ROOT_NAME}.{name}" if name else _ROOT_NAME
+    return StructuredLogger(logging.getLogger(full))
+
+
+# Ensure importing the obs layer never triggers logging's
+# "no handlers could be found" fallback before configure_logging runs.
+logging.getLogger(_ROOT_NAME).addHandler(logging.NullHandler())

@@ -1,0 +1,197 @@
+"""Counters, gauges, and histograms with a free disabled path.
+
+A single process-wide :data:`METRICS` registry backs every instrumented
+layer (engine, store, interval model, caches, DRAM).  The registry is
+disabled by default; ``inc``/``set_gauge``/``observe`` return immediately
+when off, and hot loops guard the call entirely with
+``if METRICS.enabled:`` so the cost is one attribute check.
+
+Histograms keep exact ``count``/``sum``/``min``/``max`` but bound memory
+with a deterministic reservoir (first :data:`Histogram.cap` samples) so a
+million-observation sweep cannot blow up worker→parent marshalling.
+Percentiles are nearest-rank over the retained samples.
+
+Worker processes run their own registry; :meth:`MetricsRegistry.drain_raw`
+serialises the deltas into plain dicts that travel inside the unit outcome
+and are folded back with :meth:`MetricsRegistry.merge_raw`.
+"""
+
+import math
+from typing import Any, Dict, List, Optional
+
+
+class Histogram:
+    """Value distribution with exact aggregates and a bounded reservoir."""
+
+    #: Samples retained for percentile estimation.  Deterministic (the
+    #: first ``cap`` observations) so repeated runs snapshot identically.
+    cap = 4096
+
+    __slots__ = ("count", "total", "min", "max", "samples")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.samples: List[float] = []
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if len(self.samples) < self.cap:
+            self.samples.append(value)
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile over the retained samples."""
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+        return ordered[rank - 1]
+
+    def snapshot(self) -> Dict[str, Any]:
+        if self.count == 0:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.total / self.count,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+            "sampled": len(self.samples),
+        }
+
+    # -- cross-process marshalling ------------------------------------- #
+
+    def to_raw(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "samples": list(self.samples),
+        }
+
+    def merge_raw(self, raw: Dict[str, Any]) -> None:
+        self.count += raw["count"]
+        self.total += raw["total"]
+        if raw["min"] is not None:
+            self.min = raw["min"] if self.min is None else min(self.min, raw["min"])
+        if raw["max"] is not None:
+            self.max = raw["max"] if self.max is None else max(self.max, raw["max"])
+        room = self.cap - len(self.samples)
+        if room > 0:
+            self.samples.extend(raw["samples"][:room])
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and histograms; disabled by default."""
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    # -- lifecycle ------------------------------------------------------ #
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop every recorded value (does not change ``enabled``)."""
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()
+
+    # -- recording ------------------------------------------------------ #
+
+    def inc(self, name: str, amount: float = 1) -> None:
+        if not self.enabled:
+            return
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def set_gauge(self, name: str, value: float) -> None:
+        if not self.enabled:
+            return
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        if not self.enabled:
+            return
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram()
+        hist.observe(value)
+
+    def histogram(self, name: str) -> Histogram:
+        """The named histogram, created on demand (for direct observe loops)."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram()
+        return hist
+
+    # -- export ---------------------------------------------------------- #
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-ready, deterministically ordered view of every metric."""
+        return {
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "gauges": {k: self.gauges[k] for k in sorted(self.gauges)},
+            "histograms": {
+                k: self.histograms[k].snapshot() for k in sorted(self.histograms)
+            },
+        }
+
+    def write(self, path) -> None:
+        """Atomically write :meth:`snapshot` as JSON to ``path``."""
+        from repro.util.io import atomic_write_json
+
+        atomic_write_json(path, self.snapshot())
+
+    # -- cross-process marshalling --------------------------------------- #
+
+    def drain_raw(self) -> Optional[Dict[str, Any]]:
+        """Remove and return the registry contents in mergeable form.
+
+        Returns ``None`` when nothing was recorded, so idle workers ship
+        no payload.
+        """
+        if not (self.counters or self.gauges or self.histograms):
+            return None
+        raw = {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {k: h.to_raw() for k, h in self.histograms.items()},
+        }
+        self.reset()
+        return raw
+
+    def merge_raw(self, raw: Optional[Dict[str, Any]]) -> None:
+        """Fold a :meth:`drain_raw` payload from another process in."""
+        if not raw or not self.enabled:
+            return
+        for name, amount in raw.get("counters", {}).items():
+            self.counters[name] = self.counters.get(name, 0) + amount
+        # Last write wins for gauges; worker gauges are point-in-time.
+        self.gauges.update(raw.get("gauges", {}))
+        for name, payload in raw.get("histograms", {}).items():
+            self.histogram(name).merge_raw(payload)
+
+
+#: The process-wide registry.  Worker processes enable their own copy when
+#: the engine asks them to observe.
+METRICS = MetricsRegistry()

@@ -1,0 +1,85 @@
+"""A live single-line progress display with ETA for long sweeps.
+
+The engine calls :meth:`ProgressLine.update` once per completed unit;
+rendering is throttled to :attr:`ProgressLine.min_interval_s` so per-unit
+cost stays negligible.  The line is drawn on stderr with carriage-return
+rewriting and fully cleared on :meth:`ProgressLine.finish`, so it never
+contaminates stdout (machine-readable output) or persists into the
+engine summary that follows it.
+
+Enablement is tri-state: ``True``/``False`` force it on or off
+(``--progress``/``--no-progress``), ``None`` auto-detects a TTY — the
+default keeps redirected/CI runs byte-stable.
+"""
+
+import sys
+import time
+from typing import Optional
+
+
+class ProgressLine:
+    """Renders ``label: done/total (pct%) elapsed Xs eta Ys`` on stderr."""
+
+    def __init__(
+        self,
+        label: str,
+        enabled: Optional[bool] = None,
+        min_interval_s: float = 0.1,
+    ):
+        self.label = label
+        self.min_interval_s = min_interval_s
+        self._forced = enabled
+        self.total = 0
+        self.done = 0
+        self._start = 0.0
+        self._last_render = 0.0
+        self._active = False
+
+    @property
+    def enabled(self) -> bool:
+        if self._forced is not None:
+            return self._forced
+        try:
+            return sys.stderr.isatty()
+        except (AttributeError, ValueError):
+            return False
+
+    def begin(self, total: int) -> None:
+        self.total = total
+        self.done = 0
+        self._start = time.perf_counter()
+        self._last_render = 0.0
+        if self.enabled and total > 0:
+            self._active = True
+            self._render(force=True)
+
+    def update(self, done: int) -> None:
+        self.done = done
+        if self._active:
+            self._render()
+
+    def finish(self) -> None:
+        if self._active:
+            self._active = False
+            # Clear the line so subsequent stderr output starts clean.
+            sys.stderr.write("\r\x1b[2K")
+            sys.stderr.flush()
+
+    def _render(self, force: bool = False) -> None:
+        now = time.perf_counter()
+        if not force and now - self._last_render < self.min_interval_s:
+            return
+        self._last_render = now
+        elapsed = now - self._start
+        pct = 100.0 * self.done / self.total if self.total else 100.0
+        if self.done > 0 and self.done < self.total:
+            eta = elapsed * (self.total - self.done) / self.done
+            eta_text = f" eta {eta:.1f}s"
+        else:
+            eta_text = ""
+        line = (
+            f"{self.label}: {self.done}/{self.total}"
+            f" ({pct:.0f}%) elapsed {elapsed:.1f}s{eta_text}"
+        )
+        sys.stderr.write(f"\r\x1b[2K{line}")
+        sys.stderr.flush()

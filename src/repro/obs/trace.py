@@ -1,0 +1,278 @@
+"""Span-based tracing with Chrome trace-event JSON export.
+
+One process-wide :data:`TRACER` collects *complete* spans (``"ph": "X"``)
+and *instant* events (``"ph": "i"``) in the `trace-event format
+<https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU>`_
+understood by Perfetto and ``chrome://tracing``.  Design constraints:
+
+* **disabled is free** — :meth:`Tracer.span` on a disabled tracer returns a
+  shared no-op context manager without allocating anything; call sites pay
+  one attribute check and one method call, hot loops should guard with
+  ``if TRACER.enabled:`` and pay only the attribute check;
+* **cross-process** — every event records the emitting ``pid``/``tid``, and
+  timestamps come from the shared wall clock (``time.time``), so spans
+  collected inside pool workers and marshalled back to the parent (see
+  :func:`repro.engine.executor._guarded_evaluate`) line up on one timeline
+  with correct per-process tracks;
+* **durations stay monotonic** — span duration is measured with
+  ``time.perf_counter`` so a wall-clock step cannot produce negative spans.
+
+Spans nest naturally (the context manager records at exit, so inner spans
+precede their parents in the buffer; viewers reconstruct nesting from
+``ts``/``dur`` containment per track).
+"""
+
+import functools
+import os
+import threading
+import time
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+#: Event phases accepted by :func:`validate_trace` (the subset we emit plus
+#: the common ones other tools add).
+_KNOWN_PHASES = ("X", "B", "E", "i", "I", "M", "C")
+
+_EVENT_REQUIRED_KEYS = frozenset({"ph", "name", "ts", "pid", "tid"})
+
+
+class _NoopSpan:
+    """Shared, reentrant do-nothing span returned while tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **args: Any) -> "_NoopSpan":
+        return self
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class Span:
+    """A live span; records one complete ("X") event when exited.
+
+    An exception propagating out of the block annotates the span with an
+    ``error`` argument (the exception type name) before re-raising, so
+    failed work is visible on the timeline.
+    """
+
+    __slots__ = ("_tracer", "name", "cat", "args", "_wall_us", "_perf")
+
+    def __init__(self, tracer: "Tracer", name: str, cat: str, args: Dict[str, Any]):
+        self._tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.args = args
+
+    def set(self, **args: Any) -> "Span":
+        """Attach extra arguments to the span (shown in the viewer)."""
+        self.args.update(args)
+        return self
+
+    def __enter__(self) -> "Span":
+        self._wall_us = time.time() * 1e6
+        self._perf = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        duration_us = (time.perf_counter() - self._perf) * 1e6
+        if exc_type is not None:
+            self.args.setdefault("error", exc_type.__name__)
+        event: Dict[str, Any] = {
+            "ph": "X",
+            "name": self.name,
+            "cat": self.cat,
+            "ts": self._wall_us,
+            "dur": duration_us,
+            "pid": os.getpid(),
+            "tid": threading.get_ident(),
+        }
+        if self.args:
+            event["args"] = dict(self.args)
+        self._tracer.events.append(event)
+        return False
+
+
+class Tracer:
+    """Collects trace events; disabled by default and cheap to leave off."""
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.events: List[Dict[str, Any]] = []
+
+    # ------------------------------------------------------------------ #
+    # lifecycle                                                           #
+    # ------------------------------------------------------------------ #
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop every collected event (does not change ``enabled``)."""
+        self.events.clear()
+
+    # ------------------------------------------------------------------ #
+    # recording                                                           #
+    # ------------------------------------------------------------------ #
+
+    def span(self, name: str, cat: str = "repro", **args: Any):
+        """A context manager timing one named span (no-op when disabled)."""
+        if not self.enabled:
+            return _NOOP_SPAN
+        return Span(self, name, cat, args)
+
+    def instant(self, name: str, cat: str = "repro", **args: Any) -> None:
+        """Record a zero-duration marker (e.g. a retry, a degradation)."""
+        if not self.enabled:
+            return
+        event: Dict[str, Any] = {
+            "ph": "i",
+            "s": "p",  # process-scoped instant
+            "name": name,
+            "cat": cat,
+            "ts": time.time() * 1e6,
+            "pid": os.getpid(),
+            "tid": threading.get_ident(),
+        }
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    # ------------------------------------------------------------------ #
+    # cross-process marshalling                                           #
+    # ------------------------------------------------------------------ #
+
+    def mark(self) -> int:
+        """Current buffer position; pair with :meth:`drain`."""
+        return len(self.events)
+
+    def drain(self, mark: int = 0) -> Sequence[Dict[str, Any]]:
+        """Remove and return every event recorded since ``mark``.
+
+        Workers drain their buffer after each unit and ship the events back
+        in the unit's outcome; the parent re-absorbs them.
+        """
+        drained = tuple(self.events[mark:])
+        del self.events[mark:]
+        return drained
+
+    def absorb(self, events: Iterable[Dict[str, Any]]) -> None:
+        """Merge events marshalled from another process (or :meth:`drain`)."""
+        if self.enabled:
+            self.events.extend(events)
+
+    # ------------------------------------------------------------------ #
+    # export                                                              #
+    # ------------------------------------------------------------------ #
+
+    def export(self) -> Dict[str, Any]:
+        """The collected timeline as a Chrome trace-event JSON object.
+
+        Adds ``process_name`` metadata so the parent and each worker get
+        readable track names in the viewer.
+        """
+        me = os.getpid()
+        metadata: List[Dict[str, Any]] = []
+        for pid in sorted({e["pid"] for e in self.events}):
+            label = "repro (parent)" if pid == me else f"repro worker {pid}"
+            metadata.append(
+                {
+                    "ph": "M",
+                    "name": "process_name",
+                    "pid": pid,
+                    "tid": 0,
+                    "ts": 0,
+                    "args": {"name": label},
+                }
+            )
+        return {
+            "traceEvents": metadata + list(self.events),
+            "displayTimeUnit": "ms",
+        }
+
+    def write(self, path) -> int:
+        """Atomically write the exported timeline to ``path``.
+
+        Returns the number of (non-metadata) events written.
+        """
+        from repro.util.io import atomic_write_json
+
+        atomic_write_json(path, self.export())
+        return len(self.events)
+
+
+#: The process-wide tracer.  Workers get their own (fresh, disabled)
+#: instance; the engine tells them when to collect (see ``observe`` in
+#: :func:`repro.engine.executor._guarded_evaluate`).
+TRACER = Tracer()
+
+
+def traced(name: Optional[str] = None, cat: str = "repro") -> Callable:
+    """Decorator tracing every call of the wrapped function as one span.
+
+    ``name`` defaults to the function's qualified name.  When tracing is
+    disabled the wrapper adds a single attribute check to each call.
+    """
+
+    def decorate(fn: Callable) -> Callable:
+        label = name or fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            if not TRACER.enabled:
+                return fn(*args, **kwargs)
+            with TRACER.span(label, cat):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate
+
+
+def validate_trace(obj: Any) -> None:
+    """Raise ``ValueError`` unless ``obj`` is valid trace-event JSON.
+
+    Checks the container shape and, for every event: required keys, a known
+    phase, numeric ``ts``/``pid``/``tid``, a numeric non-negative ``dur`` on
+    complete events, and ``args`` being an object when present.  Used by the
+    tests and the CI trace-validation job.
+    """
+    if not isinstance(obj, dict) or not isinstance(obj.get("traceEvents"), list):
+        raise ValueError("trace must be an object with a 'traceEvents' list")
+    for i, event in enumerate(obj["traceEvents"]):
+        if not isinstance(event, dict):
+            raise ValueError(f"event {i} is not an object")
+        missing = _EVENT_REQUIRED_KEYS - event.keys()
+        if missing:
+            raise ValueError(f"event {i} is missing keys {sorted(missing)}")
+        if event["ph"] not in _KNOWN_PHASES:
+            raise ValueError(f"event {i} has unknown phase {event['ph']!r}")
+        for key in ("ts", "pid", "tid"):
+            if not isinstance(event[key], (int, float)):
+                raise ValueError(f"event {i} field {key!r} is not numeric")
+        if event["ph"] == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(
+                    f"complete event {i} needs a non-negative numeric 'dur'"
+                )
+        if "args" in event and not isinstance(event["args"], dict):
+            raise ValueError(f"event {i} has non-object 'args'")
+
+
+def validate_trace_file(path) -> int:
+    """Validate a trace file on disk; returns its event count."""
+    import json
+
+    with open(path) as handle:
+        obj = json.load(handle)
+    validate_trace(obj)
+    return len(obj["traceEvents"])

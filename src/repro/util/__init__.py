@@ -1,5 +1,6 @@
-"""Small shared utilities: validation, units, deterministic RNG helpers."""
+"""Small shared utilities: validation, units, atomic IO, RNG helpers."""
 
+from repro.util.io import atomic_write_json, atomic_write_text
 from repro.util.units import KB, MB, GHZ, ns_to_cycles, cycles_to_ns
 from repro.util.validate import check_positive, check_fraction, check_in
 
@@ -9,6 +10,8 @@ __all__ = [
     "GHZ",
     "ns_to_cycles",
     "cycles_to_ns",
+    "atomic_write_json",
+    "atomic_write_text",
     "check_positive",
     "check_fraction",
     "check_in",

@@ -1,0 +1,36 @@
+"""Atomic file writes shared by the store, summaries, and obs exports.
+
+Same discipline as the result store: write to a temp file in the target's
+directory, then ``os.replace`` — a killed process can leave a stray
+``.*.tmp`` but never a truncated target file.
+"""
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any
+
+
+def atomic_write_text(path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (tmp file + ``os.replace``)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{path.name}-", suffix=".tmp", dir=path.parent
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_json(path, obj: Any, indent: int = 2) -> None:
+    """Serialise ``obj`` as JSON and write it atomically to ``path``."""
+    atomic_write_text(path, json.dumps(obj, indent=indent, sort_keys=True) + "\n")

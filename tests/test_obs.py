@@ -1,0 +1,452 @@
+"""The observability layer: tracing, metrics, logging, progress, atomic IO.
+
+Covers the tentpole guarantees of :mod:`repro.obs`:
+
+* span nesting and Chrome trace-event schema validity (including the
+  cross-process merge through the engine's worker marshalling);
+* counter/histogram semantics and deterministic snapshots;
+* the disabled-by-default no-op fast path;
+* fault-injected runs emitting retry spans/events;
+* CLI integration (``--trace``/``--metrics``/``--log-json``) with stdout
+  kept bit-identical to an uninstrumented run.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.core.designs import get_design
+from repro.engine import Engine, ParallelExecutor, WorkUnit
+from repro.engine import faults
+from repro.obs import (
+    METRICS,
+    TRACER,
+    Histogram,
+    MetricsRegistry,
+    ProgressLine,
+    Tracer,
+    reset_observability,
+    traced,
+    validate_trace,
+    validate_trace_file,
+)
+from repro.obs.trace import _NOOP_SPAN
+from repro.util.io import atomic_write_json, atomic_write_text
+
+MIX = ("mcf", "tonto", "libquantum", "hmmer")
+
+
+def unit(design="4B", mix=MIX, smt=True, **kwargs):
+    return WorkUnit(design=get_design(design), mix=tuple(mix), smt=smt, **kwargs)
+
+
+def single_units():
+    return [unit(mix=(b,)) for b in MIX]
+
+
+@pytest.fixture(autouse=True)
+def clean_observability():
+    """No tracer/metrics/fault state leaks into, or out of, any test."""
+    reset_observability()
+    faults.reset()
+    yield
+    reset_observability()
+    faults.reset()
+
+
+# --------------------------------------------------------------------- #
+# tracer                                                                 #
+# --------------------------------------------------------------------- #
+
+
+class TestTracer:
+    def test_disabled_span_is_shared_noop(self):
+        tracer = Tracer()
+        span = tracer.span("x", answer=42)
+        assert span is _NOOP_SPAN
+        assert span.set(more=1) is span
+        with span:
+            pass
+        assert tracer.events == []
+
+    def test_disabled_instant_records_nothing(self):
+        tracer = Tracer()
+        tracer.instant("tick")
+        assert tracer.events == []
+
+    def test_span_records_complete_event(self):
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("work", cat="test", design="4B") as span:
+            span.set(iterations=3)
+        (event,) = tracer.events
+        assert event["ph"] == "X"
+        assert event["name"] == "work"
+        assert event["cat"] == "test"
+        assert event["dur"] >= 0
+        assert event["pid"] == os.getpid()
+        assert event["args"] == {"design": "4B", "iterations": 3}
+
+    def test_nested_spans_contained_in_parent(self):
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.events  # inner exits (and records) first
+        assert inner["name"] == "inner" and outer["name"] == "outer"
+        assert outer["ts"] <= inner["ts"]
+        assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"] + 1e-3
+
+    def test_exception_annotates_span_and_propagates(self):
+        tracer = Tracer()
+        tracer.enable()
+        with pytest.raises(ValueError):
+            with tracer.span("doomed"):
+                raise ValueError("boom")
+        (event,) = tracer.events
+        assert event["args"]["error"] == "ValueError"
+
+    def test_traced_decorator(self):
+        calls = []
+
+        @traced(cat="test")
+        def helper(x):
+            calls.append(x)
+            return x * 2
+
+        assert helper(3) == 6  # disabled: no event
+        assert TRACER.events == []
+        TRACER.enable()
+        assert helper(4) == 8
+        (event,) = TRACER.events
+        assert event["name"].endswith("helper")
+        assert calls == [3, 4]
+
+    def test_mark_drain_absorb_round_trip(self):
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("before"):
+            pass
+        mark = tracer.mark()
+        with tracer.span("after"):
+            pass
+        drained = tracer.drain(mark)
+        assert [e["name"] for e in drained] == ["after"]
+        assert [e["name"] for e in tracer.events] == ["before"]
+        tracer.absorb(drained)
+        assert [e["name"] for e in tracer.events] == ["before", "after"]
+
+    def test_export_adds_process_metadata_and_validates(self):
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("a"):
+            pass
+        tracer.instant("b")
+        exported = tracer.export()
+        validate_trace(exported)  # must not raise
+        meta = [e for e in exported["traceEvents"] if e["ph"] == "M"]
+        assert len(meta) == 1
+        assert meta[0]["name"] == "process_name"
+
+    def test_write_produces_valid_file(self, tmp_path):
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("a"):
+            pass
+        path = tmp_path / "trace.json"
+        count = tracer.write(path)
+        # The file carries one extra process_name metadata event per pid.
+        assert validate_trace_file(path) == count + 1
+
+    def test_validate_rejects_malformed(self):
+        with pytest.raises(ValueError, match="traceEvents"):
+            validate_trace({"events": []})
+        good = {"ph": "X", "name": "a", "ts": 0, "dur": 1, "pid": 1, "tid": 1}
+        validate_trace({"traceEvents": [good]})
+        for corruption in (
+            {"ph": "Z"},  # unknown phase
+            {"dur": -1},  # negative duration
+            {"ts": "soon"},  # non-numeric timestamp
+            {"args": [1, 2]},  # args must be a mapping
+        ):
+            with pytest.raises(ValueError):
+                validate_trace({"traceEvents": [{**good, **corruption}]})
+        with pytest.raises(ValueError, match="missing"):
+            validate_trace({"traceEvents": [{"ph": "X", "name": "a"}]})
+
+
+# --------------------------------------------------------------------- #
+# metrics                                                                #
+# --------------------------------------------------------------------- #
+
+
+class TestMetrics:
+    def test_disabled_is_inert(self):
+        registry = MetricsRegistry()
+        registry.inc("a")
+        registry.set_gauge("b", 1.0)
+        registry.observe("c", 2.0)
+        assert registry.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_counter_and_gauge_semantics(self):
+        registry = MetricsRegistry()
+        registry.enable()
+        registry.inc("hits")
+        registry.inc("hits", 4)
+        registry.set_gauge("depth", 2.0)
+        registry.set_gauge("depth", 7.0)  # last write wins
+        snap = registry.snapshot()
+        assert snap["counters"] == {"hits": 5}
+        assert snap["gauges"] == {"depth": 7.0}
+
+    def test_histogram_statistics(self):
+        hist = Histogram()
+        for value in range(1, 101):  # 1..100
+            hist.observe(float(value))
+        snap = hist.snapshot()
+        assert snap["count"] == 100
+        assert snap["min"] == 1.0 and snap["max"] == 100.0
+        assert snap["mean"] == pytest.approx(50.5)
+        assert snap["p50"] == 50.0  # nearest-rank
+        assert snap["p95"] == 95.0
+        assert snap["sampled"] == 100  # every observation retained
+
+    def test_empty_histogram_snapshot(self):
+        assert Histogram().snapshot() == {"count": 0}
+
+    def test_histogram_reservoir_bounds_memory(self):
+        hist = Histogram()
+        for value in range(Histogram.cap + 500):
+            hist.observe(float(value))
+        assert hist.count == Histogram.cap + 500  # exact count kept
+        assert len(hist.samples) == Histogram.cap
+        assert hist.snapshot()["sampled"] == Histogram.cap
+
+    def test_snapshot_is_deterministic(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.enable(), b.enable()
+        a.inc("x"), a.inc("y"), a.observe("h", 1.0)
+        b.observe("h", 1.0), b.inc("y"), b.inc("x")  # different order
+        assert json.dumps(a.snapshot(), sort_keys=True) == json.dumps(
+            b.snapshot(), sort_keys=True
+        )
+
+    def test_drain_merge_round_trip(self):
+        worker = MetricsRegistry()
+        worker.enable()
+        worker.inc("units", 3)
+        worker.set_gauge("load", 0.5)
+        for value in (1.0, 2.0, 3.0):
+            worker.observe("latency", value)
+        raw = worker.drain_raw()
+        assert worker.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+        parent = MetricsRegistry()
+        parent.enable()
+        parent.inc("units", 2)
+        parent.observe("latency", 4.0)
+        parent.merge_raw(raw)
+        snap = parent.snapshot()
+        assert snap["counters"]["units"] == 5
+        assert snap["gauges"]["load"] == 0.5
+        assert snap["histograms"]["latency"]["count"] == 4
+        assert snap["histograms"]["latency"]["max"] == 4.0
+
+    def test_drain_raw_empty_returns_none(self):
+        registry = MetricsRegistry()
+        registry.enable()
+        assert registry.drain_raw() is None
+
+    def test_write_snapshot_file(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.enable()
+        registry.inc("a")
+        path = tmp_path / "metrics.json"
+        registry.write(path)
+        assert json.loads(path.read_text())["counters"] == {"a": 1}
+
+
+# --------------------------------------------------------------------- #
+# no-op overhead path                                                    #
+# --------------------------------------------------------------------- #
+
+
+class TestDisabledIsFree:
+    def test_engine_run_leaves_no_observability_state(self):
+        results = Engine(jobs=1).evaluate(single_units())
+        assert len(results) == len(MIX)
+        assert TRACER.events == []
+        assert METRICS.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_instrumented_run_is_bit_identical(self):
+        plain = Engine(jobs=1).evaluate(single_units())
+        TRACER.enable()
+        METRICS.enable()
+        instrumented = Engine(jobs=1).evaluate(single_units())
+        assert plain == instrumented  # dataclass equality: exact floats
+        assert TRACER.events  # and the run actually traced
+
+
+# --------------------------------------------------------------------- #
+# cross-process marshalling + fault-injected spans                       #
+# --------------------------------------------------------------------- #
+
+
+class TestEngineIntegration:
+    def test_worker_spans_merge_into_parent(self):
+        from repro.engine.tasks import clear_worker_studies
+
+        clear_worker_studies()  # forked workers must not inherit warm memos
+        TRACER.enable()
+        METRICS.enable()
+        Engine(jobs=2).evaluate(single_units())
+        unit_events = [e for e in TRACER.events if e.get("cat") == "unit"]
+        assert unit_events, "worker spans never reached the parent"
+        worker_pids = {e["pid"] for e in unit_events}
+        assert os.getpid() not in worker_pids
+        # Sub-spans from inside the workers made the trip too.
+        names = {e["name"] for e in TRACER.events}
+        assert {"interval.model", "engine.compute", "unit.evaluate"} <= names
+        # Worker metrics merged back into the parent registry.
+        snap = METRICS.snapshot()
+        assert snap["counters"]["interval.solves"] >= len(MIX)
+        assert snap["counters"]["engine.units_computed"] == len(MIX)
+        validate_trace(TRACER.export())
+
+    def test_retries_emit_spans_and_metrics(self):
+        faults.install("raise:benchmark=mcf:times=1")
+        TRACER.enable()
+        METRICS.enable()
+        (outcome,) = ParallelExecutor(jobs=1, retries=1, backoff=0.0).map(
+            [unit(mix=("mcf",))]
+        )
+        assert outcome.ok and outcome.attempts == 2
+        retry_events = [e for e in TRACER.events if e["name"] == "unit.retry"]
+        assert len(retry_events) == 1
+        assert retry_events[0]["args"]["error"] == "InjectedFault"
+        failed_spans = [
+            e
+            for e in TRACER.events
+            if e["name"] == "unit.evaluate" and "error" in e.get("args", {})
+        ]
+        assert len(failed_spans) == 1
+        assert METRICS.snapshot()["counters"]["engine.unit_retries"] == 1
+
+    def test_run_summary_includes_metrics_when_enabled(self):
+        METRICS.enable()
+        engine = Engine(jobs=1)
+        engine.evaluate(single_units())
+        summary = engine.run_summary()
+        assert "metrics" in summary
+        assert summary["metrics"]["counters"]["engine.units_total"] == len(MIX)
+        assert "phase_shares" in summary
+        assert summary["unit_seconds"]["count"] == len(MIX)
+
+
+# --------------------------------------------------------------------- #
+# CLI                                                                    #
+# --------------------------------------------------------------------- #
+
+
+class TestCliObservability:
+    SWEEP = ["sweep", "--design", "8m", "--max-threads", "2", "--no-cache",
+             "--no-progress"]
+
+    def test_trace_and_metrics_files(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.json"
+        argv = self.SWEEP + ["--json", "--trace", str(trace),
+                             "--metrics", str(metrics)]
+        assert main(argv) == 0
+        instrumented = capsys.readouterr().out
+        assert validate_trace_file(trace) > 0
+        snap = json.loads(metrics.read_text())
+        assert snap["counters"]["engine.units_total"] > 0
+        # Collectors are torn down after the command.
+        assert not TRACER.enabled and not METRICS.enabled
+        # Uninstrumented stdout is bit-identical.
+        assert main(self.SWEEP + ["--json"]) == 0
+        assert capsys.readouterr().out == instrumented
+
+    def test_log_json_lines_parse(self, capsys):
+        assert main(["--log-json"] + self.SWEEP) == 0
+        err = capsys.readouterr().err
+        records = [json.loads(line) for line in err.splitlines() if line]
+        assert records
+        assert all({"ts", "level", "event"} <= set(r) for r in records)
+
+    def test_log_level_error_silences_status(self, capsys):
+        assert main(["--log-level", "error"] + self.SWEEP) == 0
+        captured = capsys.readouterr()
+        assert "engine:" not in captured.err
+        assert captured.out  # the product output is untouched
+
+    def test_cache_stats_surfaces_latency_and_metrics(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        argv = ["sweep", "--design", "8m", "--max-threads", "2",
+                "--cache-dir", cache_dir, "--no-progress",
+                "--metrics", str(tmp_path / "m.json")]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "unit latency" in out and "p95" in out
+        assert "phases" in out
+        assert "metrics" in out
+
+
+# --------------------------------------------------------------------- #
+# progress line                                                          #
+# --------------------------------------------------------------------- #
+
+
+class TestProgressLine:
+    def test_disabled_writes_nothing(self, capsys):
+        line = ProgressLine("sweep", enabled=False)
+        line.begin(4)
+        line.update(2)
+        line.finish()
+        assert capsys.readouterr().err == ""
+
+    def test_enabled_renders_and_clears(self, capsys):
+        line = ProgressLine("sweep", enabled=True, min_interval_s=0.0)
+        line.begin(4)
+        line.update(2)
+        line.finish()
+        err = capsys.readouterr().err
+        assert "sweep: 2/4" in err
+        assert err.endswith("\x1b[2K")  # the line is cleared at the end
+
+    def test_auto_mode_follows_tty(self):
+        assert ProgressLine("x").enabled in (True, False)  # never raises
+
+
+# --------------------------------------------------------------------- #
+# atomic writes                                                          #
+# --------------------------------------------------------------------- #
+
+
+class TestAtomicWrites:
+    def test_text_write_leaves_no_debris(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "hello")
+        assert target.read_text() == "hello"
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+    def test_json_write_is_sorted_with_trailing_newline(self, tmp_path):
+        target = tmp_path / "out.json"
+        atomic_write_json(target, {"b": 1, "a": 2})
+        text = target.read_text()
+        assert text.endswith("\n")
+        assert text.index('"a"') < text.index('"b"')
+
+    def test_failed_write_preserves_target(self, tmp_path):
+        target = tmp_path / "out.json"
+        atomic_write_json(target, {"ok": True})
+        with pytest.raises(TypeError):
+            atomic_write_json(target, {"bad": object()})
+        assert json.loads(target.read_text()) == {"ok": True}
+        assert [p.name for p in tmp_path.iterdir()] == ["out.json"]
