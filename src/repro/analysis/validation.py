@@ -58,15 +58,28 @@ def cross_validate(
     profiles: Sequence[BenchmarkProfile],
     core: CoreConfig = BIG,
     instructions: int = 20_000,
+    sample_interval: Optional[int] = None,
+    sample_warmup: int = 600,
 ) -> CrossValidation:
-    """Run each profile alone on ``core`` through both tiers."""
+    """Run each profile alone on ``core`` through both tiers.
+
+    ``sample_interval`` switches the cycle-level runs to sampled
+    simulation (see :mod:`repro.sim.sampling`): detailed windows plus
+    functionally-warmed fast-forward, trading exactness for speed while
+    holding CPI within a few percent — useful for large validation sweeps.
+    """
     design = ChipDesign(name=f"xval-{core.name}", cores=(core,))
     sim = MulticoreSimulator(design)
     interval = {}
     cycle = {}
     for p in profiles:
         interval[p.name] = isolated_ips(p, core) / (core.frequency_ghz * 1e9)
-        result = sim.run([ThreadSim(p, core_index=0)], instructions)
+        result = sim.run(
+            [ThreadSim(p, core_index=0)],
+            instructions,
+            sample_interval=sample_interval,
+            sample_warmup=sample_warmup,
+        )
         cycle[p.name] = result.ipc_of(0)
     return CrossValidation(
         core_name=core.name, interval_ipc=interval, cycle_ipc=cycle
@@ -77,6 +90,8 @@ def cross_validate_chip(
     design: ChipDesign,
     mix: Sequence[BenchmarkProfile],
     instructions: int = 10_000,
+    sample_interval: Optional[int] = None,
+    sample_warmup: int = 600,
 ) -> Tuple[float, float]:
     """Total chip IPC for one scheduled mix, from both tiers.
 
@@ -99,5 +114,10 @@ def cross_validate_chip(
             threads.append(
                 ThreadSim(spec.profile, core_index=core_index, seed=11 + slot)
             )
-    cycle_result = MulticoreSimulator(design).run(threads, instructions)
+    cycle_result = MulticoreSimulator(design).run(
+        threads,
+        instructions,
+        sample_interval=sample_interval,
+        sample_warmup=sample_warmup,
+    )
     return interval_total, cycle_result.total_ipc

@@ -1,0 +1,344 @@
+"""Tracked performance benchmarks for the cycle-level tier.
+
+``python -m repro bench`` times a fixed set of scenarios — trace
+generation, single-core OoO and in-order runs, an SMT run and an
+8-core shared-LLC run — and writes ``BENCH_cycle.json`` with
+instructions-per-second for each, plus the speedup against the recorded
+seed baseline (``benchmarks/perf/baseline.json``).  Every future PR
+therefore has a perf trajectory to move: CI re-runs the fast scenarios
+and fails when a scenario regresses by more than 25 %.
+
+Timing methodology: simulation scenarios time only the lockstep execute
+loop (:meth:`MulticoreSimulator.execute`), not trace generation or cache
+warming, so the number tracks the simulator hot path; ``tracegen`` times
+the generator separately.  Each scenario runs ``--repeat`` times and the
+best (minimum) wall time wins, which is the standard way to reject
+scheduler noise on shared machines.
+"""
+
+import cProfile
+import io
+import json
+import os
+import pstats
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs import get_logger
+from repro.util.io import atomic_write_json
+
+_LOG = get_logger("bench")
+
+#: Default location of the recorded seed baseline, relative to the cwd
+#: (the repo checkout); override with ``--baseline`` or
+#: ``$REPRO_BENCH_BASELINE``.
+DEFAULT_BASELINE = os.path.join("benchmarks", "perf", "baseline.json")
+
+#: Scenarios cheap enough for CI's perf gate (skips the long SMT run).
+FAST_SCENARIOS = ("tracegen", "ooo_single", "inorder_single", "8core_llc")
+
+_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Outcome of one timed scenario."""
+
+    name: str
+    instructions: int
+    seconds: float
+    repeats: int
+
+    @property
+    def instructions_per_second(self) -> float:
+        return self.instructions / self.seconds if self.seconds else 0.0
+
+
+# --------------------------------------------------------------------- #
+# scenario definitions                                                   #
+# --------------------------------------------------------------------- #
+#
+# Each scenario factory does its setup up front and returns
+# ``(instructions, run)`` where ``run`` is a zero-argument body that
+# returns the measured wall seconds (the body decides what is timed, so
+# simulation scenarios can rebuild cold state per repeat without charging
+# setup to the clock).  Budgets are sized so the suite finishes fast.
+
+
+def _scenario_tracegen() -> Tuple[int, Callable[[], float]]:
+    """Synthetic trace generation throughput (the workload generator)."""
+    from repro.workloads.spec import get_profile
+    from repro.workloads.tracegen import TraceGenerator
+
+    profile = get_profile("mcf")
+    n = 150_000
+
+    def run() -> float:
+        start = time.perf_counter()
+        TraceGenerator(profile, seed=13).generate(n)
+        return time.perf_counter() - start
+
+    return n, run
+
+
+def _sim_scenario(
+    design, threads, instructions_per_thread: int
+) -> Tuple[int, Callable[[], float]]:
+    """Time the lockstep execute loop of one prepared simulation.
+
+    Trace generation and cache warming happen outside the clock (they are
+    tracked by the ``tracegen`` scenario); each repeat re-prepares so the
+    timed loop always starts from identical cold simulator state.
+    """
+    from repro.sim.multicore import MulticoreSimulator
+
+    sim = MulticoreSimulator(design)
+    warmup = instructions_per_thread // 2
+    # Every dispatched instruction (warmup prefix included) is simulator
+    # work, so the throughput metric counts them all.
+    total = len(threads) * (instructions_per_thread + warmup)
+
+    def run() -> float:
+        hierarchy, cores = sim.prepare(
+            threads, instructions_per_thread, warmup_instructions=warmup
+        )
+        start = time.perf_counter()
+        sim.execute(hierarchy, cores)
+        return time.perf_counter() - start
+
+    return total, run
+
+
+def _scenario_ooo_single() -> Tuple[int, Callable[[], None]]:
+    """One big out-of-order core running a mixed compute/memory profile."""
+    from repro.core.designs import ChipDesign
+    from repro.microarch.config import BIG
+    from repro.sim.multicore import ThreadSim
+    from repro.workloads.spec import get_profile
+
+    design = ChipDesign(name="bench-1B", cores=(BIG,))
+    threads = [ThreadSim(get_profile("tonto"), core_index=0)]
+    return _sim_scenario(design, threads, 20_000)
+
+
+def _scenario_inorder_single() -> Tuple[int, Callable[[], None]]:
+    """One small in-order core on a memory-bound profile (stall-heavy)."""
+    from repro.core.designs import ChipDesign
+    from repro.microarch.config import SMALL
+    from repro.sim.multicore import ThreadSim
+    from repro.workloads.spec import get_profile
+
+    design = ChipDesign(name="bench-1s", cores=(SMALL,))
+    threads = [ThreadSim(get_profile("mcf"), core_index=0)]
+    return _sim_scenario(design, threads, 20_000)
+
+
+def _scenario_smt4() -> Tuple[int, Callable[[], None]]:
+    """Four SMT contexts sharing one big core (fetch/ROB contention)."""
+    from repro.core.designs import ChipDesign
+    from repro.microarch.config import BIG
+    from repro.sim.multicore import ThreadSim
+    from repro.workloads.spec import get_profile
+
+    design = ChipDesign(name="bench-1B", cores=(BIG,))
+    threads = [
+        ThreadSim(get_profile(name), core_index=0)
+        for name in ("mcf", "libquantum", "tonto", "hmmer")
+    ]
+    return _sim_scenario(design, threads, 10_000)
+
+
+def _scenario_8core_llc() -> Tuple[int, Callable[[], None]]:
+    """Eight medium cores contending for the shared LLC, DRAM and bus."""
+    from repro.core.designs import get_design
+    from repro.sim.multicore import ThreadSim
+    from repro.workloads.spec import get_profile
+
+    design = get_design("8m")
+    mix = ("mcf", "libquantum", "milc", "lbm", "omnetpp", "astar", "mcf", "hmmer")
+    threads = [
+        ThreadSim(get_profile(name), core_index=i) for i, name in enumerate(mix)
+    ]
+    return _sim_scenario(design, threads, 8_000)
+
+
+SCENARIOS: Dict[str, Callable[[], Tuple[int, Callable[[], None]]]] = {
+    "tracegen": _scenario_tracegen,
+    "ooo_single": _scenario_ooo_single,
+    "inorder_single": _scenario_inorder_single,
+    "smt4": _scenario_smt4,
+    "8core_llc": _scenario_8core_llc,
+}
+
+
+# --------------------------------------------------------------------- #
+# running                                                                #
+# --------------------------------------------------------------------- #
+
+
+def run_scenario(
+    name: str, repeats: int = 1, profile: bool = False
+) -> ScenarioResult:
+    """Time one scenario; best-of-``repeats`` wall time."""
+    if name not in SCENARIOS:
+        raise KeyError(
+            f"unknown scenario {name!r}; choose from {', '.join(SCENARIOS)}"
+        )
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    instructions, body = SCENARIOS[name]()
+    if profile:
+        _profile_scenario(name, body)
+    best = float("inf")
+    for _ in range(repeats):
+        best = min(best, body())
+    return ScenarioResult(
+        name=name, instructions=instructions, seconds=best, repeats=repeats
+    )
+
+
+def _profile_scenario(name: str, body: Callable[[], None]) -> None:
+    """Run ``body`` once under cProfile; log the top-20 cumulative hotspots."""
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        body()
+    finally:
+        profiler.disable()
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(20)
+    _LOG.info(f"profile: {name} (top-20 cumulative)")
+    for line in buffer.getvalue().splitlines():
+        line = line.rstrip()
+        if line:
+            _LOG.info(f"profile: {line}")
+
+
+def load_baseline(path: Optional[str] = None) -> Optional[Dict]:
+    """Read the recorded baseline, or None if there is none to compare to."""
+    path = path or os.environ.get("REPRO_BENCH_BASELINE") or DEFAULT_BASELINE
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(data, dict) or "scenarios" not in data:
+        return None
+    data.setdefault("path", path)
+    return data
+
+
+def run_suite(
+    scenarios: Optional[Sequence[str]] = None,
+    repeats: int = 1,
+    baseline_path: Optional[str] = None,
+    profile: bool = False,
+) -> Dict:
+    """Run the selected scenarios and assemble the ``BENCH_cycle`` report."""
+    selected = list(scenarios) if scenarios else list(SCENARIOS)
+    baseline = load_baseline(baseline_path)
+    results: List[ScenarioResult] = []
+    for name in selected:
+        _LOG.info(f"bench: running {name} (repeats={repeats})")
+        results.append(run_scenario(name, repeats=repeats, profile=profile))
+    report: Dict = {
+        "schema_version": _SCHEMA_VERSION,
+        "baseline": None,
+        "scenarios": {},
+    }
+    if baseline is not None:
+        report["baseline"] = {
+            "path": baseline.get("path"),
+            "label": baseline.get("label", "seed"),
+        }
+    for r in results:
+        entry = {
+            "instructions": r.instructions,
+            "seconds": round(r.seconds, 6),
+            "instructions_per_second": round(r.instructions_per_second, 1),
+            "repeats": r.repeats,
+            "speedup_vs_baseline": None,
+        }
+        if baseline is not None:
+            base = baseline["scenarios"].get(r.name)
+            if isinstance(base, dict) and base.get("instructions_per_second"):
+                entry["speedup_vs_baseline"] = round(
+                    r.instructions_per_second / base["instructions_per_second"],
+                    3,
+                )
+        report["scenarios"][r.name] = entry
+    return report
+
+
+def format_report(report: Dict) -> str:
+    """Human-readable table for stdout."""
+    lines = [
+        f"{'scenario':16s}{'instructions':>14s}{'seconds':>10s}"
+        f"{'instr/sec':>12s}{'vs seed':>9s}"
+    ]
+    for name, entry in report["scenarios"].items():
+        speedup = entry["speedup_vs_baseline"]
+        lines.append(
+            f"{name:16s}{entry['instructions']:>14,d}"
+            f"{entry['seconds']:>10.3f}"
+            f"{entry['instructions_per_second']:>12,.0f}"
+            f"{f'{speedup:.2f}x' if speedup is not None else '-':>9s}"
+        )
+    if report["baseline"] is None:
+        lines.append(
+            "(no baseline recorded; run with --save-baseline to create one)"
+        )
+    return "\n".join(lines)
+
+
+def write_report(report: Dict, path: str) -> None:
+    atomic_write_json(path, report)
+
+
+def check_regressions(
+    report: Dict, max_regression: float = 0.25
+) -> List[str]:
+    """Compare a report against its baseline; return failure messages.
+
+    A scenario fails when its throughput falls more than ``max_regression``
+    below the recorded baseline (speedup < 1 - max_regression).  Scenarios
+    without a baseline entry are skipped — they cannot regress against
+    nothing.  Returns an empty list when everything is within bounds.
+    """
+    if not 0.0 < max_regression < 1.0:
+        raise ValueError(
+            f"max_regression must be in (0, 1), got {max_regression}"
+        )
+    failures: List[str] = []
+    floor = 1.0 - max_regression
+    for name, entry in report["scenarios"].items():
+        speedup = entry.get("speedup_vs_baseline")
+        if speedup is None:
+            continue
+        if speedup < floor:
+            failures.append(
+                f"{name}: {entry['instructions_per_second']:,.0f} instr/s is "
+                f"{speedup:.2f}x the baseline "
+                f"(allowed floor: {floor:.2f}x)"
+            )
+    return failures
+
+
+def save_baseline(report: Dict, path: str, label: str = "seed") -> None:
+    """Persist the current numbers as the comparison baseline."""
+    atomic_write_json(
+        path,
+        {
+            "schema_version": _SCHEMA_VERSION,
+            "label": label,
+            "scenarios": {
+                name: {
+                    "instructions": entry["instructions"],
+                    "instructions_per_second": entry["instructions_per_second"],
+                }
+                for name, entry in report["scenarios"].items()
+            },
+        },
+    )

@@ -390,6 +390,50 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro import bench
+
+    if args.scenario:
+        names = [s.strip() for s in args.scenario.split(",") if s.strip()]
+        unknown = [n for n in names if n not in bench.SCENARIOS]
+        if unknown:
+            _LOG.error(
+                f"unknown scenario(s) {', '.join(unknown)}; "
+                f"choose from {', '.join(bench.SCENARIOS)}"
+            )
+            return 2
+    elif args.fast:
+        names = list(bench.FAST_SCENARIOS)
+    else:
+        names = None
+    if args.repeat < 1:
+        _LOG.error(f"error: --repeat must be >= 1, got {args.repeat}")
+        return 2
+    report = bench.run_suite(
+        scenarios=names,
+        repeats=args.repeat,
+        baseline_path=args.baseline,
+        profile=args.profile,
+    )
+    print(json.dumps(report, indent=2) if args.json else bench.format_report(report))
+    bench.write_report(report, args.output)
+    _LOG.info(f"wrote {args.output}")
+    if args.save_baseline:
+        bench.save_baseline(report, args.save_baseline, label=args.baseline_label)
+        _LOG.info(f"recorded baseline: {args.save_baseline}")
+    if args.check is not None:
+        failures = bench.check_regressions(report, max_regression=args.check)
+        for message in failures:
+            _LOG.error(f"perf regression: {message}")
+        if failures:
+            return 1
+        _LOG.info(
+            f"perf check passed: no scenario regressed more than "
+            f"{args.check:.0%} vs baseline"
+        )
+    return 0
+
+
 def _cmd_findings(_args: argparse.Namespace) -> int:
     from repro.experiments import findings
 
@@ -419,7 +463,13 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     from repro.microarch.config import BIG
     from repro.workloads.spec import all_profiles
 
-    cv = cross_validate(all_profiles(), BIG, instructions=args.instructions)
+    cv = cross_validate(
+        all_profiles(),
+        BIG,
+        instructions=args.instructions,
+        sample_interval=args.sampling,
+        sample_warmup=args.sampling_warmup,
+    )
     print(f"{'benchmark':12s}{'interval':>10s}{'cycle':>8s}{'ratio':>7s}")
     for name in sorted(cv.interval_ipc):
         print(
@@ -595,6 +645,72 @@ def build_parser() -> argparse.ArgumentParser:
     p_cache_clear.add_argument("--cache-dir", default=None, metavar="PATH")
     p_cache_clear.set_defaults(func=_cmd_cache)
 
+    p_bench = sub.add_parser(
+        "bench", help="time the cycle-level tier and write BENCH_cycle.json"
+    )
+    p_bench.add_argument(
+        "--scenario",
+        default=None,
+        metavar="NAME[,NAME]",
+        help="run only these scenarios (default: all)",
+    )
+    p_bench.add_argument(
+        "--fast",
+        action="store_true",
+        help="run only the fast scenarios used by the CI perf gate",
+    )
+    p_bench.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        metavar="N",
+        help="repeats per scenario; best wall time wins (default: 1)",
+    )
+    p_bench.add_argument(
+        "--output",
+        default="BENCH_cycle.json",
+        metavar="FILE",
+        help="report file (default: BENCH_cycle.json)",
+    )
+    p_bench.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="baseline to compute speedups against "
+        "(default: benchmarks/perf/baseline.json)",
+    )
+    p_bench.add_argument(
+        "--save-baseline",
+        default=None,
+        metavar="FILE",
+        help="also record these numbers as a new baseline file",
+    )
+    p_bench.add_argument(
+        "--baseline-label",
+        default="seed",
+        metavar="LABEL",
+        help="label stored in --save-baseline (default: seed)",
+    )
+    p_bench.add_argument(
+        "--profile",
+        action="store_true",
+        help="additionally run each scenario under cProfile and log the "
+        "top-20 cumulative hotspots",
+    )
+    p_bench.add_argument(
+        "--check",
+        type=float,
+        default=None,
+        nargs="?",
+        const=0.25,
+        metavar="FRACTION",
+        help="exit non-zero if any scenario's instr/sec falls more than "
+        "this fraction below the baseline (default when given: 0.25); "
+        "the CI perf gate runs with this flag",
+    )
+    p_bench.add_argument("--json", action="store_true", help="machine-readable output")
+    p_bench.set_defaults(func=_cmd_bench)
+
     sub.add_parser("findings", help="evaluate the 11 findings").set_defaults(
         func=_cmd_findings
     )
@@ -614,6 +730,24 @@ def build_parser() -> argparse.ArgumentParser:
         "validate", help="cross-validate interval vs cycle tiers"
     )
     p_val.add_argument("--instructions", type=int, default=15_000)
+    p_val.add_argument(
+        "--sampling",
+        type=int,
+        default=None,
+        metavar="INTERVAL",
+        help="run the cycle tier in sampled mode with this per-thread "
+        "sampling interval (instructions); detailed windows plus "
+        "functionally-warmed fast-forward instead of full simulation "
+        "(see docs/performance.md)",
+    )
+    p_val.add_argument(
+        "--sampling-warmup",
+        type=int,
+        default=600,
+        metavar="N",
+        help="minimum detailed-window half-size for sampled mode "
+        "(window = max(2*N, INTERVAL/4); default: 600)",
+    )
     p_val.set_defaults(func=_cmd_validate)
 
     p_rep = sub.add_parser(

@@ -5,11 +5,21 @@ timing-free *contents* model: ``access`` returns whether the line was
 present and updates LRU/dirty state; the caller (the hierarchy) composes
 latencies.  This separation keeps the cache reusable for both the
 single-core and shared-LLC roles.
+
+``access`` is the hottest function in the cycle-level tier, so it trades a
+little clarity for speed: set/tag extraction uses precomputed shift/mask
+values when the geometry is a power of two (several cache sizes in the
+study are "just in between", e.g. 6 KB, and fall back to divmod), the
+presence check is a single dict lookup, and metric counters are **not**
+touched per access — they accumulate in :class:`CacheStats` and are
+flushed to :data:`repro.obs.METRICS` in one batch by
+:meth:`Cache.publish_metrics` (totals are identical; only the flush point
+moves off the hot path).
 """
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 from repro.microarch.config import CacheConfig
 from repro.obs import METRICS
@@ -51,18 +61,45 @@ class Cache:
         # aggregate across cores.
         self._level = name.rsplit(".", 1)[-1]
         self.stats = CacheStats()
+        # Hot-path geometry, resolved once: line number = address >> shift
+        # (or // line_bytes), set = line & mask (or % num_sets),
+        # tag = line >> set_bits (or // num_sets).
+        self._line_bytes = config.line_bytes
+        self._num_sets = config.num_sets
+        self._assoc = config.associativity
+        line_bytes = config.line_bytes
+        self._line_shift: Optional[int] = (
+            line_bytes.bit_length() - 1
+            if line_bytes & (line_bytes - 1) == 0
+            else None
+        )
+        num_sets = self._num_sets
+        if num_sets & (num_sets - 1) == 0:
+            self._set_mask: Optional[int] = num_sets - 1
+            self._set_bits = num_sets.bit_length() - 1
+        else:
+            self._set_mask = None
+            self._set_bits = 0
         # One OrderedDict per set: tag -> dirty flag; order is LRU -> MRU.
         self._sets: List["OrderedDict[int, bool]"] = [
-            OrderedDict() for _ in range(config.num_sets)
+            OrderedDict() for _ in range(num_sets)
         ]
         #: Address of the line written back by the most recent access, or
         #: None if that access evicted nothing dirty.  Lets the hierarchy
         #: forward LLC writebacks to DRAM without widening the access API.
         self.last_writeback_address: Optional[int] = None
+        # Counter values already flushed to METRICS (see publish_metrics).
+        self._published_hits = 0
+        self._published_misses = 0
+        self._published_writebacks = 0
 
     def _locate(self, address: int) -> Tuple[int, int]:
-        line = address // self.config.line_bytes
-        return line % self.config.num_sets, line // self.config.num_sets
+        shift = self._line_shift
+        line = address >> shift if shift is not None else address // self._line_bytes
+        mask = self._set_mask
+        if mask is not None:
+            return line & mask, line >> self._set_bits
+        return line % self._num_sets, line // self._num_sets
 
     def access(self, address: int, is_write: bool = False) -> bool:
         """Access one address; returns True on hit.
@@ -72,41 +109,54 @@ class Cache:
         """
         if address < 0:
             raise ValueError(f"address must be >= 0, got {address}")
-        set_idx, tag = self._locate(address)
+        shift = self._line_shift
+        line = address >> shift if shift is not None else address // self._line_bytes
+        mask = self._set_mask
+        if mask is not None:
+            set_idx = line & mask
+            tag = line >> self._set_bits
+        else:
+            set_idx = line % self._num_sets
+            tag = line // self._num_sets
         ways = self._sets[set_idx]
-        self.stats.accesses += 1
+        stats = self.stats
+        stats.accesses += 1
         self.last_writeback_address = None
-        if tag in ways:
-            self.stats.hits += 1
-            if METRICS.enabled:
-                METRICS.inc(f"sim.cache.{self._level}.hits")
-            ways[tag] = ways[tag] or is_write
+        dirty = ways.get(tag)
+        if dirty is not None:
+            stats.hits += 1
+            if is_write and not dirty:
+                ways[tag] = True
             ways.move_to_end(tag)
             return True
         # Miss: allocate, evicting LRU if the set is full.
-        if METRICS.enabled:
-            METRICS.inc(f"sim.cache.{self._level}.misses")
-        if len(ways) >= self.config.associativity:
+        if len(ways) >= self._assoc:
             victim_tag, victim_dirty = ways.popitem(last=False)
-            self.stats.evictions += 1
+            stats.evictions += 1
             if victim_dirty:
-                self.stats.writebacks += 1
-                if METRICS.enabled:
-                    METRICS.inc(f"sim.cache.{self._level}.writebacks")
+                stats.writebacks += 1
                 self.last_writeback_address = (
-                    victim_tag * self.config.num_sets + set_idx
-                ) * self.config.line_bytes
+                    victim_tag * self._num_sets + set_idx
+                ) * self._line_bytes
         ways[tag] = is_write
         return False
 
     def warm(self, address: int) -> None:
         """Insert a line without touching statistics (checkpoint warming)."""
-        set_idx, tag = self._locate(address)
+        shift = self._line_shift
+        line = address >> shift if shift is not None else address // self._line_bytes
+        mask = self._set_mask
+        if mask is not None:
+            set_idx = line & mask
+            tag = line >> self._set_bits
+        else:
+            set_idx = line % self._num_sets
+            tag = line // self._num_sets
         ways = self._sets[set_idx]
-        if tag in ways:
+        if ways.get(tag) is not None:
             ways.move_to_end(tag)
             return
-        if len(ways) >= self.config.associativity:
+        if len(ways) >= self._assoc:
             ways.popitem(last=False)
         ways[tag] = False
 
@@ -120,8 +170,34 @@ class Cache:
         set_idx, tag = self._locate(address)
         return self._sets[set_idx].pop(tag, None) is not None
 
+    def publish_metrics(self) -> None:
+        """Flush counter deltas accumulated since the last flush to METRICS.
+
+        The cycle tier calls this once per run (not per access); counter
+        totals match what per-access increments would have produced.
+        """
+        if not METRICS.enabled:
+            return
+        stats = self.stats
+        level = self._level
+        delta = stats.hits - self._published_hits
+        if delta:
+            METRICS.inc(f"sim.cache.{level}.hits", delta)
+            self._published_hits = stats.hits
+        delta = stats.misses - self._published_misses
+        if delta:
+            METRICS.inc(f"sim.cache.{level}.misses", delta)
+            self._published_misses = stats.misses
+        delta = stats.writebacks - self._published_writebacks
+        if delta:
+            METRICS.inc(f"sim.cache.{level}.writebacks", delta)
+            self._published_writebacks = stats.writebacks
+
     def reset_stats(self) -> None:
         self.stats = CacheStats()
+        self._published_hits = 0
+        self._published_misses = 0
+        self._published_writebacks = 0
 
     @property
     def resident_lines(self) -> int:

@@ -8,6 +8,15 @@ DRAM behind the off-chip bus.
 
 The hierarchy returns *latencies in nanoseconds* for each access so cores
 running at different frequencies (the ``_hf`` variants) convert correctly.
+
+This module sits on the cycle-level simulator's hot path, so the demand
+access chain is flattened (no per-level helper calls on hits), hit
+latencies for the fixed-latency levels (L1, L2, and — on the contention-free
+crossbar — the LLC) are served from per-core *interned*
+:class:`AccessResult` instances instead of allocating one per access, and
+per-level demand counters accumulate in plain attributes that
+:meth:`MemoryHierarchy.publish_metrics` flushes to
+:data:`repro.obs.METRICS` in one batch after a run.
 """
 
 from dataclasses import dataclass
@@ -70,6 +79,7 @@ class MemoryHierarchy:
             else None
             for _ in cores
         ]
+        self._has_prefetchers = prefetcher is not None
         self.llc = Cache(uncore.llc, name="llc")
         self.dram = DramModel(uncore.dram, line_bytes=uncore.llc.line_bytes)
         self._cores = cores
@@ -77,6 +87,45 @@ class MemoryHierarchy:
         # contention-free crossbar) serializes core<->LLC transactions: each
         # occupies the bus for one hop time.
         self._llc_bus_free_ns = 0.0
+        self._is_bus = uncore.interconnect.kind == "bus"
+        # Interned fixed-latency results and precomputed level latencies,
+        # one entry per core (L1/L2 always; LLC only on the crossbar, where
+        # no queueing term varies per access).
+        self._d_l1: List[AccessResult] = []
+        self._d_l2: List[AccessResult] = []
+        self._d_llc: List[Optional[AccessResult]] = []
+        self._i_l1: List[AccessResult] = []
+        self._i_l2: List[AccessResult] = []
+        self._i_llc: List[Optional[AccessResult]] = []
+        llc_hit_ns = self._llc_hit_ns()
+        for core in cores:
+            ghz = core.frequency_ghz
+            d_l1 = core.l1d.latency_cycles / ghz
+            i_l1 = core.l1i.latency_cycles / ghz
+            l2 = core.l2.latency_cycles / ghz
+            self._d_l1.append(AccessResult(d_l1, "l1"))
+            self._d_l2.append(AccessResult(d_l1 + l2, "l2"))
+            self._i_l1.append(AccessResult(i_l1, "l1"))
+            self._i_l2.append(AccessResult(i_l1 + l2, "l2"))
+            if self._is_bus:
+                self._d_llc.append(None)
+                self._i_llc.append(None)
+            else:
+                self._d_llc.append(AccessResult(d_l1 + l2 + llc_hit_ns, "llc"))
+                self._i_llc.append(AccessResult(i_l1 + l2 + llc_hit_ns, "llc"))
+        # Demand counters per (stream, level), flushed by publish_metrics.
+        self.demand_counts = {
+            "data.l1": 0,
+            "data.l2": 0,
+            "data.llc": 0,
+            "data.dram": 0,
+            "inst.l1": 0,
+            "inst.l2": 0,
+            "inst.llc": 0,
+            "inst.dram": 0,
+            "prefetch_fills": 0,
+        }
+        self._published_counts = dict(self.demand_counts)
 
     # ------------------------------------------------------------------ #
     # latency building blocks (nanoseconds)                               #
@@ -97,7 +146,7 @@ class MemoryHierarchy:
 
     def _interconnect_delay_ns(self, now_ns: float) -> float:
         """Extra queueing before reaching the LLC (zero on the crossbar)."""
-        if self.uncore.interconnect.kind != "bus":
+        if not self._is_bus:
             return 0.0
         start = max(now_ns, self._llc_bus_free_ns)
         self._llc_bus_free_ns = start + self._hop_ns()
@@ -110,11 +159,15 @@ class MemoryHierarchy:
         most recently warmed lines at each level.
         """
         caches = self.core_caches[core_index]
+        l1d_warm = caches.l1d.warm
+        l1i_warm = caches.l1i.warm
+        l2_warm = caches.l2.warm
+        llc_warm = self.llc.warm
         for address in addresses:
-            caches.l1d.warm(address)
-            caches.l1i.warm(address)
-            caches.l2.warm(address)
-            self.llc.warm(address)
+            l1d_warm(address)
+            l1i_warm(address)
+            l2_warm(address)
+            llc_warm(address)
 
     # ------------------------------------------------------------------ #
     # accesses                                                            #
@@ -129,45 +182,62 @@ class MemoryHierarchy:
         pc: int = 0,
     ) -> AccessResult:
         """A load/store from core ``core_index``; returns total latency."""
-        result = self._demand_data_access(core_index, address, now_ns, is_write)
-        if METRICS.enabled:
-            METRICS.inc(f"sim.mem.data.{result.level}")
-        prefetcher = self.prefetchers[core_index]
-        if prefetcher is not None:
-            for target in prefetcher.observe(pc, address, result.level != "l1"):
-                self._prefetch_fill(core_index, target, now_ns)
+        caches = self.core_caches[core_index]
+        counts = self.demand_counts
+        if caches.l1d.access(address, is_write):
+            counts["data.l1"] += 1
+            result = self._d_l1[core_index]
+        elif caches.l2.access(address, is_write):
+            counts["data.l2"] += 1
+            result = self._d_l2[core_index]
+        else:
+            result = self._shared_data_access(core_index, address, now_ns, is_write)
+        if self._has_prefetchers:
+            prefetcher = self.prefetchers[core_index]
+            if prefetcher is not None:
+                for target in prefetcher.observe(
+                    pc, address, result.level != "l1"
+                ):
+                    self._prefetch_fill(core_index, target, now_ns)
         return result
+
+    def _shared_data_access(
+        self, core_index: int, address: int, now_ns: float, is_write: bool
+    ) -> AccessResult:
+        """The L2-miss path: LLC, then DRAM (shared, stateful timing)."""
+        counts = self.demand_counts
+        interned = self._d_llc[core_index]
+        if interned is not None:  # crossbar: fixed LLC hit latency
+            if self.llc.access(address, is_write):
+                counts["data.llc"] += 1
+                return interned
+            llc_ns = interned.latency_ns
+        else:
+            core = self._cores[core_index]
+            ghz = core.frequency_ghz
+            l2_ns = (
+                core.l1d.latency_cycles / ghz + core.l2.latency_cycles / ghz
+            )
+            l2_ns += self._interconnect_delay_ns(now_ns + l2_ns)
+            llc_ns = l2_ns + self._llc_hit_ns()
+            if self.llc.access(address, is_write):
+                counts["data.llc"] += 1
+                return AccessResult(llc_ns, "llc")
+        counts["data.dram"] += 1
+        self._drain_llc_writeback(now_ns + llc_ns)
+        done = self.dram.access(address, now_ns + llc_ns)
+        return AccessResult(done - now_ns, "dram")
 
     def _prefetch_fill(self, core_index: int, address: int, now_ns: float) -> None:
         """Bring a predicted line into L2/LLC without charging a consumer."""
         caches = self.core_caches[core_index]
         if caches.l2.probe(address):
             return
-        if METRICS.enabled:
-            METRICS.inc("sim.mem.prefetch_fills")
+        self.demand_counts["prefetch_fills"] += 1
         if not self.llc.probe(address):
             self.dram.access(address, now_ns)  # occupies bank + bus
             self.llc.warm(address)
         caches.l2.warm(address)
-
-    def _demand_data_access(
-        self, core_index: int, address: int, now_ns: float, is_write: bool
-    ) -> AccessResult:
-        caches = self.core_caches[core_index]
-        core = self._cores[core_index]
-        l1_ns = self._cycles_to_ns(core.l1d.latency_cycles, core.frequency_ghz)
-        if caches.l1d.access(address, is_write):
-            return AccessResult(l1_ns, "l1")
-        l2_ns = l1_ns + self._cycles_to_ns(core.l2.latency_cycles, core.frequency_ghz)
-        if caches.l2.access(address, is_write):
-            return AccessResult(l2_ns, "l2")
-        l2_ns += self._interconnect_delay_ns(now_ns + l2_ns)
-        llc_ns = l2_ns + self._llc_hit_ns()
-        if self.llc.access(address, is_write):
-            return AccessResult(llc_ns, "llc")
-        self._drain_llc_writeback(now_ns + llc_ns)
-        done = self.dram.access(address, now_ns + llc_ns)
-        return AccessResult(done - now_ns, "dram")
 
     def _drain_llc_writeback(self, now_ns: float) -> None:
         """Send a dirty LLC victim to DRAM (occupies a bank and the bus).
@@ -184,26 +254,61 @@ class MemoryHierarchy:
         self, core_index: int, address: int, now_ns: float
     ) -> AccessResult:
         """An instruction fetch from core ``core_index``."""
-        result = self._demand_instruction_access(core_index, address, now_ns)
-        if METRICS.enabled:
-            METRICS.inc(f"sim.mem.inst.{result.level}")
-        return result
-
-    def _demand_instruction_access(
-        self, core_index: int, address: int, now_ns: float
-    ) -> AccessResult:
         caches = self.core_caches[core_index]
-        core = self._cores[core_index]
-        l1_ns = self._cycles_to_ns(core.l1i.latency_cycles, core.frequency_ghz)
+        counts = self.demand_counts
         if caches.l1i.access(address):
-            return AccessResult(l1_ns, "l1")
-        l2_ns = l1_ns + self._cycles_to_ns(core.l2.latency_cycles, core.frequency_ghz)
+            counts["inst.l1"] += 1
+            return self._i_l1[core_index]
         if caches.l2.access(address):
-            return AccessResult(l2_ns, "l2")
-        l2_ns += self._interconnect_delay_ns(now_ns + l2_ns)
-        llc_ns = l2_ns + self._llc_hit_ns()
-        if self.llc.access(address):
-            return AccessResult(llc_ns, "llc")
+            counts["inst.l2"] += 1
+            return self._i_l2[core_index]
+        interned = self._i_llc[core_index]
+        if interned is not None:
+            if self.llc.access(address):
+                counts["inst.llc"] += 1
+                return interned
+            llc_ns = interned.latency_ns
+        else:
+            core = self._cores[core_index]
+            ghz = core.frequency_ghz
+            l2_ns = (
+                core.l1i.latency_cycles / ghz + core.l2.latency_cycles / ghz
+            )
+            l2_ns += self._interconnect_delay_ns(now_ns + l2_ns)
+            llc_ns = l2_ns + self._llc_hit_ns()
+            if self.llc.access(address):
+                counts["inst.llc"] += 1
+                return AccessResult(llc_ns, "llc")
+        counts["inst.dram"] += 1
         self._drain_llc_writeback(now_ns + llc_ns)
         done = self.dram.access(address, now_ns + llc_ns)
         return AccessResult(done - now_ns, "dram")
+
+    # ------------------------------------------------------------------ #
+    # observability                                                       #
+    # ------------------------------------------------------------------ #
+
+    def publish_metrics(self) -> None:
+        """Flush batched demand/cache counters to METRICS.
+
+        Called by the simulator once per run; totals equal what per-access
+        increments would have produced (``sim.mem.*`` and
+        ``sim.cache.<level>.*``), without any hot-path METRICS traffic.
+        """
+        if not METRICS.enabled:
+            return
+        for key, value in self.demand_counts.items():
+            delta = value - self._published_counts[key]
+            if delta:
+                name = (
+                    "sim.mem.prefetch_fills"
+                    if key == "prefetch_fills"
+                    else f"sim.mem.{key}"
+                )
+                METRICS.inc(name, delta)
+                self._published_counts[key] = value
+        for caches in self.core_caches:
+            caches.l1i.publish_metrics()
+            caches.l1d.publish_metrics()
+            caches.l2.publish_metrics()
+        self.llc.publish_metrics()

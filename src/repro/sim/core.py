@@ -20,6 +20,20 @@ One :class:`PipelineCore` advances cycle by cycle:
 Memory latencies come from the shared :class:`~repro.memory.hierarchy.
 MemoryHierarchy`, so co-running threads and other cores contend for L2/LLC
 capacity, DRAM banks and the off-chip bus with real state.
+
+Two fast paths keep this tier usable for cross-validation sweeps without
+changing a single reported number:
+
+* the per-cycle work loops bind hot attributes to locals, the functional-
+  unit issue probe hops a path-compressed next-free-cycle skip list instead
+  of scanning cycle by cycle, and producer completion times live in a flat
+  ring buffer;
+* **idle-cycle skipping** (:meth:`PipelineCore.next_event_cycle`): when no
+  thread can commit, dispatch or finish before some cycle T, the clock
+  advances straight to T.  The skip is *exact* — between the current cycle
+  and T the naive loop would not change any architectural or statistical
+  state — so fast-forwarded runs are bit-identical to naive ones (a golden
+  test asserts this across core types and fetch policies).
 """
 
 from collections import deque
@@ -33,6 +47,24 @@ from repro.workloads.tracegen import EXEC_LATENCY, TraceInstruction
 
 #: Ring size for producer completion-time tracking (max dependence distance).
 _DEP_WINDOW = 64
+_DEP_MASK = _DEP_WINDOW - 1
+
+#: Functional-unit class per instruction kind (int ops and branches share
+#: the integer ALUs).
+_FU_CLASS = {
+    "int": "int",
+    "branch": "int",
+    "load": "ldst",
+    "store": "ldst",
+    "muldiv": "muldiv",
+    "fp": "fp",
+}
+
+#: Issue-slot tables are pruned once they hold this many distinct cycles.
+_FU_PRUNE_LIMIT = 4096
+
+#: Sentinel for "no event will ever happen" (all threads drained).
+_NEVER = (1 << 63) - 1
 
 
 class SimThread:
@@ -46,6 +78,7 @@ class SimThread:
     ):
         self.thread_id = thread_id
         self.trace = trace
+        self.trace_len = len(trace)
         self.cursor = 0
         self.warmup_instructions = min(warmup_instructions, max(0, len(trace) - 1))
         self.stats = CoreSimStats()
@@ -53,8 +86,10 @@ class SimThread:
         #: table sharing/aliasing between contexts is not modelled).
         self.predictor = None  # installed by the owning PipelineCore
         self._warm_snapshot: Optional[Tuple[int, int, int, Dict[str, int]]] = None
-        #: Completion cycles of the last _DEP_WINDOW dispatched instructions.
-        self.completions: Deque[int] = deque(maxlen=_DEP_WINDOW)
+        #: Completion cycles of the last _DEP_WINDOW dispatched instructions,
+        #: as a flat ring buffer (O(1) lookup at any dependence distance).
+        self._comp_ring: List[int] = [0] * _DEP_WINDOW
+        self._comp_count = 0
         #: In-flight (program-ordered) completion times awaiting commit.
         self.rob: Deque[int] = deque()
         self.fetch_stalled_until = 0
@@ -63,7 +98,7 @@ class SimThread:
 
     @property
     def finished(self) -> bool:
-        return self.cursor >= len(self.trace) and not self.rob
+        return self.cursor >= self.trace_len and not self.rob
 
     def maybe_snapshot(self, now: int) -> None:
         """Record the warm-up boundary so cold misses are excluded."""
@@ -90,9 +125,33 @@ class SimThread:
 
     def producer_completion(self, dep_distance: int, now: int) -> int:
         """Cycle at which this instruction's register input becomes ready."""
-        if dep_distance <= 0 or dep_distance > len(self.completions):
+        if (
+            dep_distance <= 0
+            or dep_distance > self._comp_count
+            or dep_distance > _DEP_WINDOW
+        ):
             return now
-        return max(now, self.completions[-dep_distance])
+        c = self._comp_ring[(self._comp_count - dep_distance) & _DEP_MASK]
+        return c if c > now else now
+
+    def record_completion(self, completion: int) -> None:
+        """Append one dispatched instruction's completion cycle."""
+        count = self._comp_count
+        self._comp_ring[count & _DEP_MASK] = completion
+        self._comp_count = count + 1
+
+    def reset_pipeline_state(self, now: int) -> None:
+        """Drop in-flight state (sampled simulation window boundaries).
+
+        Clears the ROB and dependence ring as if the pipeline drained; the
+        architectural warm state (predictor, cache contents via the shared
+        hierarchy, cursor position) is untouched.
+        """
+        self.rob.clear()
+        self._comp_ring = [0] * _DEP_WINDOW
+        self._comp_count = 0
+        if self.fetch_stalled_until < now:
+            self.fetch_stalled_until = now
 
 
 class PipelineCore:
@@ -129,6 +188,12 @@ class PipelineCore:
         for thread in self.threads:
             thread.predictor = predictor_for_core(core.is_out_of_order)
         self.cycle = 0
+        self._n_threads = len(self.threads)
+        self._is_ooo = core.is_out_of_order
+        self._width = core.width
+        self._freq = core.frequency_ghz
+        #: Instruction fetches dedup at the core's own L1I line granularity.
+        self._l1i_line_bytes = core.l1i.line_bytes
         self._rob_share = (
             core.rob_size // len(self.threads) if core.is_out_of_order else core.width * 2
         )
@@ -145,59 +210,86 @@ class PipelineCore:
             "fp": fu.fp,
         }
         self._fu_busy: Dict[str, Dict[int, int]] = {k: {} for k in self._fu_units}
-        self._last_prune = 0
+        #: Next-free-cycle skip list per class: for a saturated cycle ``c``,
+        #: ``_fu_next[cls][c]`` points at the next cycle that might still
+        #: have a free slot (path-compressed as probes walk it).
+        self._fu_next: Dict[str, Dict[int, int]] = {k: {} for k in self._fu_units}
 
     # ------------------------------------------------------------------ #
     # helpers                                                             #
     # ------------------------------------------------------------------ #
 
     def _now_ns(self) -> float:
-        return self.cycle / self.core.frequency_ghz
+        return self.cycle / self._freq
 
     def _fu_class(self, kind: str) -> str:
-        if kind in ("load", "store"):
-            return "ldst"
-        if kind in ("muldiv", "fp"):
-            return kind
-        return "int"  # int ops and branches use the integer ALUs
+        return _FU_CLASS.get(kind, "int")
 
     def _acquire_fu(self, kind: str, ready: int) -> int:
         """Earliest cycle >= ``ready`` with a free unit of this class."""
-        cls = self._fu_class(kind)
+        cls = _FU_CLASS[kind]
         units = self._fu_units[cls]
         busy = self._fu_busy[cls]
+        if len(busy) > _FU_PRUNE_LIMIT:
+            self._prune_fu_state()
         t = ready
-        while busy.get(t, 0) >= units:
-            t += 1
-        busy[t] = busy.get(t, 0) + 1
+        used = busy.get(t, 0)
+        if used >= units:
+            # Saturated: hop the next-free skip list (union-find style with
+            # path compression) instead of probing one cycle at a time.
+            nxt = self._fu_next[cls]
+            path = []
+            while used >= units:
+                path.append(t)
+                t = nxt.get(t, t + 1)
+                used = busy.get(t, 0)
+            for c in path:
+                nxt[c] = t
+        busy[t] = used + 1
         return t
 
     def _prune_fu_state(self) -> None:
-        """Drop issue-slot bookkeeping for cycles already in the past."""
+        """Drop issue-slot bookkeeping for cycles already in the past.
+
+        Triggered by table *size* (not a wall-cycle stride), so long memory
+        stalls cannot accumulate unbounded state; the tables are compacted
+        in place.  Reservations at cycles < ``self.cycle`` can never be
+        probed again (issue ready times are always >= the current cycle),
+        so dropping them never changes an issue decision.
+        """
         now = self.cycle
-        for busy in self._fu_busy.values():
-            stale = [c for c in busy if c < now]
-            for c in stale:
-                del busy[c]
-        self._last_prune = now
+        for cls, busy in self._fu_busy.items():
+            if len(busy) <= _FU_PRUNE_LIMIT // 2:
+                continue
+            kept = {c: n for c, n in busy.items() if c >= now}
+            busy.clear()
+            busy.update(kept)
+            nxt = self._fu_next[cls]
+            kept_next = {c: t for c, t in nxt.items() if c >= now}
+            nxt.clear()
+            nxt.update(kept_next)
 
     def _fetch_line(self, thread: SimThread, instr: TraceInstruction) -> None:
         """Model instruction-cache behaviour at cache-line granularity."""
-        line = instr.pc // self.hierarchy.llc.config.line_bytes
+        line = instr.pc // self._l1i_line_bytes
         if line == thread.last_fetch_line:
             return
         thread.last_fetch_line = line
+        self._fetch_miss(thread, instr.pc)
+
+    def _fetch_miss(self, thread: SimThread, pc: int) -> None:
+        """Charge the i-cache for a new fetch line (slow path)."""
         result = self.hierarchy.instruction_access(
-            self.core_index, instr.pc, self._now_ns()
+            self.core_index, pc, self.cycle / self._freq
         )
         if result.level != "l1":
             # The front end runs ahead and next-line-prefetches sequential
             # code, hiding most of an i-miss behind the fetch buffer; only a
             # fraction of the latency reaches dispatch.
-            delay = int(result.latency_ns * self.core.frequency_ghz * 0.4) + 1
-            thread.fetch_stalled_until = max(
-                thread.fetch_stalled_until, self.cycle + delay
-            )
+            delay = int(result.latency_ns * self._freq * 0.4) + 1
+            stalled = self.cycle + delay
+            if stalled > thread.fetch_stalled_until:
+                thread.fetch_stalled_until = stalled
 
     # ------------------------------------------------------------------ #
     # one cycle                                                           #
@@ -206,17 +298,23 @@ class PipelineCore:
     def step(self) -> None:
         """Advance the core by one cycle (commit, then dispatch)."""
         now = self.cycle
-        width = self.core.width
-        if now - self._last_prune >= 4096:
-            self._prune_fu_state()
+        width = self._width
+        threads = self.threads
 
-        # Commit: in order per thread, up to `width` per thread.
-        for thread in self.threads:
-            retired = 0
-            while thread.rob and retired < width and thread.rob[0] <= now:
-                thread.rob.popleft()
-                retired += 1
-            if thread.finished and thread.done_cycle is None:
+        # Commit: in order per thread, up to `width` per thread; a thread
+        # whose trace and ROB both drained records its finish cycle.
+        for thread in threads:
+            rob = thread.rob
+            if rob:
+                retired = 0
+                while retired < width and rob and rob[0] <= now:
+                    rob.popleft()
+                    retired += 1
+            if (
+                not rob
+                and thread.done_cycle is None
+                and thread.cursor >= thread.trace_len
+            ):
                 thread.done_cycle = now
                 thread.finalize_stats(now)
 
@@ -225,26 +323,50 @@ class PipelineCore:
         # thread with the fewest in-flight instructions first pick, which
         # keeps fast-moving threads moving.
         budget = width
-        n = len(self.threads)
-        if self.fetch_policy == "icount":
-            order = sorted(self.threads, key=lambda th: len(th.rob))
+        n = self._n_threads
+        if n == 1:
+            order = threads
+        elif self.fetch_policy == "icount":
+            order = sorted(threads, key=_rob_depth)
         else:
             start = now % n
-            order = [self.threads[(start + off) % n] for off in range(n)]
+            order = threads[start:] + threads[:start]
+        rob_share = self._rob_share
+        is_ooo = self._is_ooo
+        dispatch = self._dispatch
         for thread in order:
-            while budget > 0 and self._can_dispatch(thread, now):
-                self._dispatch(thread, now)
+            if budget <= 0:
+                break
+            rob = thread.rob
+            trace = thread.trace
+            tlen = thread.trace_len
+            while (
+                budget > 0
+                and thread.cursor < tlen
+                and now >= thread.fetch_stalled_until
+                and len(rob) < rob_share
+            ):
+                if (
+                    not is_ooo
+                    and thread.producer_completion(
+                        trace[thread.cursor].dep_distance, now
+                    )
+                    > now
+                ):
+                    # Stall-on-use: the next instruction's input is not ready.
+                    break
+                dispatch(thread, now)
                 budget -= 1
-        self.cycle += 1
+        self.cycle = now + 1
 
     def _can_dispatch(self, thread: SimThread, now: int) -> bool:
-        if thread.cursor >= len(thread.trace):
+        if thread.cursor >= thread.trace_len:
             return False
         if now < thread.fetch_stalled_until:
             return False
         if len(thread.rob) >= self._rob_share:
             return False
-        if not self.core.is_out_of_order:
+        if not self._is_ooo:
             # Stall-on-use: the next instruction must have its input ready.
             instr = thread.trace[thread.cursor]
             if thread.producer_completion(instr.dep_distance, now) > now:
@@ -252,46 +374,169 @@ class PipelineCore:
         return True
 
     def _dispatch(self, thread: SimThread, now: int) -> None:
-        instr = thread.trace[thread.cursor]
-        thread.cursor += 1
-        self._fetch_line(thread, instr)
+        cursor = thread.cursor
+        instr = thread.trace[cursor]
+        thread.cursor = cursor + 1
+        line = instr.pc // self._l1i_line_bytes
+        if line != thread.last_fetch_line:
+            thread.last_fetch_line = line
+            self._fetch_miss(thread, instr.pc)
 
+        kind = instr.kind
         ready = thread.producer_completion(instr.dep_distance, now)
-        issue = self._acquire_fu(instr.kind, ready)
-        latency = EXEC_LATENCY[instr.kind]
-        if instr.kind in ("load", "store"):
-            issue_ns = issue / self.core.frequency_ghz
+        issue = self._acquire_fu(kind, ready)
+        latency = EXEC_LATENCY[kind]
+        stats = thread.stats
+        if kind == "load" or kind == "store":
+            freq = self._freq
             result = self.hierarchy.data_access(
                 self.core_index,
                 instr.address,
-                issue_ns,
-                is_write=(instr.kind == "store"),
+                issue / freq,
+                is_write=(kind == "store"),
                 pc=instr.pc,
             )
-            thread.stats.record_level(result.level)
+            level = result.level
+            stats.level_hits[level] = stats.level_hits.get(level, 0) + 1
             mem_cycles = (
-                int(result.latency_ns * self.core.frequency_ghz)
-                if instr.kind == "load"
+                int(result.latency_ns * freq)
+                if kind == "load"
                 else 1  # stores retire through the write buffer
             )
-            completion = issue + max(1, latency + mem_cycles)
+            total = latency + mem_cycles
+            completion = issue + (total if total > 1 else 1)
         else:
             completion = issue + latency
 
-        if instr.kind == "branch":
+        if kind == "branch":
             # A real predictor resolves the trace's concrete outcome; the
             # front end redirects once the branch executes.
             if thread.predictor.update(instr.pc, instr.taken):
-                thread.stats.branch_mispredicts += 1
-                thread.fetch_stalled_until = max(
-                    thread.fetch_stalled_until,
-                    completion + self.core.frontend_depth,
-                )
+                stats.branch_mispredicts += 1
+                redirect = completion + self.core.frontend_depth
+                if redirect > thread.fetch_stalled_until:
+                    thread.fetch_stalled_until = redirect
 
-        thread.completions.append(completion)
+        thread.record_completion(completion)
         thread.rob.append(completion)
-        thread.stats.instructions += 1
-        thread.maybe_snapshot(now)
+        stats.instructions += 1
+        if thread._warm_snapshot is None:
+            thread.maybe_snapshot(now)
+
+    # ------------------------------------------------------------------ #
+    # idle-cycle skipping                                                 #
+    # ------------------------------------------------------------------ #
+
+    def next_event_cycle(self) -> int:
+        """Earliest cycle >= ``self.cycle`` at which :meth:`step` can act.
+
+        "Act" means: retire at least one ROB entry, record a thread finish,
+        or dispatch at least one instruction.  Between the current cycle
+        and the returned cycle the naive per-cycle loop provably does
+        nothing — per-thread gating values (ROB head completion, fetch
+        stall deadline, producer completion for stall-on-use) only change
+        when a commit or dispatch happens — so advancing the clock straight
+        to the returned cycle is bit-identical to stepping through.
+
+        Returns a huge sentinel when every thread has drained.
+        """
+        now = self.cycle
+        best = _NEVER
+        rob_share = self._rob_share
+        is_ooo = self._is_ooo
+        for thread in self.threads:
+            rob = thread.rob
+            if rob:
+                head = rob[0]
+                if head <= now:
+                    return now
+                if head < best:
+                    best = head
+                if len(rob) >= rob_share:
+                    # Dispatch gated on commit; the head event covers it.
+                    continue
+            if thread.cursor < thread.trace_len:
+                ready = thread.fetch_stalled_until
+                if not is_ooo:
+                    pr = thread.producer_completion(
+                        thread.trace[thread.cursor].dep_distance, now
+                    )
+                    if pr > ready:
+                        ready = pr
+                if ready <= now:
+                    return now
+                if ready < best:
+                    best = ready
+        return best
+
+    # ------------------------------------------------------------------ #
+    # functional warming (sampled simulation)                             #
+    # ------------------------------------------------------------------ #
+
+    def functional_warm(
+        self, per_thread: int, dram_addresses: Optional[List[int]] = None
+    ) -> List[Tuple[int, int, int, int, int]]:
+        """Advance every thread up to ``per_thread`` instructions with
+        functional warming only.
+
+        Caches see every reference (contents, LRU and dirty state update
+        through the real access path) and branch predictors train on every
+        outcome, but no cycles pass, no timing state (DRAM banks, off-chip
+        bus) is touched, and no statistics are recorded — the Pac-Sim-style
+        fast-forward between detailed windows.  Returns, per thread,
+        ``(instructions_warmed, l2_hits, llc_hits, dram_accesses,
+        branch_mispredicts)`` for the data stream — the stall events the
+        sampled tier's extrapolation model prices (matching the levels a
+        detailed window records in ``stats.level_hits``).
+
+        ``dram_addresses``, if given, collects the address of every access
+        that missed all cache levels (data and instruction side), so the
+        caller can replay them into the DRAM timing model — warming bank
+        and bus queues that the functional pass leaves untouched.
+        """
+        caches = self.hierarchy.core_caches[self.core_index]
+        l1i, l1d, l2 = caches.l1i, caches.l1d, caches.l2
+        llc = self.hierarchy.llc
+        line_bytes = self._l1i_line_bytes
+        out: List[Tuple[int, int, int, int, int]] = []
+        for thread in self.threads:
+            trace = thread.trace
+            end = min(thread.trace_len, thread.cursor + per_thread)
+            predictor = thread.predictor
+            last_line = thread.last_fetch_line
+            l2_hits = 0
+            llc_hits = 0
+            dram = 0
+            mispredicts = 0
+            for cursor in range(thread.cursor, end):
+                instr = trace[cursor]
+                line = instr.pc // line_bytes
+                if line != last_line:
+                    last_line = line
+                    if not l1i.access(instr.pc):
+                        if not l2.access(instr.pc):
+                            if not llc.access(instr.pc):
+                                if dram_addresses is not None:
+                                    dram_addresses.append(instr.pc)
+                kind = instr.kind
+                if kind == "load" or kind == "store":
+                    is_write = kind == "store"
+                    if not l1d.access(instr.address, is_write):
+                        if l2.access(instr.address, is_write):
+                            l2_hits += 1
+                        elif llc.access(instr.address, is_write):
+                            llc_hits += 1
+                        else:
+                            dram += 1
+                            if dram_addresses is not None:
+                                dram_addresses.append(instr.address)
+                elif kind == "branch":
+                    if predictor.update(instr.pc, instr.taken):
+                        mispredicts += 1
+            out.append((end - thread.cursor, l2_hits, llc_hits, dram, mispredicts))
+            thread.cursor = end
+            thread.last_fetch_line = last_line
+        return out
 
     # ------------------------------------------------------------------ #
     # run loop                                                            #
@@ -301,16 +546,35 @@ class PipelineCore:
     def finished(self) -> bool:
         return all(t.finished for t in self.threads)
 
-    def run(self, max_cycles: int = 50_000_000) -> None:
-        """Run until every thread has drained its trace."""
-        while not self.finished:
+    def run(self, max_cycles: int = 50_000_000, fast_forward: bool = True) -> None:
+        """Run until every thread has drained its trace.
+
+        ``fast_forward`` enables exact idle-cycle skipping (see
+        :meth:`next_event_cycle`); disabling it steps the naive per-cycle
+        loop — results are bit-identical either way.
+        """
+        threads = self.threads
+        while any(t.done_cycle is None for t in threads):
             if self.cycle >= max_cycles:
                 raise RuntimeError(
                     f"core {self.core_index} exceeded {max_cycles} cycles; "
                     "deadlocked or trace too long"
                 )
+            if fast_forward:
+                target = self.next_event_cycle()
+                if target > self.cycle:
+                    if target >= max_cycles:
+                        self.cycle = max_cycles
+                        continue  # raises on the next loop check
+                    self.cycle = target
             self.step()
-        for thread in self.threads:
+        for thread in threads:
             if thread.done_cycle is None:
                 thread.done_cycle = self.cycle
                 thread.finalize_stats(self.cycle)
+        self.hierarchy.publish_metrics()
+
+
+def _rob_depth(thread: SimThread) -> int:
+    """ICOUNT sort key: in-flight instruction count."""
+    return len(thread.rob)

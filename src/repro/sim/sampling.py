@@ -1,0 +1,415 @@
+"""Sampled cycle-level simulation (Pac-Sim style periodic sampling).
+
+Full cycle-level runs simulate every instruction in detail.  Sampled runs
+split each thread's instruction stream into periods of ``interval``
+instructions: a **detailed window** at the head of each period is simulated
+cycle by cycle on the real pipeline, and the remainder is **fast-forwarded
+with functional warming** — caches and branch predictors see every
+reference through the real access paths, but no cycles elapse and no
+timing state is touched.
+
+Two properties make the estimate sharp:
+
+* **Detailed windows are exact, not extrapolated.**  The clock does not
+  advance while fast-forwarding, so the pipeline continues seamlessly from
+  one window into the next — in-flight completion times stay valid, there
+  is no drain/refill transient to discard, and every cycle spent inside a
+  window is *measured*, not modelled.  Only the fast-forwarded spans are
+  estimated.
+* **Skipped spans are event-priced, not flat-rated.**  The synthetic
+  traces have large short-range CPI variance, mostly driven by memory
+  misses and branch-mispredict clusters — and functional warming *counts
+  those events exactly* in the skipped spans (it runs the real cache and
+  predictor state machines).  Span cycles are reconstructed with a
+  per-thread model::
+
+      cycles  ≈  a · instructions  +  s · stall_score
+
+  where ``stall_score`` weighs each counted event (L2/LLC/DRAM data
+  access, branch mispredict) by its *architectural* latency, and only the
+  two scalars ``a`` (base CPI) and ``s`` (effective stall exposure, which
+  absorbs memory-level parallelism and overlap) are fitted to the measured
+  windows.  Fixing the event-cost ratios to the architecture keeps the fit
+  stable with a handful of windows — fitting a free slope per event would
+  chase burst noise.  The fit is rescaled so the model reproduces the
+  measured window totals exactly, and degrades gracefully to whole-window
+  CPI extrapolation when a thread shows no stall-score variance.
+
+The initial trace warm-up prefix (cold-cache exclusion in full runs) is
+replaced entirely by functional warming — same architectural effect at
+near-zero cost.  ``warmup`` sizes the minimum detailed window
+(``window = max(2 * warmup, interval // 4)``) so the fast-forward boundary
+(stale dependence ring, leftover in-flight ROB entries) is amortized over
+a long measured region.
+
+Sampling is an *approximation*: reported per-thread cycle counts are
+estimates (``tests/test_sampling.py`` holds CPI error against full
+simulation on the validation-tier workloads), and cache/mispredict
+counters cover only the detailed windows.  Use full runs when exact
+statistics matter; use sampling to make long validation sweeps cheap.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.sim.core import PipelineCore, SimThread
+
+
+@dataclass(frozen=True)
+class SamplingConfig:
+    """Knobs for sampled simulation.
+
+    Parameters
+    ----------
+    interval:
+        Per-thread instructions in one sampling period (detailed window
+        plus fast-forwarded span).
+    warmup:
+        Sizes the minimum detailed window: the window is at least twice
+        this, so fast-forward boundary artifacts stay a small fraction of
+        every measured region.
+    """
+
+    interval: int
+    warmup: int = 150
+
+    def __post_init__(self) -> None:
+        if self.interval < 1:
+            raise ValueError(f"interval must be >= 1, got {self.interval}")
+        if self.warmup < 0:
+            raise ValueError(f"warmup must be >= 0, got {self.warmup}")
+        if self.window >= self.interval:
+            raise ValueError(
+                f"sampling interval {self.interval} leaves no room to "
+                f"fast-forward past the detailed window ({self.window}); "
+                "use a larger interval or a smaller warmup"
+            )
+
+    @property
+    def window(self) -> int:
+        """Detailed-window length: a quarter of the period, but at least
+        twice the warm-up so boundary artifacts are amortized."""
+        return max(2 * self.warmup, self.interval // 4, 1)
+
+
+def _event_weights(core: PipelineCore) -> Tuple[float, float, float, float]:
+    """Architectural cycle costs of (l2, llc, dram, mispredict) events.
+
+    These fix the *ratios* between event costs in the extrapolation model;
+    the fitted exposure scalar absorbs overlap, queueing and MLP, so only
+    the relative magnitudes need to be right.
+    """
+    cfg = core.core
+    freq = cfg.frequency_ghz
+    hierarchy = core.hierarchy
+    w_l2 = float(cfg.l2.latency_cycles)
+    w_llc = hierarchy._llc_hit_ns() * freq
+    dram = hierarchy.dram
+    w_dram = w_llc + (
+        dram.config.access_latency_ns + dram.transfer_ns
+    ) * freq
+    w_mp = float(cfg.frontend_depth + 2)
+    return (w_l2, w_llc, w_dram, w_mp)
+
+
+class _ThreadSampleState:
+    """Measurement bookkeeping for one hardware thread."""
+
+    __slots__ = (
+        "budget",
+        "width",
+        "weights",
+        "window_start",
+        "win_cycle0",
+        "win_levels0",
+        "win_mispred0",
+        "win_active",
+        "windows",
+        "spans",
+        "detailed_cycles",
+    )
+
+    def __init__(
+        self,
+        budget: int,
+        width: int,
+        weights: Tuple[float, float, float, float],
+    ):
+        self.budget = budget  # post-prefix instructions to account for
+        self.width = width
+        self.weights = weights
+        self.window_start = 0
+        self.win_cycle0 = 0
+        self.win_levels0 = (0, 0, 0)
+        self.win_mispred0 = 0
+        self.win_active = True
+        #: Per detailed window: (instructions, cycles, stall_score) — the
+        #: fitting data for the event-cost model.
+        self.windows: List[Tuple[int, int, float]] = []
+        #: Per fast-forwarded span: (instructions, stall_score) — the
+        #: regions whose cycles the model reconstructs.
+        self.spans: List[Tuple[int, float]] = []
+        #: Cycles spent in detailed windows — *exact*, not estimated (the
+        #: pipeline runs continuously through them).
+        self.detailed_cycles = 0
+
+    def stall_score(self, l2: int, llc: int, dram: int, mispred: int) -> float:
+        w_l2, w_llc, w_dram, w_mp = self.weights
+        return w_l2 * l2 + w_llc * llc + w_dram * dram + w_mp * mispred
+
+    # -- window edges ------------------------------------------------------ #
+
+    def _levels(self, thread: SimThread) -> Tuple[int, int, int]:
+        hits = thread.stats.level_hits
+        return (hits.get("l2", 0), hits.get("llc", 0), hits.get("dram", 0))
+
+    def open_window(self, thread: SimThread, cycle: int) -> None:
+        self.window_start = thread.cursor
+        self.win_cycle0 = cycle
+        self.win_levels0 = self._levels(thread)
+        self.win_mispred0 = thread.stats.branch_mispredicts
+        self.win_active = thread.done_cycle is None
+
+    def close_window(self, thread: SimThread, cycle: int) -> None:
+        if not self.win_active:
+            return
+        end = thread.done_cycle if thread.done_cycle is not None else cycle
+        cycles = max(0, end - self.win_cycle0)
+        instr = thread.cursor - self.window_start
+        self.detailed_cycles += cycles
+        if instr > 0:
+            l2, llc, dram = self._levels(thread)
+            l20, llc0, dram0 = self.win_levels0
+            score = self.stall_score(
+                l2 - l20,
+                llc - llc0,
+                dram - dram0,
+                thread.stats.branch_mispredicts - self.win_mispred0,
+            )
+            self.windows.append((instr, cycles, score))
+        if thread.done_cycle is not None:
+            self.win_active = False
+
+    # -- extrapolation ---------------------------------------------------- #
+
+    def estimated_cycles(self) -> int:
+        """Exact detailed-window cycles plus event-priced span estimates."""
+        span_instr = sum(s[0] for s in self.spans)
+        if span_instr <= 0:
+            return max(1, self.detailed_cycles)  # everything was detailed
+        measured_instr = sum(w[0] for w in self.windows)
+        measured_cycles = sum(w[1] for w in self.windows)
+        measured_score = sum(w[2] for w in self.windows)
+        if measured_instr <= 0:
+            # Degenerate: no window recorded any instructions; assume one
+            # cycle per skipped instruction.
+            return max(1, self.detailed_cycles + span_instr)
+        base, exposure = _fit_model(self.windows, floor=0.5 / self.width)
+        # Rescale so the model reproduces the measured totals exactly: any
+        # systematic misfit then cancels between windows and spans.
+        predicted = base * measured_instr + exposure * measured_score
+        if predicted > 0.0:
+            k = measured_cycles / predicted
+            base *= k
+            exposure *= k
+        estimate = float(self.detailed_cycles)
+        for instr, score in self.spans:
+            estimate += base * instr + exposure * score
+        return max(1, int(round(estimate)))
+
+
+def _solve(
+    windows: List[Tuple[int, int, float]], floor: float
+) -> Tuple[float, float]:
+    """Closed-form ``cycles ≈ base·instructions + exposure·stall_score``.
+
+    A through-origin two-parameter least-squares.  With too few windows,
+    no stall-score variance, or a sign-violating solution, it degrades to
+    plain CPI (exposure 0).
+    """
+    total_i = sum(w[0] for w in windows)
+    total_c = sum(w[1] for w in windows)
+    plain = (total_c / total_i if total_i else 1.0, 0.0)
+    if len(windows) < 3:
+        return plain
+    sii = sxx = six = sic = sxc = 0.0
+    for instr, cycles, score in windows:
+        sii += instr * instr
+        sxx += score * score
+        six += instr * score
+        sic += instr * cycles
+        sxc += score * cycles
+    det = sii * sxx - six * six
+    if det <= 1e-9 or sxx <= 1e-9:
+        return plain
+    base = (sxx * sic - six * sxc) / det
+    exposure = (sii * sxc - six * sic) / det
+    if exposure < 0.0:
+        return plain
+    if base < floor:
+        # Clamp the base CPI and re-fit the exposure alone.
+        base = floor
+        exposure = max(0.0, (sxc - base * six) / sxx)
+    return base, exposure
+
+
+def _fit_model(
+    windows: List[Tuple[int, int, float]], floor: float
+) -> Tuple[float, float]:
+    """Pick the better extrapolation model by leave-one-out error.
+
+    Candidates: plain whole-window CPI, and the two-parameter stall-score
+    model.  For compute-bound threads the stall score is sparse noise and
+    plain CPI wins; for memory-bound threads the score explains most of
+    the window variance.  Leave-one-out prediction error on the measured
+    windows decides per thread, which keeps either failure mode from
+    leaking into the estimate.
+    """
+    if len(windows) < 4:
+        return _solve(windows, floor)
+    err_plain = 0.0
+    err_model = 0.0
+    for i, (instr, cycles, score) in enumerate(windows):
+        rest = windows[:i] + windows[i + 1 :]
+        rest_i = sum(w[0] for w in rest)
+        rest_c = sum(w[1] for w in rest)
+        cpi = rest_c / rest_i if rest_i else 1.0
+        err_plain += (cycles - cpi * instr) ** 2
+        base, exposure = _solve(rest, floor)
+        err_model += (cycles - base * instr - exposure * score) ** 2
+    if err_plain <= err_model:
+        total_i = sum(w[0] for w in windows)
+        total_c = sum(w[1] for w in windows)
+        return (total_c / total_i if total_i else 1.0, 0.0)
+    return _solve(windows, floor)
+
+
+def execute_sampled(
+    hierarchy: MemoryHierarchy,
+    cores: List[PipelineCore],
+    config: SamplingConfig,
+    max_cycles: int = 50_000_000,
+) -> Tuple[List[Tuple[int, SimThread]], int]:
+    """Run prepared cores in sampled mode.
+
+    Returns ``(threads, total_cycles)`` where ``threads`` flattens
+    ``(core_index, SimThread)`` in core order with each thread's ``stats``
+    rewritten to the sampled estimate: ``instructions`` is the full
+    post-prefix budget and ``cycles`` the estimated total, so
+    ``stats.ipc``/``stats.cpi`` are directly comparable to a full run.
+    """
+    window = config.window
+    ff_span = config.interval - window
+    states: Dict[int, _ThreadSampleState] = {}
+
+    # Phase 0: functional warming stands in for the trace warm-up prefix
+    # (its events are not part of the measured budget), and the full-run
+    # snapshot machinery is neutralized — sampling does its own
+    # detailed-window accounting.
+    for core in cores:
+        prefix = core.threads[0].warmup_instructions
+        if prefix:
+            core.functional_warm(prefix)
+        weights = _event_weights(core)
+        for thread in core.threads:
+            states[id(thread)] = _ThreadSampleState(
+                budget=thread.trace_len - thread.cursor,
+                width=core.core.width,
+                weights=weights,
+            )
+            thread._warm_snapshot = (0, 0, 0, {})
+
+    while True:
+        _run_window(cores, states, window, max_cycles)
+        # Keep the lockstep clock coherent across cores between phases.
+        clock = max(core.cycle for core in cores)
+        for core in cores:
+            core.cycle = clock
+        if all(
+            thread.cursor >= thread.trace_len
+            for core in cores
+            for thread in core.threads
+        ):
+            break
+        for core in cores:
+            counts = core.functional_warm(ff_span)
+            for thread, (warmed, l2, llc, dram, mispred) in zip(
+                core.threads, counts
+            ):
+                if warmed:
+                    state = states[id(thread)]
+                    state.spans.append(
+                        (warmed, state.stall_score(l2, llc, dram, mispred))
+                    )
+
+    flat: List[Tuple[int, SimThread]] = []
+    total_cycles = 1
+    for core in cores:
+        for thread in core.threads:
+            state = states[id(thread)]
+            stats = thread.stats
+            stats.instructions = state.budget
+            stats.cycles = state.estimated_cycles()
+            if stats.cycles > total_cycles:
+                total_cycles = stats.cycles
+            flat.append((core.core_index, thread))
+    return flat, total_cycles
+
+
+def _run_window(
+    cores: List[PipelineCore],
+    states: Dict[int, _ThreadSampleState],
+    window: int,
+    max_cycles: int,
+) -> None:
+    """Simulate one detailed window on every core with unfinished threads.
+
+    A core leaves the window once each of its threads has dispatched
+    ``window`` instructions since the window started; a thread whose trace
+    drains mid-window keeps its core stepping until the ROB empties, so
+    the drain cycles are counted exactly as a full run would count them.
+    """
+    active: List[PipelineCore] = []
+    for core in cores:
+        pending = False
+        for thread in core.threads:
+            states[id(thread)].open_window(thread, core.cycle)
+            if thread.cursor < thread.trace_len or thread.rob:
+                pending = True
+        if pending:
+            active.append(core)
+
+    events = [c.next_event_cycle() for c in active]
+    while active:
+        target = min(events)
+        if target >= max_cycles:
+            raise RuntimeError(
+                f"sampled simulation exceeded {max_cycles} cycles "
+                "without draining"
+            )
+        next_active: List[PipelineCore] = []
+        next_events: List[int] = []
+        for i, core in enumerate(active):
+            if events[i] > target:
+                next_active.append(core)
+                next_events.append(events[i])
+                continue
+            core.cycle = target
+            core.step()
+            window_done = True
+            for thread in core.threads:
+                state = states[id(thread)]
+                if thread.cursor < thread.trace_len:
+                    if thread.cursor - state.window_start < window:
+                        window_done = False
+                elif thread.rob:
+                    window_done = False
+            if window_done:
+                for thread in core.threads:
+                    states[id(thread)].close_window(thread, core.cycle)
+                continue
+            next_active.append(core)
+            next_events.append(core.next_event_cycle())
+        active = next_active
+        events = next_events

@@ -22,6 +22,7 @@ Traces are fully deterministic for a given (profile, seed).
 """
 
 import random
+import zlib
 from dataclasses import dataclass
 from typing import List
 
@@ -151,7 +152,10 @@ class TraceGenerator:
         self.profile = profile
         self.seed = seed
         self.address_offset = address_offset
-        self._rng = random.Random((hash(profile.name) & 0xFFFFFFFF) ^ seed)
+        # crc32, not hash(): str hashing is salted per process (PYTHONHASHSEED),
+        # which would make traces — and every simulation result built on them —
+        # irreproducible across runs.
+        self._rng = random.Random(zlib.crc32(profile.name.encode()) ^ seed)
         # Data and code streams draw from disjoint line-number ranges so the
         # caches see them as distinct addresses.
         self._data_stream = _StackDistanceProcess(

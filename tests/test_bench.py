@@ -1,0 +1,110 @@
+"""The tracked benchmark harness: report shape, baselines and the CI gate."""
+
+import json
+
+import pytest
+
+from repro import bench
+
+
+class TestScenarioRegistry:
+    def test_fast_scenarios_are_registered(self):
+        for name in bench.FAST_SCENARIOS:
+            assert name in bench.SCENARIOS
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            bench.run_scenario("no-such-scenario")
+
+    def test_bad_repeats_raises(self):
+        with pytest.raises(ValueError, match="repeats"):
+            bench.run_scenario("tracegen", repeats=0)
+
+
+class TestRunSuite:
+    @pytest.fixture(scope="class")
+    def report(self):
+        # tracegen is the cheapest scenario; one repeat keeps this fast.
+        return bench.run_suite(scenarios=["tracegen"], repeats=1)
+
+    def test_report_shape(self, report):
+        assert report["schema_version"] == 1
+        entry = report["scenarios"]["tracegen"]
+        assert entry["instructions"] > 0
+        assert entry["seconds"] > 0
+        assert entry["instructions_per_second"] > 0
+        assert entry["repeats"] == 1
+
+    def test_speedup_against_recorded_baseline(self, report):
+        # The repo ships a seed baseline, so the speedup must be populated.
+        assert report["baseline"] is not None
+        assert report["scenarios"]["tracegen"]["speedup_vs_baseline"] > 0
+
+    def test_report_roundtrips_through_json(self, report, tmp_path):
+        path = tmp_path / "BENCH_cycle.json"
+        bench.write_report(report, str(path))
+        assert json.loads(path.read_text()) == report
+
+    def test_save_baseline_roundtrip(self, report, tmp_path):
+        path = tmp_path / "baseline.json"
+        bench.save_baseline(report, str(path), label="test")
+        loaded = bench.load_baseline(str(path))
+        assert loaded["label"] == "test"
+        assert (
+            loaded["scenarios"]["tracegen"]["instructions_per_second"]
+            == report["scenarios"]["tracegen"]["instructions_per_second"]
+        )
+
+
+class TestLoadBaseline:
+    def test_missing_file_returns_none(self, tmp_path):
+        assert bench.load_baseline(str(tmp_path / "absent.json")) is None
+
+    def test_malformed_file_returns_none(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("not json at all")
+        assert bench.load_baseline(str(path)) is None
+
+    def test_wrong_shape_returns_none(self, tmp_path):
+        path = tmp_path / "shape.json"
+        path.write_text(json.dumps({"no_scenarios": True}))
+        assert bench.load_baseline(str(path)) is None
+
+
+def _report(speedups):
+    return {
+        "schema_version": 1,
+        "baseline": {"path": "x", "label": "seed"},
+        "scenarios": {
+            name: {
+                "instructions": 1000,
+                "seconds": 0.1,
+                "instructions_per_second": 10_000.0,
+                "repeats": 1,
+                "speedup_vs_baseline": s,
+            }
+            for name, s in speedups.items()
+        },
+    }
+
+
+class TestCheckRegressions:
+    def test_within_bounds_passes(self):
+        assert bench.check_regressions(_report({"a": 1.1, "b": 0.9})) == []
+
+    def test_regression_fails(self):
+        failures = bench.check_regressions(_report({"a": 0.5, "b": 1.0}))
+        assert len(failures) == 1
+        assert "a:" in failures[0]
+
+    def test_threshold_is_configurable(self):
+        report = _report({"a": 0.9})
+        assert bench.check_regressions(report, max_regression=0.25) == []
+        assert len(bench.check_regressions(report, max_regression=0.05)) == 1
+
+    def test_no_baseline_entry_is_skipped(self):
+        assert bench.check_regressions(_report({"a": None})) == []
+
+    def test_bad_threshold_raises(self):
+        with pytest.raises(ValueError, match="max_regression"):
+            bench.check_regressions(_report({}), max_regression=1.5)

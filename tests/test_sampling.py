@@ -1,0 +1,141 @@
+"""Sampled simulation: accuracy against full cycle-level runs.
+
+The sampled tier (`repro.sim.sampling`) replaces most of each thread's
+instruction stream with functionally-warmed fast-forward and reconstructs
+the skipped cycles from an event-priced model fitted to the detailed
+windows.  These tests are the accuracy contract: at the validated knobs
+(interval=2000, warmup=600) per-workload CPI must stay within 3 % of the
+full simulation on the single-thread validation workloads, and contended
+(SMT / multi-core) runs within a looser band.
+"""
+
+import pytest
+
+from repro.core.designs import ChipDesign
+from repro.microarch.config import BIG
+from repro.sim.multicore import MulticoreSimulator, ThreadSim
+from repro.sim.sampling import SamplingConfig
+from repro.workloads.spec import get_profile
+
+#: Knobs validated against full runs (see docs/performance.md).
+INSTRUCTIONS = 30_000
+INTERVAL = 2_000
+WARMUP = 600
+
+#: Single-thread validation workloads spanning memory-bound (mcf, lbm,
+#: libquantum, milc), branchy (gobmk, astar) and compute-bound (tonto,
+#: hmmer) behaviour.
+WORKLOADS = [
+    "mcf",
+    "libquantum",
+    "milc",
+    "gobmk",
+    "tonto",
+    "lbm",
+    "astar",
+    "hmmer",
+]
+
+SINGLE = ChipDesign(name="samp-1B", cores=(BIG,))
+
+
+class TestSamplingConfig:
+    def test_window_from_warmup(self):
+        # Window is at least twice the warm-up...
+        assert SamplingConfig(interval=2_000, warmup=600).window == 1_200
+
+    def test_window_from_interval(self):
+        # ...but never below a quarter of the period.
+        assert SamplingConfig(interval=2_000, warmup=100).window == 500
+
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ValueError, match="interval"):
+            SamplingConfig(interval=0)
+
+    def test_warmup_must_be_nonnegative(self):
+        with pytest.raises(ValueError, match="warmup"):
+            SamplingConfig(interval=2_000, warmup=-1)
+
+    def test_window_must_leave_room_to_skip(self):
+        with pytest.raises(ValueError, match="fast-forward"):
+            SamplingConfig(interval=1_000, warmup=600)
+
+
+def _cpi(result, index=0):
+    stats = result.thread_stats[index][1]
+    return stats.cycles / stats.instructions
+
+
+@pytest.mark.slow
+class TestSingleThreadAccuracy:
+    @pytest.mark.parametrize("name", WORKLOADS)
+    def test_cpi_within_3_percent(self, name):
+        sim = MulticoreSimulator(SINGLE)
+        threads = [ThreadSim(get_profile(name), core_index=0)]
+        full = sim.run(threads, INSTRUCTIONS)
+        sampled = sim.run(
+            threads,
+            INSTRUCTIONS,
+            sample_interval=INTERVAL,
+            sample_warmup=WARMUP,
+        )
+        err = abs(_cpi(sampled) - _cpi(full)) / _cpi(full)
+        assert err < 0.03, (
+            f"{name}: sampled CPI {_cpi(sampled):.4f} vs full "
+            f"{_cpi(full):.4f} ({100 * err:.2f}% error)"
+        )
+
+    def test_reports_full_budget(self):
+        sim = MulticoreSimulator(SINGLE)
+        result = sim.run(
+            [ThreadSim(get_profile("mcf"), core_index=0)],
+            INSTRUCTIONS,
+            sample_interval=INTERVAL,
+            sample_warmup=WARMUP,
+        )
+        stats = result.thread_stats[0][1]
+        # The estimate covers the whole measured budget, so IPC/CPI are
+        # directly comparable to a full run.
+        assert stats.instructions == INSTRUCTIONS
+        assert stats.cycles > 0
+        assert result.total_cycles >= stats.cycles
+
+
+@pytest.mark.slow
+class TestContendedAccuracy:
+    """SMT and shared-LLC runs: contention makes spans harder to price, so
+    the contract is looser (10 %) but still bounds the estimate."""
+
+    def _check(self, threads, bound=0.10):
+        sim = MulticoreSimulator(SINGLE if all(
+            t.core_index == 0 for t in threads
+        ) else ChipDesign(name="samp-2B", cores=(BIG, BIG)))
+        full = sim.run(threads, INSTRUCTIONS)
+        sampled = sim.run(
+            threads,
+            INSTRUCTIONS,
+            sample_interval=INTERVAL,
+            sample_warmup=WARMUP,
+        )
+        for i in range(len(threads)):
+            err = abs(_cpi(sampled, i) - _cpi(full, i)) / _cpi(full, i)
+            assert err < bound, (
+                f"thread {i}: sampled CPI {_cpi(sampled, i):.4f} vs full "
+                f"{_cpi(full, i):.4f} ({100 * err:.2f}% error)"
+            )
+
+    def test_smt2(self):
+        self._check(
+            [
+                ThreadSim(get_profile("mcf"), core_index=0),
+                ThreadSim(get_profile("hmmer"), core_index=0),
+            ]
+        )
+
+    def test_two_cores_shared_llc(self):
+        self._check(
+            [
+                ThreadSim(get_profile("lbm"), core_index=0),
+                ThreadSim(get_profile("tonto"), core_index=1),
+            ]
+        )
