@@ -1,12 +1,20 @@
-"""Tracked performance benchmarks for the cycle-level tier.
+"""Tracked performance benchmarks for the cycle-level and interval tiers.
 
-``python -m repro bench`` times a fixed set of scenarios — trace
-generation, single-core OoO and in-order runs, an SMT run and an
-8-core shared-LLC run — and writes ``BENCH_cycle.json`` with
-instructions-per-second for each, plus the speedup against the recorded
-seed baseline (``benchmarks/perf/baseline.json``).  Every future PR
-therefore has a perf trajectory to move: CI re-runs the fast scenarios
-and fails when a scenario regresses by more than 25 %.
+``python -m repro bench`` times a fixed set of scenarios and writes one
+report per tier — ``BENCH_cycle.json`` for the cycle-level simulator
+(trace generation, single-core OoO and in-order runs, an SMT run and an
+8-core shared-LLC run) and ``BENCH_interval.json`` for the interval-model
+tier (per-point evaluation, the 963-point design-space slab, and the raw
+chip solver) — each with throughput per scenario plus the speedup against
+the recorded seed baseline (``benchmarks/perf/baseline.json``).  Every
+future PR therefore has a perf trajectory to move: CI re-runs the fast
+scenarios and fails when a scenario regresses by more than 25 %.
+
+The report keys are ``instructions``/``instructions_per_second`` for
+every tier (schema compatibility with the recorded baselines); for the
+interval scenarios the counted unit is an evaluated grid *point* or a
+chip *solve* rather than a simulated instruction — the ``unit`` field on
+each entry names it.
 
 Timing methodology: simulation scenarios time only the lockstep execute
 loop (:meth:`MulticoreSimulator.execute`), not trace generation or cache
@@ -35,20 +43,34 @@ _LOG = get_logger("bench")
 #: ``$REPRO_BENCH_BASELINE``.
 DEFAULT_BASELINE = os.path.join("benchmarks", "perf", "baseline.json")
 
-#: Scenarios cheap enough for CI's perf gate (skips the long SMT run).
-FAST_SCENARIOS = ("tracegen", "ooo_single", "inorder_single", "8core_llc")
+#: Scenarios cheap enough for CI's perf gate (skips the long SMT run and
+#: the full design-space slab).
+FAST_SCENARIOS = (
+    "tracegen",
+    "ooo_single",
+    "inorder_single",
+    "8core_llc",
+    "interval_point",
+    "interval_solver",
+)
 
 _SCHEMA_VERSION = 1
 
 
 @dataclass(frozen=True)
 class ScenarioResult:
-    """Outcome of one timed scenario."""
+    """Outcome of one timed scenario.
+
+    ``instructions`` is the generic work counter; ``unit`` names what it
+    counts ("instr" for the cycle tier, "points"/"solves" for interval
+    scenarios).
+    """
 
     name: str
     instructions: int
     seconds: float
     repeats: int
+    unit: str = "instr"
 
     @property
     def instructions_per_second(self) -> float:
@@ -163,13 +185,115 @@ def _scenario_8core_llc() -> Tuple[int, Callable[[], None]]:
     return _sim_scenario(design, threads, 8_000)
 
 
+# --------------------------------------------------------------------- #
+# interval-tier scenarios                                                 #
+# --------------------------------------------------------------------- #
+#
+# These time the analytical tier end to end: the same code paths the
+# figure grids run.  Warm-start hints are cleared and the study rebuilt
+# per repeat, so every repeat measures a cold evaluation.
+
+
+def _fresh_interval_study():
+    from repro.core.study import DesignSpaceStudy, clear_latency_hint_cache
+
+    clear_latency_hint_cache()
+    return DesignSpaceStudy()
+
+
+def _scenario_interval_point() -> Tuple[int, Callable[[], float]]:
+    """Per-point evaluation latency: four 24-thread mixes on design 4B."""
+    from repro.workloads.multiprogram import heterogeneous_mixes
+
+    mixes = [list(m) for m in heterogeneous_mixes(24)[:4]]
+    _fresh_interval_study().evaluate_mix("4B", mixes[0])  # warm module caches
+
+    def run() -> float:
+        study = _fresh_interval_study()
+        start = time.perf_counter()
+        for mix in mixes:
+            study.evaluate_mix("4B", mix)
+        return time.perf_counter() - start
+
+    return len(mixes), run
+
+
+def _scenario_interval_slab() -> Tuple[int, Callable[[], float]]:
+    """The tentpole: the full 9-design x 9-count heterogeneous slab."""
+    from repro.core.designs import all_designs
+
+    designs = [d.name for d in all_designs()]
+    counts = list(range(1, 10))
+    n = _fresh_interval_study().prefetch(designs, "heterogeneous", counts)
+
+    def run() -> float:
+        study = _fresh_interval_study()
+        start = time.perf_counter()
+        study.prefetch(designs, "heterogeneous", counts)
+        return time.perf_counter() - start
+
+    return n, run
+
+
+def _scenario_interval_solver() -> Tuple[int, Callable[[], float]]:
+    """Raw chip-solver throughput: fresh 24-thread solves, no memoization."""
+    from repro.core.designs import get_design
+    from repro.core.scheduler import Scheduler
+    from repro.interval.contention import ChipModel
+    from repro.workloads.multiprogram import heterogeneous_mixes, profiles_for
+
+    design = get_design("4B")
+    mix = list(heterogeneous_mixes(24)[0])
+    placement = Scheduler(design, smt=True).place(profiles_for(mix))
+    ChipModel(design).evaluate(placement)  # warm module caches
+    solves = 16
+
+    def run() -> float:
+        start = time.perf_counter()
+        for _ in range(solves):
+            ChipModel(design).evaluate(placement)
+        return time.perf_counter() - start
+
+    return solves, run
+
+
 SCENARIOS: Dict[str, Callable[[], Tuple[int, Callable[[], None]]]] = {
     "tracegen": _scenario_tracegen,
     "ooo_single": _scenario_ooo_single,
     "inorder_single": _scenario_inorder_single,
     "smt4": _scenario_smt4,
     "8core_llc": _scenario_8core_llc,
+    "interval_point": _scenario_interval_point,
+    "interval_slab": _scenario_interval_slab,
+    "interval_solver": _scenario_interval_solver,
 }
+
+#: Scenario -> tier; each tier writes its own report file.
+TIERS: Dict[str, Tuple[str, ...]] = {
+    "cycle": ("tracegen", "ooo_single", "inorder_single", "smt4", "8core_llc"),
+    "interval": ("interval_point", "interval_slab", "interval_solver"),
+}
+
+#: Default report file per tier (repo root, as ROADMAP.md documents).
+REPORT_FILES: Dict[str, str] = {
+    "cycle": "BENCH_cycle.json",
+    "interval": "BENCH_interval.json",
+}
+
+#: What each interval scenario counts (cycle scenarios count instructions).
+_SCENARIO_UNITS: Dict[str, str] = {
+    "interval_point": "points",
+    "interval_slab": "points",
+    "interval_solver": "solves",
+}
+
+
+def tier_of(name: str) -> str:
+    """Tier a scenario belongs to ("cycle" or "interval")."""
+    for tier, names in TIERS.items():
+        if name in names:
+            return tier
+    raise KeyError(f"unknown scenario {name!r}")
 
 
 # --------------------------------------------------------------------- #
@@ -194,7 +318,11 @@ def run_scenario(
     for _ in range(repeats):
         best = min(best, body())
     return ScenarioResult(
-        name=name, instructions=instructions, seconds=best, repeats=repeats
+        name=name,
+        instructions=instructions,
+        seconds=best,
+        repeats=repeats,
+        unit=_SCENARIO_UNITS.get(name, "instr"),
     )
 
 
@@ -259,6 +387,7 @@ def run_suite(
             "seconds": round(r.seconds, 6),
             "instructions_per_second": round(r.instructions_per_second, 1),
             "repeats": r.repeats,
+            "unit": r.unit,
             "speedup_vs_baseline": None,
         }
         if baseline is not None:
@@ -275,15 +404,17 @@ def run_suite(
 def format_report(report: Dict) -> str:
     """Human-readable table for stdout."""
     lines = [
-        f"{'scenario':16s}{'instructions':>14s}{'seconds':>10s}"
-        f"{'instr/sec':>12s}{'vs seed':>9s}"
+        f"{'scenario':16s}{'work':>14s}{'seconds':>10s}"
+        f"{'rate':>12s} {'unit':8s}{'vs seed':>9s}"
     ]
     for name, entry in report["scenarios"].items():
         speedup = entry["speedup_vs_baseline"]
+        unit = entry.get("unit", "instr")
         lines.append(
             f"{name:16s}{entry['instructions']:>14,d}"
             f"{entry['seconds']:>10.3f}"
             f"{entry['instructions_per_second']:>12,.0f}"
+            f" {unit + '/s':8s}"
             f"{f'{speedup:.2f}x' if speedup is not None else '-':>9s}"
         )
     if report["baseline"] is None:

@@ -185,8 +185,14 @@ def _build_engine(
     no_cache: bool = False,
     retries: int = 1,
     unit_timeout: Optional[float] = None,
+    slab_size: Optional[int] = None,
 ):
-    """An engine with the persistent store (unless ``no_cache``)."""
+    """An engine with the persistent store (unless ``no_cache``).
+
+    ``slab_size`` controls slab dispatch: ``None`` picks the default for
+    multi-worker runs (32 points per slab, enough to amortize IPC), ``0``
+    forces per-point dispatch, anything else is the points-per-slab count.
+    """
     from repro.engine import Engine, ResultStore
 
     if jobs < 1:
@@ -198,9 +204,18 @@ def _build_engine(
     if unit_timeout is not None and unit_timeout <= 0:
         _LOG.error(f"error: --unit-timeout must be > 0, got {unit_timeout}")
         raise SystemExit(2)
+    if slab_size is not None and slab_size < 0:
+        _LOG.error(f"error: --slab-size must be >= 0, got {slab_size}")
+        raise SystemExit(2)
+    if slab_size is None:
+        slab_size = 32 if jobs > 1 else 0
     store = None if no_cache else ResultStore(cache_dir)
     return Engine(
-        jobs=jobs, store=store, retries=retries, unit_timeout=unit_timeout
+        jobs=jobs,
+        store=store,
+        retries=retries,
+        unit_timeout=unit_timeout,
+        slab_size=slab_size or None,
     )
 
 
@@ -283,6 +298,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     engine = _build_engine(
         args.jobs, args.cache_dir, args.no_cache,
         retries=args.retries, unit_timeout=args.unit_timeout,
+        slab_size=args.slab_size,
     )
     engine.progress = ProgressLine("sweep", enabled=args.progress)
     study = DesignSpaceStudy(engine=engine)
@@ -405,24 +421,46 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     elif args.fast:
         names = list(bench.FAST_SCENARIOS)
     else:
-        names = None
+        names = list(bench.SCENARIOS)
     if args.repeat < 1:
         _LOG.error(f"error: --repeat must be >= 1, got {args.repeat}")
         return 2
-    report = bench.run_suite(
-        scenarios=names,
-        repeats=args.repeat,
-        baseline_path=args.baseline,
-        profile=args.profile,
-    )
-    print(json.dumps(report, indent=2) if args.json else bench.format_report(report))
-    bench.write_report(report, args.output)
-    _LOG.info(f"wrote {args.output}")
+    by_tier: Dict[str, List[str]] = {}
+    for name in names:
+        by_tier.setdefault(bench.tier_of(name), []).append(name)
+    if args.output is not None and len(by_tier) > 1:
+        _LOG.error(
+            "error: --output names a single file but the selected scenarios "
+            "span both tiers; select one tier or drop --output to use the "
+            "per-tier defaults (BENCH_cycle.json / BENCH_interval.json)"
+        )
+        return 2
+    # One report file per tier; save-baseline and --check see all scenarios.
+    combined: Dict = {"schema_version": None, "baseline": None, "scenarios": {}}
+    for tier in bench.TIERS:
+        if tier not in by_tier:
+            continue
+        report = bench.run_suite(
+            scenarios=by_tier[tier],
+            repeats=args.repeat,
+            baseline_path=args.baseline,
+            profile=args.profile,
+        )
+        out = args.output or bench.REPORT_FILES[tier]
+        print(
+            json.dumps(report, indent=2) if args.json
+            else bench.format_report(report)
+        )
+        bench.write_report(report, out)
+        _LOG.info(f"wrote {out}")
+        combined["schema_version"] = report["schema_version"]
+        combined["baseline"] = combined["baseline"] or report["baseline"]
+        combined["scenarios"].update(report["scenarios"])
     if args.save_baseline:
-        bench.save_baseline(report, args.save_baseline, label=args.baseline_label)
+        bench.save_baseline(combined, args.save_baseline, label=args.baseline_label)
         _LOG.info(f"recorded baseline: {args.save_baseline}")
     if args.check is not None:
-        failures = bench.check_regressions(report, max_regression=args.check)
+        failures = bench.check_regressions(combined, max_regression=args.check)
         for message in failures:
             _LOG.error(f"perf regression: {message}")
         if failures:
@@ -616,6 +654,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1, metavar="N", help="worker processes"
     )
     p_sweep.add_argument(
+        "--slab-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="grid points per worker dispatch (default: 32 when --jobs > 1, "
+        "per-point otherwise; 0 forces per-point dispatch)",
+    )
+    p_sweep.add_argument(
         "--cache-dir",
         default=None,
         metavar="PATH",
@@ -646,7 +692,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_cache_clear.set_defaults(func=_cmd_cache)
 
     p_bench = sub.add_parser(
-        "bench", help="time the cycle-level tier and write BENCH_cycle.json"
+        "bench",
+        help="time the cycle-level and interval tiers; writes "
+        "BENCH_cycle.json and BENCH_interval.json",
     )
     p_bench.add_argument(
         "--scenario",
@@ -668,9 +716,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bench.add_argument(
         "--output",
-        default="BENCH_cycle.json",
+        default=None,
         metavar="FILE",
-        help="report file (default: BENCH_cycle.json)",
+        help="report file when a single tier is selected (default: "
+        "BENCH_cycle.json / BENCH_interval.json per tier)",
     )
     p_bench.add_argument(
         "--baseline",

@@ -25,7 +25,7 @@ from repro.core.distributions import ThreadCountDistribution
 from repro.core.metrics import antt, arithmetic_mean, harmonic_mean, stp
 from repro.core.scheduler import Scheduler
 from repro.engine.store import KeyedCache
-from repro.interval.contention import ChipModel, ChipResult
+from repro.interval.contention import ChipModel, ChipResult, evaluate_batch
 from repro.obs import METRICS, TRACER
 from repro.microarch.config import BIG
 from repro.microarch.uncore import DEFAULT_UNCORE, UncoreConfig
@@ -113,6 +113,10 @@ class DesignSpaceStudy:
         self._chip_models: Dict[str, ChipModel] = {}
         self._power_models: Dict[str, ChipPowerModel] = {}
         self._mix_cache: Dict[Tuple[str, Tuple[str, ...], bool], MixResult] = {}
+        # Per-study reference-IPS memo in front of the keyed cache: the
+        # reference uncore is fixed per study, so the key reduces to the
+        # profile (pinned so its id stays unique while the entry lives).
+        self._ref_ips_memo: Dict[int, Tuple[object, float]] = {}
 
     # ------------------------------------------------------------------ #
     # single points                                                       #
@@ -182,10 +186,7 @@ class DesignSpaceStudy:
                     ]
                     computed = self.engine.evaluate(units, on_failure="return")
                 else:
-                    computed = [
-                        self._compute_mix(design_name, list(key[1]), smt)
-                        for key in pending
-                    ]
+                    computed = self._compute_mix_batch(pending)
                 for key, result in zip(pending, computed):
                     self._mix_cache[key] = self._resolve_engine_result(key, result)
         return [self._mix_cache[key] for key in keys]
@@ -238,10 +239,7 @@ class DesignSpaceStudy:
                 ]
                 computed = self.engine.evaluate(units, on_failure="return")
             else:
-                computed = [
-                    self._compute_mix(name, list(mix), point_smt)
-                    for name, mix, point_smt in pending
-                ]
+                computed = self._compute_mix_batch(pending)
             for key, result in zip(pending, computed):
                 self._mix_cache[key] = self._resolve_engine_result(key, result)
         return len(pending)
@@ -262,9 +260,20 @@ class DesignSpaceStudy:
         """
         from repro.engine.tasks import UnitFailure
 
-        if not isinstance(result, UnitFailure):
-            return result
         name, mix, smt = key
+        if not isinstance(result, UnitFailure):
+            # Seed the latency-hint cache from engine/store results too, so a
+            # warm store also warm-starts the solver for nearby cold points.
+            # Inflation is loaded/unloaded latency, so this reconstructs the
+            # converged latency up to rounding; hints are advisory (the
+            # solver certifies every warm bracket), so that is enough.
+            hints = _latency_hints(self.design(name), smt)
+            hints.setdefault(
+                len(mix),
+                result.mem_latency_inflation
+                * self._chip_model(name).unloaded_mem_latency_ns,
+            )
+            return result
         return self._compute_mix(name, list(mix), smt)
 
     def _compute_mix(self, design_name: str, mix: Mix, smt: bool) -> MixResult:
@@ -277,23 +286,93 @@ class DesignSpaceStudy:
             design = self.design(design_name)
             profiles = profiles_for(mix)
             placement = Scheduler(design, smt=smt).place(profiles)
-            result = self._chip_model(design_name).evaluate(placement, smt=smt)
-            specs = [spec for threads in placement.core_threads for spec in threads]
-            refs = [self._reference_ips(spec.profile) for spec in specs]
-            shared = [t.ips for t in result.threads]
-            power_model = self._power_model(design_name)
-            mix_result = MixResult(
-                design_name=design_name,
-                mix=tuple(mix),
+            hints = _latency_hints(design, smt)
+            result = self._chip_model(design_name).evaluate(
+                placement,
                 smt=smt,
-                stp=stp(shared, refs),
-                antt=antt(shared, refs),
-                power_gated_w=power_model.power(result, power_gate_idle=True),
-                power_ungated_w=power_model.power(result, power_gate_idle=False),
-                bus_utilization=result.bus_utilization,
-                mem_latency_inflation=result.mem_latency_inflation,
+                mem_latency_hint_ns=_nearest_hint(hints, placement.num_threads),
             )
+            hints[placement.num_threads] = result.mem_latency_ns
+            mix_result = self._mix_result(design_name, mix, smt, placement, result)
         return mix_result
+
+    def _compute_mix_batch(
+        self, pending: Sequence[Tuple[str, Tuple[str, ...], bool]]
+    ) -> List[MixResult]:
+        """Serial batch evaluation: one lockstep solver call for all points.
+
+        Bit-identical to mapping :meth:`_compute_mix` over ``pending`` —
+        per-point placements, references and power are unchanged, and the
+        lockstep bisection preserves every point's exact result — but the
+        DRAM fixed points of the whole slab are solved together through the
+        shared batch kernel, which is where the serial speedup comes from.
+
+        The batch runs in chunks of :data:`_BATCH_CHUNK` points: warm-start
+        hints recorded by an earlier chunk tighten the bisection brackets of
+        every later chunk, which a single whole-slab call could not exploit.
+        """
+        out: List[MixResult] = []
+        for start in range(0, len(pending), _BATCH_CHUNK):
+            chunk = pending[start : start + _BATCH_CHUNK]
+            requests = []
+            placements = []
+            hint_maps = []
+            for design_name, mix, smt in chunk:
+                if METRICS.enabled:
+                    METRICS.inc("study.mix_computations")
+                with TRACER.span(
+                    "study.compute-mix", cat="study", design=design_name, smt=smt
+                ):
+                    design = self.design(design_name)
+                    placement = Scheduler(design, smt=smt).place(
+                        profiles_for(list(mix))
+                    )
+                hints = _latency_hints(design, smt)
+                requests.append(
+                    (
+                        self._chip_model(design_name),
+                        placement,
+                        smt,
+                        _nearest_hint(hints, placement.num_threads),
+                    )
+                )
+                placements.append(placement)
+                hint_maps.append(hints)
+            chip_results = evaluate_batch(requests)
+            for key, placement, hints, result in zip(
+                chunk, placements, hint_maps, chip_results
+            ):
+                design_name, mix, smt = key
+                hints[placement.num_threads] = result.mem_latency_ns
+                out.append(
+                    self._mix_result(design_name, mix, smt, placement, result)
+                )
+        return out
+
+    def _mix_result(
+        self,
+        design_name: str,
+        mix: Mix,
+        smt: bool,
+        placement,
+        result: ChipResult,
+    ) -> MixResult:
+        """Fold one chip solve into the study-level per-mix record."""
+        specs = [spec for threads in placement.core_threads for spec in threads]
+        refs = [self._reference_ips(spec.profile) for spec in specs]
+        shared = [t.ips for t in result.threads]
+        power_model = self._power_model(design_name)
+        return MixResult(
+            design_name=design_name,
+            mix=tuple(mix),
+            smt=smt,
+            stp=stp(shared, refs),
+            antt=antt(shared, refs),
+            power_gated_w=power_model.power(result, power_gate_idle=True),
+            power_ungated_w=power_model.power(result, power_gate_idle=False),
+            bus_utilization=result.bus_utilization,
+            mem_latency_inflation=result.mem_latency_inflation,
+        )
 
     def _reference_ips(self, profile) -> float:
         """Isolated-on-big reference, using the (possibly overridden) uncore.
@@ -302,7 +381,12 @@ class DesignSpaceStudy:
         Section 8.2 experiment normalizes against a 16 GB/s baseline just as
         the paper does.
         """
-        return _study_reference(profile, self.reference_uncore)
+        hit = self._ref_ips_memo.get(id(profile))
+        if hit is not None and hit[0] is profile:
+            return hit[1]
+        ref = _study_reference(profile, self.reference_uncore)
+        self._ref_ips_memo[id(profile)] = (profile, ref)
+        return ref
 
     # ------------------------------------------------------------------ #
     # mixes                                                               #
@@ -456,3 +540,34 @@ def _study_reference(profile, uncore) -> float:
 def clear_reference_cache() -> None:
     """Drop the memoized isolated-on-big references."""
     _REFERENCE_CACHE.clear()
+
+
+#: Converged loaded DRAM latencies by (design, smt) -> {n_threads: ns}, used
+#: to warm-start the chip solver's bisection bracket from the nearest
+#: already-solved grid point (same design, adjacent thread count).  Hints are
+#: purely advisory: the solver certifies every warm bracket and falls back to
+#: the cold bracket, so stale or wrong entries cost at most two evaluations.
+# Points per lockstep solver call in :meth:`DesignSpaceStudy._compute_mix_batch`.
+# Small enough that early chunks seed warm-start hints for later ones, large
+# enough that the batch kernel amortizes its per-call setup.
+_BATCH_CHUNK = 32
+
+_LATENCY_HINT_CACHE = KeyedCache("study-latency-hints")
+
+
+def _latency_hints(design: ChipDesign, smt: bool) -> Dict[int, float]:
+    """The mutable hint map for one (design, SMT mode) slice of the grid."""
+    return _LATENCY_HINT_CACHE.get_or_compute((design, smt), dict)
+
+
+def _nearest_hint(hints: Dict[int, float], n_threads: int) -> Optional[float]:
+    """Hint from the nearest thread count (ties break toward fewer threads)."""
+    if not hints:
+        return None
+    nearest = min(hints, key=lambda k: (abs(k - n_threads), k))
+    return hints[nearest]
+
+
+def clear_latency_hint_cache() -> None:
+    """Drop the solver warm-start hints (tests that tweak model globals)."""
+    _LATENCY_HINT_CACHE.clear()

@@ -59,6 +59,7 @@ from repro.engine.keys import MODEL_VERSION, canonicalize, content_key
 from repro.engine.stats import EngineStats
 from repro.engine.store import KeyedCache, ResultStore, StoreStats
 from repro.engine.tasks import (
+    SlabUnit,
     UnitFailure,
     WorkUnit,
     evaluate_work_unit,
@@ -78,6 +79,7 @@ __all__ = [
     "StoreStats",
     "KeyedCache",
     "WorkUnit",
+    "SlabUnit",
     "evaluate_work_unit",
     "payload_from_result",
     "result_from_payload",

@@ -36,6 +36,7 @@ from repro.engine.stats import EngineStats
 from repro.engine.store import ResultStore
 from repro.obs import METRICS, TRACER, observation_flags
 from repro.engine.tasks import (
+    SlabUnit,
     UnitFailure,
     WorkUnit,
     evaluate_work_unit,
@@ -135,6 +136,9 @@ def _guarded_evaluate(
     outcome and marshalled back.  In the serial path the parent's own
     collectors are drained and re-absorbed, which is net-zero.
     """
+    if timeout is not None:
+        # A slab carries many points; its wall-clock budget scales with them.
+        timeout = timeout * getattr(unit, "timeout_scale", 1)
     collect_trace = "trace" in observe
     collect_metrics = "metrics" in observe
     if collect_trace and not TRACER.enabled:
@@ -311,7 +315,13 @@ class Engine:
         retries: int = 0,
         backoff: float = 0.05,
         unit_timeout: Optional[float] = None,
+        slab_size: Optional[int] = None,
     ):
+        if slab_size is not None and slab_size < 1:
+            raise ValueError(f"slab_size must be >= 1, got {slab_size}")
+        #: Points per :class:`~repro.engine.tasks.SlabUnit` when dispatching
+        #: store misses to workers; ``None`` keeps per-point dispatch.
+        self.slab_size = slab_size
         self.executor = ParallelExecutor(
             jobs=jobs,
             chunksize=chunksize,
@@ -384,11 +394,16 @@ class Engine:
                 reporter.begin(len(misses))
             try:
                 with self.stats.phase("compute"):
-                    outcomes = self.executor.map(
-                        [units[i] for i in misses],
-                        observe=observe,
-                        progress=None if reporter is None else reporter.update,
-                    )
+                    miss_units = [units[i] for i in misses]
+                    progress = None if reporter is None else reporter.update
+                    if self.slab_size and len(miss_units) > 1:
+                        outcomes = self._map_slabs(
+                            miss_units, observe=observe, progress=progress
+                        )
+                    else:
+                        outcomes = self.executor.map(
+                            miss_units, observe=observe, progress=progress
+                        )
             finally:
                 if reporter is not None:
                     reporter.finish()
@@ -444,6 +459,82 @@ class Engine:
         if failures and on_failure == "raise":
             raise EngineFailureError(failures)
         return results
+
+    def _map_slabs(
+        self,
+        units: Sequence[WorkUnit],
+        observe: tuple = (),
+        progress=None,
+    ) -> List[UnitOutcome]:
+        """Dispatch units as slabs, flattened back to per-unit outcomes.
+
+        Units are grouped by (design, SMT, reference uncore) — a slab must
+        share a chip model — and cut into :attr:`slab_size` pieces.  Each
+        slab evaluates through the vectorized batch solver in one worker
+        call, so the ~5 ms grid points stop being dominated by pickling and
+        IPC.  A slab that fails after retries fans out into one
+        :class:`UnitFailure` per member point, which keeps the engine's
+        serial recovery and ``on_failure`` semantics exactly as in
+        per-point dispatch.
+        """
+        groups: dict = {}
+        for idx, unit in enumerate(units):
+            key = (unit.design, unit.smt, unit.reference_uncore)
+            groups.setdefault(key, []).append(idx)
+        slabs: List[SlabUnit] = []
+        members: List[List[int]] = []
+        for idxs in groups.values():
+            for start in range(0, len(idxs), self.slab_size):
+                piece = idxs[start : start + self.slab_size]
+                first = units[piece[0]]
+                slabs.append(
+                    SlabUnit(
+                        design=first.design,
+                        mixes=tuple(units[i].mix for i in piece),
+                        smt=first.smt,
+                        reference_uncore=first.reference_uncore,
+                    )
+                )
+                members.append(piece)
+        TRACER.instant(
+            "engine.slab-dispatch", cat="engine", slabs=len(slabs), units=len(units)
+        )
+        if METRICS.enabled:
+            METRICS.inc("engine.slabs_dispatched", len(slabs))
+
+        done_units = [0]
+
+        def slab_progress(completed_slabs: int) -> None:
+            done_units[0] = sum(len(m) for m in members[:completed_slabs])
+            if progress is not None:
+                progress(done_units[0])
+
+        slab_outcomes = self.executor.map(
+            slabs, observe=observe, progress=slab_progress
+        )
+        outcomes: List[Optional[UnitOutcome]] = [None] * len(units)
+        for slab, piece, outcome in zip(slabs, members, slab_outcomes):
+            per_point = outcome.seconds / len(piece)
+            for j, i in enumerate(piece):
+                spans = outcome.spans if j == 0 else ()
+                metrics = outcome.metrics if j == 0 else None
+                if outcome.ok:
+                    value = outcome.value[j]
+                else:
+                    unit = units[i]
+                    value = UnitFailure(
+                        content_key=unit.content_key,
+                        design_name=unit.design.name,
+                        mix=unit.mix,
+                        smt=unit.smt,
+                        error_type=outcome.value.error_type,
+                        message=outcome.value.message,
+                        attempts=outcome.value.attempts,
+                    )
+                outcomes[i] = UnitOutcome(
+                    value, per_point, outcome.attempts, spans, metrics
+                )
+        return outcomes
 
     def _recover_serially(
         self,

@@ -378,24 +378,62 @@ class KeyedCache:
     (hit/miss counters, ``len``) and explicitly clearable by tests.  A
     side table memoizes key derivation for hashable argument tuples so the
     hot path stays close to ``lru_cache`` speed.
+
+    Key derivation for frozen-dataclass parts still costs a structural
+    hash, which shows up when the same objects are looked up thousands of
+    times per sweep (scheduler affinity, study references, solver hints).
+    A second side table keyed by the argument *identities* short-circuits
+    that: it holds a strong reference to the parts tuple, so the ids stay
+    valid for as long as the entry lives, and an identity check on every
+    element guards against id reuse after garbage collection.
     """
+
+    _ID_MEMO_LIMIT = 8192
 
     def __init__(self, namespace: str):
         self.namespace = namespace
         self._values: Dict[str, Any] = {}
         self._key_memo: Dict[Tuple, str] = {}
+        self._id_memo: Dict[Tuple[int, ...], Tuple[Tuple, str]] = {}
         self.hits = 0
         self.misses = 0
 
     def key_for(self, parts: Tuple) -> str:
+        ids = tuple(map(id, parts))
+        memoized = self._id_memo.get(ids)
+        if memoized is not None and all(
+            a is b for a, b in zip(memoized[0], parts)
+        ):
+            return memoized[1]
         try:
-            return self._key_memo[parts]
+            key = self._key_memo[parts]
         except KeyError:
             key = content_key({"namespace": self.namespace, "parts": list(parts)})
             self._key_memo[parts] = key
-            return key
         except TypeError:  # unhashable parts: derive without memoizing
             return content_key({"namespace": self.namespace, "parts": list(parts)})
+        if len(self._id_memo) >= self._ID_MEMO_LIMIT:
+            self._id_memo.clear()
+        self._id_memo[ids] = (parts, key)
+        return key
+
+    def get(self, parts: Tuple, default: Any = None) -> Any:
+        """Look up without computing; counts as a hit/miss like the memo."""
+        key = self.key_for(parts)
+        try:
+            value = self._values[key]
+        except KeyError:
+            self.misses += 1
+            if METRICS.enabled:
+                METRICS.inc(f"keyed_cache.{self.namespace}.misses")
+            return default
+        self.hits += 1
+        if METRICS.enabled:
+            METRICS.inc(f"keyed_cache.{self.namespace}.hits")
+        return value
+
+    def put(self, parts: Tuple, value: Any) -> None:
+        self._values[self.key_for(parts)] = value
 
     def get_or_compute(self, parts: Tuple, compute: Callable[[], Any]) -> Any:
         key = self.key_for(parts)
@@ -416,6 +454,7 @@ class KeyedCache:
     def clear(self) -> None:
         self._values.clear()
         self._key_memo.clear()
+        self._id_memo.clear()
         self.hits = 0
         self.misses = 0
 

@@ -64,6 +64,64 @@ class WorkUnit:
 
 
 @dataclass(frozen=True)
+class SlabUnit:
+    """Many mixes of one (design, SMT) shipped to a worker as one unit.
+
+    A single grid point solves in ~5 ms, so per-unit process dispatch is
+    dominated by pickling and IPC.  A slab carries a whole batch of mixes
+    and evaluates them through
+    :meth:`DesignSpaceStudy.evaluate_mixes` — the vectorized lockstep
+    solver — inside one worker call.  Results come back as a list aligned
+    with ``mixes``; the engine flattens them into the per-point result
+    slots, so slab dispatch is invisible (and bit-identical) to callers.
+    """
+
+    design: ChipDesign
+    mixes: Tuple[Tuple[str, ...], ...]
+    smt: bool = True
+    reference_uncore: Optional[UncoreConfig] = None
+
+    def __post_init__(self) -> None:
+        if not self.mixes or any(not m for m in self.mixes):
+            raise ValueError("a slab needs at least one non-empty mix")
+        object.__setattr__(self, "mixes", tuple(tuple(m) for m in self.mixes))
+        if self.reference_uncore is None:
+            object.__setattr__(self, "reference_uncore", self.design.uncore)
+
+    @property
+    def mix(self) -> Tuple[str, ...]:
+        """Flattened benchmark names (for fault matching and trace labels)."""
+        seen = []
+        for m in self.mixes:
+            for b in m:
+                if b not in seen:
+                    seen.append(b)
+        return tuple(seen)
+
+    @property
+    def n_threads(self) -> int:
+        return max(len(m) for m in self.mixes)
+
+    @property
+    def timeout_scale(self) -> int:
+        """Per-unit timeouts scale with the number of points in the slab."""
+        return len(self.mixes)
+
+    @cached_property
+    def content_key(self) -> str:
+        return content_key(
+            {
+                "kind": "slab-result",
+                "design": self.design,
+                "reference_uncore": self.reference_uncore,
+                "mixes": [list(m) for m in self.mixes],
+                "profiles": list(profiles_for(list(self.mix))),
+                "smt": self.smt,
+            }
+        )
+
+
+@dataclass(frozen=True)
 class UnitFailure:
     """Structured outcome of a work unit whose evaluation kept failing.
 
@@ -140,11 +198,14 @@ def result_from_payload(payload: Dict[str, object]):
 _WORKER_STUDIES: Dict[Tuple[ChipDesign, Optional[UncoreConfig]], object] = {}
 
 
-def evaluate_work_unit(unit: WorkUnit):
+def evaluate_work_unit(unit):
     """Evaluate one work unit (in this or a worker process).
 
-    Returns the same :class:`MixResult` the serial
-    :meth:`DesignSpaceStudy.evaluate_mix` path produces, bit for bit.
+    A :class:`WorkUnit` returns the same :class:`MixResult` the serial
+    :meth:`DesignSpaceStudy.evaluate_mix` path produces, bit for bit.  A
+    :class:`SlabUnit` returns a list of :class:`MixResult` aligned with its
+    ``mixes``, computed through the vectorized batch path — also
+    bit-identical to evaluating each point alone.
     """
     from repro.core.study import DesignSpaceStudy
 
@@ -155,6 +216,10 @@ def evaluate_work_unit(unit: WorkUnit):
             designs=[unit.design], reference_uncore=unit.reference_uncore
         )
         _WORKER_STUDIES[memo_key] = study
+    if isinstance(unit, SlabUnit):
+        return study.evaluate_mixes(
+            unit.design.name, [list(m) for m in unit.mixes], unit.smt
+        )
     return study.evaluate_mix(unit.design.name, list(unit.mix), unit.smt)
 
 

@@ -213,6 +213,18 @@ class IntervalCoreModel:
         self.core = core
         self.rob_partitioning = rob_partitioning
         self.fetch_policy = fetch_policy
+        # Hot-path constants and tiny memos (a chip solve calls
+        # `_thread_static_terms` once per thread per evaluation; these keys
+        # take only a handful of distinct values per model).  Memoized
+        # values are the exact floats the inline expressions produce, so
+        # they change no results.
+        self._width_f = float(core.width)
+        self._l2_lat = float(core.l2.latency_cycles)
+        self._branch_penalty = core.frontend_depth + BRANCH_RAMP_CYCLES
+        self._rob_share_memo: Dict[int, float] = {}
+        self._issue_memo: Dict[Tuple[float, float], float] = {}
+        self._vis_memo: Dict[Tuple[float, float], float] = {}
+        self._terms_memo: Dict[Tuple, Tuple] = {}
 
     def _rob_share(self, n_threads: int) -> int:
         static = self.core.rob_share(n_threads)
@@ -251,6 +263,100 @@ class IntervalCoreModel:
         dispatch_rate = float(self.core.width)
         return min(1.0, max(0.0, 1.0 - rob_share / (dispatch_rate * latency)))
 
+    def _thread_static_terms(
+        self,
+        profile: BenchmarkProfile,
+        env: CoreEnvironment,
+        idx: int,
+        n_threads: int,
+    ) -> Tuple[float, float, float, float, float, float, float]:
+        """The latency-independent pieces of :meth:`_thread_cpi`, memoized.
+
+        A chip solve computes these twice per thread (once for the batch
+        statics, once when materializing the converged result), and a study
+        slab revisits the same (profile, shares) points; the memo returns
+        the exact tuple the computation produced.  Keys pin the profile
+        object so an ``id`` can never be reused while its entry is alive.
+        """
+        key = (
+            id(profile),
+            env.l1i_share_bytes[idx],
+            env.l1d_share_bytes[idx],
+            env.l2_share_bytes[idx],
+            env.llc_share_bytes[idx],
+            env.llc_latency_cycles,
+            n_threads,
+        )
+        hit = self._terms_memo.get(key)
+        if hit is not None and hit[0] is profile:
+            return hit[1]
+        terms = self._compute_thread_static_terms(profile, env, idx, n_threads)
+        self._terms_memo[key] = (profile, terms)
+        return terms
+
+    def _compute_thread_static_terms(
+        self,
+        profile: BenchmarkProfile,
+        env: CoreEnvironment,
+        idx: int,
+        n_threads: int,
+    ) -> Tuple[float, float, float, float, float, float, float]:
+        """The latency-independent pieces of :meth:`_thread_cpi`.
+
+        Returns ``(cpi_base, cpi_branch, cpi_l1i, cpi_l2hit, cpi_llchit,
+        mem_mpi, mlp)``.  Everything here depends only on the cache shares
+        and core partitioning — not on the trial memory latency — which is
+        what lets the chip solver compute them once per solve and re-derive
+        only the DRAM term per bisection step.  This is the single source
+        of truth for both the scalar path (:meth:`_thread_cpi`) and the
+        batch path (:meth:`batch_statics`).
+        """
+        core = self.core
+        l1i_mpi, l1d_mpi, l2_mpi, mem_mpi = self._miss_rates(profile, env, idx)
+        l2_lat = self._l2_lat
+        llc_lat = env.llc_latency_cycles
+
+        cpi_branch = profile.branch_mpki / 1000.0 * self._branch_penalty
+
+        if core.is_out_of_order:
+            try:
+                rob_share = self._rob_share_memo[n_threads]
+            except KeyError:
+                rob_share = float(self._rob_share(n_threads))
+                self._rob_share_memo[n_threads] = rob_share
+            issue_key = (profile.ilp, rob_share)
+            try:
+                cpi_base = self._issue_memo[issue_key]
+            except KeyError:
+                issue_rate = min(
+                    profile.ilp, self._width_f, window_limited_ilp(rob_share)
+                )
+                cpi_base = 1.0 / issue_rate
+                self._issue_memo[issue_key] = cpi_base
+            # Short misses: partially hidden by the window.
+            vis_l2 = self._vis_memo.get((l2_lat, rob_share))
+            if vis_l2 is None:
+                vis_l2 = self._visible_fraction(l2_lat, rob_share)
+                self._vis_memo[(l2_lat, rob_share)] = vis_l2
+            vis_llc = self._vis_memo.get((llc_lat, rob_share))
+            if vis_llc is None:
+                vis_llc = self._visible_fraction(llc_lat, rob_share)
+                self._vis_memo[(llc_lat, rob_share)] = vis_llc
+            cpi_l1i = l1i_mpi * l2_lat * 0.8  # front-end misses hide poorly
+            cpi_l2hit = max(0.0, l1d_mpi - l2_mpi) * l2_lat * vis_l2
+            cpi_llchit = max(0.0, l2_mpi - mem_mpi) * llc_lat * vis_llc
+            # Long misses: overlapped up to the window-limited MLP.
+            mlp = max(1.0, min(profile.mlp, rob_share * mem_mpi * MLP_BURST_FACTOR))
+        else:
+            issue_rate = min(profile.ilp_inorder, self._width_f)
+            cpi_base = 1.0 / issue_rate
+            # Stall-on-use: every miss latency is fully exposed, serially.
+            mlp = 1.0
+            cpi_l1i = l1i_mpi * l2_lat
+            cpi_l2hit = max(0.0, l1d_mpi - l2_mpi) * l2_lat
+            cpi_llchit = max(0.0, l2_mpi - mem_mpi) * llc_lat
+        return cpi_base, cpi_branch, cpi_l1i, cpi_l2hit, cpi_llchit, mem_mpi, mlp
+
     def _thread_cpi(
         self,
         profile: BenchmarkProfile,
@@ -259,38 +365,13 @@ class IntervalCoreModel:
         n_threads: int,
     ) -> ThreadPerformance:
         """Unconstrained CPI of one thread, with partitioned core resources."""
-        core = self.core
-        l1i_mpi, l1d_mpi, l2_mpi, mem_mpi = self._miss_rates(profile, env, idx)
-        l2_lat = float(core.l2.latency_cycles)
-        llc_lat = env.llc_latency_cycles
+        cpi_base, cpi_branch, cpi_l1i, cpi_l2hit, cpi_llchit, mem_mpi, mlp = (
+            self._thread_static_terms(profile, env, idx, n_threads)
+        )
         mem_lat = env.mem_latency_cycles
-
-        branch_penalty = core.frontend_depth + BRANCH_RAMP_CYCLES
-        cpi_branch = profile.branch_mpki / 1000.0 * branch_penalty
-
-        if core.is_out_of_order:
-            rob_share = float(self._rob_share(n_threads))
-            issue_rate = min(
-                profile.ilp, float(core.width), window_limited_ilp(rob_share)
-            )
-            cpi_base = 1.0 / issue_rate
-            # Short misses: partially hidden by the window.
-            vis_l2 = self._visible_fraction(l2_lat, rob_share)
-            vis_llc = self._visible_fraction(llc_lat, rob_share)
-            cpi_l1i = l1i_mpi * l2_lat * 0.8  # front-end misses hide poorly
-            cpi_l2hit = max(0.0, l1d_mpi - l2_mpi) * l2_lat * vis_l2
-            cpi_llchit = max(0.0, l2_mpi - mem_mpi) * llc_lat * vis_llc
-            # Long misses: overlapped up to the window-limited MLP.
-            mlp = max(1.0, min(profile.mlp, rob_share * mem_mpi * MLP_BURST_FACTOR))
+        if self.core.is_out_of_order:
             cpi_dram = mem_mpi * mem_lat / mlp
         else:
-            issue_rate = min(profile.ilp_inorder, float(core.width))
-            cpi_base = 1.0 / issue_rate
-            # Stall-on-use: every miss latency is fully exposed, serially.
-            mlp = 1.0
-            cpi_l1i = l1i_mpi * l2_lat
-            cpi_l2hit = max(0.0, l1d_mpi - l2_mpi) * l2_lat
-            cpi_llchit = max(0.0, l2_mpi - mem_mpi) * llc_lat
             cpi_dram = mem_mpi * mem_lat
 
         breakdown = {
@@ -427,6 +508,90 @@ class IntervalCoreModel:
         worst = max(pipe_demand, ldst_demand, alu_demand)
         return 1.0 if worst <= 1.0 else 1.0 / worst
 
+    # ------------------------------------------------------------------ #
+    # vectorized batch path                                               #
+    # ------------------------------------------------------------------ #
+
+    def batch_statics(
+        self,
+        profiles: Sequence[BenchmarkProfile],
+        env: CoreEnvironment,
+        duty_cycles: Sequence[float],
+    ) -> Optional["CoreBatchStatics"]:
+        """Latency-independent per-thread vectors for the batch solver.
+
+        This is the batch counterpart of the per-thread loop in
+        :meth:`evaluate`: everything `_miss_rates` / `_visible_fraction` /
+        `_thread_cpi` produce that does *not* depend on the trial memory
+        latency, computed through the same :meth:`_thread_static_terms`
+        helper the scalar path uses (single source of truth for the golden
+        arithmetic) but without building any per-thread result objects.
+        The chip solver's kernel then re-derives only the DRAM term per
+        bisection step with a handful of elementwise operations.
+
+        The partial sum below reproduces ``sum(breakdown.values())``'s
+        sequential association bit-for-bit, which is what makes the batch
+        path's CPI IEEE-identical to the scalar one at any latency.  Input
+        validation mirrors :meth:`evaluate` so invalid placements raise
+        identically on both paths.
+
+        Returns ``None`` when this core would need ICOUNT water-filling
+        (fetch policy ``"icount"`` with more than one resident context) —
+        that path stays scalar.
+        """
+        n = len(profiles)
+        if len(duty_cycles) != n:
+            raise ValueError("duty_cycles must align with profiles")
+        for d in duty_cycles:
+            check_fraction("duty_cycle", d)
+        if sum(duty_cycles) > self.core.max_smt_contexts + 1e-9:
+            raise ValueError(
+                f"{self.core.name} core supports at most "
+                f"{self.core.max_smt_contexts} concurrent contexts; summed "
+                f"duty cycles give {sum(duty_cycles):.2f}"
+            )
+        n_ctx = min(self.core.max_smt_contexts, max(1, round(sum(duty_cycles))))
+        if self.fetch_policy == "icount" and n_ctx > 1:
+            return None
+        core = self.core
+        issue_eff = smt_issue_efficiency(n_ctx)
+        if core.is_out_of_order:
+            pipe_denominator = core.width * issue_eff
+        else:
+            pipe_denominator = issue_eff
+        fu = core.functional_units
+        alu_ports = fu.int_alu + fu.mul_div + fu.fp
+        static_cpi = []
+        busy_cpi = []
+        dram_mpi = []
+        mlp_l = []
+        mem_frac = []
+        nonmem_frac = []
+        for i, p in enumerate(profiles):
+            base, branch, l1i, l2hit, llchit, mem_mpi, mlp = (
+                self._thread_static_terms(p, env, i, n_ctx)
+            )
+            static_cpi.append((((base + branch) + l1i) + l2hit) + llchit)
+            busy_cpi.append(base + branch)
+            dram_mpi.append(mem_mpi)
+            mlp_l.append(mlp)
+            mem_frac.append(p.mem_frac)
+            nonmem_frac.append(1.0 - p.mem_frac)
+        return CoreBatchStatics(
+            is_out_of_order=core.is_out_of_order,
+            frequency_ghz=core.frequency_ghz,
+            pipe_denominator=pipe_denominator,
+            ldst_denominator=fu.load_store * PORT_EFFICIENCY,
+            alu_denominator=alu_ports * PORT_EFFICIENCY,
+            static_cpi=static_cpi,
+            dram_mpi=dram_mpi,
+            mlp=mlp_l,
+            duty_cycle=list(duty_cycles),
+            mem_frac=mem_frac,
+            nonmem_frac=nonmem_frac,
+            busy_cpi=busy_cpi,
+        )
+
     def _icount_rates(
         self,
         profiles: Sequence[BenchmarkProfile],
@@ -456,3 +621,41 @@ class IntervalCoreModel:
             else:
                 hi = mid
         return [min(r, lo) for r in rates]
+
+
+@dataclass(frozen=True)
+class CoreBatchStatics:
+    """Latency-independent vectors for one core's resident threads.
+
+    Produced by :meth:`IntervalCoreModel.batch_statics`; consumed by the
+    chip solver's batch kernel (:mod:`repro.interval.contention`), which
+    recomputes only the latency-dependent DRAM term per bisection step:
+
+    ``cpi(L) = static_cpi + dram_mpi * L_cycles / mlp`` and
+    ``rate = (1 / cpi) * duty_cycle``, followed by the per-core bandwidth
+    scale built from ``pipe/ldst/alu`` demands over these vectors.
+
+    Per-thread fields are plain Python lists (exact float64 values); the
+    kernel concatenates the lists of every core in a batch and builds one
+    NumPy array per field, so array-construction cost is paid once per
+    batch rather than once per core.  All reductions over the arrays must
+    run sequentially in thread order (NumPy's pairwise summation is not
+    bit-identical to Python's ``sum``).
+    """
+
+    is_out_of_order: bool
+    frequency_ghz: float
+    pipe_denominator: float  # width*issue_eff (OoO) or issue_eff (in-order)
+    ldst_denominator: float
+    alu_denominator: float
+    static_cpi: List[float]  # base+branch+l1i+l2hit+llchit, scalar sum order
+    dram_mpi: List[float]  # memory misses per instruction (clamped)
+    mlp: List[float]  # effective memory-level parallelism (1.0 in-order)
+    duty_cycle: List[float]
+    mem_frac: List[float]
+    nonmem_frac: List[float]
+    busy_cpi: List[float]  # base+branch: in-order pipeline occupancy
+
+    @property
+    def n_threads(self) -> int:
+        return len(self.static_cpi)

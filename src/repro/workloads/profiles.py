@@ -71,11 +71,33 @@ class MissRateCurve:
             )
 
     def mpki(self, capacity_bytes: float) -> float:
-        """MPKI seen beyond a cache of ``capacity_bytes`` (monotone non-increasing)."""
+        """MPKI seen beyond a cache of ``capacity_bytes`` (monotone non-increasing).
+
+        Memoized per instance: a design-space sweep evaluates the same
+        bounded power law at the same handful of capacity shares tens of
+        thousands of times per curve.  The memo lives outside the frozen
+        dataclass fields (``object.__setattr__``), so hashing, equality
+        and the engine's content keys — all of which walk
+        ``dataclasses.fields()`` only — are unaffected.
+        """
+        try:
+            memo = self._mpki_memo
+        except AttributeError:
+            memo = {}
+            object.__setattr__(self, "_mpki_memo", memo)
+        try:
+            return memo[capacity_bytes]
+        except KeyError:
+            pass
         if capacity_bytes <= 0:
-            return self.cap_mpki
-        raw = self.mpki_ref * (self.ref_bytes / capacity_bytes) ** self.alpha
-        return min(self.cap_mpki, max(self.floor_mpki, raw))
+            value = self.cap_mpki
+        else:
+            raw = self.mpki_ref * (self.ref_bytes / capacity_bytes) ** self.alpha
+            value = min(self.cap_mpki, max(self.floor_mpki, raw))
+        if len(memo) >= 1024:  # sweeps revisit few distinct shares; stay bounded
+            memo.clear()
+        memo[capacity_bytes] = value
+        return value
 
     def misses_per_instruction(self, capacity_bytes: float) -> float:
         """Convenience: :meth:`mpki` scaled to misses per single instruction."""

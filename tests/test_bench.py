@@ -108,3 +108,46 @@ class TestCheckRegressions:
     def test_bad_threshold_raises(self):
         with pytest.raises(ValueError, match="max_regression"):
             bench.check_regressions(_report({}), max_regression=1.5)
+
+
+class TestTiers:
+    def test_every_scenario_has_a_tier(self):
+        tiered = [n for names in bench.TIERS.values() for n in names]
+        assert sorted(tiered) == sorted(bench.SCENARIOS)
+
+    def test_tier_of(self):
+        assert bench.tier_of("tracegen") == "cycle"
+        assert bench.tier_of("interval_slab") == "interval"
+        with pytest.raises(KeyError):
+            bench.tier_of("no-such-scenario")
+
+    def test_each_tier_has_a_report_file(self):
+        assert set(bench.REPORT_FILES) == set(bench.TIERS)
+        assert bench.REPORT_FILES["cycle"] == "BENCH_cycle.json"
+        assert bench.REPORT_FILES["interval"] == "BENCH_interval.json"
+
+    def test_interval_scenarios_in_fast_set(self):
+        # The CI perf gate runs FAST_SCENARIOS; the cheap interval
+        # scenarios must be in it (the 963-point slab is not).
+        assert "interval_point" in bench.FAST_SCENARIOS
+        assert "interval_solver" in bench.FAST_SCENARIOS
+        assert "interval_slab" not in bench.FAST_SCENARIOS
+
+
+class TestIntervalScenarios:
+    def test_interval_solver_scenario_runs(self):
+        result = bench.run_scenario("interval_solver", repeats=1)
+        assert result.unit == "solves"
+        assert result.instructions == 16
+        assert result.instructions_per_second > 0
+
+    def test_report_entry_carries_unit(self):
+        report = bench.run_suite(scenarios=["interval_solver"], repeats=1)
+        entry = report["scenarios"]["interval_solver"]
+        assert entry["unit"] == "solves"
+        # Legacy key names survive so committed baselines keep loading.
+        assert entry["instructions_per_second"] > 0
+
+    def test_cycle_scenarios_count_instructions(self):
+        result = bench.run_scenario("tracegen", repeats=1)
+        assert result.unit == "instr"

@@ -19,6 +19,7 @@ from repro.engine import (
     KeyedCache,
     ParallelExecutor,
     ResultStore,
+    SlabUnit,
     WorkUnit,
     content_key,
     evaluate_work_unit,
@@ -123,6 +124,62 @@ class TestSerialParallelEquivalence:
     def test_invalid_jobs_rejected(self):
         with pytest.raises(ValueError, match="jobs"):
             ParallelExecutor(jobs=0)
+
+
+class TestSlabDispatch:
+    def _units(self):
+        return [
+            unit(design=name, mix=MIX[: n + 1], smt=smt)
+            for name in ("4B", "8m")
+            for n in range(3)
+            for smt in (True, False)
+        ]
+
+    def test_slab_unit_validates(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            SlabUnit(design=get_design("4B"), mixes=())
+        with pytest.raises(ValueError, match="non-empty"):
+            SlabUnit(design=get_design("4B"), mixes=(("mcf",), ()))
+
+    def test_slab_unit_properties(self):
+        slab = SlabUnit(
+            design=get_design("4B"), mixes=(("mcf", "tonto"), ("mcf",))
+        )
+        assert slab.mix == ("mcf", "tonto")  # flattened, deduped
+        assert slab.n_threads == 2
+        assert slab.timeout_scale == 2
+        assert slab.content_key != SlabUnit(
+            design=get_design("4B"), mixes=(("mcf",),)
+        ).content_key
+
+    def test_slab_evaluation_matches_per_point(self):
+        units = [unit(mix=MIX[: n + 1]) for n in range(4)]
+        slab = SlabUnit(
+            design=get_design("4B"), mixes=tuple(u.mix for u in units)
+        )
+        assert evaluate_work_unit(slab) == [
+            evaluate_work_unit(u) for u in units
+        ]
+
+    def test_engine_slab_mode_bit_identical(self):
+        units = self._units()
+        per_point = Engine(jobs=1).evaluate(units)
+        slabbed = Engine(jobs=2, slab_size=4).evaluate(units)
+        assert per_point == slabbed
+
+    def test_slab_mode_respects_store(self, tmp_path):
+        units = self._units()
+        store = ResultStore(str(tmp_path / "cache"))
+        engine = Engine(jobs=2, slab_size=4, store=store)
+        cold = engine.evaluate(units)
+        warm_engine = Engine(jobs=1, store=ResultStore(str(tmp_path / "cache")))
+        warm = warm_engine.evaluate(units)
+        assert cold == warm
+        assert warm_engine.stats.store_hits == len(units)
+
+    def test_invalid_slab_size_rejected(self):
+        with pytest.raises(ValueError, match="slab_size"):
+            Engine(jobs=2, slab_size=0)
 
 
 class TestResultStore:
@@ -251,6 +308,23 @@ class TestKeyedCache:
         cache.get_or_compute((1,), lambda: "x")
         cache.clear()
         assert len(cache) == 0 and cache.hits == 0 and cache.misses == 0
+
+    def test_get_and_put(self):
+        cache = KeyedCache("test")
+        assert cache.get(("k",)) is None
+        assert cache.get(("k",), default="d") == "d"
+        cache.put(("k",), 7)
+        assert cache.get(("k",)) == 7
+
+    def test_identity_fast_path_matches_slow_path(self):
+        """Repeated lookups with the same part objects hit the id memo."""
+        cache = KeyedCache("test")
+        design = get_design("4B")
+        parts = (design, True)
+        cache.put(parts, "v")
+        assert cache.get(parts) == "v"  # id-memo hit
+        # An equal-but-distinct key tuple still resolves to the same slot.
+        assert cache.get((get_design("4B"), True)) == "v"
 
 
 class TestSchedulerCache:

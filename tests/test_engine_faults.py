@@ -456,3 +456,48 @@ class TestCLIFaultTolerance:
         out = capsys.readouterr().out
         assert "faults" in out
         assert "debris" in out
+
+
+class TestSlabFaults:
+    def _units(self):
+        return [unit(mix=(b,)) for b in MIX] + [unit(mix=MIX[:2])]
+
+    def test_slab_failure_fans_out_per_point(self, no_fault_results):
+        """A poisoned slab yields one UnitFailure per member point."""
+        faults.install("raise:benchmark=mcf")
+        results = Engine(jobs=1, slab_size=8).evaluate(
+            single_units(), on_failure="return"
+        )
+        # All four single-benchmark units share one 4B/smt slab, so the
+        # mcf fault poisons the whole slab; each slot carries its own
+        # structured failure with the per-point mix and content key.
+        assert all(isinstance(r, UnitFailure) for r in results)
+        assert [r.mix for r in results] == [u.mix for u in single_units()]
+        keys = [u.content_key for u in single_units()]
+        assert [r.content_key for r in results] == keys
+
+    def test_parallel_slab_failure_recovers_clean_points(self, no_fault_results):
+        """With workers, clean members heal serially; the poisoned one stays."""
+        faults.install("raise:benchmark=mcf")
+        results = Engine(jobs=2, slab_size=2).evaluate(
+            single_units(), on_failure="return"
+        )
+        assert isinstance(results[0], UnitFailure)  # the mcf unit itself
+        assert results[1:] == no_fault_results[1:]  # healed in the parent
+
+    def test_slab_retry_then_succeed(self, no_fault_results):
+        faults.install("raise:benchmark=mcf:times=1")
+        results = Engine(jobs=1, slab_size=8, retries=1, backoff=0.0).evaluate(
+            single_units()
+        )
+        assert results == no_fault_results
+
+    def test_slab_timeout_scales_with_size(self):
+        """The per-unit budget multiplies by slab size, so slabs don't
+        spuriously time out; a slow fault still trips the scaled budget."""
+        faults.install("slow:benchmark=mcf:seconds=1.2")
+        results = Engine(jobs=1, slab_size=4, unit_timeout=0.25).evaluate(
+            single_units(), on_failure="return"
+        )
+        assert all(isinstance(r, UnitFailure) for r in results)
+        assert results[0].error_type == "UnitTimeoutError"
