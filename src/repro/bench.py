@@ -3,10 +3,12 @@
 ``python -m repro bench`` times a fixed set of scenarios and writes one
 report per tier — ``BENCH_cycle.json`` for the cycle-level simulator
 (trace generation, single-core OoO and in-order runs, an SMT run and an
-8-core shared-LLC run) and ``BENCH_interval.json`` for the interval-model
+8-core shared-LLC run), ``BENCH_interval.json`` for the interval-model
 tier (per-point evaluation, the 963-point design-space slab, and the raw
-chip solver) — each with throughput per scenario plus the speedup against
-the recorded seed baseline (``benchmarks/perf/baseline.json``).  Every
+chip solver) and ``BENCH_serve.json`` for the resident daemon
+(submit/poll round-trip latency and warm-cache burst throughput through
+a real unix socket) — each with throughput per scenario plus the speedup
+against the recorded seed baseline (``benchmarks/perf/baseline.json``).  Every
 future PR therefore has a perf trajectory to move: CI re-runs the fast
 scenarios and fails when a scenario regresses by more than 25 %.
 
@@ -52,6 +54,7 @@ FAST_SCENARIOS = (
     "8core_llc",
     "interval_point",
     "interval_solver",
+    "serve_roundtrip",
 )
 
 _SCHEMA_VERSION = 1
@@ -257,6 +260,102 @@ def _scenario_interval_solver() -> Tuple[int, Callable[[], float]]:
     return solves, run
 
 
+# --------------------------------------------------------------------- #
+# serve-tier scenarios                                                    #
+# --------------------------------------------------------------------- #
+#
+# These time the resident daemon (docs/serving.md) end to end through a
+# real unix socket: protocol round-trip latency and warm-cache burst
+# throughput.  One daemon boots lazily on first use and is shared by all
+# serve scenarios, so the numbers measure the request path, not startup.
+
+_SERVE_STATE: Dict[str, object] = {}
+
+
+def _serve_handle():
+    from repro.serve import ServeConfig, ServerHandle
+
+    if "handle" not in _SERVE_STATE:
+        import atexit
+        import shutil
+        import tempfile
+
+        tmp = tempfile.mkdtemp(prefix="repro-bench-serve-")
+        handle = ServerHandle(
+            ServeConfig(
+                listen=f"unix:{tmp}/bench.sock",
+                jobs=1,
+                cache_dir=f"{tmp}/cache",
+            )
+        ).start()
+
+        def teardown(handle=handle, tmp=tmp):
+            handle.stop()
+            shutil.rmtree(tmp, ignore_errors=True)
+
+        atexit.register(teardown)
+        _SERVE_STATE["handle"] = handle
+    return _SERVE_STATE["handle"]
+
+
+def _scenario_serve_roundtrip() -> Tuple[int, Callable[[], float]]:
+    """submit+poll+wait round trips for an already-cached point."""
+    from repro.serve import ServeClient
+
+    handle = _serve_handle()
+    client = ServeClient(handle.address, client_name="bench-roundtrip")
+    _SERVE_STATE["roundtrip_client"] = client  # keep the connection open
+    params = {
+        "design": "4B",
+        "mix": ["mcf", "tonto", "libquantum", "hmmer"],
+        "smt": True,
+    }
+    client.wait(client.submit("point", params))  # warm the store
+    requests = 50
+
+    def run() -> float:
+        start = time.perf_counter()
+        for _ in range(requests):
+            job = client.submit("point", params)
+            client.poll(job)
+            client.wait(job)
+        return time.perf_counter() - start
+
+    return requests, run
+
+
+def _scenario_serve_burst() -> Tuple[int, Callable[[], float]]:
+    """Warm-cache throughput for a ~100-point coalesced burst.
+
+    Two identical sweep jobs are submitted back to back without waiting:
+    whatever of the first job is still in flight when the second arrives
+    is coalesced onto it, and every grid point is a store hit.
+    """
+    from repro.serve import ServeClient
+
+    handle = _serve_handle()
+    client = ServeClient(handle.address, client_name="bench-burst")
+    _SERVE_STATE["burst_client"] = client
+    params = {
+        "designs": ["4B"],
+        "kind": "heterogeneous",
+        "max_threads": 4,
+        "smt": True,
+    }
+    status = client.wait(client.submit("sweep", params))  # warm the store
+    points = 2 * status["total_points"]
+
+    def run() -> float:
+        start = time.perf_counter()
+        first = client.submit("sweep", params)
+        second = client.submit("sweep", params)
+        client.wait(first)
+        client.wait(second)
+        return time.perf_counter() - start
+
+    return points, run
+
+
 SCENARIOS: Dict[str, Callable[[], Tuple[int, Callable[[], None]]]] = {
     "tracegen": _scenario_tracegen,
     "ooo_single": _scenario_ooo_single,
@@ -266,30 +365,36 @@ SCENARIOS: Dict[str, Callable[[], Tuple[int, Callable[[], None]]]] = {
     "interval_point": _scenario_interval_point,
     "interval_slab": _scenario_interval_slab,
     "interval_solver": _scenario_interval_solver,
+    "serve_roundtrip": _scenario_serve_roundtrip,
+    "serve_burst": _scenario_serve_burst,
 }
 
 #: Scenario -> tier; each tier writes its own report file.
 TIERS: Dict[str, Tuple[str, ...]] = {
     "cycle": ("tracegen", "ooo_single", "inorder_single", "smt4", "8core_llc"),
     "interval": ("interval_point", "interval_slab", "interval_solver"),
+    "serve": ("serve_roundtrip", "serve_burst"),
 }
 
 #: Default report file per tier (repo root, as ROADMAP.md documents).
 REPORT_FILES: Dict[str, str] = {
     "cycle": "BENCH_cycle.json",
     "interval": "BENCH_interval.json",
+    "serve": "BENCH_serve.json",
 }
 
-#: What each interval scenario counts (cycle scenarios count instructions).
+#: What each non-cycle scenario counts (cycle scenarios count instructions).
 _SCENARIO_UNITS: Dict[str, str] = {
     "interval_point": "points",
     "interval_slab": "points",
     "interval_solver": "solves",
+    "serve_roundtrip": "requests",
+    "serve_burst": "points",
 }
 
 
 def tier_of(name: str) -> str:
-    """Tier a scenario belongs to ("cycle" or "interval")."""
+    """Tier a scenario belongs to ("cycle", "interval" or "serve")."""
     for tier, names in TIERS.items():
         if name in names:
             return tier

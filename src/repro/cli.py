@@ -186,6 +186,7 @@ def _build_engine(
     retries: int = 1,
     unit_timeout: Optional[float] = None,
     slab_size: Optional[int] = None,
+    store_backend: str = "dir",
 ):
     """An engine with the persistent store (unless ``no_cache``).
 
@@ -209,7 +210,7 @@ def _build_engine(
         raise SystemExit(2)
     if slab_size is None:
         slab_size = 32 if jobs > 1 else 0
-    store = None if no_cache else ResultStore(cache_dir)
+    store = None if no_cache else ResultStore(cache_dir, backend=store_backend)
     return Engine(
         jobs=jobs,
         store=store,
@@ -264,13 +265,15 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     if args.id not in registry:
         _LOG.error(f"unknown experiment {args.id!r}; try: {', '.join(registry)}")
         return 2
+    if args.server:
+        return _cmd_figure_remote(args)
     engine = None
     if args.jobs != 1 or args.cache_dir is not None:
         from repro.experiments.context import set_engine
 
         engine = _build_engine(
             args.jobs, args.cache_dir, retries=args.retries,
-            unit_timeout=args.unit_timeout,
+            unit_timeout=args.unit_timeout, store_backend=args.store_backend,
         )
         engine.progress = ProgressLine(f"figure {args.id}", enabled=args.progress)
         set_engine(engine)
@@ -287,6 +290,73 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_figure_remote(args: argparse.Namespace) -> int:
+    """``figure --server``: render through the daemon's warm engine.
+
+    The daemon runs the same registry entry through its engine and ships
+    back both renderings; stdout is byte-identical to local execution.
+    """
+    from repro.serve import ServeClient, ServeConnectionError, ServeError
+
+    try:
+        with ServeClient(args.server, client_name="cli-figure") as client:
+            tables = client.figure(args.id)
+    except (ServeError, ServeConnectionError) as exc:
+        _LOG.error(f"error: {exc}")
+        return 2
+    for table in tables:
+        print(table["json"] if args.json else table["formatted"])
+        print()
+    return 0
+
+
+def _cmd_sweep_remote(args: argparse.Namespace, designs: "Sequence[str]") -> int:
+    """``sweep --server``: same table, evaluated by the daemon.
+
+    Stdout must be byte-identical to a local run: the server computes the
+    per-(design, thread count) harmonic means through the same study
+    helpers in the same order; floats survive the JSON wire exactly
+    (``repr`` round-trip), and the table is rebuilt and printed with the
+    identical layout code.
+    """
+    from repro.serve import ServeClient, ServeConnectionError, ServeError
+
+    smt = not args.no_smt
+    counts = list(range(1, args.max_threads + 1))
+    progress = ProgressLine("sweep", enabled=args.progress)
+
+    def on_progress(event):
+        if event.get("event") == "progress":
+            progress.begin(event.get("total") or 0)
+        progress.update(event.get("done") or 0)
+
+    try:
+        with ServeClient(args.server, client_name="cli-sweep") as client:
+            result = client.sweep(
+                list(designs), args.kind, args.max_threads, smt,
+                on_progress=on_progress,
+            )
+    except (ServeError, ServeConnectionError) as exc:
+        progress.finish()
+        _LOG.error(f"error: {exc}")
+        return 2
+    progress.finish()
+    mean_stp = result["mean_stp"]
+    table = ExperimentTable(
+        experiment_id="sweep",
+        title=f"mean STP vs thread count, {args.kind} workloads, "
+        f"SMT {'on' if smt else 'off'}",
+        columns=["threads"] + list(designs),
+    )
+    for n in counts:
+        table.add_row(
+            threads=n,
+            **{name: mean_stp[name][str(n)] for name in designs},
+        )
+    print(table.to_json() if args.json else table.formatted())
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.design.strip().lower() == "all":
         designs: Sequence[str] = DESIGN_ORDER
@@ -295,10 +365,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if not designs:
         _LOG.error("error: --design needs at least one design name")
         return 2
+    if args.server:
+        return _cmd_sweep_remote(args, designs)
     engine = _build_engine(
         args.jobs, args.cache_dir, args.no_cache,
         retries=args.retries, unit_timeout=args.unit_timeout,
-        slab_size=args.slab_size,
+        slab_size=args.slab_size, store_backend=args.store_backend,
     )
     engine.progress = ProgressLine("sweep", enabled=args.progress)
     study = DesignSpaceStudy(engine=engine)
@@ -335,7 +407,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 def _cmd_cache(args: argparse.Namespace) -> int:
     from repro.engine import ResultStore
 
-    store = ResultStore(args.cache_dir)
+    store = ResultStore(args.cache_dir, backend=args.store_backend)
     if args.cache_command == "clear":
         removed = store.clear()
         print(f"evicted {removed} record(s) from {store.cache_dir}")
@@ -406,6 +478,47 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the resident evaluation daemon (see docs/serving.md)."""
+    from repro.serve import ServeConfig, SweepServer
+
+    if args.socket and args.port is not None:
+        _LOG.error("error: give --socket or --port, not both")
+        return 2
+    if args.socket:
+        listen = f"unix:{args.socket}"
+    elif args.port is not None:
+        listen = f"{args.host}:{args.port}"
+    else:
+        _LOG.error("error: serve needs --socket PATH or --port N")
+        return 2
+    if args.jobs < 1:
+        _LOG.error(f"error: --jobs must be >= 1, got {args.jobs}")
+        return 2
+    if args.slab_size < 1:
+        _LOG.error(f"error: --slab-size must be >= 1, got {args.slab_size}")
+        return 2
+    if args.quota < 1:
+        _LOG.error(f"error: --quota must be >= 1, got {args.quota}")
+        return 2
+    config = ServeConfig(
+        listen=listen,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        no_cache=args.no_cache,
+        store_backend=args.store_backend,
+        retries=args.retries,
+        unit_timeout=args.unit_timeout,
+        slab_size=args.slab_size,
+        quota=args.quota,
+    )
+    _obs_begin(args)
+    try:
+        return SweepServer(config).run()
+    finally:
+        _obs_finish(args)
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro import bench
 
@@ -431,8 +544,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.output is not None and len(by_tier) > 1:
         _LOG.error(
             "error: --output names a single file but the selected scenarios "
-            "span both tiers; select one tier or drop --output to use the "
-            "per-tier defaults (BENCH_cycle.json / BENCH_interval.json)"
+            "span multiple tiers; select one tier or drop --output to use "
+            "the per-tier defaults (BENCH_cycle.json / BENCH_interval.json "
+            "/ BENCH_serve.json)"
         )
         return 2
     # One report file per tier; save-baseline and --check see all scenarios.
@@ -549,6 +663,29 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_store_backend_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store-backend",
+        default="dir",
+        choices=("dir", "sqlite"),
+        help="result store layout: one JSON file per record ('dir', the "
+        "default) or sharded sqlite databases ('sqlite', better under "
+        "concurrent writers such as the serve daemon)",
+    )
+
+
+def _add_server_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--server",
+        default=None,
+        metavar="ADDR",
+        help="evaluate through a running serve daemon instead of a local "
+        "engine (unix:PATH, PATH, HOST:PORT or :PORT); output is "
+        "byte-identical to local execution, and local engine flags "
+        "(--jobs, --cache-dir, ...) are ignored",
+    )
+
+
 def _add_fault_tolerance_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--retries",
@@ -632,6 +769,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_fault_tolerance_flags(p_fig)
     _add_obs_flags(p_fig)
+    _add_store_backend_flag(p_fig)
+    _add_server_flag(p_fig)
     p_fig.set_defaults(func=_cmd_figure)
 
     p_sweep = sub.add_parser(
@@ -674,6 +813,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_fault_tolerance_flags(p_sweep)
     _add_obs_flags(p_sweep)
+    _add_store_backend_flag(p_sweep)
+    _add_server_flag(p_sweep)
     p_sweep.add_argument("--json", action="store_true", help="machine-readable output")
     p_sweep.set_defaults(func=_cmd_sweep)
 
@@ -686,10 +827,65 @@ def build_parser() -> argparse.ArgumentParser:
     p_cache_stats.add_argument(
         "--json", action="store_true", help="machine-readable output"
     )
+    _add_store_backend_flag(p_cache_stats)
     p_cache_stats.set_defaults(func=_cmd_cache)
     p_cache_clear = cache_sub.add_parser("clear", help="evict every stored record")
     p_cache_clear.add_argument("--cache-dir", default=None, metavar="PATH")
+    _add_store_backend_flag(p_cache_clear)
     p_cache_clear.set_defaults(func=_cmd_cache)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the resident evaluation daemon (async job API over a "
+        "unix socket or TCP; see docs/serving.md)",
+    )
+    listen_group = p_serve.add_mutually_exclusive_group(required=False)
+    listen_group.add_argument(
+        "--socket", default=None, metavar="PATH", help="unix socket to listen on"
+    )
+    listen_group.add_argument(
+        "--port", type=int, default=None, metavar="N", help="TCP port to listen on"
+    )
+    p_serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        metavar="HOST",
+        help="TCP bind address with --port (default: 127.0.0.1)",
+    )
+    p_serve.add_argument(
+        "--jobs", type=int, default=1, metavar="N", help="worker processes"
+    )
+    p_serve.add_argument(
+        "--slab-size",
+        type=int,
+        default=32,
+        metavar="N",
+        help="grid points per dispatch slab — the preemption granularity "
+        "(default: 32)",
+    )
+    p_serve.add_argument(
+        "--quota",
+        type=int,
+        default=4,
+        metavar="N",
+        help="max slabs admitted per client at once; the rest queue "
+        "fairly (default: 4)",
+    )
+    p_serve.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help="persistent result store location (default: ~/.cache/repro)",
+    )
+    p_serve.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="skip the persistent store (compute everything)",
+    )
+    _add_fault_tolerance_flags(p_serve)
+    _add_obs_flags(p_serve)
+    _add_store_backend_flag(p_serve)
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_bench = sub.add_parser(
         "bench",

@@ -14,6 +14,10 @@ evaluation into explicit work units and makes both kinds of reuse cheap:
   content-addressed JSON store with atomic writes, schema versioning and
   corruption tolerance, plus :class:`KeyedCache` for in-process memoization
   under the same key scheme;
+* :mod:`repro.engine.backends` — the physical record layouts behind the
+  store: one-file-per-record directories (default) or sharded sqlite
+  databases (``--store-backend sqlite``, better under concurrent writers
+  such as the serve daemon);
 * :mod:`repro.engine.executor` — :class:`ParallelExecutor` (process pool
   with a bit-identical serial fallback) and :class:`Engine`, the facade
   that checks the store, computes misses in parallel and writes back;
@@ -47,6 +51,13 @@ Typical use::
     print(engine.stats.formatted())
 """
 
+from repro.engine.backends import (
+    BACKEND_NAMES,
+    DirectoryBackend,
+    SqliteBackend,
+    StoreIOError,
+    make_backend,
+)
 from repro.engine.executor import (
     Engine,
     EngineFailureError,
@@ -78,6 +89,11 @@ __all__ = [
     "ResultStore",
     "StoreStats",
     "KeyedCache",
+    "BACKEND_NAMES",
+    "DirectoryBackend",
+    "SqliteBackend",
+    "StoreIOError",
+    "make_backend",
     "WorkUnit",
     "SlabUnit",
     "evaluate_work_unit",

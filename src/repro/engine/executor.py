@@ -34,7 +34,7 @@ from typing import Iterator, List, NamedTuple, Optional, Sequence
 from repro.engine import faults
 from repro.engine.stats import EngineStats
 from repro.engine.store import ResultStore
-from repro.obs import METRICS, TRACER, observation_flags
+from repro.obs import METRICS, TRACER, get_logger, observation_flags
 from repro.engine.tasks import (
     SlabUnit,
     UnitFailure,
@@ -54,6 +54,37 @@ _MAX_BACKOFF_SECONDS = 2.0
 
 class UnitTimeoutError(Exception):
     """A unit exceeded the per-unit wall-clock budget."""
+
+
+_LOG = get_logger("engine")
+
+#: Process-wide once-flag: the timeout-fallback warning fires at most once
+#: per process, however many units evaluate without an armable timeout.
+_TIMEOUT_FALLBACK_WARNED = False
+
+
+def _warn_timeout_fallback(seconds: float, reason: str) -> None:
+    """Record (once) that a requested per-unit timeout cannot be enforced.
+
+    ``SIGALRM`` only arms in the main thread of a process that has it; the
+    serve daemon runs the engine inside a dispatcher thread, where
+    ``signal.signal`` would raise ``ValueError``.  Rather than crash (or
+    silently drop the budget), the unit runs without a timeout and the
+    degradation is surfaced as a structured warning plus an
+    ``engine.timeout_fallbacks`` counter and trace marker.
+    """
+    global _TIMEOUT_FALLBACK_WARNED
+    METRICS.inc("engine.timeout_fallbacks")
+    if _TIMEOUT_FALLBACK_WARNED:
+        return
+    _TIMEOUT_FALLBACK_WARNED = True
+    TRACER.instant("unit.timeout-fallback", cat="unit", reason=reason)
+    _LOG.warning(
+        f"per-unit timeout ({seconds}s) cannot be enforced here ({reason}); "
+        f"units will run without a wall-clock budget",
+        reason=reason,
+        timeout_seconds=seconds,
+    )
 
 
 class EngineFailureError(RuntimeError):
@@ -93,14 +124,19 @@ def _deadline(seconds: Optional[float]) -> Iterator[None]:
     """Raise :class:`UnitTimeoutError` if the block outlives ``seconds``.
 
     SIGALRM-based, so it only arms on platforms that have it and in the
-    main thread (always true in pool workers); elsewhere it is a no-op
-    rather than a crash.
+    main thread (always true in pool workers).  Elsewhere — notably the
+    serve daemon's dispatcher thread — a requested timeout degrades to
+    no-timeout with a one-time structured warning rather than a crash.
     """
-    if (
-        not seconds
-        or not hasattr(signal, "SIGALRM")
-        or threading.current_thread() is not threading.main_thread()
-    ):
+    if not seconds:
+        yield
+        return
+    if not hasattr(signal, "SIGALRM"):
+        _warn_timeout_fallback(seconds, "platform has no SIGALRM")
+        yield
+        return
+    if threading.current_thread() is not threading.main_thread():
+        _warn_timeout_fallback(seconds, "not in the main thread")
         yield
         return
 

@@ -23,6 +23,11 @@ import json
 from enum import Enum
 from typing import Any
 
+try:  # NumPy is a core dependency of the interval tier, but keying must
+    import numpy as _np  # degrade to pure-Python payloads without it.
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    _np = None
+
 #: Version of the evaluation model.  Part of every content key: bump it when
 #: the interval model, scheduler policy or power model changes numerically.
 MODEL_VERSION = "1"
@@ -39,6 +44,20 @@ def canonicalize(obj: Any) -> Any:
     their values, sequences to lists, and floats to their ``repr`` (the
     shortest string that round-trips exactly, identical across processes).
     """
+    if _np is not None:
+        # NumPy scalars leak out of the vectorized solver paths (a slab
+        # result carries np.float64 where the scalar path carries float).
+        # np.float64 *subclasses* float, so without this branch it would
+        # fall through to the float branch below and canonicalize to
+        # ``repr(np.float64(x))`` — "np.float64(1.5)" under NumPy >= 2 —
+        # splitting store/coalescing keys between the vector and scalar
+        # paths.  ``item()`` demotes every scalar kind (float, int, bool)
+        # to its exact Python equivalent; 0-d and small arrays demote via
+        # ``tolist()`` for the same reason.
+        if isinstance(obj, _np.generic):
+            return canonicalize(obj.item())
+        if isinstance(obj, _np.ndarray):
+            return canonicalize(obj.tolist())
     if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
         out = {"__type__": type(obj).__name__}
         for field in dataclasses.fields(obj):

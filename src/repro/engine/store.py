@@ -1,13 +1,18 @@
 """Persistent, content-addressed result store (plus in-process keyed cache).
 
-Layout (one JSON record per result, sharded by key prefix to keep
-directories small)::
+Record I/O goes through a pluggable backend (:mod:`repro.engine.backends`):
+the default ``dir`` backend keeps one JSON record per file, sharded by key
+prefix to keep directories small, and the ``sqlite`` backend keeps records
+in sharded WAL-mode sqlite databases so concurrent clients (the serve
+daemon's workload) stop contending on directory metadata::
 
     <cache-dir>/
         last_run.json              # summary of the most recent engine run
-        v<schema>/
+        v<schema>/                 # dir backend
             ab/
                 ab12...ef.json     # {"schema": .., "key": .., "payload": ..}
+        v<schema>-sqlite/          # sqlite backend
+            shard-0.db ... shard-f.db
 
 Properties:
 
@@ -29,13 +34,13 @@ Properties:
 
 import json
 import os
-import tempfile
 import warnings
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.engine import faults
+from repro.engine.backends import make_backend
 from repro.engine.keys import content_key
 from repro.obs import METRICS, TRACER
 from repro.util.io import atomic_write_json
@@ -93,11 +98,18 @@ class ResultStore:
     cross-run persistence is lost.
     """
 
-    def __init__(self, cache_dir: Optional[os.PathLike] = None):
+    def __init__(
+        self,
+        cache_dir: Optional[os.PathLike] = None,
+        backend: str = "dir",
+    ):
         self.cache_dir = (
             Path(cache_dir).expanduser() if cache_dir is not None else default_cache_dir()
         )
-        self.root = self.cache_dir / f"v{STORE_SCHEMA_VERSION}"
+        #: Record-I/O backend ("dir" or "sqlite"); the store keeps policy
+        #: (validation, degradation, stats) backend-agnostic.
+        self.backend = make_backend(backend, self.cache_dir, STORE_SCHEMA_VERSION)
+        self.root = self.backend.root
         self.stats = StoreStats()
         self.degraded = False
         self.degraded_reason: Optional[str] = None
@@ -127,7 +139,8 @@ class ResultStore:
     # ------------------------------------------------------------------ #
 
     def _path(self, key: str) -> Path:
-        return self.root / key[:2] / f"{key}.json"
+        """Disk path of a record (directory backend only)."""
+        return self.backend.record_path(key)
 
     def get(self, key: str) -> Optional[Dict[str, Any]]:
         """The payload stored under ``key``, or None (miss or bad record)."""
@@ -135,11 +148,12 @@ class ResultStore:
             self.stats.hits += 1
             METRICS.inc("store.hits")
             return self._memory[key]
-        path = self._path(key)
         try:
             faults.inject_store_fault("read")
-            text = path.read_text()
+            text = self.backend.read_record(key)
         except OSError:
+            text = None
+        if text is None:
             self.stats.misses += 1
             METRICS.inc("store.misses")
             return None
@@ -160,10 +174,7 @@ class ResultStore:
             METRICS.inc("store.corrupt")
             METRICS.inc("store.misses")
             TRACER.instant("store.corrupt-record", cat="store", key=key[:12])
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            self.backend.delete_record(key)
             return None
         self.stats.hits += 1
         METRICS.inc("store.hits")
@@ -177,76 +188,44 @@ class ResultStore:
             self.stats.memory_writes += 1
             METRICS.inc("store.memory_writes")
             return
-        path = self._path(key)
         record = {"schema": STORE_SCHEMA_VERSION, "key": key, "payload": payload}
-        tmp_name = None
         try:
             faults.inject_store_fault("write")
-            path.parent.mkdir(parents=True, exist_ok=True)
-            fd, tmp_name = tempfile.mkstemp(
-                prefix=f".{key[:8]}-", suffix=".tmp", dir=path.parent
-            )
-            with os.fdopen(fd, "w") as handle:
-                json.dump(record, handle)
-            os.replace(tmp_name, path)
-            tmp_name = None
+            self.backend.write_record(key, json.dumps(record))
         except OSError as exc:
-            self._cleanup_tmp(tmp_name)
             self._degrade(f"write failed: {exc}")
             self._memory[key] = payload
             self.stats.memory_writes += 1
             METRICS.inc("store.memory_writes")
             return
-        except BaseException:
-            self._cleanup_tmp(tmp_name)
-            raise
         self.stats.writes += 1
         METRICS.inc("store.writes")
 
-    @staticmethod
-    def _cleanup_tmp(tmp_name: Optional[str]) -> None:
-        if tmp_name is not None:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-
     def delete(self, key: str) -> bool:
         """Remove the record under ``key`` (memory and disk); True if a
-        disk record was actually unlinked."""
+        persisted record was actually removed."""
         self._memory.pop(key, None)
-        try:
-            self._path(key).unlink()
-            return True
-        except OSError:
-            return False
+        return self.backend.delete_record(key)
 
     # ------------------------------------------------------------------ #
     # maintenance                                                         #
     # ------------------------------------------------------------------ #
 
     def _record_paths(self) -> List[Path]:
-        if not self.root.is_dir():
-            return []
-        return sorted(self.root.glob("*/*.json"))
+        return self.backend.record_paths() if hasattr(
+            self.backend, "record_paths"
+        ) else []
 
     def _orphan_tmp_paths(self) -> List[Path]:
         """Leftover ``.tmp`` files from writers that died mid-write."""
-        orphans: List[Path] = []
-        if self.root.is_dir():
-            orphans.extend(self.root.glob("*/.*.tmp"))
-        if self.cache_dir.is_dir():
-            orphans.extend(self.cache_dir.glob(".last_run*.tmp"))
-        return sorted(orphans)
+        return self.backend.orphan_tmp_paths() if hasattr(
+            self.backend, "orphan_tmp_paths"
+        ) else []
 
     def _empty_shard_dirs(self) -> List[Path]:
-        if not self.root.is_dir():
-            return []
-        return sorted(
-            child
-            for child in self.root.iterdir()
-            if child.is_dir() and not any(child.iterdir())
-        )
+        return self.backend.empty_shard_dirs() if hasattr(
+            self.backend, "empty_shard_dirs"
+        ) else []
 
     def sweep_debris(self) -> Dict[str, int]:
         """Remove orphaned temp files and empty shard directories.
@@ -254,32 +233,13 @@ class ResultStore:
         Runs automatically after :meth:`clear` and :meth:`prune`; safe to
         call any time.  Returns what was removed.
         """
-        removed_tmp = 0
-        for path in self._orphan_tmp_paths():
-            try:
-                path.unlink()
-                removed_tmp += 1
-            except OSError:
-                pass
-        removed_dirs = 0
-        for shard in self._empty_shard_dirs():
-            try:
-                shard.rmdir()
-                removed_dirs += 1
-            except OSError:
-                pass
-        return {"tmp_files": removed_tmp, "empty_shards": removed_dirs}
+        return self.backend.sweep_debris()
 
     def clear(self) -> int:
         """Delete every record; returns how many were evicted."""
         removed = len(self._memory)
         self._memory.clear()
-        for path in self._record_paths():
-            try:
-                path.unlink()
-                removed += 1
-            except OSError:
-                pass
+        removed += self.backend.clear()
         self.stats.evicted += removed
         self.sweep_debris()
         return removed
@@ -288,55 +248,39 @@ class ResultStore:
         """Evict oldest records (by mtime) down to ``max_records``."""
         if max_records < 0:
             raise ValueError("max_records must be >= 0")
-        paths = self._record_paths()
-        if len(paths) <= max_records:
-            self.sweep_debris()
-            return 0
-        def mtime(path: Path) -> float:
-            try:
-                return path.stat().st_mtime
-            except OSError:
-                return 0.0
-        paths.sort(key=mtime)
-        removed = 0
-        for path in paths[: len(paths) - max_records]:
-            try:
-                path.unlink()
-                removed += 1
-            except OSError:
-                pass
+        removed = self.backend.prune(max_records)
         self.stats.evicted += removed
         self.sweep_debris()
         return removed
 
     def content_summary(self) -> Dict[str, Any]:
-        """What is on disk right now (for ``repro cache stats``)."""
-        paths = self._record_paths()
-        total_bytes = 0
-        for path in paths:
-            try:
-                total_bytes += path.stat().st_size
-            except OSError:
-                pass
-        return {
+        """What is persisted right now (for ``repro cache stats``)."""
+        records, total_bytes = self.backend.content_counts()
+        summary = {
             "cache_dir": str(self.cache_dir),
+            "backend": self.backend.name,
             "schema_version": STORE_SCHEMA_VERSION,
-            "records": len(paths),
+            "records": records,
             "total_bytes": total_bytes,
-            "orphan_tmp_files": len(self._orphan_tmp_paths()),
-            "empty_shards": len(self._empty_shard_dirs()),
             "memory_records": len(self._memory),
             "degraded": self.degraded,
             "degraded_reason": self.degraded_reason,
         }
+        summary.update(self.backend.describe())
+        return summary
 
     def status_dict(self) -> Dict[str, Any]:
         """Session stats plus degradation state (for run summaries)."""
         out = self.stats.as_dict()
+        out["backend"] = self.backend.name
         out["degraded"] = self.degraded
         out["degraded_reason"] = self.degraded_reason
         out["memory_records"] = len(self._memory)
         return out
+
+    def close(self) -> None:
+        """Release backend resources (sqlite connections); safe to re-open."""
+        self.backend.close()
 
     # ------------------------------------------------------------------ #
     # run summaries                                                       #

@@ -1,0 +1,28 @@
+"""Sweep-as-a-service: the resident evaluation daemon and its client.
+
+``python -m repro serve`` boots :class:`~repro.serve.server.SweepServer`
+around one warm engine; ``sweep --server`` / ``figure --server`` talk to
+it through :class:`~repro.serve.client.ServeClient`.  See
+``docs/serving.md`` for the protocol reference.
+"""
+
+from repro.serve.client import (
+    ServeClient,
+    ServeConnectionError,
+    ServeError,
+    wait_for_server,
+)
+from repro.serve.protocol import PROTOCOL_VERSION, parse_address
+from repro.serve.server import ServeConfig, ServerHandle, SweepServer
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ServeClient",
+    "ServeConfig",
+    "ServeConnectionError",
+    "ServeError",
+    "ServerHandle",
+    "SweepServer",
+    "parse_address",
+    "wait_for_server",
+]

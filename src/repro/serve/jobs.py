@@ -1,0 +1,240 @@
+"""Job, point and slab bookkeeping for the serve daemon.
+
+Pure data structures — no asyncio, no I/O — mutated only on the server's
+event-loop thread, which is what makes them testable synchronously:
+
+* :class:`PointState` — one in-flight grid point, shared by every job
+  that requested it (request coalescing: the second submit of an
+  identical point attaches to the first's state instead of enqueueing a
+  second computation);
+* :class:`Job` — one client submission (point/sweep/figure) tracking its
+  point keys, completion countdown and final result;
+* :class:`Slab` — the dispatch unit: a batch of points (or one opaque
+  figure task) evaluated in a single engine call.  Priorities act at slab
+  granularity — an interactive point preempts a bulk sweep between
+  slabs, never mid-slab;
+* :class:`SlabScheduler` — a priority queue with per-client admission
+  quotas and fair-share ordering.  A client over its quota gets its
+  slabs *queued* in a backlog (admitted as earlier slabs finish), never
+  errored.
+"""
+
+import heapq
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+#: Job lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+TERMINAL_STATES = (DONE, FAILED, CANCELLED)
+
+
+@dataclass
+class PointState:
+    """One grid point, shared across every job that requested it."""
+
+    key: str
+    unit: Any  # WorkUnit
+    done: bool = False
+    payload: Optional[Dict[str, Any]] = None
+    error: Optional[Dict[str, Any]] = None
+    #: Jobs still waiting on this point (job ids).
+    waiters: Set[str] = field(default_factory=set)
+
+
+@dataclass
+class Job:
+    """One client submission and its completion bookkeeping."""
+
+    id: str
+    kind: str
+    params: Dict[str, Any]
+    client: str
+    priority: int
+    priority_name: str
+    state: str = QUEUED
+    #: Ordered unique point keys this job needs (empty for figure jobs).
+    point_keys: List[str] = field(default_factory=list)
+    #: Points not yet completed.
+    remaining: int = 0
+    #: How many of this job's points were coalesced onto other jobs' work.
+    coalesced: int = 0
+    result: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+    submitted_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    #: Slabs of this job not yet completed (slab ids).
+    open_slabs: Set[int] = field(default_factory=set)
+
+    @property
+    def total_points(self) -> int:
+        return len(self.point_keys)
+
+    @property
+    def done_points(self) -> int:
+        return self.total_points - self.remaining
+
+    def status_dict(self) -> Dict[str, Any]:
+        """The poll/wait response body for this job."""
+        out: Dict[str, Any] = {
+            "job": self.id,
+            "kind": self.kind,
+            "state": self.state,
+            "priority": self.priority_name,
+            "client": self.client,
+            "total_points": self.total_points,
+            "done_points": self.done_points,
+            "coalesced_points": self.coalesced,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }
+        if self.state == DONE and self.result is not None:
+            out["result"] = self.result
+        if self.error is not None:
+            out["error"] = self.error
+        return out
+
+
+@dataclass
+class Slab:
+    """One dispatch unit: points evaluated in a single engine call."""
+
+    id: int
+    job_id: str
+    client: str
+    priority: int
+    #: Point keys evaluated by this slab (unit objects live in PointState).
+    point_keys: Tuple[str, ...] = ()
+    #: Set for figure jobs: the opaque figure params to run instead.
+    figure: Optional[Dict[str, Any]] = None
+
+
+class SlabScheduler:
+    """Priority queue of slabs with per-client quotas and fair share.
+
+    Ordering: ``(priority, fair_counter, admission_seq)``.  The fair
+    counter is the number of slabs the client had already been admitted
+    when this slab entered the ready queue, so at equal priority a client
+    that has consumed many dispatch slots sorts after a fresh client —
+    round-robin without a separate queue per client.
+
+    Admission: each client may have at most ``quota`` slabs admitted but
+    not yet completed; further slabs wait in the client's backlog (FIFO)
+    and are admitted as earlier ones finish.  Nothing is ever rejected
+    for being over quota.
+    """
+
+    def __init__(self, quota: int = 4):
+        if quota < 1:
+            raise ValueError(f"quota must be >= 1, got {quota}")
+        self.quota = quota
+        self._ready: List[Tuple[int, int, int, Slab]] = []
+        self._seq = itertools.count()
+        self._backlog: Dict[str, List[Slab]] = {}
+        self._admitted: Dict[str, int] = {}
+        self._fair: Dict[str, int] = {}
+        #: Slabs handed out by :meth:`next_slab` and not yet completed.
+        self.in_flight = 0
+
+    # -- admission ------------------------------------------------------ #
+
+    def submit(self, slab: Slab) -> bool:
+        """Queue a slab; True if admitted now, False if backlogged."""
+        if self._admitted.get(slab.client, 0) >= self.quota:
+            self._backlog.setdefault(slab.client, []).append(slab)
+            return False
+        self._admit(slab)
+        return True
+
+    def _admit(self, slab: Slab) -> None:
+        self._admitted[slab.client] = self._admitted.get(slab.client, 0) + 1
+        fair = self._fair.get(slab.client, 0)
+        self._fair[slab.client] = fair + 1
+        heapq.heappush(
+            self._ready, (slab.priority, fair, next(self._seq), slab)
+        )
+
+    # -- dispatch ------------------------------------------------------- #
+
+    def next_slab(self) -> Optional[Slab]:
+        """Highest-priority admitted slab, or None when idle."""
+        if not self._ready:
+            return None
+        _, _, _, slab = heapq.heappop(self._ready)
+        self.in_flight += 1
+        return slab
+
+    def complete(self, slab: Slab) -> List[Slab]:
+        """Mark a dispatched slab finished; returns newly admitted slabs."""
+        self.in_flight -= 1
+        return self._release(slab.client)
+
+    def _release(self, client: str) -> List[Slab]:
+        count = self._admitted.get(client, 0)
+        if count <= 1:
+            self._admitted.pop(client, None)
+        else:
+            self._admitted[client] = count - 1
+        promoted: List[Slab] = []
+        backlog = self._backlog.get(client)
+        if backlog and self._admitted.get(client, 0) < self.quota:
+            slab = backlog.pop(0)
+            if not backlog:
+                del self._backlog[client]
+            self._admit(slab)
+            promoted.append(slab)
+        return promoted
+
+    # -- cancellation --------------------------------------------------- #
+
+    def discard_queued(self, should_drop) -> List[Slab]:
+        """Remove queued (not dispatched) slabs for which ``should_drop``
+        returns True; returns what was removed.  In-flight slabs are
+        untouched — cancellation acts at slab granularity."""
+        dropped: List[Slab] = []
+        kept: List[Tuple[int, int, int, Slab]] = []
+        for entry in self._ready:
+            if should_drop(entry[3]):
+                dropped.append(entry[3])
+                self._release(entry[3].client)
+            else:
+                kept.append(entry)
+        if dropped:
+            heapq.heapify(kept)
+            self._ready = kept
+        for client in list(self._backlog):
+            backlog = self._backlog[client]
+            remaining = [s for s in backlog if not should_drop(s)]
+            dropped.extend(s for s in backlog if should_drop(s))
+            if remaining:
+                self._backlog[client] = remaining
+            else:
+                del self._backlog[client]
+        return dropped
+
+    # -- introspection -------------------------------------------------- #
+
+    @property
+    def ready_count(self) -> int:
+        return len(self._ready)
+
+    @property
+    def backlog_count(self) -> int:
+        return sum(len(v) for v in self._backlog.values())
+
+    def queue_dict(self) -> Dict[str, Any]:
+        return {
+            "quota": self.quota,
+            "ready": self.ready_count,
+            "in_flight": self.in_flight,
+            "backlog": {c: len(v) for c, v in sorted(self._backlog.items())},
+            "admitted": dict(sorted(self._admitted.items())),
+        }

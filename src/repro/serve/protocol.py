@@ -1,0 +1,193 @@
+"""Wire protocol of the serve daemon: newline-delimited JSON messages.
+
+Zero-dependency by construction: one JSON object per line (NDJSON) over a
+unix-domain socket or TCP.  Each request carries an ``op`` and a client
+``seq`` number; every response (and every streamed event) echoes the
+``seq`` of the request it answers, so a pipelining client can correlate.
+
+Requests::
+
+    {"op": "submit",   "seq": 1, "kind": "point"|"sweep"|"figure",
+     "params": {...}, "priority": "interactive"|"bulk", "client": "name"}
+    {"op": "poll",     "seq": 2, "job": "job-000001"}
+    {"op": "wait",     "seq": 3, "job": "job-000001", "timeout": 30.0}
+    {"op": "stream",   "seq": 4, "job": "job-000001"}
+    {"op": "stats",    "seq": 5}
+    {"op": "cancel",   "seq": 6, "job": "job-000001"}
+    {"op": "shutdown", "seq": 7}
+    {"op": "ping",     "seq": 8}
+
+Responses are ``{"seq": N, "ok": true, ...}`` or
+``{"seq": N, "ok": false, "error": {"code": ..., "message": ...}}``.
+``stream`` responds with a sequence of event lines
+(``{"seq": N, "ok": true, "event": "slab"|"done"|"failed"|"cancelled",
+...}``); the terminal event has ``"final": true``.
+
+Job ``params``:
+
+* ``point`` — ``{"design": str, "mix": [str, ...], "smt": bool}``
+* ``sweep`` — ``{"designs": [str, ...], "kind": "homogeneous"|
+  "heterogeneous", "max_threads": int, "smt": bool}``
+* ``figure`` — ``{"id": str, "json": bool}``
+
+Floats survive the wire exactly: ``json.dumps`` renders them via
+``repr`` (shortest round-trip form) and ``json.loads`` parses back the
+identical double, which is what makes ``sweep --server`` byte-identical
+to local execution.
+"""
+
+import json
+from typing import Any, Dict, Optional, Tuple
+
+#: Protocol version, echoed in ``ping``/``stats``; bump on breaking changes.
+PROTOCOL_VERSION = 1
+
+#: Line length ceiling: a parsed request larger than this is rejected
+#: rather than buffered, bounding per-connection memory.
+MAX_LINE_BYTES = 8 * 1024 * 1024
+
+#: Known operations.
+OPS = ("submit", "poll", "wait", "stream", "stats", "cancel", "shutdown", "ping")
+
+#: Job kinds the server accepts.
+JOB_KINDS = ("point", "sweep", "figure")
+
+#: Priority classes, lowest number dispatches first.
+PRIORITIES = {"interactive": 0, "bulk": 10}
+
+#: Default priority per job kind: point queries are interactive latency
+#: paths, grid sweeps and figures are bulk throughput paths.
+DEFAULT_PRIORITY = {"point": "interactive", "sweep": "bulk", "figure": "bulk"}
+
+#: Error codes carried in failure responses.
+E_BAD_REQUEST = "bad-request"
+E_UNKNOWN_JOB = "unknown-job"
+E_DRAINING = "draining"
+E_JOB_FAILED = "job-failed"
+E_TIMEOUT = "timeout"
+
+
+class ProtocolError(ValueError):
+    """A malformed request line or message (connection-level error)."""
+
+    def __init__(self, message: str, code: str = E_BAD_REQUEST):
+        super().__init__(message)
+        self.code = code
+
+
+def encode(message: Dict[str, Any]) -> bytes:
+    """One NDJSON frame: compact JSON plus the line terminator."""
+    return (json.dumps(message, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode_line(line: bytes) -> Dict[str, Any]:
+    """Parse one frame; raises :class:`ProtocolError` on garbage."""
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(f"message exceeds {MAX_LINE_BYTES} bytes")
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"not a JSON line: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError("message must be a JSON object")
+    return message
+
+
+def ok(seq: Optional[int], **fields: Any) -> Dict[str, Any]:
+    response = {"seq": seq, "ok": True}
+    response.update(fields)
+    return response
+
+
+def error(seq: Optional[int], code: str, message: str) -> Dict[str, Any]:
+    return {"seq": seq, "ok": False, "error": {"code": code, "message": message}}
+
+
+def validate_request(message: Dict[str, Any]) -> Tuple[str, Optional[int]]:
+    """Check the envelope; returns ``(op, seq)`` or raises ProtocolError."""
+    op = message.get("op")
+    if op not in OPS:
+        raise ProtocolError(f"unknown op {op!r}; choose from {', '.join(OPS)}")
+    seq = message.get("seq")
+    if seq is not None and not isinstance(seq, int):
+        raise ProtocolError("seq must be an integer when given")
+    return op, seq
+
+
+def validate_submit(message: Dict[str, Any]) -> Tuple[str, Dict[str, Any], str]:
+    """Check a submit body; returns ``(kind, params, priority)``."""
+    kind = message.get("kind")
+    if kind not in JOB_KINDS:
+        raise ProtocolError(
+            f"unknown job kind {kind!r}; choose from {', '.join(JOB_KINDS)}"
+        )
+    params = message.get("params")
+    if not isinstance(params, dict):
+        raise ProtocolError("params must be a JSON object")
+    priority = message.get("priority") or DEFAULT_PRIORITY[kind]
+    if priority not in PRIORITIES:
+        raise ProtocolError(
+            f"unknown priority {priority!r}; choose from "
+            f"{', '.join(PRIORITIES)}"
+        )
+    if kind == "point":
+        if not isinstance(params.get("design"), str):
+            raise ProtocolError("point params need a 'design' string")
+        mix = params.get("mix")
+        if (
+            not isinstance(mix, list)
+            or not mix
+            or not all(isinstance(b, str) for b in mix)
+        ):
+            raise ProtocolError("point params need a non-empty 'mix' list")
+    elif kind == "sweep":
+        designs = params.get("designs")
+        if (
+            not isinstance(designs, list)
+            or not designs
+            or not all(isinstance(d, str) for d in designs)
+        ):
+            raise ProtocolError("sweep params need a non-empty 'designs' list")
+        if params.get("kind") not in ("homogeneous", "heterogeneous"):
+            raise ProtocolError(
+                "sweep params need kind homogeneous|heterogeneous"
+            )
+        max_threads = params.get("max_threads")
+        if not isinstance(max_threads, int) or max_threads < 1:
+            raise ProtocolError("sweep params need max_threads >= 1")
+    elif kind == "figure":
+        if not isinstance(params.get("id"), str):
+            raise ProtocolError("figure params need an 'id' string")
+    return kind, params, priority
+
+
+def parse_address(text: str) -> Tuple[str, Any]:
+    """Parse a ``--server``/listen address.
+
+    Accepted forms:
+
+    * ``unix:/path/to.sock`` — explicit unix socket;
+    * ``/path/to.sock`` or ``./relative.sock`` — unix socket by shape;
+    * ``host:port`` — TCP;
+    * ``:port`` or a bare integer — TCP on localhost.
+
+    Returns ``("unix", path)`` or ``("tcp", (host, port))``.
+    """
+    text = text.strip()
+    if not text:
+        raise ValueError("empty server address")
+    if text.startswith("unix:"):
+        return "unix", text[len("unix:"):]
+    if text.startswith(("/", "./", "~")):
+        return "unix", text
+    if text.isdigit():
+        return "tcp", ("127.0.0.1", int(text))
+    if ":" in text:
+        host, _, port = text.rpartition(":")
+        if not port.isdigit():
+            raise ValueError(f"bad port in server address {text!r}")
+        return "tcp", (host or "127.0.0.1", int(port))
+    raise ValueError(
+        f"cannot parse server address {text!r}; use unix:PATH, PATH, "
+        f"HOST:PORT or :PORT"
+    )

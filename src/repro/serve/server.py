@@ -1,0 +1,1011 @@
+"""The resident evaluation daemon: ``python -m repro serve``.
+
+One long-lived process owns one warm :class:`~repro.engine.executor.Engine`
+— process pool, persistent content-addressed
+:class:`~repro.engine.store.ResultStore` (dir or sqlite backend), and the
+interval tier's warm-start hints — and serves an async job API over
+newline-delimited JSON (:mod:`repro.serve.protocol`) on a unix socket or
+TCP port.  Every ``sweep``/``figure``/``point`` request that used to pay
+import, pool-spawn and store-open costs per CLI invocation instead rides
+the warm engine.
+
+Inside the server:
+
+* **request coalescing** — grid points are identified by the engine's
+  content keys; a second job requesting a point already in flight
+  attaches to the first computation instead of enqueueing a duplicate
+  (``serve.points_coalesced``);
+* **priority scheduling** — dispatch happens at *slab* granularity
+  through :class:`~repro.serve.jobs.SlabScheduler`: an interactive point
+  query jumps ahead of the remaining slabs of a bulk sweep, but never
+  preempts a running slab;
+* **per-client quotas** — each client may have a bounded number of slabs
+  admitted at once; excess slabs are backlogged (FIFO, fair-share across
+  clients), never rejected;
+* **graceful drain** — SIGTERM (or the ``shutdown`` op) stops admission,
+  finishes every accepted job, persists the engine run summary and exits
+  0.  A second SIGTERM cancels queued jobs and exits after the running
+  slab.
+
+Engine evaluation runs on a single dispatcher thread, so the engine (and
+its process pool) is never entered concurrently; job bookkeeping runs on
+the event-loop thread only.  The per-unit SIGALRM timeout cannot arm on
+the dispatcher thread — the engine degrades it to no-timeout with a
+structured warning (see :func:`repro.engine.executor._deadline`).
+"""
+
+import asyncio
+import concurrent.futures
+import os
+import signal
+import socket as socket_module
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs import METRICS, TRACER, get_logger
+from repro.serve import protocol
+from repro.serve.jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
+    Job,
+    PointState,
+    Slab,
+    SlabScheduler,
+)
+
+_LOG = get_logger("serve")
+
+#: Default points per dispatch slab (matches the CLI's engine default).
+DEFAULT_SLAB_SIZE = 32
+
+#: Default per-client admission quota (slabs admitted at once).
+DEFAULT_QUOTA = 4
+
+
+@dataclass
+class ServeConfig:
+    """Everything the daemon needs to listen and evaluate."""
+
+    #: Listen address: ``unix:PATH`` / ``PATH`` / ``HOST:PORT`` / ``:PORT``.
+    listen: str = "unix:repro-serve.sock"
+    jobs: int = 1
+    cache_dir: Optional[str] = None
+    no_cache: bool = False
+    store_backend: str = "dir"
+    retries: int = 1
+    unit_timeout: Optional[float] = None
+    slab_size: int = DEFAULT_SLAB_SIZE
+    quota: int = DEFAULT_QUOTA
+
+
+class SweepServer:
+    """Asyncio NDJSON server around one warm engine."""
+
+    def __init__(self, config: ServeConfig, install_signals: bool = True):
+        self.config = config
+        self.install_signals = install_signals
+        self.engine = self._build_engine(config)
+        # Design lookup, mix enumeration and the reference uncore come from
+        # a default study — the exact objects the local CLI sweep uses, so
+        # content keys (and therefore store records) match byte-for-byte.
+        from repro.core.study import DesignSpaceStudy
+
+        self.study = DesignSpaceStudy()
+        self.started_at = time.time()
+        self.draining = False
+        self._drain_hard = False
+        self._jobs: Dict[str, Job] = {}
+        self._points: Dict[str, PointState] = {}
+        self._slabs: Dict[int, Slab] = {}
+        self._scheduler = SlabScheduler(quota=config.quota)
+        self._job_seq = 0
+        self._slab_seq = 0
+        self._conn_seq = 0
+        self.finished_order: List[str] = []
+        self.counters: Dict[str, int] = {
+            "jobs_submitted": 0,
+            "jobs_completed": 0,
+            "jobs_failed": 0,
+            "jobs_cancelled": 0,
+            "points_requested": 0,
+            "points_coalesced": 0,
+            "slabs_dispatched": 0,
+        }
+        # Event-loop plumbing (bound inside _main).
+        self.loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._work_available: Optional[asyncio.Event] = None
+        self._dispatch_enabled: Optional[asyncio.Event] = None
+        self._stopped: Optional[asyncio.Event] = None
+        self._done_events: Dict[str, asyncio.Event] = {}
+        self._streams: Dict[str, List[asyncio.Queue]] = {}
+        self._connections: set = set()  # open StreamWriters, for drain
+        # One dispatcher thread: the engine is entered serially, always.
+        self._dispatch_pool = concurrent.futures.ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="serve-dispatch"
+        )
+        # A separate prep thread so submit decomposition (content-key
+        # derivation for thousands of points) neither blocks the event
+        # loop nor queues behind a long-running slab.
+        self._prep_pool = concurrent.futures.ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="serve-prep"
+        )
+        #: Set once listening (threading.Event: readable off-loop).
+        self.ready = threading.Event()
+        self.bound_address: Optional[str] = None
+
+    @staticmethod
+    def _build_engine(config: ServeConfig):
+        from repro.engine import Engine, ResultStore
+
+        store = (
+            None
+            if config.no_cache
+            else ResultStore(config.cache_dir, backend=config.store_backend)
+        )
+        # The server dispatches config.slab_size points per engine call;
+        # the engine must split that batch across its workers, so its own
+        # slab size is the per-worker share (otherwise one dispatch slab
+        # would collapse into a single worker unit and serialize the pool).
+        if config.jobs > 1:
+            engine_slab = max(1, -(-config.slab_size // config.jobs))
+        else:
+            engine_slab = config.slab_size
+        return Engine(
+            jobs=config.jobs,
+            store=store,
+            retries=config.retries,
+            unit_timeout=config.unit_timeout,
+            slab_size=engine_slab if engine_slab > 1 else None,
+        )
+
+    # ------------------------------------------------------------------ #
+    # lifecycle                                                           #
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> int:
+        """Blocking entry point: serve until drained; returns exit code."""
+        try:
+            asyncio.run(self._main())
+        except KeyboardInterrupt:  # second Ctrl-C during hard drain
+            _LOG.warning("serve: interrupted before drain completed")
+            return 1
+        return 0
+
+    async def _main(self) -> None:
+        self.loop = asyncio.get_running_loop()
+        self._work_available = asyncio.Event()
+        self._dispatch_enabled = asyncio.Event()
+        self._dispatch_enabled.set()
+        self._stopped = asyncio.Event()
+        if self.install_signals:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    self.loop.add_signal_handler(signum, self.begin_drain)
+                except (NotImplementedError, RuntimeError):
+                    pass
+        # Figures evaluate through the warm engine via the experiment
+        # context hook, exactly like ``figure --jobs``.
+        from repro.experiments.context import set_engine
+
+        set_engine(self.engine)
+        await self._listen()
+        dispatcher = asyncio.create_task(self._dispatch_loop())
+        _LOG.info(
+            f"serving on {self.bound_address}",
+            jobs=self.engine.jobs,
+            backend=(
+                self.engine.store.backend.name if self.engine.store else "none"
+            ),
+            slab_size=self.config.slab_size,
+            quota=self.config.quota,
+        )
+        self.ready.set()
+        try:
+            await self._stopped.wait()
+        finally:
+            dispatcher.cancel()
+            await asyncio.gather(dispatcher, return_exceptions=True)
+            await self._shutdown_cleanup()
+
+    async def _listen(self) -> None:
+        family, target = protocol.parse_address(self.config.listen)
+        if family == "unix":
+            path = os.path.expanduser(target)
+            if os.path.exists(path) and not self._socket_is_live(path):
+                os.unlink(path)  # stale socket from a dead server
+            self._server = await asyncio.start_unix_server(
+                self._handle_connection, path=path, limit=protocol.MAX_LINE_BYTES
+            )
+            self.bound_address = f"unix:{path}"
+        else:
+            host, port = target
+            self._server = await asyncio.start_server(
+                self._handle_connection,
+                host=host,
+                port=port,
+                limit=protocol.MAX_LINE_BYTES,
+            )
+            bound = self._server.sockets[0].getsockname()
+            self.bound_address = f"{bound[0]}:{bound[1]}"
+
+    @staticmethod
+    def _socket_is_live(path: str) -> bool:
+        probe = socket_module.socket(socket_module.AF_UNIX)
+        try:
+            probe.settimeout(0.25)
+            probe.connect(path)
+            return True
+        except OSError:
+            return False
+        finally:
+            probe.close()
+
+    async def _shutdown_cleanup(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # Close lingering client connections so their handler tasks end on
+        # EOF instead of being cancelled noisily at loop teardown.
+        for writer in list(self._connections):
+            try:
+                writer.close()
+            except (ConnectionError, OSError):
+                pass
+        for _ in range(100):
+            if not self._connections:
+                break
+            await asyncio.sleep(0.01)
+        if self.bound_address and self.bound_address.startswith("unix:"):
+            try:
+                os.unlink(self.bound_address[len("unix:"):])
+            except OSError:
+                pass
+        self.engine.write_summary()
+        if self.engine.store is not None:
+            self.engine.store.close()
+        from repro.experiments.context import set_engine
+
+        set_engine(None)
+        self._dispatch_pool.shutdown(wait=False)
+        self._prep_pool.shutdown(wait=False)
+        _LOG.info(
+            "serve: drained and stopped",
+            jobs_completed=self.counters["jobs_completed"],
+            points_coalesced=self.counters["points_coalesced"],
+        )
+
+    def begin_drain(self) -> None:
+        """Stop admission; finish accepted jobs; exit when idle.
+
+        Called from the SIGTERM handler or the ``shutdown`` op.  A second
+        call hardens the drain: queued jobs are cancelled and only the
+        slab already running completes.
+        """
+        if not self.draining:
+            self.draining = True
+            TRACER.instant("serve.drain", cat="serve")
+            METRICS.inc("serve.drains")
+            _LOG.info(
+                "serve: draining (finishing accepted jobs, refusing new ones)"
+            )
+        elif not self._drain_hard:
+            self._drain_hard = True
+            _LOG.warning("serve: hard drain (cancelling queued jobs)")
+            for job in list(self._jobs.values()):
+                if job.state in (QUEUED, RUNNING):
+                    self._cancel_job(job)
+        self._work_available.set()
+        self._maybe_stop()
+
+    def _active_jobs(self) -> int:
+        return sum(
+            1 for j in self._jobs.values() if j.state not in TERMINAL_STATES
+        )
+
+    def _maybe_stop(self) -> None:
+        if (
+            self.draining
+            and self._active_jobs() == 0
+            and self._scheduler.in_flight == 0
+            and self._stopped is not None
+        ):
+            self._stopped.set()
+
+    # -- test/bench hooks (thread-safe) --------------------------------- #
+
+    def pause_dispatch(self) -> None:
+        """Hold the dispatcher before its next slab (deterministic tests)."""
+        self.loop.call_soon_threadsafe(self._dispatch_enabled.clear)
+
+    def resume_dispatch(self) -> None:
+        self.loop.call_soon_threadsafe(self._dispatch_enabled.set)
+
+    # ------------------------------------------------------------------ #
+    # connection handling                                                 #
+    # ------------------------------------------------------------------ #
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._conn_seq += 1
+        default_client = f"conn-{self._conn_seq}"
+        self._connections.add(writer)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionError, ValueError, asyncio.LimitOverrunError):
+                    break  # peer gone, or a line beyond MAX_LINE_BYTES
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    message = protocol.decode_line(line)
+                    op, seq = protocol.validate_request(message)
+                except protocol.ProtocolError as exc:
+                    await self._send(
+                        writer, protocol.error(None, exc.code, str(exc))
+                    )
+                    continue
+                try:
+                    if op == "stream":
+                        await self._op_stream(writer, seq, message)
+                    else:
+                        response = await self._handle_op(
+                            op, seq, message, default_client
+                        )
+                        await self._send(writer, response)
+                except protocol.ProtocolError as exc:
+                    await self._send(
+                        writer, protocol.error(seq, exc.code, str(exc))
+                    )
+                except ConnectionError:
+                    break
+        finally:
+            self._connections.discard(writer)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    @staticmethod
+    async def _send(writer: asyncio.StreamWriter, message: Dict[str, Any]) -> None:
+        writer.write(protocol.encode(message))
+        await writer.drain()
+
+    async def _handle_op(
+        self,
+        op: str,
+        seq: Optional[int],
+        message: Dict[str, Any],
+        default_client: str,
+    ) -> Dict[str, Any]:
+        if op == "ping":
+            return protocol.ok(
+                seq, version=protocol.PROTOCOL_VERSION, draining=self.draining
+            )
+        if op == "stats":
+            return protocol.ok(seq, stats=self.stats_dict())
+        if op == "submit":
+            return await self._op_submit(seq, message, default_client)
+        if op == "poll":
+            return self._op_poll(seq, message)
+        if op == "wait":
+            return await self._op_wait(seq, message)
+        if op == "cancel":
+            return self._op_cancel(seq, message)
+        if op == "shutdown":
+            self.begin_drain()
+            return protocol.ok(seq, draining=True)
+        raise protocol.ProtocolError(f"unhandled op {op!r}")  # pragma: no cover
+
+    def _job_or_error(self, message: Dict[str, Any]) -> Job:
+        job_id = message.get("job")
+        job = self._jobs.get(job_id) if isinstance(job_id, str) else None
+        if job is None:
+            raise protocol.ProtocolError(
+                f"unknown job {job_id!r}", code=protocol.E_UNKNOWN_JOB
+            )
+        return job
+
+    # ------------------------------------------------------------------ #
+    # ops                                                                 #
+    # ------------------------------------------------------------------ #
+
+    async def _op_submit(
+        self, seq: Optional[int], message: Dict[str, Any], default_client: str
+    ) -> Dict[str, Any]:
+        if self.draining:
+            return protocol.error(
+                seq, protocol.E_DRAINING, "server is draining; not accepting jobs"
+            )
+        kind, params, priority_name = protocol.validate_submit(message)
+        client = message.get("client") or default_client
+        if not isinstance(client, str):
+            raise protocol.ProtocolError("client must be a string")
+        self._job_seq += 1
+        job = Job(
+            id=f"job-{self._job_seq:06d}",
+            kind=kind,
+            params=params,
+            client=client,
+            priority=protocol.PRIORITIES[priority_name],
+            priority_name=priority_name,
+        )
+        try:
+            if kind == "figure":
+                self._submit_figure(job)
+            else:
+                await self._submit_points(job)
+        except KeyError as exc:
+            return protocol.error(seq, protocol.E_BAD_REQUEST, str(exc.args[0]))
+        except ValueError as exc:
+            return protocol.error(seq, protocol.E_BAD_REQUEST, str(exc))
+        self._jobs[job.id] = job
+        self._done_events[job.id] = asyncio.Event()
+        self.counters["jobs_submitted"] += 1
+        METRICS.inc("serve.jobs_submitted")
+        TRACER.instant(
+            "serve.submit", cat="serve", kind=kind, client=client, job=job.id
+        )
+        if job.remaining == 0 and job.kind != "figure":
+            # Every point was already complete (all coalesced onto
+            # finished work still in the table): finalize immediately.
+            self._finalize_job(job)
+        self._work_available.set()
+        return protocol.ok(
+            seq,
+            job=job.id,
+            state=job.state,
+            total_points=job.total_points,
+            coalesced_points=job.coalesced,
+        )
+
+    def _op_poll(self, seq: Optional[int], message: Dict[str, Any]) -> Dict[str, Any]:
+        job = self._job_or_error(message)
+        return protocol.ok(seq, **job.status_dict())
+
+    async def _op_wait(
+        self, seq: Optional[int], message: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        job = self._job_or_error(message)
+        timeout = message.get("timeout")
+        if timeout is not None and not isinstance(timeout, (int, float)):
+            raise protocol.ProtocolError("timeout must be a number")
+        if job.state not in TERMINAL_STATES:
+            try:
+                await asyncio.wait_for(
+                    self._done_events[job.id].wait(), timeout=timeout
+                )
+            except asyncio.TimeoutError:
+                return protocol.error(
+                    seq,
+                    protocol.E_TIMEOUT,
+                    f"job {job.id} still {job.state} after {timeout}s",
+                )
+        return protocol.ok(seq, **job.status_dict())
+
+    async def _op_stream(
+        self,
+        writer: asyncio.StreamWriter,
+        seq: Optional[int],
+        message: Dict[str, Any],
+    ) -> None:
+        job = self._job_or_error(message)
+        if job.state in TERMINAL_STATES:
+            await self._send(writer, self._final_event(job, seq))
+            return
+        queue: asyncio.Queue = asyncio.Queue()
+        self._streams.setdefault(job.id, []).append(queue)
+        await self._send(
+            writer,
+            protocol.ok(
+                seq,
+                event="progress",
+                job=job.id,
+                state=job.state,
+                done=job.done_points,
+                total=job.total_points,
+            ),
+        )
+        try:
+            while True:
+                event = await queue.get()
+                event["seq"] = seq
+                await self._send(writer, event)
+                if event.get("final"):
+                    break
+        finally:
+            subscribers = self._streams.get(job.id)
+            if subscribers and queue in subscribers:
+                subscribers.remove(queue)
+                if not subscribers:
+                    self._streams.pop(job.id, None)
+
+    def _op_cancel(self, seq: Optional[int], message: Dict[str, Any]) -> Dict[str, Any]:
+        job = self._job_or_error(message)
+        if job.state in TERMINAL_STATES:
+            return protocol.ok(seq, job=job.id, state=job.state)
+        self._cancel_job(job)
+        return protocol.ok(seq, job=job.id, state=job.state)
+
+    # ------------------------------------------------------------------ #
+    # job decomposition (coalescing happens here)                         #
+    # ------------------------------------------------------------------ #
+
+    def _grid_points(self, job: Job) -> List[Tuple[str, Tuple[str, ...], bool]]:
+        """The (design, mix, smt) tuples behind a job, in evaluation order."""
+        if job.kind == "point":
+            design = job.params["design"]
+            self.study.design(design)  # fail fast on unknown designs
+            return [
+                (design, tuple(job.params["mix"]), bool(job.params.get("smt", True)))
+            ]
+        designs = job.params["designs"]
+        kind = job.params["kind"]
+        counts = list(range(1, job.params["max_threads"] + 1))
+        smt = bool(job.params.get("smt", True))
+        per_count = {n: self.study.mixes(kind, n) for n in counts}
+        points: List[Tuple[str, Tuple[str, ...], bool]] = []
+        for name in designs:
+            self.study.design(name)  # fail fast, same as study.prefetch
+            for n in counts:
+                for mix in per_count[n]:
+                    points.append((name, tuple(mix), smt))
+        return points
+
+    async def _submit_points(self, job: Job) -> None:
+        """Resolve a job's grid to work units and register its points.
+
+        Key derivation (full-config hashing for potentially thousands of
+        points) runs on the prep thread; registration — the coalescing
+        step — runs back on the event loop, atomically with respect to
+        other submits.
+        """
+        from repro.engine.tasks import WorkUnit
+
+        points = self._grid_points(job)
+
+        def build_units():
+            units = []
+            for name, mix, smt in points:
+                unit = WorkUnit(
+                    design=self.study.design(name),
+                    mix=mix,
+                    smt=smt,
+                    reference_uncore=self.study.reference_uncore,
+                )
+                units.append((unit.content_key, unit))
+            return units
+
+        keyed_units = await self.loop.run_in_executor(self._prep_pool, build_units)
+        if job.kind == "sweep":
+            job.params["_grid_keys"] = self._sweep_grid_keys(job, keyed_units)
+        fresh: List[Tuple[str, Any]] = []
+        seen = set()
+        for key, unit in keyed_units:
+            if key in seen:
+                continue
+            seen.add(key)
+            job.point_keys.append(key)
+            self.counters["points_requested"] += 1
+            METRICS.inc("serve.points_requested")
+            state = self._points.get(key)
+            if state is None:
+                state = PointState(key=key, unit=unit)
+                self._points[key] = state
+                fresh.append((key, unit))
+            else:
+                # Coalesced: the point is already queued, running or
+                # freshly completed under another job.
+                job.coalesced += 1
+                self.counters["points_coalesced"] += 1
+                METRICS.inc("serve.points_coalesced")
+            if not state.done:
+                state.waiters.add(job.id)
+                job.remaining += 1
+            else:
+                state.waiters.add(job.id)  # keep payload pinned for finalize
+        for start in range(0, len(fresh), self.config.slab_size):
+            piece = fresh[start : start + self.config.slab_size]
+            self._slab_seq += 1
+            slab = Slab(
+                id=self._slab_seq,
+                job_id=job.id,
+                client=job.client,
+                priority=job.priority,
+                point_keys=tuple(key for key, _ in piece),
+            )
+            self._slabs[slab.id] = slab
+            job.open_slabs.add(slab.id)
+            self._scheduler.submit(slab)
+
+    def _sweep_grid_keys(self, job: Job, keyed_units) -> Dict[str, Any]:
+        """(design, thread count) -> content keys in mix order, for means."""
+        grid: Dict[str, Dict[str, List[str]]] = {}
+        index = 0
+        designs = job.params["designs"]
+        counts = list(range(1, job.params["max_threads"] + 1))
+        kind = job.params["kind"]
+        per_count = {n: self.study.mixes(kind, n) for n in counts}
+        for name in designs:
+            grid[name] = {}
+            for n in counts:
+                keys = []
+                for _mix in per_count[n]:
+                    keys.append(keyed_units[index][0])
+                    index += 1
+                grid[name][str(n)] = keys
+        return grid
+
+    def _submit_figure(self, job: Job) -> None:
+        from repro.cli import _figure_registry
+
+        registry = _figure_registry()
+        figure_id = job.params["id"]
+        if figure_id not in registry:
+            raise ValueError(
+                f"unknown experiment {figure_id!r}; try: {', '.join(registry)}"
+            )
+        self._slab_seq += 1
+        slab = Slab(
+            id=self._slab_seq,
+            job_id=job.id,
+            client=job.client,
+            priority=job.priority,
+            figure=dict(job.params),
+        )
+        self._slabs[slab.id] = slab
+        job.open_slabs.add(slab.id)
+        job.remaining = 1
+        self._scheduler.submit(slab)
+
+    # ------------------------------------------------------------------ #
+    # dispatch                                                            #
+    # ------------------------------------------------------------------ #
+
+    async def _dispatch_loop(self) -> None:
+        while True:
+            await self._work_available.wait()
+            await self._dispatch_enabled.wait()
+            slab = self._scheduler.next_slab()
+            if slab is None:
+                self._work_available.clear()
+                self._maybe_stop()
+                continue
+            job = self._jobs.get(slab.job_id)
+            if job is not None and job.state == QUEUED:
+                job.state = RUNNING
+                job.started_at = time.time()
+            self.counters["slabs_dispatched"] += 1
+            METRICS.inc("serve.slabs_dispatched")
+            started = time.perf_counter()
+            try:
+                if slab.figure is not None:
+                    outcome = await self.loop.run_in_executor(
+                        self._dispatch_pool, self._render_figure, slab.figure
+                    )
+                    self._complete_figure_slab(slab, outcome, None)
+                else:
+                    units = [
+                        self._points[key].unit for key in slab.point_keys
+                    ]
+                    results = await self.loop.run_in_executor(
+                        self._dispatch_pool, self._evaluate_units, units
+                    )
+                    self._complete_point_slab(slab, results)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # dispatcher must never die
+                _LOG.error(
+                    f"serve: slab {slab.id} failed: {type(exc).__name__}: {exc}"
+                )
+                if slab.figure is not None:
+                    self._complete_figure_slab(
+                        slab, None, f"{type(exc).__name__}: {exc}"
+                    )
+                else:
+                    self._fail_point_slab(slab, f"{type(exc).__name__}: {exc}")
+            seconds = time.perf_counter() - started
+            for promoted in self._scheduler.complete(slab):
+                del promoted  # admission only; dispatch picks them up
+            self._slabs.pop(slab.id, None)
+            self._emit_slab_events(slab, seconds)
+            self._maybe_stop()
+
+    def _evaluate_units(self, units) -> List[Any]:
+        """Dispatcher-thread body: one engine call for one slab."""
+        with TRACER.span("serve.slab", cat="serve", units=len(units)):
+            return self.engine.evaluate(units, on_failure="return")
+
+    def _render_figure(self, params: Dict[str, Any]) -> List[Dict[str, str]]:
+        """Dispatcher-thread body: regenerate one figure through the engine."""
+        from repro.cli import _figure_registry
+
+        with TRACER.span("serve.figure", cat="serve", figure=params["id"]):
+            tables = _figure_registry()[params["id"]]()
+        return [
+            {"formatted": t.formatted(), "json": t.to_json()} for t in tables
+        ]
+
+    # ------------------------------------------------------------------ #
+    # completion                                                          #
+    # ------------------------------------------------------------------ #
+
+    def _complete_point_slab(self, slab: Slab, results: List[Any]) -> None:
+        from repro.engine.tasks import UnitFailure, payload_from_result
+
+        for key, value in zip(slab.point_keys, results):
+            state = self._points.get(key)
+            if state is None or state.done:
+                continue
+            state.done = True
+            if isinstance(value, UnitFailure):
+                state.error = value.as_dict()
+            else:
+                state.payload = payload_from_result(value)
+            self._resolve_point(state)
+
+    def _fail_point_slab(self, slab: Slab, message: str) -> None:
+        for key in slab.point_keys:
+            state = self._points.get(key)
+            if state is None or state.done:
+                continue
+            state.done = True
+            state.error = {"error_type": "DispatchError", "message": message}
+            self._resolve_point(state)
+
+    def _resolve_point(self, state: PointState) -> None:
+        for job_id in list(state.waiters):
+            job = self._jobs.get(job_id)
+            if job is None or job.state in TERMINAL_STATES:
+                state.waiters.discard(job_id)
+                continue
+            job.remaining -= 1
+            if job.remaining == 0:
+                self._finalize_job(job)
+        if not state.waiters:
+            self._points.pop(state.key, None)
+
+    def _complete_figure_slab(
+        self, slab: Slab, outcome: Optional[List[Dict[str, str]]], error: Optional[str]
+    ) -> None:
+        job = self._jobs.get(slab.job_id)
+        if job is None or job.state in TERMINAL_STATES:
+            return
+        job.remaining = 0
+        if error is not None:
+            job.error = error
+        else:
+            job.result = {"tables": outcome}
+        self._finalize_job(job)
+
+    def _finalize_job(self, job: Job) -> None:
+        """Assemble the job result and mark it terminal."""
+        if job.state in TERMINAL_STATES:
+            return
+        if job.kind != "figure":
+            errors = []
+            payloads: Dict[str, Dict[str, Any]] = {}
+            for key in job.point_keys:
+                state = self._points.get(key)
+                if state is None:
+                    errors.append({"message": f"point {key[:12]} lost"})
+                elif state.error is not None:
+                    errors.append(state.error)
+                else:
+                    payloads[key] = state.payload
+            if errors:
+                first = errors[0]
+                job.error = (
+                    f"{len(errors)} point(s) failed; first: "
+                    f"{first.get('error_type', '?')}: {first.get('message', '?')}"
+                )
+            else:
+                job.result = self._assemble_result(job, payloads)
+        job.finished_at = time.time()
+        job.state = FAILED if job.error is not None else DONE
+        counter = "jobs_failed" if job.error is not None else "jobs_completed"
+        self.counters[counter] += 1
+        METRICS.inc(f"serve.{counter}")
+        self.finished_order.append(job.id)
+        self._release_points(job)
+        event = self._done_events.get(job.id)
+        if event is not None:
+            event.set()
+        self._push_stream_event(job, self._final_event(job, None))
+        self._maybe_stop()
+
+    def _assemble_result(
+        self, job: Job, payloads: Dict[str, Dict[str, Any]]
+    ) -> Dict[str, Any]:
+        if job.kind == "point":
+            return {"point": payloads[job.point_keys[0]]}
+        # Sweep: reduce point STPs to the per-(design, count) harmonic
+        # means through the same helper the local study uses, in the same
+        # order, so the resulting floats are bit-identical.
+        from repro.core.metrics import harmonic_mean
+
+        grid_keys = job.params["_grid_keys"]
+        mean_stp: Dict[str, Dict[str, float]] = {}
+        for design, by_count in grid_keys.items():
+            mean_stp[design] = {}
+            for count, keys in by_count.items():
+                mean_stp[design][count] = harmonic_mean(
+                    [payloads[key]["stp"] for key in keys]
+                )
+        return {
+            "designs": job.params["designs"],
+            "kind": job.params["kind"],
+            "max_threads": job.params["max_threads"],
+            "smt": bool(job.params.get("smt", True)),
+            "mean_stp": mean_stp,
+        }
+
+    def _release_points(self, job: Job) -> None:
+        for key in job.point_keys:
+            state = self._points.get(key)
+            if state is None:
+                continue
+            state.waiters.discard(job.id)
+            if state.done and not state.waiters:
+                self._points.pop(key, None)
+
+    def _cancel_job(self, job: Job) -> None:
+        job.state = CANCELLED
+        job.finished_at = time.time()
+        self.counters["jobs_cancelled"] += 1
+        METRICS.inc("serve.jobs_cancelled")
+        self.finished_order.append(job.id)
+
+        def droppable(slab: Slab) -> bool:
+            if slab.job_id != job.id:
+                return False
+            if slab.figure is not None:
+                return True
+            # Keep the slab if any of its points still feeds another job.
+            for key in slab.point_keys:
+                state = self._points.get(key)
+                if state is not None and state.waiters - {job.id}:
+                    return False
+            return True
+
+        for slab in self._scheduler.discard_queued(droppable):
+            job.open_slabs.discard(slab.id)
+            self._slabs.pop(slab.id, None)
+            for key in slab.point_keys:
+                state = self._points.get(key)
+                if state is not None and not state.done:
+                    self._points.pop(key, None)
+        self._release_points(job)
+        event = self._done_events.get(job.id)
+        if event is not None:
+            event.set()
+        self._push_stream_event(job, self._final_event(job, None))
+        self._maybe_stop()
+
+    # ------------------------------------------------------------------ #
+    # streaming                                                           #
+    # ------------------------------------------------------------------ #
+
+    def _emit_slab_events(self, slab: Slab, seconds: float) -> None:
+        """Per-slab progress events for every job that shares its points."""
+        touched = set()
+        if slab.figure is None:
+            for key in slab.point_keys:
+                state = self._points.get(key)
+                if state is not None:
+                    touched.update(state.waiters)
+        touched.add(slab.job_id)
+        for job_id in touched:
+            job = self._jobs.get(job_id)
+            if job is None or job.state in TERMINAL_STATES:
+                continue
+            job.open_slabs.discard(slab.id)
+            self._push_stream_event(
+                job,
+                protocol.ok(
+                    None,
+                    event="slab",
+                    job=job.id,
+                    state=job.state,
+                    done=job.done_points,
+                    total=job.total_points,
+                    slab_seconds=round(seconds, 6),
+                ),
+            )
+
+    def _final_event(self, job: Job, seq: Optional[int]) -> Dict[str, Any]:
+        event_name = {DONE: "done", FAILED: "failed", CANCELLED: "cancelled"}[
+            job.state
+        ]
+        event = protocol.ok(seq, event=event_name, final=True, **job.status_dict())
+        return event
+
+    def _push_stream_event(self, job: Job, event: Dict[str, Any]) -> None:
+        for queue in self._streams.get(job.id, []):
+            queue.put_nowait(dict(event))
+
+    # ------------------------------------------------------------------ #
+    # stats                                                               #
+    # ------------------------------------------------------------------ #
+
+    def stats_dict(self) -> Dict[str, Any]:
+        states: Dict[str, int] = {}
+        for job in self._jobs.values():
+            states[job.state] = states.get(job.state, 0) + 1
+        out = {
+            "version": protocol.PROTOCOL_VERSION,
+            "address": self.bound_address,
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "draining": self.draining,
+            "jobs": states,
+            "counters": dict(self.counters),
+            "queue": self._scheduler.queue_dict(),
+            "engine": self.engine.stats.as_dict(),
+            "store": (
+                self.engine.store.status_dict()
+                if self.engine.store is not None
+                else None
+            ),
+        }
+        return out
+
+
+class ServerHandle:
+    """A server running on a background thread (tests and benchmarks).
+
+    The daemon normally owns the process (``SweepServer.run``); tests and
+    the bench harness instead need it beside them.  The handle runs
+    ``_main`` on a private thread, waits for the listening socket, and
+    exposes thread-safe pause/resume/stop plus direct access to the
+    server object for white-box assertions.
+    """
+
+    def __init__(self, config: ServeConfig):
+        self.server = SweepServer(config, install_signals=False)
+        self._thread = threading.Thread(
+            target=self.server.run, name="serve-thread", daemon=True
+        )
+
+    def __enter__(self) -> "ServerHandle":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def start(self, timeout: float = 30.0) -> "ServerHandle":
+        self._thread.start()
+        if not self.server.ready.wait(timeout):
+            raise RuntimeError("serve thread did not come up in time")
+        return self
+
+    @property
+    def address(self) -> str:
+        return self.server.bound_address
+
+    def pause(self) -> None:
+        self.server.pause_dispatch()
+
+    def resume(self) -> None:
+        self.server.resume_dispatch()
+
+    def stop(self, timeout: float = 60.0) -> None:
+        if self._thread.is_alive():
+            try:
+                self.server.loop.call_soon_threadsafe(self.server.begin_drain)
+            except RuntimeError:
+                pass  # loop already closed (server drained on its own)
+            self._thread.join(timeout)
+        if self._thread.is_alive():  # pragma: no cover - watchdog path
+            raise RuntimeError("serve thread did not drain in time")

@@ -90,6 +90,26 @@ class TestContentKeys:
         assert proc.returncode == 0, proc.stderr
         assert proc.stdout.strip() == unit().content_key
 
+    def test_numpy_scalars_key_like_python_scalars(self):
+        """np.float64 subclasses float, so without an explicit unwrap it
+        would canonicalize via ``repr`` to ``np.float64(x)`` — diverging
+        the key for identical configs between vector and scalar paths."""
+        np = pytest.importorskip("numpy")
+        from repro.engine.keys import canonicalize
+
+        assert canonicalize(np.float64(1.5)) == canonicalize(1.5)
+        assert canonicalize(np.float32(2.0)) == canonicalize(2.0)
+        assert canonicalize(np.int64(3)) == canonicalize(3)
+        assert canonicalize(np.bool_(True)) == canonicalize(True)
+        assert "np." not in canonicalize({"x": np.float64(0.25)})
+
+    def test_numpy_arrays_key_like_lists(self):
+        np = pytest.importorskip("numpy")
+        from repro.engine.keys import canonicalize
+
+        assert canonicalize(np.array([1.0, 2.5])) == canonicalize([1.0, 2.5])
+        assert canonicalize(np.arange(3)) == canonicalize([0, 1, 2])
+
     def test_unsupported_type_rejected(self):
         with pytest.raises(TypeError, match="canonicalize"):
             content_key({"bad": object()})
@@ -260,6 +280,73 @@ class TestResultStore:
         summary = store.read_run_summary()
         assert summary["units_total"] == 1
         assert summary["store"]["writes"] == 1
+
+
+class TestSqliteBackend:
+    def test_round_trip(self, tmp_path, study):
+        store = ResultStore(tmp_path, backend="sqlite")
+        result = study.evaluate_mix("4B", list(MIX))
+        key = unit().content_key
+        store.put(key, payload_from_result(result))
+        assert result_from_payload(store.get(key)) == result
+        assert store.stats.writes == 1 and store.stats.hits == 1
+        assert store.content_summary()["backend"] == "sqlite"
+        store.close()
+
+    def test_backends_are_interchangeable_for_the_engine(self, tmp_path):
+        """Same units, either backend: identical payloads come back."""
+        u = unit()
+        dir_store = ResultStore(tmp_path / "dir", backend="dir")
+        (first,) = Engine(jobs=1, store=dir_store).evaluate([u])
+        sqlite_store = ResultStore(tmp_path / "sql", backend="sqlite")
+        (second,) = Engine(jobs=1, store=sqlite_store).evaluate([u])
+        assert first == second
+        assert dir_store.get(u.content_key) == sqlite_store.get(u.content_key)
+        sqlite_store.close()
+
+    def test_second_run_hits_sqlite_store(self, tmp_path):
+        store = ResultStore(tmp_path, backend="sqlite")
+        units = [unit(), unit(smt=False)]
+        Engine(jobs=1, store=store).evaluate(units)
+        engine = Engine(jobs=1, store=ResultStore(tmp_path, backend="sqlite"))
+        engine.evaluate(units)
+        assert engine.stats.store_hits == 2
+        assert engine.stats.units_computed == 0
+
+    def test_clear_and_prune(self, tmp_path):
+        store = ResultStore(tmp_path, backend="sqlite")
+        units = [unit(mix=(b,)) for b in ("mcf", "tonto", "hmmer")]
+        Engine(jobs=1, store=store).evaluate(units)
+        assert store.content_summary()["records"] == 3
+        assert store.prune(max_records=1) == 2
+        assert store.content_summary()["records"] == 1
+        assert store.clear() == 1
+        assert store.content_summary()["records"] == 0
+
+    def test_corrupt_record_recovers(self, tmp_path):
+        store = ResultStore(tmp_path, backend="sqlite")
+        engine = Engine(jobs=1, store=store)
+        u = unit()
+        (first,) = engine.evaluate([u])
+        store.backend.write_record(u.content_key, "{ this is not json")
+        (again,) = engine.evaluate([u])
+        assert again == first
+        assert store.stats.corrupt == 1
+        assert result_from_payload(store.get(u.content_key)) == first
+
+    def test_records_shard_across_databases(self, tmp_path):
+        store = ResultStore(tmp_path, backend="sqlite")
+        units = [unit(mix=(b,)) for b in ("mcf", "tonto", "hmmer", "lbm")]
+        Engine(jobs=1, store=store).evaluate(units)
+        shards = {store.backend.shard_of(u.content_key) for u in units}
+        present = list(store.backend._shards_present())
+        assert sorted(shards) == sorted(present)
+        summary = store.content_summary()
+        assert summary["sqlite_shards"] == len(present)
+
+    def test_unknown_backend_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown store backend"):
+            ResultStore(tmp_path, backend="postgres")
 
 
 class TestEngineCaching:

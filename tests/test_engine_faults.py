@@ -226,6 +226,47 @@ class TestUnitTimeout:
         ParallelExecutor(jobs=1, unit_timeout=0.2).map([unit(mix=("mcf",))])
         assert signal.getitimer(signal.ITIMER_REAL) == (0.0, 0.0)
 
+    def test_off_main_thread_degrades_to_no_timeout(self):
+        """SIGALRM can only arm on the main thread; elsewhere the timeout
+        must degrade to a structured warning, not crash the dispatch.
+
+        Regression test for the serve daemon, whose dispatcher thread runs
+        serial engine evaluation: ``signal.setitimer`` from a non-main
+        thread raises ValueError and used to take the whole batch down.
+        """
+        import threading
+
+        from repro.engine import executor as executor_module
+        from repro.obs import METRICS, reset_observability
+
+        executor_module._TIMEOUT_FALLBACK_WARNED = False
+        METRICS.reset()
+        METRICS.enable()
+        outcomes = []
+        errors = []
+
+        def run():
+            try:
+                outcomes.extend(
+                    ParallelExecutor(jobs=1, unit_timeout=0.2).map(
+                        [unit(mix=("mcf",))]
+                    )
+                )
+            except BaseException as exc:  # pragma: no cover - the regression
+                errors.append(exc)
+
+        try:
+            thread = threading.Thread(target=run)
+            thread.start()
+            thread.join(timeout=60)
+            assert not errors
+            (outcome,) = outcomes
+            assert outcome.ok  # ran to completion, just without a budget
+            assert METRICS.snapshot()["counters"]["engine.timeout_fallbacks"] == 1
+        finally:
+            reset_observability()
+            executor_module._TIMEOUT_FALLBACK_WARNED = False
+
 
 class TestStoreDegradation:
     def test_cache_dir_that_is_a_file_degrades(self, tmp_path):
