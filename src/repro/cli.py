@@ -326,6 +326,8 @@ def _cmd_sweep_remote(args: argparse.Namespace, designs: "Sequence[str]") -> int
     progress = ProgressLine("sweep", enabled=args.progress)
 
     def on_progress(event):
+        if event.get("final"):
+            return  # terminal events carry done_points, not done
         if event.get("event") == "progress":
             progress.begin(event.get("total") or 0)
         progress.update(event.get("done") or 0)
@@ -501,6 +503,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.quota < 1:
         _LOG.error(f"error: --quota must be >= 1, got {args.quota}")
         return 2
+    if args.max_finished_jobs < 0:
+        _LOG.error(
+            f"error: --max-finished-jobs must be >= 0, got {args.max_finished_jobs}"
+        )
+        return 2
     config = ServeConfig(
         listen=listen,
         jobs=args.jobs,
@@ -511,6 +518,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         unit_timeout=args.unit_timeout,
         slab_size=args.slab_size,
         quota=args.quota,
+        max_finished_jobs=args.max_finished_jobs,
     )
     _obs_begin(args)
     try:
@@ -870,6 +878,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="max slabs admitted per client at once; the rest queue "
         "fairly (default: 4)",
+    )
+    p_serve.add_argument(
+        "--max-finished-jobs",
+        type=int,
+        default=512,
+        metavar="N",
+        help="terminal jobs kept for poll/wait before eviction; 0 keeps "
+        "all (default: 512)",
     )
     p_serve.add_argument(
         "--cache-dir",

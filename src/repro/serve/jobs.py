@@ -75,6 +75,11 @@ class Job:
 
     @property
     def total_points(self) -> int:
+        # A figure job has no grid points; its one opaque task counts as
+        # a single unit so done/total reads 0/1 while running, 1/1 done
+        # (rather than done_points going negative from remaining == 1).
+        if self.kind == "figure":
+            return 1
         return len(self.point_keys)
 
     @property
@@ -198,18 +203,24 @@ class SlabScheduler:
     def discard_queued(self, should_drop) -> List[Slab]:
         """Remove queued (not dispatched) slabs for which ``should_drop``
         returns True; returns what was removed.  In-flight slabs are
-        untouched — cancellation acts at slab granularity."""
-        dropped: List[Slab] = []
+        untouched — cancellation acts at slab granularity.
+
+        Order matters here: ``_release`` may promote a backlog slab onto
+        the ready heap, so the ready queue is partitioned *before* any
+        release (never heappush into a list mid-iteration) and backlogs
+        are filtered *before* any promotion (a dropped backlog slab must
+        never be admitted)."""
+        dropped_admitted: List[Slab] = []
         kept: List[Tuple[int, int, int, Slab]] = []
         for entry in self._ready:
             if should_drop(entry[3]):
-                dropped.append(entry[3])
-                self._release(entry[3].client)
+                dropped_admitted.append(entry[3])
             else:
                 kept.append(entry)
-        if dropped:
+        if dropped_admitted:
             heapq.heapify(kept)
             self._ready = kept
+        dropped: List[Slab] = []
         for client in list(self._backlog):
             backlog = self._backlog[client]
             remaining = [s for s in backlog if not should_drop(s)]
@@ -218,6 +229,9 @@ class SlabScheduler:
                 self._backlog[client] = remaining
             else:
                 del self._backlog[client]
+        for slab in dropped_admitted:
+            self._release(slab.client)
+        dropped.extend(dropped_admitted)
         return dropped
 
     # -- introspection -------------------------------------------------- #

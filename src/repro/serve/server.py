@@ -67,6 +67,9 @@ DEFAULT_SLAB_SIZE = 32
 #: Default per-client admission quota (slabs admitted at once).
 DEFAULT_QUOTA = 4
 
+#: Default number of terminal jobs kept for poll/wait before eviction.
+DEFAULT_MAX_FINISHED_JOBS = 512
+
 
 @dataclass
 class ServeConfig:
@@ -82,6 +85,9 @@ class ServeConfig:
     unit_timeout: Optional[float] = None
     slab_size: int = DEFAULT_SLAB_SIZE
     quota: int = DEFAULT_QUOTA
+    #: Terminal jobs retained for poll/wait; older ones are evicted so a
+    #: long-lived daemon's job table stays bounded.
+    max_finished_jobs: int = DEFAULT_MAX_FINISHED_JOBS
 
 
 class SweepServer:
@@ -817,7 +823,7 @@ class SweepServer:
         counter = "jobs_failed" if job.error is not None else "jobs_completed"
         self.counters[counter] += 1
         METRICS.inc(f"serve.{counter}")
-        self.finished_order.append(job.id)
+        self._record_finished(job)
         self._release_points(job)
         event = self._done_events.get(job.id)
         if event is not None:
@@ -851,6 +857,24 @@ class SweepServer:
             "mean_stp": mean_stp,
         }
 
+    def _record_finished(self, job: Job) -> None:
+        """Append to the terminal-job history, evicting beyond the cap.
+
+        The daemon runs indefinitely; without eviction ``_jobs`` and
+        ``_done_events`` grow without bound.  Only terminal jobs ever
+        enter ``finished_order`` and jobs never leave a terminal state,
+        so evicting the oldest entries is safe — their final stream
+        event was already delivered, and a later poll/wait for an
+        evicted id gets a structured ``unknown job`` error.
+        """
+        self.finished_order.append(job.id)
+        limit = self.config.max_finished_jobs
+        while len(self.finished_order) > limit > 0:
+            old_id = self.finished_order.pop(0)
+            self._jobs.pop(old_id, None)
+            self._done_events.pop(old_id, None)
+            self._streams.pop(old_id, None)
+
     def _release_points(self, job: Job) -> None:
         for key in job.point_keys:
             state = self._points.get(key)
@@ -865,7 +889,7 @@ class SweepServer:
         job.finished_at = time.time()
         self.counters["jobs_cancelled"] += 1
         METRICS.inc("serve.jobs_cancelled")
-        self.finished_order.append(job.id)
+        self._record_finished(job)
 
         def droppable(slab: Slab) -> bool:
             if slab.job_id != job.id:

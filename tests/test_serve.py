@@ -153,6 +153,41 @@ class TestSlabScheduler:
         # quota slot was released: a new slab is admitted immediately
         assert scheduler.submit(slab(3)) is True
 
+    def test_discard_with_backlog_does_not_corrupt_ready_heap(self):
+        """Regression: dropping an admitted slab used to _release (and
+        possibly promote a backlog slab onto the heap) while iterating
+        the heap — the sift-up could swap a dropped client's promoted
+        slab into an already-visited index, double-releasing one slab
+        and silently losing another.  The backlogged slab here is
+        *interactive* so its promotion sifts to the heap root."""
+        scheduler = SlabScheduler(quota=1)
+        scheduler.submit(slab(1, client="a", priority=10))
+        scheduler.submit(slab(2, client="a", priority=0))  # backlogged
+        scheduler.submit(slab(3, client="b", priority=10))
+        scheduler.submit(slab(4, client="c", priority=10))
+        dropped = scheduler.discard_queued(lambda s: s.client == "a")
+        # Exactly a's two slabs dropped — each once, none lost.
+        assert sorted(s.id for s in dropped) == [1, 2]
+        assert scheduler.backlog_count == 0
+        survivors = []
+        while (nxt := scheduler.next_slab()) is not None:
+            survivors.append(nxt.id)
+        assert sorted(survivors) == [3, 4]
+        # a's quota slot was released exactly once: admitted again now.
+        assert scheduler.submit(slab(5, client="a")) is True
+        assert scheduler.queue_dict()["admitted"] == {"a": 1, "b": 1, "c": 1}
+
+    def test_discard_promotes_surviving_backlog_slab(self):
+        """Cancelling one job must still promote the same client's
+        backlogged slabs that belong to other jobs."""
+        scheduler = SlabScheduler(quota=1)
+        scheduler.submit(slab(1, client="a", job="job-1"))
+        scheduler.submit(slab(2, client="a", job="job-2"))  # backlogged
+        dropped = scheduler.discard_queued(lambda s: s.job_id == "job-1")
+        assert [s.id for s in dropped] == [1]
+        assert scheduler.ready_count == 1 and scheduler.backlog_count == 0
+        assert scheduler.next_slab().id == 2
+
     def test_rejects_nonpositive_quota(self):
         with pytest.raises(ValueError):
             SlabScheduler(quota=0)
@@ -260,6 +295,41 @@ class TestServeDaemon:
                 status = client.wait(job)
                 assert status["state"] == "done"
                 assert status["done_points"] == status["total_points"]
+
+    def test_terminal_jobs_are_evicted_beyond_cap(self, tmp_path):
+        """Regression: a long-lived daemon must not retain every finished
+        job — _jobs/_done_events/finished_order are capped."""
+        with make_handle(tmp_path, max_finished_jobs=2) as handle:
+            with ServeClient(handle.address) as client:
+                jobs = []
+                for mix in (["mcf"], ["tonto"], ["mcf", "mcf"]):
+                    job = client.submit("point", {"design": DESIGN, "mix": mix})
+                    client.wait(job)
+                    jobs.append(job)
+                server = handle.server
+                assert server.finished_order == jobs[1:]
+                assert jobs[0] not in server._jobs
+                assert jobs[0] not in server._done_events
+                # The evicted job polls as a structured unknown-job error;
+                # recent ones still answer.
+                with pytest.raises(ServeError) as excinfo:
+                    client.poll(jobs[0])
+                assert excinfo.value.code == protocol.E_UNKNOWN_JOB
+                assert client.poll(jobs[2])["state"] == "done"
+
+    def test_running_figure_reports_zero_of_one_points(self, tmp_path):
+        """Regression: a queued/running figure job used to report
+        done_points == -1 (remaining=1 with no point keys)."""
+        with make_handle(tmp_path) as handle:
+            handle.pause()
+            with ServeClient(handle.address) as client:
+                job = client.submit("figure", {"id": "fig03"})
+                status = client.poll(job)
+                assert status["total_points"] == 1
+                assert status["done_points"] == 0
+                handle.resume()
+                done = client.wait(job)
+                assert done["done_points"] == done["total_points"] == 1
 
     def test_stream_emits_slab_progress_then_final(self, tmp_path):
         with make_handle(tmp_path, slab_size=4) as handle:
@@ -423,6 +493,16 @@ class TestServerByteIdentity:
         assert local_keys == server_keys and local_keys
         for key in sorted(local_keys):
             assert server_store.get(key) == local_store.get(key)
+
+    def test_progress_stream_path_matches_plain_output(
+        self, capsys, tmp_path, handle
+    ):
+        """``--progress`` rides the stream op (not wait); the final event
+        carries done_points, not done — it must not disturb the result
+        or the progress state (regression)."""
+        local = self._local(capsys, tmp_path)
+        remote = self._remote(capsys, handle, extra=["--progress"])
+        assert remote == local
 
     def test_figure_output_is_byte_identical(self, capsys, handle):
         assert cli_main(["figure", "fig03"]) == 0
