@@ -34,10 +34,17 @@ from repro.core.distributions import (
 )
 from repro.core.dynamic import IdealDynamicMulticore
 from repro.core.multithreaded import MultithreadedModel, MultithreadedResult, speedup
-from repro.core.timeline import ThreadCountTimeline, simulate_job_arrivals
+from repro.core.timeline import (
+    ArrivalSimulation,
+    ThreadCountTimeline,
+    simulate_arrival_process,
+    simulate_job_arrivals,
+)
 from repro.core.metrics import antt, energy_delay_product, harmonic_mean, stp
+from repro.core.scenarios import SCENARIOS, Scenario, get_scenario, scenario_names
 from repro.core.scheduler import Scheduler, big_core_affinity, optimize_coschedule
 from repro.core.study import DesignSpaceStudy, MixResult
+from repro.explore import ExploreConfig, run_explore
 from repro.engine import Engine, EngineStats, ResultStore, WorkUnit
 from repro.interval.contention import (
     ChipModel,
@@ -133,7 +140,16 @@ __all__ = [
     "datacenter",
     "mirrored_datacenter",
     "ThreadCountTimeline",
+    "ArrivalSimulation",
     "simulate_job_arrivals",
+    "simulate_arrival_process",
+    # scenarios / adaptive exploration
+    "Scenario",
+    "SCENARIOS",
+    "get_scenario",
+    "scenario_names",
+    "ExploreConfig",
+    "run_explore",
     # multithreaded workloads
     "MultithreadedModel",
     "MultithreadedResult",

@@ -11,6 +11,9 @@ Commands:
   optionally through the evaluation engine (``--jobs``, ``--cache-dir``);
 * ``sweep`` — evaluate a design-space grid through the parallel engine
   with the persistent result store (``--jobs N --cache-dir PATH``);
+* ``list-scenarios`` / ``explore --scenario <name>`` — adaptive design
+  search (successive halving, optional GA refinement) on a named
+  thread-count scenario, at a fraction of the full-grid cost;
 * ``cache stats`` / ``cache clear`` — inspect or empty the result store;
 * ``findings`` — evaluate the paper's eleven findings;
 * ``validate`` — cross-validate the interval tier against the cycle tier.
@@ -399,6 +402,146 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                     for name in designs
                 },
             )
+        print(table.to_json() if args.json else table.formatted())
+        _finish_engine(engine)
+        return 0
+    finally:
+        _obs_finish(args)
+
+
+def _cmd_list_scenarios(_args: argparse.Namespace) -> int:
+    from repro.core.scenarios import SCENARIOS
+
+    width = max(len(name) for name in SCENARIOS)
+    for name, scenario in SCENARIOS.items():
+        print(f"{name.ljust(width)}  {scenario.description}")
+    return 0
+
+
+def _explore_table(result: Dict) -> ExperimentTable:
+    """Render one exploration summary as an experiment table.
+
+    A pure function of the JSON-safe result dict, so local and
+    ``--server`` runs print byte-identical output.
+    """
+    table = ExperimentTable(
+        experiment_id="explore",
+        title=f"adaptive design search, scenario '{result['scenario']}', "
+        f"{result['kind']} workloads, SMT "
+        f"{'on' if result['smt'] else 'off'}",
+        columns=["rung", "designs", "threads", "mixes", "points", "cumulative", "best"],
+    )
+    for rung in result["rungs"]:
+        table.add_row(
+            rung=rung["rung"],
+            designs=len(rung["designs"]),
+            threads=rung["thread_counts"],
+            mixes=rung["mixes_per_count"],
+            points=rung["new_points"],
+            cumulative=rung["cumulative_points"],
+            best=rung["kept"][0],
+        )
+    ranking = " > ".join(
+        f"{entry['design']} {entry['score']:.4f}" for entry in result["ranking"]
+    )
+    table.notes.append(f"final rung ranking: {ranking}")
+    if result["tie_escalated"]:
+        table.notes.append(
+            "near-tie between finalists resolved at full fidelity"
+        )
+    ga = result.get("ga")
+    if ga:
+        evaluated = ", ".join(
+            f"{entry['design']} {entry['score']:.4f}"
+            for entry in ga["evaluated"]
+        )
+        table.notes.append(
+            f"GA refinement ({ga['rounds']} round(s)): {evaluated or 'budget exhausted'}"
+        )
+    table.notes.append(
+        f"winner: {result['winner']} "
+        f"(score {result['winner_score']:.4f} on {result['distribution']})"
+    )
+    table.notes.append(
+        f"evaluated {result['evaluations']} of {result['full_grid_points']} "
+        f"full-grid points ({result['fraction']:.1%})"
+    )
+    return table
+
+
+def _cmd_explore_remote(args: argparse.Namespace, params: Dict) -> int:
+    """``explore --server``: the daemon runs the search on its warm study.
+
+    Stdout is byte-identical to a local run: the table is rebuilt from
+    the JSON-round-tripped summary with the identical layout code.
+    """
+    from repro.serve import ServeClient, ServeConnectionError, ServeError
+
+    try:
+        with ServeClient(args.server, client_name="cli-explore") as client:
+            result = client.explore(params)
+    except (ServeError, ServeConnectionError) as exc:
+        _LOG.error(f"error: {exc}")
+        return 2
+    table = _explore_table(result)
+    print(table.to_json() if args.json else table.formatted())
+    return 0
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    from repro.core.scenarios import get_scenario
+    from repro.explore import ExploreConfig, run_explore
+
+    if args.design.strip().lower() == "all":
+        designs: Sequence[str] = DESIGN_ORDER
+    else:
+        designs = [d.strip() for d in args.design.split(",") if d.strip()]
+    if not designs:
+        _LOG.error("error: --design needs at least one design name")
+        return 2
+    try:
+        get_scenario(args.scenario)
+    except ValueError as exc:
+        _LOG.error(f"error: {exc}")
+        return 2
+    params = {
+        "scenario": args.scenario,
+        "designs": tuple(designs),
+        "kind": args.kind,
+        "max_threads": args.max_threads,
+        "smt": not args.no_smt,
+        "seed": args.seed,
+        "eta": args.eta,
+        "min_counts": args.min_counts,
+        "min_mixes": args.min_mixes,
+        "budget_fraction": args.budget,
+        "ga_rounds": args.ga,
+    }
+    try:
+        config = ExploreConfig(**params)
+    except ValueError as exc:
+        _LOG.error(f"error: {exc}")
+        return 2
+    if args.server:
+        params["designs"] = list(designs)
+        return _cmd_explore_remote(args, params)
+    engine = _build_engine(
+        args.jobs, args.cache_dir, args.no_cache,
+        retries=args.retries, unit_timeout=args.unit_timeout,
+        slab_size=args.slab_size, store_backend=args.store_backend,
+    )
+    engine.progress = ProgressLine("explore", enabled=args.progress)
+    try:
+        study = DesignSpaceStudy(
+            designs=[get_design(name) for name in designs], engine=engine
+        )
+    except KeyError as exc:
+        _LOG.error(f"error: {exc.args[0]}")
+        return 2
+    _obs_begin(args)
+    try:
+        result = run_explore(config, study=study)
+        table = _explore_table(result)
         print(table.to_json() if args.json else table.formatted())
         _finish_engine(engine)
         return 0
@@ -825,6 +968,108 @@ def build_parser() -> argparse.ArgumentParser:
     _add_server_flag(p_sweep)
     p_sweep.add_argument("--json", action="store_true", help="machine-readable output")
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    sub.add_parser(
+        "list-scenarios", help="show the thread-count scenario catalog"
+    ).set_defaults(func=_cmd_list_scenarios)
+
+    p_explore = sub.add_parser(
+        "explore",
+        help="adaptive design search on a scenario (successive halving)",
+    )
+    p_explore.add_argument(
+        "--scenario",
+        required=True,
+        help="scenario name (see 'repro list-scenarios')",
+    )
+    p_explore.add_argument(
+        "--design",
+        default="all",
+        help="comma-separated candidate design names, or 'all' (default)",
+    )
+    p_explore.add_argument(
+        "--kind",
+        default="heterogeneous",
+        choices=("homogeneous", "heterogeneous"),
+    )
+    p_explore.add_argument("--max-threads", type=int, default=24)
+    p_explore.add_argument("--no-smt", action="store_true")
+    p_explore.add_argument(
+        "--seed",
+        type=int,
+        default=42,
+        help="seeds the scenario trace and the GA (default: 42)",
+    )
+    p_explore.add_argument(
+        "--eta",
+        type=int,
+        default=3,
+        metavar="N",
+        help="keep 1/N of the candidates per rung; fidelity grows by N "
+        "per rung (default: 3)",
+    )
+    p_explore.add_argument(
+        "--min-counts",
+        type=int,
+        default=4,
+        metavar="N",
+        help="thread counts evaluated at rung 0, most probable first "
+        "(default: 4)",
+    )
+    p_explore.add_argument(
+        "--min-mixes",
+        type=int,
+        default=3,
+        metavar="N",
+        help="mixes per thread count at rung 0 (default: 3)",
+    )
+    p_explore.add_argument(
+        "--budget",
+        type=float,
+        default=0.2,
+        metavar="FRACTION",
+        help="evaluation ceiling as a fraction of the full grid; bounds "
+        "tie escalation and GA refinement (default: 0.2)",
+    )
+    p_explore.add_argument(
+        "--ga",
+        type=int,
+        default=0,
+        metavar="ROUNDS",
+        help="GA refinement rounds over the full power-budget composition "
+        "space, seeded by the halving winner (default: 0 = off; raise "
+        "--budget to give it room)",
+    )
+    p_explore.add_argument(
+        "--jobs", type=int, default=1, metavar="N", help="worker processes"
+    )
+    p_explore.add_argument(
+        "--slab-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="grid points per worker dispatch (default: 32 when --jobs > 1, "
+        "per-point otherwise; 0 forces per-point dispatch)",
+    )
+    p_explore.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help="persistent result store location (default: ~/.cache/repro)",
+    )
+    p_explore.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="skip the persistent store (compute everything)",
+    )
+    _add_fault_tolerance_flags(p_explore)
+    _add_obs_flags(p_explore)
+    _add_store_backend_flag(p_explore)
+    _add_server_flag(p_explore)
+    p_explore.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    p_explore.set_defaults(func=_cmd_explore)
 
     p_cache = sub.add_parser("cache", help="inspect or clear the result store")
     cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)

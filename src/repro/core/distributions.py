@@ -47,23 +47,40 @@ class ThreadCountDistribution:
             )
         return self.probabilities[thread_count - 1]
 
+    @property
+    def support(self) -> Tuple[int, ...]:
+        """Thread counts with nonzero probability, ascending."""
+        return tuple(
+            n for n in range(1, self.max_threads + 1)
+            if self.probabilities[n - 1] > 0
+        )
+
     def expectation(self, values: Dict[int, float]) -> float:
         """Expected value of a per-thread-count quantity under this distribution.
 
-        ``values`` maps every thread count 1..N to its value (e.g. the STP
-        achieved at that count).
+        ``values`` maps thread counts to their value (e.g. the STP achieved
+        at that count).  Only counts with nonzero probability are required —
+        timeline-derived distributions routinely carry zero-weight counts
+        (e.g. after clamping), and those contribute nothing to the sum.
         """
-        missing = [n for n in range(1, self.max_threads + 1) if n not in values]
+        missing = [n for n in self.support if n not in values]
         if missing:
             raise ValueError(f"values missing for thread counts {missing}")
-        return sum(
-            self.probability(n) * values[n] for n in range(1, self.max_threads + 1)
-        )
+        return sum(self.probability(n) * values[n] for n in self.support)
 
     def mirrored(self) -> "ThreadCountDistribution":
-        """The distribution mirrored around the center (P'(n) = P(N+1-n))."""
+        """The distribution mirrored around the center (P'(n) = P(N+1-n)).
+
+        Mirroring is an involution, so the name toggles a ``-mirrored``
+        suffix rather than accumulating one per application:
+        ``d.mirrored().mirrored()`` round-trips to ``d`` exactly.
+        """
+        if self.name.endswith("-mirrored"):
+            name = self.name[: -len("-mirrored")]
+        else:
+            name = f"{self.name}-mirrored"
         return ThreadCountDistribution(
-            name=f"{self.name}-mirrored",
+            name=name,
             probabilities=tuple(reversed(self.probabilities)),
         )
 

@@ -1,0 +1,266 @@
+"""Named thread-count scenarios beyond the paper's three distributions.
+
+The paper evaluates every design against three fixed thread-count
+distributions (uniform, datacenter, mirrored datacenter).  Van Stralen's
+scenario-based exploration work argues the interesting question is the
+other way around: given a *scenario* — a workload arrival pattern a
+deployment actually faces — which design wins?  This module provides a
+catalog of such scenarios, each a deterministic-per-seed arrival process
+(built on :func:`repro.core.timeline.simulate_arrival_process`) whose
+simulated timeline exports a time-weighted
+:class:`~repro.core.distributions.ThreadCountDistribution` via
+:meth:`~repro.core.timeline.ThreadCountTimeline.to_distribution`.
+
+Catalog (all scale their offered load with ``max_threads``):
+
+* ``steady`` — stationary Poisson arrivals at moderate load; the
+  Section 2.1 baseline process.
+* ``datacenter`` — a diurnal trace: sinusoidal day/night arrival rate
+  (non-homogeneous Poisson via thinning) with near-idle troughs and
+  peaks brushing capacity, the shape behind Figure 10(a).
+* ``bursty`` — self-similar on/off traffic: exponential interarrivals
+  inside bursts separated by Pareto(α=1.5) quiet gaps.
+* ``flash-crowd`` — a background trickle punctuated by rare batch
+  arrivals of many jobs at once; the queue drains through capacity.
+* ``latency-classes`` — a priority mix of frequent short interactive
+  jobs and rare long batch jobs sharing the machine.
+* ``peak-load`` — offered load above capacity: the machine sits pegged
+  near ``max_threads`` with a standing queue (the mirrored-datacenter
+  regime).
+
+Scenarios are registered in :data:`SCENARIOS`; look one up with
+:func:`get_scenario` and feed ``scenario.distribution(...)`` to
+:meth:`~repro.core.study.DesignSpaceStudy.aggregate_stp` or to the
+adaptive searcher in :mod:`repro.explore`.
+"""
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.core.distributions import ThreadCountDistribution
+from repro.core.timeline import (
+    ArrivalSimulation,
+    Sampler,
+    ThreadCountTimeline,
+    simulate_arrival_process,
+)
+from repro.util import check_positive
+
+#: Default simulation horizon (time units; service times are ~100).
+DEFAULT_HORIZON = 20_000.0
+#: Length of one simulated "day" for diurnal scenarios.
+DAY = 5_000.0
+
+#: A scenario's process factory: (max_threads,) -> (interarrival sampler,
+#: service sampler, batch-size sampler or None).
+ProcessFactory = Callable[
+    [int],
+    Tuple[Sampler, Sampler, Optional[Callable[[random.Random, float], int]]],
+]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, deterministic-per-seed thread-count scenario."""
+
+    name: str
+    description: str
+    process: ProcessFactory = field(repr=False)
+
+    def simulate(
+        self,
+        max_threads: int = 24,
+        horizon: float = DEFAULT_HORIZON,
+        seed: int = 42,
+    ) -> ArrivalSimulation:
+        """Run the arrival process; full result with idle/queue stats."""
+        check_positive("max_threads", max_threads)
+        interarrival, service, batch = self.process(max_threads)
+        return simulate_arrival_process(
+            interarrival=interarrival,
+            service=service,
+            max_threads=max_threads,
+            horizon=horizon,
+            seed=seed,
+            batch_size=batch,
+        )
+
+    def timeline(
+        self,
+        max_threads: int = 24,
+        horizon: float = DEFAULT_HORIZON,
+        seed: int = 42,
+    ) -> ThreadCountTimeline:
+        return self.simulate(max_threads, horizon, seed).timeline
+
+    def distribution(
+        self,
+        max_threads: int = 24,
+        horizon: float = DEFAULT_HORIZON,
+        seed: int = 42,
+    ) -> ThreadCountDistribution:
+        """The scenario's time-weighted distribution, named
+        ``<scenario>-<max_threads>``."""
+        return self.timeline(max_threads, horizon, seed).to_distribution(
+            max_threads=max_threads, name=f"{self.name}-{max_threads}"
+        )
+
+
+def _nonhomogeneous_poisson(
+    rate: Callable[[float], float], rate_max: float
+) -> Sampler:
+    """Interarrival sampler for a non-homogeneous Poisson process.
+
+    Standard thinning: propose candidate gaps at ``rate_max`` and accept
+    each with probability ``rate(t)/rate_max``.  ``rate`` must never
+    exceed ``rate_max``.
+    """
+
+    def sample(rng: random.Random, t: float) -> float:
+        dt = 0.0
+        while True:
+            dt += rng.expovariate(rate_max)
+            if rng.random() * rate_max < rate(t + dt):
+                return dt
+
+    return sample
+
+
+def _exponential(mean: float) -> Sampler:
+    return lambda rng, _t: rng.expovariate(1.0 / mean)
+
+
+# --------------------------------------------------------------------- #
+# Process factories
+# --------------------------------------------------------------------- #
+
+_SERVICE_MEAN = 100.0
+
+
+def _steady(max_threads: int) -> Tuple[Sampler, Sampler, None]:
+    # Offered load 0.45 * capacity: busy but rarely saturated.
+    rate = 0.45 * max_threads / _SERVICE_MEAN
+    return _exponential(1.0 / rate), _exponential(_SERVICE_MEAN), None
+
+
+def _datacenter(max_threads: int) -> Tuple[Sampler, Sampler, None]:
+    # Diurnal rate: near-idle troughs (6 % of peak) and midday peaks at
+    # ~90 % of capacity — the Barroso-Hölzle utilization shape.
+    peak = 0.9 * max_threads / _SERVICE_MEAN
+
+    def rate(t: float) -> float:
+        phase = math.sin(math.pi * ((t % DAY) / DAY))
+        return peak * (0.06 + 0.94 * phase * phase)
+
+    return (
+        _nonhomogeneous_poisson(rate, peak),
+        _exponential(_SERVICE_MEAN),
+        None,
+    )
+
+
+def _bursty(max_threads: int) -> Tuple[Sampler, Sampler, None]:
+    # On/off self-similar traffic: inside a burst, arrivals outpace
+    # capacity turnover; bursts end after ~20 jobs (geometric) and are
+    # separated by heavy-tailed Pareto(1.5) gaps.
+    burst_rate = 2.0 * max_threads / _SERVICE_MEAN
+    mean_burst_jobs = 20.0
+    gap_scale = 2.0 * _SERVICE_MEAN
+
+    def interarrival(rng: random.Random, _t: float) -> float:
+        dt = rng.expovariate(burst_rate)
+        if rng.random() < 1.0 / mean_burst_jobs:
+            dt += gap_scale * rng.paretovariate(1.5)
+        return dt
+
+    return interarrival, _exponential(_SERVICE_MEAN), None
+
+
+def _flash_crowd(max_threads: int) -> Tuple[
+    Sampler, Sampler, Callable[[random.Random, float], int]
+]:
+    # A light background trickle (15 % load); ~3 % of arrival instants
+    # are crowds of roughly 1.5x capacity jobs landing at once.
+    rate = 0.15 * max_threads / _SERVICE_MEAN
+    crowd_mean = 1.5 * max_threads
+
+    def batch(rng: random.Random, _t: float) -> int:
+        if rng.random() < 0.03:
+            return 2 + int(rng.expovariate(1.0 / crowd_mean))
+        return 1
+
+    return _exponential(1.0 / rate), _exponential(_SERVICE_MEAN), batch
+
+
+def _latency_classes(max_threads: int) -> Tuple[Sampler, Sampler, None]:
+    # 85 % interactive jobs (mean 20) + 15 % batch jobs (mean 420):
+    # overall mean service 80, offered load ~55 % of capacity.
+    mean_service = 0.85 * 20.0 + 0.15 * 420.0
+    rate = 0.55 * max_threads / mean_service
+
+    def service(rng: random.Random, _t: float) -> float:
+        if rng.random() < 0.85:
+            return rng.expovariate(1.0 / 20.0)
+        return rng.expovariate(1.0 / 420.0)
+
+    return _exponential(1.0 / rate), service, None
+
+
+def _peak_load(max_threads: int) -> Tuple[Sampler, Sampler, None]:
+    # Offered load 1.25x capacity: pegged at max_threads with a standing
+    # queue — probability mass concentrated at the top counts.
+    rate = 1.25 * max_threads / _SERVICE_MEAN
+    return _exponential(1.0 / rate), _exponential(_SERVICE_MEAN), None
+
+
+#: The scenario catalog, keyed by name.
+SCENARIOS: Dict[str, Scenario] = {
+    s.name: s
+    for s in (
+        Scenario(
+            "steady",
+            "stationary Poisson arrivals at moderate (45 %) load",
+            _steady,
+        ),
+        Scenario(
+            "datacenter",
+            "diurnal trace: near-idle troughs, peaks brushing capacity",
+            _datacenter,
+        ),
+        Scenario(
+            "bursty",
+            "self-similar on/off arrivals with Pareto(1.5) quiet gaps",
+            _bursty,
+        ),
+        Scenario(
+            "flash-crowd",
+            "light trickle punctuated by rare batch crowds of jobs",
+            _flash_crowd,
+        ),
+        Scenario(
+            "latency-classes",
+            "frequent short interactive jobs mixed with rare long batch jobs",
+            _latency_classes,
+        ),
+        Scenario(
+            "peak-load",
+            "offered load above capacity: pegged near max threads",
+            _peak_load,
+        ),
+    )
+}
+
+
+def scenario_names() -> Tuple[str, ...]:
+    return tuple(SCENARIOS)
+
+
+def get_scenario(name: str) -> Scenario:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; available: {', '.join(SCENARIOS)}"
+        ) from None

@@ -130,6 +130,34 @@ class DesignSpaceStudy:
                 f"design {name!r} not in this study; have {sorted(self.designs)}"
             ) from None
 
+    def add_design(self, design: ChipDesign) -> None:
+        """Register an extra candidate design after construction.
+
+        Used by the adaptive explorer's GA refinement to evaluate
+        compositions outside the initial design list through the same
+        memo/engine path.  Idempotent for an identical design; a name
+        clash with a *different* design raises.
+        """
+        existing = self.designs.get(design.name)
+        if existing is not None:
+            if existing != design:
+                raise ValueError(
+                    f"design {design.name!r} already registered "
+                    "with a different configuration"
+                )
+            return
+        self.designs[design.name] = design
+
+    @property
+    def evaluated_points(self) -> int:
+        """Unique (design, mix, SMT) points materialized in this study.
+
+        Counts store hits and in-process computations alike — it is the
+        number of grid points this study has *requested*, which is the
+        quantity the adaptive explorer budgets against the full grid.
+        """
+        return len(self._mix_cache)
+
     def _chip_model(self, design_name: str) -> ChipModel:
         if design_name not in self._chip_models:
             self._chip_models[design_name] = ChipModel(self.design(design_name))
@@ -467,10 +495,13 @@ class DesignSpaceStudy:
         distribution: ThreadCountDistribution,
         smt: bool = True,
     ) -> float:
-        """Distribution-weighted average STP (Figures 6-10)."""
-        curve = self.throughput_curve(
-            design_name, kind, range(1, distribution.max_threads + 1), smt
-        )
+        """Distribution-weighted average STP (Figures 6-10).
+
+        Only thread counts with nonzero probability are evaluated — for
+        timeline-derived distributions with gaps in their support this
+        skips grid points that cannot affect the expectation.
+        """
+        curve = self.throughput_curve(design_name, kind, distribution.support, smt)
         return distribution.expectation(curve)
 
     def aggregate_power(
@@ -482,7 +513,7 @@ class DesignSpaceStudy:
         power_gate_idle: bool = True,
     ) -> float:
         """Distribution-weighted average chip power (Figure 15)."""
-        counts = range(1, distribution.max_threads + 1)
+        counts = distribution.support
         self.prefetch([design_name], kind, counts, smt)
         values = {
             n: self.mean_power(design_name, kind, n, smt, power_gate_idle)
@@ -498,7 +529,7 @@ class DesignSpaceStudy:
         smt: bool = True,
     ) -> float:
         """Distribution-weighted STP for homogeneous mixes of one benchmark (Figure 9)."""
-        counts = range(1, distribution.max_threads + 1)
+        counts = distribution.support
         results = self.evaluate_mixes(
             design_name, [[benchmark] * n for n in counts], smt
         )

@@ -8,20 +8,37 @@ threads were active over time.  Timelines can be
 * synthesized from a job arrival/departure process
   (:func:`simulate_job_arrivals` — Poisson arrivals, exponential service,
   capped at the machine's thread capacity, deterministic per seed), or
+  from a custom process via :func:`simulate_arrival_process` (pluggable
+  interarrival/service/batch samplers — the scenario library in
+  :mod:`repro.core.scenarios` is built on this), or
   built from measured (duration, count) samples;
 * converted to a :class:`~repro.core.distributions.ThreadCountDistribution`
   (time-weighted), which plugs straight into
   :meth:`~repro.core.study.DesignSpaceStudy.aggregate_stp` — so a measured
   utilization trace can drive the whole design-space comparison.
+
+Event semantics of the simulator (locked in by tests/test_timeline.py):
+
+* departures are processed **before** arrivals at the same instant, so a
+  job arriving exactly when another finishes takes the freed slot
+  directly instead of bouncing through the queue;
+* queued jobs draw their service time at *admission* (when a slot frees
+  up), not at arrival — a job's clock starts when it starts running;
+* the queue drains to capacity on every departure batch;
+* time is conserved: ``timeline.total_time + idle_time == horizon``.
 """
 
 import math
 import random
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.core.distributions import ThreadCountDistribution
 from repro.util import check_positive
+
+#: Sampler signature: (rng, current_time) -> value.  Taking the current
+#: time lets processes be non-stationary (diurnal rates, flash crowds).
+Sampler = Callable[[random.Random, float], float]
 
 
 @dataclass(frozen=True)
@@ -69,19 +86,138 @@ class ThreadCountTimeline:
         """Total time spent with exactly ``count`` threads active."""
         return sum(d for d, c in self.segments if c == count)
 
-    def to_distribution(self, max_threads: int = 0) -> ThreadCountDistribution:
+    def to_distribution(
+        self, max_threads: int = 0, name: Optional[str] = None
+    ) -> ThreadCountDistribution:
         """The time-weighted thread-count distribution of this timeline.
 
         Counts above ``max_threads`` (default: the timeline's own maximum)
         are clamped to it, matching a machine that queues excess jobs.
+        ``name`` overrides the default ``timeline-<cap>`` label.
         """
         cap = max_threads if max_threads > 0 else self.max_threads
         weights = [0.0] * cap
         for duration, count in self.segments:
             weights[min(count, cap) - 1] += duration
         return ThreadCountDistribution.from_weights(
-            f"timeline-{cap}", weights
+            name if name is not None else f"timeline-{cap}", weights
         )
+
+
+@dataclass(frozen=True)
+class ArrivalSimulation:
+    """Full result of :func:`simulate_arrival_process`.
+
+    Beyond the timeline itself, the counters make the simulator's event
+    handling auditable: ``timeline.total_time + idle_time`` must equal the
+    horizon exactly, and the queue statistics expose whether coincident
+    arrival/departure events were resolved in favor of the freed slot.
+    """
+
+    timeline: ThreadCountTimeline
+    #: Time within the horizon with zero active jobs (dropped from the
+    #: timeline); conservation: ``timeline.total_time + idle_time == horizon``.
+    idle_time: float
+    jobs_arrived: int
+    jobs_completed: int
+    #: Jobs that waited in the queue before being admitted to a slot.
+    jobs_queued: int
+    #: Largest queue length observed.
+    max_queue_length: int
+
+
+def simulate_arrival_process(
+    interarrival: Sampler,
+    service: Sampler,
+    max_threads: int = 24,
+    horizon: float = 10_000.0,
+    seed: int = 42,
+    batch_size: Optional[Callable[[random.Random, float], int]] = None,
+) -> ArrivalSimulation:
+    """Simulate a capacitated arrival/departure process into a timeline.
+
+    ``interarrival`` and ``service`` are sampler callables ``(rng, t) ->
+    duration`` — both must return values > 0 — which makes the process
+    fully pluggable: non-homogeneous Poisson (diurnal rates), heavy-tailed
+    on/off bursts, deterministic fixtures for tests.  ``batch_size``
+    optionally returns how many jobs arrive together at each arrival
+    instant (flash crowds); default one.
+
+    At most ``max_threads`` jobs run concurrently; excess arrivals queue
+    and are admitted (drawing their service time at admission) as slots
+    free up.  Departures are processed before arrivals at the same
+    instant, so a coincident arrival takes the freed slot directly.
+    Deterministic for a given seed.
+    """
+    check_positive("max_threads", max_threads)
+    check_positive("horizon", horizon)
+    rng = random.Random(seed)
+
+    def draw(sampler: Sampler, what: str) -> float:
+        value = sampler(rng, t)
+        if value <= 0:
+            raise ValueError(f"{what} sampler must return > 0, got {value}")
+        return value
+
+    t = 0.0
+    # Absolute completion times of the running jobs (absolute timestamps
+    # avoid the accumulate-tiny-remainders failure mode where a residual
+    # smaller than the ULP of `t` stalls the clock).
+    running: List[float] = []
+    queued = 0
+    arrived = completed = queued_total = max_queue = 0
+    idle = 0.0
+    next_arrival = draw(interarrival, "interarrival")
+    segments: List[Tuple[float, int]] = []
+
+    while t < horizon:
+        active = len(running)
+        next_departure = min(running) if running else math.inf
+        next_event = min(next_arrival, next_departure, horizon)
+        span = next_event - t
+        if span > 0:
+            if active > 0:
+                segments.append((span, active))
+            else:
+                idle += span
+        t = next_event
+        if t >= horizon:
+            break
+        # Departures first: retire every job due by now and refill from
+        # the queue, so a coincident arrival sees the freed capacity.
+        if next_departure <= t:
+            still = [done for done in running if done > t]
+            completed += len(running) - len(still)
+            running = still
+            while queued > 0 and len(running) < max_threads:
+                queued -= 1
+                running.append(t + draw(service, "service"))
+        if next_arrival <= t:
+            batch = 1 if batch_size is None else int(batch_size(rng, t))
+            if batch < 1:
+                raise ValueError(f"batch_size must return >= 1, got {batch}")
+            for _ in range(batch):
+                arrived += 1
+                if len(running) < max_threads:
+                    running.append(t + draw(service, "service"))
+                else:
+                    queued += 1
+                    queued_total += 1
+            max_queue = max(max_queue, queued)
+            next_arrival = t + draw(interarrival, "interarrival")
+
+    if not segments:
+        raise ValueError(
+            "no active periods in the horizon; raise arrival_rate or horizon"
+        )
+    return ArrivalSimulation(
+        timeline=ThreadCountTimeline.from_samples(_coalesce(segments)),
+        idle_time=idle,
+        jobs_arrived=arrived,
+        jobs_completed=completed,
+        jobs_queued=queued_total,
+        max_queue_length=max_queue,
+    )
 
 
 def simulate_job_arrivals(
@@ -101,53 +237,19 @@ def simulate_job_arrivals(
     jobs, a lightly loaded 24-thread server.
 
     Fully idle periods are dropped (no work to schedule).  Deterministic
-    for a given seed.
+    for a given seed.  This is :func:`simulate_arrival_process` with
+    exponential samplers; use that directly for non-Poisson processes or
+    to inspect idle time and queue statistics.
     """
     check_positive("arrival_rate", arrival_rate)
     check_positive("mean_service_time", mean_service_time)
-    check_positive("max_threads", max_threads)
-    check_positive("horizon", horizon)
-    rng = random.Random(seed)
-
-    t = 0.0
-    # Absolute completion times of the running jobs (absolute timestamps
-    # avoid the accumulate-tiny-remainders failure mode where a residual
-    # smaller than the ULP of `t` stalls the clock).
-    running: List[float] = []
-    queued = 0
-    next_arrival = rng.expovariate(arrival_rate)
-    segments: List[Tuple[float, int]] = []
-
-    while t < horizon:
-        active = len(running)
-        next_departure = min(running) if running else math.inf
-        next_event = min(next_arrival, next_departure, horizon)
-        span = next_event - t
-        if span > 0 and active > 0:
-            segments.append((span, active))
-        t = next_event
-        if t >= horizon:
-            break
-        if next_event == next_arrival:
-            if len(running) < max_threads:
-                running.append(t + rng.expovariate(1.0 / mean_service_time))
-            else:
-                queued += 1
-            next_arrival = t + rng.expovariate(arrival_rate)
-        # Departures: retire every job due by now, admit queued work.
-        still = [done for done in running if done > t]
-        finished = len(running) - len(still)
-        running = still
-        for _ in range(finished):
-            if queued > 0:
-                queued -= 1
-                running.append(t + rng.expovariate(1.0 / mean_service_time))
-
-    if not segments:
-        raise ValueError(
-            "no active periods in the horizon; raise arrival_rate or horizon"
-        )
-    return ThreadCountTimeline.from_samples(_coalesce(segments))
+    return simulate_arrival_process(
+        interarrival=lambda rng, _t: rng.expovariate(arrival_rate),
+        service=lambda rng, _t: rng.expovariate(1.0 / mean_service_time),
+        max_threads=max_threads,
+        horizon=horizon,
+        seed=seed,
+    ).timeline
 
 
 def _coalesce(

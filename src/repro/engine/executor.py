@@ -512,7 +512,20 @@ class Engine:
         :class:`UnitFailure` per member point, which keeps the engine's
         serial recovery and ``on_failure`` semantics exactly as in
         per-point dispatch.
+
+        For batches smaller than ``slab_size x jobs`` the configured size
+        would leave workers idle (an adaptive explorer's low-fidelity rung
+        is a few dozen points; at ``slab_size=32`` they all land in one
+        slab on one worker), so the effective size shrinks to spread the
+        batch across the pool.  Slab partitioning never affects values —
+        the batch solver is bit-identical piecewise — so this is purely a
+        latency choice.
         """
+        slab_size = self.slab_size
+        jobs = self.executor.jobs
+        if jobs > 1:
+            spread = -(-len(units) // jobs)  # ceil division
+            slab_size = max(1, min(slab_size, spread))
         groups: dict = {}
         for idx, unit in enumerate(units):
             key = (unit.design, unit.smt, unit.reference_uncore)
@@ -520,8 +533,8 @@ class Engine:
         slabs: List[SlabUnit] = []
         members: List[List[int]] = []
         for idxs in groups.values():
-            for start in range(0, len(idxs), self.slab_size):
-                piece = idxs[start : start + self.slab_size]
+            for start in range(0, len(idxs), slab_size):
+                piece = idxs[start : start + slab_size]
                 first = units[piece[0]]
                 slabs.append(
                     SlabUnit(

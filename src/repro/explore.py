@@ -1,0 +1,484 @@
+"""Adaptive design-space exploration: successive halving + GA refinement.
+
+The exhaustive answer to "which design wins on this workload?" evaluates
+the full (design x thread count x mix) grid — 2592 points for the paper's
+nine designs.  This module recovers the same winner at a fraction of that
+cost using *successive halving*: all candidate designs are scored cheaply
+at low fidelity (a few high-probability thread counts, a few mixes per
+count), the bottom ``1 - 1/eta`` are dropped, and the survivors are
+rescored at ``eta`` x higher fidelity, repeating until one remains.  Low
+fidelity is enough to discard clearly-dominated designs; full fidelity is
+spent only where the ranking is still unresolved (van Stralen's
+scenario-based exploration argument, PAPERS.md).
+
+Fitness is the *partial* distribution-weighted STP: the scenario
+distribution's expectation restricted to the evaluated thread counts and
+renormalized, so scores are comparable across rungs and exactly equal to
+:meth:`~repro.core.study.DesignSpaceStudy.aggregate_stp` at full
+fidelity.  Thread counts enter in descending probability order — the
+evaluation budget goes where the scenario actually spends its time.
+
+Every evaluation flows through
+:meth:`~repro.core.study.DesignSpaceStudy.evaluate_mixes`, so the
+engine's slabs, the persistent ResultStore and the solver's warm-start
+hints amortize across rungs, and a later exhaustive sweep reuses
+everything the explorer already computed.
+
+An optional GA refinement stage then searches the *full* power-budget
+composition space — every (big, medium, small) core mix with the paper's
+4.0 power weight, including the medium+small hybrids the paper excludes —
+seeded by the successive-halving winner.
+
+If the two finalists are within ``tie_tolerance`` (relative), the
+explorer escalates them to full fidelity before declaring a winner,
+budget permitting — cheap insurance against low-fidelity ranking noise.
+"""
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.designs import DESIGN_ORDER, ChipDesign, get_design
+from repro.core.distributions import ThreadCountDistribution
+from repro.core.metrics import harmonic_mean
+from repro.core.scenarios import DEFAULT_HORIZON, get_scenario
+from repro.core.study import WORKLOAD_KINDS, DesignSpaceStudy
+from repro.microarch.config import BIG, MEDIUM, SMALL
+from repro.obs import TRACER
+from repro.util import check_positive
+
+
+@dataclass(frozen=True)
+class ExploreConfig:
+    """Parameters of one adaptive exploration run."""
+
+    scenario: str
+    designs: Tuple[str, ...] = DESIGN_ORDER
+    kind: str = "heterogeneous"
+    max_threads: int = 24
+    smt: bool = True
+    #: Seeds the scenario trace and the GA; workload mixes keep the
+    #: study's own seed so explorer and exhaustive sweep share a grid.
+    seed: int = 42
+    #: Keep 1/eta of the candidates per rung; fidelity grows by eta.
+    eta: int = 3
+    #: Rung-0 fidelity: thread counts x mixes per count.
+    min_counts: int = 4
+    min_mixes: int = 3
+    #: Ceiling on evaluated points as a fraction of the full grid; the
+    #: tie-escalation and GA stages stop before crossing it.
+    budget_fraction: float = 0.2
+    #: Relative score gap under which the two finalists are re-scored at
+    #: full fidelity before the winner is declared.
+    tie_tolerance: float = 1e-3
+    #: GA refinement rounds over the composition space (0 = off).
+    ga_rounds: int = 0
+    ga_population: int = 6
+    horizon: float = DEFAULT_HORIZON
+
+    def __post_init__(self) -> None:
+        if self.kind not in WORKLOAD_KINDS:
+            raise ValueError(
+                f"kind must be one of {WORKLOAD_KINDS}, got {self.kind!r}"
+            )
+        if not self.designs:
+            raise ValueError("explore needs at least one candidate design")
+        if self.eta < 2:
+            raise ValueError(f"eta must be >= 2, got {self.eta}")
+        check_positive("max_threads", self.max_threads)
+        check_positive("min_counts", self.min_counts)
+        check_positive("min_mixes", self.min_mixes)
+        check_positive("budget_fraction", self.budget_fraction)
+
+
+class _PointLedger:
+    """Unique grid points *this exploration* asked for.
+
+    Deliberately independent of the study's memo cache: a warm study (a
+    long-lived serve daemon, a prior sweep over the same grid) satisfies
+    requests without fresh computation, but the search's cost metric must
+    be a property of the search — the same config always reports the same
+    point counts, so local and ``--server`` output stay byte-identical.
+    """
+
+    def __init__(self) -> None:
+        self._keys: set = set()
+
+    def record(self, design_name: str, mixes: Sequence, smt: bool) -> None:
+        for mix in mixes:
+            self._keys.add((design_name, tuple(mix), smt))
+
+    @property
+    def count(self) -> int:
+        return len(self._keys)
+
+
+def run_explore(
+    config: ExploreConfig,
+    study: Optional[DesignSpaceStudy] = None,
+    engine=None,
+) -> Dict[str, Any]:
+    """Run the adaptive search; returns a JSON-round-trippable summary.
+
+    The result dict contains only JSON-native types (str/int/float/bool/
+    list/dict/None) so the ``repro explore`` CLI renders identical output
+    whether the search ran in-process or on a serve daemon.
+    """
+    scenario = get_scenario(config.scenario)
+    distribution = scenario.distribution(
+        max_threads=config.max_threads, horizon=config.horizon, seed=config.seed
+    )
+    if study is None:
+        study = DesignSpaceStudy(
+            designs=[get_design(name) for name in config.designs],
+            engine=engine,
+        )
+    else:
+        for name in config.designs:
+            study.design(name)  # fail fast on unknown designs
+    ledger = _PointLedger()
+
+    support = _counts_by_probability(distribution)
+    full_mixes = {n: len(study.mixes(config.kind, n)) for n in support}
+    full_grid = len(config.designs) * sum(full_mixes.values())
+    budget = int(config.budget_fraction * full_grid)
+
+    with TRACER.span(
+        "explore.run",
+        cat="explore",
+        scenario=config.scenario,
+        designs=len(config.designs),
+        full_grid=full_grid,
+    ):
+        rungs, ranking = _successive_halving(
+            config, study, distribution, support, ledger
+        )
+        winner, winner_score = ranking[0]
+        escalated = False
+        if len(ranking) > 1:
+            winner, winner_score, escalated = _resolve_tie(
+                config, study, distribution, support, ranking,
+                ledger, budget,
+            )
+        ga_report = None
+        if config.ga_rounds > 0:
+            ga_report, winner, winner_score = _ga_refine(
+                config, study, distribution, support,
+                winner, winner_score, ledger, budget,
+                depth=rungs[-1]["rung"],
+            )
+
+    evaluations = ledger.count
+    return {
+        "scenario": config.scenario,
+        "distribution": distribution.name,
+        "kind": config.kind,
+        "smt": config.smt,
+        "seed": config.seed,
+        "max_threads": config.max_threads,
+        "designs": list(config.designs),
+        "winner": winner,
+        "winner_score": winner_score,
+        "tie_escalated": escalated,
+        "ranking": [
+            {"design": name, "score": score} for name, score in ranking
+        ],
+        "rungs": rungs,
+        "ga": ga_report,
+        "evaluations": evaluations,
+        "full_grid_points": full_grid,
+        "fraction": evaluations / full_grid if full_grid else 0.0,
+    }
+
+
+# --------------------------------------------------------------------- #
+# successive halving
+# --------------------------------------------------------------------- #
+
+
+def _counts_by_probability(
+    distribution: ThreadCountDistribution,
+) -> List[int]:
+    """Support thread counts, most probable first (ties: fewer threads)."""
+    return sorted(
+        distribution.support,
+        key=lambda n: (-distribution.probability(n), n),
+    )
+
+
+def _partial_score(
+    config: ExploreConfig,
+    study: DesignSpaceStudy,
+    distribution: ThreadCountDistribution,
+    design_name: str,
+    counts: Sequence[int],
+    mixes_per_count: int,
+    ledger: _PointLedger,
+) -> float:
+    """Renormalized partial expectation of harmonic-mean STP.
+
+    Equals :meth:`DesignSpaceStudy.aggregate_stp` when ``counts`` covers
+    the full support and ``mixes_per_count`` covers every mix.
+    """
+    per_count = {
+        n: study.mixes(config.kind, n)[:mixes_per_count] for n in counts
+    }
+    # One batch per design keeps engine workers saturated; the per-count
+    # reads below are then pure memo hits.
+    batch = [mix for mixes in per_count.values() for mix in mixes]
+    ledger.record(design_name, batch, config.smt)
+    study.evaluate_mixes(design_name, batch, config.smt)
+    total = weight = 0.0
+    for n, mixes in per_count.items():
+        results = study.evaluate_mixes(design_name, mixes, config.smt)
+        p = distribution.probability(n)
+        total += p * harmonic_mean([r.stp for r in results])
+        weight += p
+    return total / weight
+
+
+def _successive_halving(
+    config: ExploreConfig,
+    study: DesignSpaceStudy,
+    distribution: ThreadCountDistribution,
+    support: Sequence[int],
+    ledger: _PointLedger,
+) -> Tuple[List[Dict[str, Any]], List[Tuple[str, float]]]:
+    """The rung loop; returns (rung reports, final ranking best-first)."""
+    survivors = list(config.designs)
+    rungs: List[Dict[str, Any]] = []
+    ranking: List[Tuple[str, float]] = [(survivors[0], 0.0)]
+    rung = 0
+    while True:
+        n_counts = min(len(support), config.min_counts * config.eta**rung)
+        mixes_per_count = config.min_mixes * config.eta**rung
+        counts = list(support[:n_counts])
+        before = ledger.count
+        scores = {
+            name: _partial_score(
+                config, study, distribution, name, counts, mixes_per_count,
+                ledger,
+            )
+            for name in survivors
+        }
+        # Best first; ties break toward the caller's design order.
+        order = {name: i for i, name in enumerate(config.designs)}
+        ranking = sorted(
+            scores.items(), key=lambda kv: (-kv[1], order[kv[0]])
+        )
+        keep = max(1, math.ceil(len(survivors) / config.eta))
+        if keep == len(survivors):
+            keep = len(survivors) - 1  # guarantee progress
+        kept = [name for name, _score in ranking[: max(1, keep)]]
+        rungs.append(
+            {
+                "rung": rung,
+                "designs": survivors,
+                "thread_counts": len(counts),
+                "mixes_per_count": mixes_per_count,
+                "scores": {n: s for n, s in ranking},
+                "kept": kept,
+                "new_points": ledger.count - before,
+                "cumulative_points": ledger.count,
+            }
+        )
+        if len(survivors) == 1 or len(kept) == 1:
+            break
+        survivors = kept
+        rung += 1
+    return rungs, ranking
+
+
+def _resolve_tie(
+    config: ExploreConfig,
+    study: DesignSpaceStudy,
+    distribution: ThreadCountDistribution,
+    support: Sequence[int],
+    ranking: List[Tuple[str, float]],
+    ledger: _PointLedger,
+    budget: int,
+) -> Tuple[str, float, bool]:
+    """Escalate a near-tie between the two finalists to full fidelity."""
+    (first, s1), (second, s2) = ranking[0], ranking[1]
+    if s1 <= 0 or (s1 - s2) / s1 > config.tie_tolerance:
+        return first, s1, False
+    # Full fidelity on two designs costs at most this many fresh points.
+    remaining = 2 * sum(len(study.mixes(config.kind, n)) for n in support)
+    if ledger.count + remaining > budget:
+        return first, s1, False
+    for name in (first, second):
+        for n in support:
+            ledger.record(name, study.mixes(config.kind, n), config.smt)
+    exact = {
+        name: study.aggregate_stp(name, config.kind, distribution, config.smt)
+        for name in (first, second)
+    }
+    winner = max(exact, key=exact.get)
+    return winner, exact[winner], True
+
+
+# --------------------------------------------------------------------- #
+# GA refinement over the power-budget composition space
+# --------------------------------------------------------------------- #
+
+#: Power weights in big-core equivalents, times 10 (exact integers).
+_WEIGHTS_X10 = {"big": 10, "medium": 5, "small": 2}
+_BUDGET_X10 = 40  # 4.0 big-core equivalents
+
+Composition = Tuple[int, int, int]  # (big, medium, small) core counts
+
+
+def feasible_compositions() -> List[Composition]:
+    """Every (big, medium, small) core mix with exactly the 4.0 budget."""
+    out: List[Composition] = []
+    for nb in range(_BUDGET_X10 // _WEIGHTS_X10["big"] + 1):
+        rest = _BUDGET_X10 - nb * _WEIGHTS_X10["big"]
+        for nm in range(rest // _WEIGHTS_X10["medium"] + 1):
+            tail = rest - nm * _WEIGHTS_X10["medium"]
+            if tail % _WEIGHTS_X10["small"] == 0:
+                out.append((nb, nm, tail // _WEIGHTS_X10["small"]))
+    return out
+
+
+def composition_design(comp: Composition) -> ChipDesign:
+    """The chip design for a composition (cores ordered big to small)."""
+    nb, nm, ns = comp
+    if nb + nm + ns == 0:
+        raise ValueError("composition needs at least one core")
+    return ChipDesign(
+        name=f"ga-{nb}B{nm}m{ns}s",
+        cores=(BIG,) * nb + (MEDIUM,) * nm + (SMALL,) * ns,
+    )
+
+
+def _composition_of(design: ChipDesign) -> Composition:
+    counts = design.core_counts()
+    return (
+        counts.get(BIG.name, 0),
+        counts.get(MEDIUM.name, 0),
+        counts.get(SMALL.name, 0),
+    )
+
+
+def _neighbors(comp: Composition) -> List[Composition]:
+    """Feasible one-step weight transfers (1 big <-> 2 medium <-> 5 small)."""
+    nb, nm, ns = comp
+    candidates = [
+        (nb - 1, nm + 2, ns),
+        (nb + 1, nm - 2, ns),
+        (nb - 1, nm, ns + 5),
+        (nb + 1, nm, ns - 5),
+        (nb, nm - 2, ns + 5),
+        (nb, nm + 2, ns - 5),
+    ]
+    return [
+        c for c in candidates if all(v >= 0 for v in c) and sum(c) > 0
+    ]
+
+
+def _ga_refine(
+    config: ExploreConfig,
+    study: DesignSpaceStudy,
+    distribution: ThreadCountDistribution,
+    support: Sequence[int],
+    winner: str,
+    winner_score: float,
+    ledger: _PointLedger,
+    budget: int,
+    depth: int,
+) -> Tuple[Dict[str, Any], str, float]:
+    """Evolve compositions around the halving winner, budget permitting.
+
+    Candidates equal to an already-registered design reuse it (and its
+    memoized points); new compositions are registered via
+    :meth:`DesignSpaceStudy.add_design`.  Fitness uses the fidelity of
+    the deepest halving rung (``depth``) so GA scores are comparable
+    with the halving scores.
+    """
+    rng = random.Random(config.seed)
+    by_comp = {
+        _composition_of(study.design(name)): name for name in config.designs
+    }
+
+    def design_for(comp: Composition) -> str:
+        if comp in by_comp:
+            return by_comp[comp]
+        design = composition_design(comp)
+        study.add_design(design)
+        by_comp[comp] = design.name
+        return design.name
+
+    counts = list(
+        support[: min(len(support), config.min_counts * config.eta**depth)]
+    )
+    mixes_per_count = config.min_mixes * config.eta**depth
+    points_per_candidate = sum(
+        min(mixes_per_count, len(study.mixes(config.kind, n))) for n in counts
+    )
+
+    scores: Dict[Composition, float] = {}
+
+    def fitness(comp: Composition) -> Optional[float]:
+        if comp in scores:
+            return scores[comp]
+        if ledger.count + points_per_candidate > budget:
+            return None  # budget exhausted: skip fresh evaluations
+        scores[comp] = _partial_score(
+            config, study, distribution, design_for(comp),
+            counts, mixes_per_count, ledger,
+        )
+        return scores[comp]
+
+    seed_comp = _composition_of(study.design(winner))
+    pool = [c for c in feasible_compositions() if c != seed_comp]
+    rng.shuffle(pool)
+    population = [seed_comp] + pool[: config.ga_population - 1]
+    evaluated_rounds = 0
+    for _ in range(config.ga_rounds):
+        for comp in population:
+            fitness(comp)
+        if not scores:
+            break
+        evaluated_rounds += 1
+        elite = sorted(
+            (c for c in population if c in scores),
+            key=lambda c: -scores[c],
+        )[: max(2, len(population) // 2)]
+        children: List[Composition] = []
+        for comp in elite:
+            moves = _neighbors(comp)
+            if moves:
+                children.append(rng.choice(moves))
+        if len(elite) >= 2:
+            a, b = rng.sample(elite, 2)
+            blend = tuple((x + y) // 2 for x, y in zip(a, b))
+            children.extend(
+                c for c in _neighbors(blend) + [blend]
+                if sum(
+                    v * w
+                    for v, w in zip(c, (10, 5, 2))
+                ) == _BUDGET_X10
+            )
+        merged = list(dict.fromkeys(elite + children))
+        population = merged[: config.ga_population]
+
+    best_comp = max(scores, key=scores.get) if scores else seed_comp
+    best_name = design_for(best_comp)
+    best_score = scores.get(best_comp, winner_score)
+    report = {
+        "rounds": evaluated_rounds,
+        "evaluated": [
+            {
+                "design": design_for(comp),
+                "composition": list(comp),
+                "score": score,
+            }
+            for comp, score in sorted(scores.items(), key=lambda kv: -kv[1])
+        ],
+        "best": best_name,
+        "best_score": best_score,
+    }
+    if best_score > winner_score:
+        return report, best_name, best_score
+    return report, winner, winner_score

@@ -220,6 +220,17 @@ class ServeClient:
         job = self.submit("figure", {"id": figure_id})
         return self.wait(job, timeout=timeout)["result"]["tables"]
 
+    def explore(
+        self, params: Dict[str, Any], timeout: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """Run one adaptive exploration; returns its summary dict.
+
+        ``params`` carries :class:`repro.explore.ExploreConfig` fields
+        (``scenario`` is required) and is validated server-side.
+        """
+        job = self.submit("explore", params)
+        return self.wait(job, timeout=timeout)["result"]["explore"]
+
 
 def wait_for_server(
     address: str, timeout: float = 30.0, interval: float = 0.05

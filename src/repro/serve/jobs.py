@@ -7,10 +7,10 @@ event-loop thread, which is what makes them testable synchronously:
   that requested it (request coalescing: the second submit of an
   identical point attaches to the first's state instead of enqueueing a
   second computation);
-* :class:`Job` — one client submission (point/sweep/figure) tracking its
-  point keys, completion countdown and final result;
+* :class:`Job` — one client submission (point/sweep/figure/explore)
+  tracking its point keys, completion countdown and final result;
 * :class:`Slab` — the dispatch unit: a batch of points (or one opaque
-  figure task) evaluated in a single engine call.  Priorities act at slab
+  figure/explore task) evaluated in a single engine call.  Priorities act at slab
   granularity — an interactive point preempts a bulk sweep between
   slabs, never mid-slab;
 * :class:`SlabScheduler` — a priority queue with per-client admission
@@ -75,10 +75,13 @@ class Job:
 
     @property
     def total_points(self) -> int:
-        # A figure job has no grid points; its one opaque task counts as
-        # a single unit so done/total reads 0/1 while running, 1/1 done
-        # (rather than done_points going negative from remaining == 1).
-        if self.kind == "figure":
+        # Opaque jobs (figure, explore) have no grid points; their one
+        # opaque task counts as a single unit so done/total reads 0/1
+        # while running, 1/1 done (rather than done_points going negative
+        # from remaining == 1).
+        from repro.serve.protocol import OPAQUE_KINDS
+
+        if self.kind in OPAQUE_KINDS:
             return 1
         return len(self.point_keys)
 
@@ -120,6 +123,13 @@ class Slab:
     point_keys: Tuple[str, ...] = ()
     #: Set for figure jobs: the opaque figure params to run instead.
     figure: Optional[Dict[str, Any]] = None
+    #: Set for explore jobs: the opaque exploration params to run instead.
+    explore: Optional[Dict[str, Any]] = None
+
+    @property
+    def opaque(self) -> bool:
+        """True for a single-task slab (figure/explore) with no grid points."""
+        return self.figure is not None or self.explore is not None
 
 
 class SlabScheduler:

@@ -29,6 +29,10 @@ Job ``params``:
 * ``sweep`` — ``{"designs": [str, ...], "kind": "homogeneous"|
   "heterogeneous", "max_threads": int, "smt": bool}``
 * ``figure`` — ``{"id": str, "json": bool}``
+* ``explore`` — ``{"scenario": str, ...}``: any other
+  :class:`repro.explore.ExploreConfig` field may ride along (designs,
+  kind, max_threads, smt, seed, eta, ...); the server validates the full
+  set when it builds the config.
 
 Floats survive the wire exactly: ``json.dumps`` renders them via
 ``repr`` (shortest round-trip form) and ``json.loads`` parses back the
@@ -50,14 +54,23 @@ MAX_LINE_BYTES = 8 * 1024 * 1024
 OPS = ("submit", "poll", "wait", "stream", "stats", "cancel", "shutdown", "ping")
 
 #: Job kinds the server accepts.
-JOB_KINDS = ("point", "sweep", "figure")
+JOB_KINDS = ("point", "sweep", "figure", "explore")
+
+#: Job kinds that run as one opaque task on the dispatcher (no per-point
+#: grid bookkeeping): done/total progress reads 0/1 then 1/1.
+OPAQUE_KINDS = ("figure", "explore")
 
 #: Priority classes, lowest number dispatches first.
 PRIORITIES = {"interactive": 0, "bulk": 10}
 
 #: Default priority per job kind: point queries are interactive latency
-#: paths, grid sweeps and figures are bulk throughput paths.
-DEFAULT_PRIORITY = {"point": "interactive", "sweep": "bulk", "figure": "bulk"}
+#: paths, grid sweeps, figures and explorations are bulk throughput paths.
+DEFAULT_PRIORITY = {
+    "point": "interactive",
+    "sweep": "bulk",
+    "figure": "bulk",
+    "explore": "bulk",
+}
 
 #: Error codes carried in failure responses.
 E_BAD_REQUEST = "bad-request"
@@ -158,6 +171,18 @@ def validate_submit(message: Dict[str, Any]) -> Tuple[str, Dict[str, Any], str]:
     elif kind == "figure":
         if not isinstance(params.get("id"), str):
             raise ProtocolError("figure params need an 'id' string")
+    elif kind == "explore":
+        if not isinstance(params.get("scenario"), str):
+            raise ProtocolError("explore params need a 'scenario' string")
+        designs = params.get("designs")
+        if designs is not None and (
+            not isinstance(designs, list)
+            or not designs
+            or not all(isinstance(d, str) for d in designs)
+        ):
+            raise ProtocolError(
+                "explore 'designs' must be a non-empty list of strings"
+            )
     return kind, params, priority
 
 

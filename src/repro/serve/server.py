@@ -450,6 +450,8 @@ class SweepServer:
         try:
             if kind == "figure":
                 self._submit_figure(job)
+            elif kind == "explore":
+                self._submit_explore(job)
             else:
                 await self._submit_points(job)
         except KeyError as exc:
@@ -463,7 +465,7 @@ class SweepServer:
         TRACER.instant(
             "serve.submit", cat="serve", kind=kind, client=client, job=job.id
         )
-        if job.remaining == 0 and job.kind != "figure":
+        if job.remaining == 0 and job.kind not in protocol.OPAQUE_KINDS:
             # Every point was already complete (all coalesced onto
             # finished work still in the table): finalize immediately.
             self._finalize_job(job)
@@ -662,13 +664,30 @@ class SweepServer:
             raise ValueError(
                 f"unknown experiment {figure_id!r}; try: {', '.join(registry)}"
             )
+        self._submit_opaque(job, figure=dict(job.params))
+
+    def _submit_explore(self, job: Job) -> None:
+        from repro.explore import ExploreConfig
+
+        params = dict(job.params)
+        designs = params.get("designs")
+        if designs is not None:
+            params["designs"] = tuple(designs)
+        try:
+            ExploreConfig(**params)  # validate field names and values now
+        except TypeError as exc:
+            raise ValueError(f"bad explore params: {exc}") from None
+        self._submit_opaque(job, explore=params)
+
+    def _submit_opaque(self, job: Job, **task: Dict[str, Any]) -> None:
+        """Queue a single-task slab (figure/explore) for the dispatcher."""
         self._slab_seq += 1
         slab = Slab(
             id=self._slab_seq,
             job_id=job.id,
             client=job.client,
             priority=job.priority,
-            figure=dict(job.params),
+            **task,
         )
         self._slabs[slab.id] = slab
         job.open_slabs.add(slab.id)
@@ -700,7 +719,12 @@ class SweepServer:
                     outcome = await self.loop.run_in_executor(
                         self._dispatch_pool, self._render_figure, slab.figure
                     )
-                    self._complete_figure_slab(slab, outcome, None)
+                    self._complete_opaque_slab(slab, {"tables": outcome}, None)
+                elif slab.explore is not None:
+                    outcome = await self.loop.run_in_executor(
+                        self._dispatch_pool, self._run_explore, slab.explore
+                    )
+                    self._complete_opaque_slab(slab, {"explore": outcome}, None)
                 else:
                     units = [
                         self._points[key].unit for key in slab.point_keys
@@ -715,8 +739,8 @@ class SweepServer:
                 _LOG.error(
                     f"serve: slab {slab.id} failed: {type(exc).__name__}: {exc}"
                 )
-                if slab.figure is not None:
-                    self._complete_figure_slab(
+                if slab.opaque:
+                    self._complete_opaque_slab(
                         slab, None, f"{type(exc).__name__}: {exc}"
                     )
                 else:
@@ -742,6 +766,29 @@ class SweepServer:
         return [
             {"formatted": t.formatted(), "json": t.to_json()} for t in tables
         ]
+
+    def _run_explore(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        """Dispatcher-thread body: run one adaptive exploration.
+
+        Runs against the server's study, so exploration points land in
+        the same memo (and persistent store) that sweeps and point
+        queries warm — repeated explorations amortize.  Designs outside
+        the study's initial set (e.g. the Section 8.1 alternatives) are
+        registered on demand.
+        """
+        from repro.core.designs import get_design
+        from repro.explore import ExploreConfig, run_explore
+
+        config_params = dict(params)
+        designs = config_params.get("designs")
+        if designs is not None:
+            config_params["designs"] = tuple(designs)
+        config = ExploreConfig(**config_params)
+        for name in config.designs:
+            if name not in self.study.designs:
+                self.study.add_design(get_design(name))
+        with TRACER.span("serve.explore", cat="serve", scenario=config.scenario):
+            return run_explore(config, study=self.study)
 
     # ------------------------------------------------------------------ #
     # completion                                                          #
@@ -782,8 +829,8 @@ class SweepServer:
         if not state.waiters:
             self._points.pop(state.key, None)
 
-    def _complete_figure_slab(
-        self, slab: Slab, outcome: Optional[List[Dict[str, str]]], error: Optional[str]
+    def _complete_opaque_slab(
+        self, slab: Slab, result: Optional[Dict[str, Any]], error: Optional[str]
     ) -> None:
         job = self._jobs.get(slab.job_id)
         if job is None or job.state in TERMINAL_STATES:
@@ -792,14 +839,14 @@ class SweepServer:
         if error is not None:
             job.error = error
         else:
-            job.result = {"tables": outcome}
+            job.result = result
         self._finalize_job(job)
 
     def _finalize_job(self, job: Job) -> None:
         """Assemble the job result and mark it terminal."""
         if job.state in TERMINAL_STATES:
             return
-        if job.kind != "figure":
+        if job.kind not in protocol.OPAQUE_KINDS:
             errors = []
             payloads: Dict[str, Dict[str, Any]] = {}
             for key in job.point_keys:
@@ -894,7 +941,7 @@ class SweepServer:
         def droppable(slab: Slab) -> bool:
             if slab.job_id != job.id:
                 return False
-            if slab.figure is not None:
+            if slab.opaque:
                 return True
             # Keep the slab if any of its points still feeds another job.
             for key in slab.point_keys:
@@ -924,7 +971,7 @@ class SweepServer:
     def _emit_slab_events(self, slab: Slab, seconds: float) -> None:
         """Per-slab progress events for every job that shares its points."""
         touched = set()
-        if slab.figure is None:
+        if not slab.opaque:
             for key in slab.point_keys:
                 state = self._points.get(key)
                 if state is not None:

@@ -25,6 +25,10 @@ class TestParser:
             ["cache", "clear", "--cache-dir", "/tmp/x"],
             ["findings"],
             ["validate"],
+            ["list-scenarios"],
+            ["explore", "--scenario", "datacenter"],
+            ["explore", "--scenario", "bursty", "--design", "4B,8m",
+             "--ga", "2", "--budget", "0.3", "--jobs", "2"],
         ):
             args = parser.parse_args(argv)
             assert callable(args.func)
@@ -57,6 +61,28 @@ class TestCommands:
     def test_evaluate_no_smt_flag(self, capsys):
         assert main(["evaluate", "--mix", "mcf", "--no-smt"]) == 0
         assert "SMT             : off" in capsys.readouterr().out
+
+    def test_list_scenarios(self, capsys):
+        assert main(["list-scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "datacenter" in out and "flash-crowd" in out
+
+    def test_explore(self, capsys):
+        assert main(
+            ["explore", "--scenario", "flash-crowd", "--design", "4B,8m,20s",
+             "--max-threads", "6", "--no-cache"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "winner" in out and "full-grid" in out
+
+    def test_explore_unknown_scenario(self, capsys):
+        assert main(["explore", "--scenario", "nope", "--no-cache"]) == 2
+
+    def test_explore_unknown_design(self, capsys):
+        assert main(
+            ["explore", "--scenario", "steady", "--design", "9Z",
+             "--no-cache"]
+        ) == 2
 
     def test_curve(self, capsys):
         assert main(["curve", "--design", "20s", "--max-threads", "4"]) == 0

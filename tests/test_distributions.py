@@ -106,3 +106,64 @@ class TestValidation:
         double = dist.mirrored().mirrored()
         for a, b in zip(dist.probabilities, double.probabilities):
             assert a == pytest.approx(b)
+
+
+class TestSupport:
+    def test_full_support(self):
+        assert uniform(4).support == (1, 2, 3, 4)
+
+    def test_zero_probability_counts_excluded(self):
+        dist = ThreadCountDistribution("gappy", (0.5, 0.0, 0.5))
+        assert dist.support == (1, 3)
+
+    def test_point_mass(self):
+        dist = ThreadCountDistribution("point", (0.0, 0.0, 1.0))
+        assert dist.support == (3,)
+
+
+class TestMirroredName:
+    """Regression: ``mirrored()`` used to blindly append ``-mirrored``,
+    so mirroring a mirror produced ``x-mirrored-mirrored`` instead of
+    restoring the original name."""
+
+    def test_mirror_appends_suffix(self):
+        assert uniform(4).mirrored().name == "uniform-4-mirrored"
+
+    def test_double_mirror_restores_name(self):
+        dist = datacenter(24)
+        assert dist.mirrored().mirrored().name == dist.name
+
+    def test_mirrored_datacenter_matches_factory(self):
+        assert mirrored_datacenter(24).name == "datacenter-24-mirrored"
+
+
+class TestExpectationSupport:
+    """Regression: ``expectation()`` demanded a value for every count in
+    ``1..max_threads`` even when some had zero probability, so any
+    distribution with gaps (e.g. a clamped timeline) was unusable with
+    per-support value maps."""
+
+    def test_zero_probability_counts_not_required(self):
+        dist = ThreadCountDistribution("gappy", (0.5, 0.0, 0.5))
+        assert dist.expectation({1: 2.0, 3: 4.0}) == pytest.approx(3.0)
+
+    def test_support_counts_still_required(self):
+        dist = ThreadCountDistribution("gappy", (0.5, 0.0, 0.5))
+        with pytest.raises(ValueError, match="missing"):
+            dist.expectation({1: 2.0})
+
+    def test_zero_probability_values_ignored_if_given(self):
+        dist = ThreadCountDistribution("gappy", (0.5, 0.0, 0.5))
+        full = dist.expectation({1: 2.0, 2: 99.0, 3: 4.0})
+        assert full == pytest.approx(3.0)
+
+    def test_clamped_timeline_distribution_usable(self):
+        from repro.core.timeline import ThreadCountTimeline
+
+        # Clamping 30 threads into max_threads=4 leaves counts 2 and 3
+        # with zero probability; expectation must accept a value map
+        # covering only the support.
+        tl = ThreadCountTimeline.from_samples([(1.0, 30), (1.0, 1)])
+        dist = tl.to_distribution(max_threads=4)
+        assert dist.support == (1, 4)
+        assert dist.expectation({1: 1.0, 4: 3.0}) == pytest.approx(2.0)

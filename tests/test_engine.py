@@ -201,6 +201,30 @@ class TestSlabDispatch:
         with pytest.raises(ValueError, match="slab_size"):
             Engine(jobs=2, slab_size=0)
 
+    def test_small_batch_shrinks_slabs_to_fill_the_pool(self):
+        """A batch far below slab_size x jobs must split across workers
+        instead of landing in one giant slab (an adaptive explorer's
+        low-fidelity rung is a few dozen points at slab_size=32)."""
+        engine = Engine(jobs=2, slab_size=32)
+        units = [unit(mix=MIX[:1] * (n % 3 + 1)) for n in range(6)]
+        captured = []
+        original = engine.executor.map
+
+        def spy(tasks, **kwargs):
+            captured.append(len(tasks))
+            return original(tasks, **kwargs)
+
+        engine.executor.map = spy
+        results = engine.evaluate(units)
+        assert captured == [2]  # two slabs of 3, not one slab of 6
+        assert results == Engine(jobs=1).evaluate(units)
+
+    def test_shrunk_slabs_bit_identical(self):
+        units = self._units()[:5]
+        assert Engine(jobs=2, slab_size=32).evaluate(units) == Engine(
+            jobs=1
+        ).evaluate(units)
+
 
 class TestResultStore:
     def test_round_trip(self, tmp_path, study):

@@ -1,0 +1,167 @@
+"""Adaptive exploration: successive halving, tie escalation, GA
+refinement, and the budget ledger."""
+
+import json
+
+import pytest
+
+from repro.core.scenarios import get_scenario
+from repro.core.study import DesignSpaceStudy
+from repro.explore import (
+    ExploreConfig,
+    composition_design,
+    feasible_compositions,
+    run_explore,
+)
+
+DESIGNS = ("4B", "8m", "20s")
+
+
+@pytest.fixture(scope="module")
+def result(study):
+    """One shared reduced-space exploration (module-scoped: read-only)."""
+    config = ExploreConfig(
+        scenario="flash-crowd", designs=DESIGNS, max_threads=10
+    )
+    return run_explore(config, study=study)
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        ExploreConfig(scenario="steady")
+
+    def test_bad_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            ExploreConfig(scenario="steady", kind="imaginary")
+
+    def test_empty_designs(self):
+        with pytest.raises(ValueError, match="at least one"):
+            ExploreConfig(scenario="steady", designs=())
+
+    def test_eta_floor(self):
+        with pytest.raises(ValueError, match="eta"):
+            ExploreConfig(scenario="steady", eta=1)
+
+    def test_unknown_scenario_fails_at_run(self):
+        with pytest.raises(ValueError, match="steady"):
+            run_explore(ExploreConfig(scenario="nope"))
+
+    def test_unknown_design_fails_at_run(self):
+        with pytest.raises(KeyError):
+            run_explore(
+                ExploreConfig(scenario="steady", designs=("not-a-chip",))
+            )
+
+
+class TestSuccessiveHalving:
+    def test_winner_matches_exhaustive(self, study, result):
+        dist = get_scenario("flash-crowd").distribution(max_threads=10)
+        exact = {
+            name: study.aggregate_stp(name, "heterogeneous", dist, True)
+            for name in DESIGNS
+        }
+        assert result["winner"] == max(exact, key=exact.get)
+
+    def test_within_budget(self, result):
+        assert result["evaluations"] <= 0.2 * result["full_grid_points"]
+        assert result["fraction"] == pytest.approx(
+            result["evaluations"] / result["full_grid_points"]
+        )
+
+    def test_rung_accounting(self, result):
+        total = 0
+        for rung in result["rungs"]:
+            assert rung["new_points"] >= 0
+            total += rung["new_points"]
+            assert rung["cumulative_points"] == total
+            assert set(rung["kept"]) <= set(rung["designs"])
+        assert len(result["rungs"][-1]["kept"]) == 1
+
+    def test_fidelity_grows_by_eta(self, result):
+        rungs = result["rungs"]
+        for a, b in zip(rungs, rungs[1:]):
+            assert b["mixes_per_count"] == 3 * a["mixes_per_count"]
+
+    def test_ranking_sorted_best_first(self, result):
+        scores = [entry["score"] for entry in result["ranking"]]
+        assert scores == sorted(scores, reverse=True)
+        assert result["ranking"][0]["design"] == result["winner"]
+
+    def test_json_round_trip(self, result):
+        assert json.loads(json.dumps(result)) == result
+
+    def test_single_design_short_circuits(self, study):
+        config = ExploreConfig(
+            scenario="steady", designs=("4B",), max_threads=6
+        )
+        out = run_explore(config, study=study)
+        assert out["winner"] == "4B"
+        assert len(out["rungs"]) == 1
+
+    def test_warm_study_reports_same_cost(self, study, result):
+        """Regression: point counts used to be a delta of the study's
+        memo cache, so a warm study (serve daemon, prior sweep) reported
+        0 evaluations and broke local/--server byte-parity."""
+        config = ExploreConfig(
+            scenario="flash-crowd", designs=DESIGNS, max_threads=10
+        )
+        again = run_explore(config, study=study)  # memo fully warm now
+        assert again == result
+
+    def test_fresh_study_matches_shared(self, result):
+        config = ExploreConfig(
+            scenario="flash-crowd", designs=DESIGNS, max_threads=10
+        )
+        assert run_explore(config) == result
+
+
+class TestCompositionSpace:
+    def test_fifteen_feasible_compositions(self):
+        comps = feasible_compositions()
+        assert len(comps) == 15
+        assert len(set(comps)) == 15
+
+    def test_all_meet_power_budget_exactly(self):
+        for nb, nm, ns in feasible_compositions():
+            assert 10 * nb + 5 * nm + 2 * ns == 40
+
+    def test_paper_designs_included(self):
+        comps = set(feasible_compositions())
+        assert (4, 0, 0) in comps  # 4B
+        assert (0, 8, 0) in comps  # 8m
+        assert (0, 0, 20) in comps  # 20s
+        assert (2, 4, 0) in comps  # 2B4m
+
+    def test_composition_design_cores(self):
+        design = composition_design((1, 2, 5))
+        assert design.name == "ga-1B2m5s"
+        counts = design.core_counts()
+        assert sum(counts.values()) == 8
+
+    def test_empty_composition_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            composition_design((0, 0, 0))
+
+
+class TestGaRefinement:
+    def test_ga_explores_hybrids_within_budget(self):
+        study = DesignSpaceStudy()
+        config = ExploreConfig(
+            scenario="latency-classes", designs=DESIGNS, max_threads=8,
+            ga_rounds=2, budget_fraction=0.5, seed=7,
+        )
+        out = run_explore(config, study=study)
+        ga = out["ga"]
+        assert ga is not None and ga["rounds"] >= 1
+        assert out["evaluations"] <= 0.5 * out["full_grid_points"]
+        # Scores are comparable: best GA score is the winner's score when
+        # a hybrid wins, and never silently worse than reported.
+        assert ga["best_score"] <= out["winner_score"] or ga[
+            "best"
+        ] == out["winner"]
+        for entry in ga["evaluated"]:
+            nb, nm, ns = entry["composition"]
+            assert 10 * nb + 5 * nm + 2 * ns == 40
+
+    def test_ga_off_by_default(self, result):
+        assert result["ga"] is None

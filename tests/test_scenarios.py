@@ -1,0 +1,127 @@
+"""The scenario catalog: named arrival processes beyond the paper's
+three closed-form distributions."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.scenarios import (
+    DEFAULT_HORIZON,
+    SCENARIOS,
+    Scenario,
+    get_scenario,
+    scenario_names,
+)
+
+EXPECTED = (
+    "steady",
+    "datacenter",
+    "bursty",
+    "flash-crowd",
+    "latency-classes",
+    "peak-load",
+)
+
+
+class TestCatalog:
+    def test_expected_scenarios_present(self):
+        for name in EXPECTED:
+            assert name in SCENARIOS
+
+    def test_names_in_registry_order(self):
+        assert scenario_names() == tuple(SCENARIOS)
+
+    def test_every_entry_is_a_scenario(self):
+        for name, scenario in SCENARIOS.items():
+            assert isinstance(scenario, Scenario)
+            assert scenario.name == name
+            assert scenario.description
+
+    def test_unknown_scenario_lists_available(self):
+        with pytest.raises(ValueError, match="steady"):
+            get_scenario("nope")
+
+    def test_get_scenario_round_trips(self):
+        assert get_scenario("bursty") is SCENARIOS["bursty"]
+
+
+class TestScenarioRuns:
+    @pytest.mark.parametrize("name", EXPECTED)
+    def test_produces_valid_distribution(self, name):
+        dist = get_scenario(name).distribution(max_threads=12, horizon=4_000.0)
+        assert dist.max_threads == 12
+        assert sum(dist.probabilities) == pytest.approx(1.0)
+
+    def test_distribution_is_named(self):
+        dist = get_scenario("steady").distribution(
+            max_threads=12, horizon=4_000.0
+        )
+        assert dist.name == "steady-12"
+
+    def test_deterministic_per_seed(self):
+        a = get_scenario("bursty").simulate(
+            max_threads=8, horizon=4_000.0, seed=5
+        )
+        b = get_scenario("bursty").simulate(
+            max_threads=8, horizon=4_000.0, seed=5
+        )
+        assert a == b
+
+    def test_seed_changes_trace(self):
+        a = get_scenario("bursty").timeline(
+            max_threads=8, horizon=4_000.0, seed=5
+        )
+        b = get_scenario("bursty").timeline(
+            max_threads=8, horizon=4_000.0, seed=6
+        )
+        assert a.segments != b.segments
+
+    def test_capacity_respected(self):
+        tl = get_scenario("peak-load").timeline(
+            max_threads=8, horizon=4_000.0
+        )
+        assert tl.max_threads <= 8
+
+    def test_peak_load_saturates(self):
+        sim = get_scenario("peak-load").simulate(
+            max_threads=8, horizon=DEFAULT_HORIZON
+        )
+        assert sim.jobs_queued > 0
+        assert sim.timeline.mean_threads > 6.0
+
+    def test_bursty_is_burstier_than_steady(self):
+        # The Pareto on-off process idles far more than the steady
+        # Poisson stream at comparable turnover.
+        bursty = get_scenario("bursty").simulate(max_threads=24)
+        steady = get_scenario("steady").simulate(max_threads=24)
+        assert bursty.idle_time > steady.idle_time
+
+    def test_flash_crowd_has_batches(self):
+        sim = get_scenario("flash-crowd").simulate(max_threads=24)
+        assert sim.max_queue_length > 0 or sim.timeline.max_threads > 10
+
+
+class TestCrossProcessDeterminism:
+    def test_trace_identical_in_fresh_interpreter(self):
+        """Scenario traces must not depend on interpreter state (hash
+        randomization, import order): the serve daemon and the local CLI
+        must see the same distribution for the same (scenario, seed)."""
+        code = (
+            "from repro.core.scenarios import get_scenario\n"
+            "d = get_scenario('datacenter').distribution("
+            "max_threads=10, horizon=4000.0, seed=9)\n"
+            "print(repr(d.probabilities))\n"
+        )
+        runs = [
+            subprocess.run(
+                [sys.executable, "-c", code],
+                capture_output=True, text=True, check=True,
+            ).stdout
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+        local = get_scenario("datacenter").distribution(
+            max_threads=10, horizon=4_000.0, seed=9
+        )
+        assert runs[0].strip() == repr(local.probabilities)

@@ -518,3 +518,105 @@ class TestServerByteIdentity:
         )
         assert rc == 2
         assert capsys.readouterr().out == ""
+
+
+# --------------------------------------------------------------------- #
+# explore jobs                                                           #
+# --------------------------------------------------------------------- #
+
+EXPLORE_PARAMS = {
+    "scenario": "flash-crowd",
+    "designs": [DESIGN, OTHER_DESIGN],
+    "max_threads": 4,
+}
+
+EXPLORE_ARGS = [
+    "explore",
+    "--scenario",
+    "flash-crowd",
+    "--design",
+    f"{DESIGN},{OTHER_DESIGN}",
+    "--max-threads",
+    "4",
+]
+
+
+class TestExploreJobs:
+    def test_submit_validation(self):
+        kind, params, priority = protocol.validate_submit(
+            {"kind": "explore", "params": dict(EXPLORE_PARAMS)}
+        )
+        assert (kind, priority) == ("explore", "bulk")
+        with pytest.raises(protocol.ProtocolError, match="scenario"):
+            protocol.validate_submit({"kind": "explore", "params": {}})
+        with pytest.raises(protocol.ProtocolError, match="designs"):
+            protocol.validate_submit(
+                {
+                    "kind": "explore",
+                    "params": {"scenario": "steady", "designs": []},
+                }
+            )
+
+    def test_explore_round_trip(self, tmp_path):
+        with make_handle(tmp_path) as handle:
+            with ServeClient(handle.address) as client:
+                out = client.explore(dict(EXPLORE_PARAMS))
+        assert out["scenario"] == "flash-crowd"
+        assert out["winner"] in (DESIGN, OTHER_DESIGN)
+        assert out["evaluations"] <= out["full_grid_points"]
+
+    def test_explore_counts_as_one_opaque_point(self, tmp_path):
+        with make_handle(tmp_path) as handle:
+            with ServeClient(handle.address) as client:
+                job = client.submit("explore", dict(EXPLORE_PARAMS))
+                status = client.wait(job)
+        assert status["total_points"] == 1
+        assert status["done_points"] == 1
+
+    def test_bad_explore_params_fail_job(self, tmp_path):
+        with make_handle(tmp_path) as handle:
+            with ServeClient(handle.address) as client:
+                with pytest.raises(ServeError, match="scenario"):
+                    client.explore({"scenario": "not-a-scenario"})
+
+    def test_repeat_explore_on_warm_server_is_identical(self, tmp_path):
+        """The daemon's long-lived study memoizes points across jobs; the
+        second run must still report the same evaluation counts (the
+        ledger counts what the search requested, not what was fresh)."""
+        with make_handle(tmp_path) as handle:
+            with ServeClient(handle.address) as client:
+                first = client.explore(dict(EXPLORE_PARAMS))
+                second = client.explore(dict(EXPLORE_PARAMS))
+        assert first == second
+
+    def test_explore_cli_output_is_byte_identical(
+        self, capsys, tmp_path
+    ):
+        with make_handle(tmp_path) as handle:
+            for extra in ([], ["--json"]):
+                rc = cli_main(
+                    EXPLORE_ARGS
+                    + ["--cache-dir", str(tmp_path / "local-cache")]
+                    + extra
+                )
+                assert rc == 0
+                local = capsys.readouterr().out
+                rc = cli_main(
+                    EXPLORE_ARGS + ["--server", handle.address] + extra
+                )
+                assert rc == 0
+                remote = capsys.readouterr().out
+                assert remote == local
+
+    def test_unknown_scenario_exits_2_before_submission(self, capsys, tmp_path):
+        rc = cli_main(
+            [
+                "explore",
+                "--scenario",
+                "not-a-scenario",
+                "--server",
+                f"unix:{tmp_path}/nowhere.sock",
+            ]
+        )
+        assert rc == 2
+        assert capsys.readouterr().out == ""

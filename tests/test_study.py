@@ -122,3 +122,38 @@ class TestUncoreOverride:
     def test_subset_of_designs(self):
         study = DesignSpaceStudy(designs=[])
         assert study.designs == {}
+
+
+class TestAddDesign:
+    def test_register_and_evaluate(self):
+        from repro.explore import composition_design
+
+        study = DesignSpaceStudy(designs=[])
+        design = composition_design((1, 2, 5))
+        study.add_design(design)
+        assert study.design(design.name) is design
+        assert study.evaluate_mix(design.name, ["mcf"]).stp > 0
+
+    def test_idempotent_on_equal_design(self):
+        from repro.core.designs import get_design
+
+        study = DesignSpaceStudy()
+        study.add_design(get_design("4B"))  # same object: no-op
+        assert len(study.designs) == 9
+
+    def test_name_clash_with_different_cores_rejected(self):
+        from repro.explore import composition_design
+
+        study = DesignSpaceStudy()
+        clash = composition_design((0, 8, 0))
+        object.__setattr__(clash, "name", "4B")
+        with pytest.raises(ValueError, match="4B"):
+            study.add_design(clash)
+
+    def test_evaluated_points_counts_memo(self):
+        study = DesignSpaceStudy()
+        assert study.evaluated_points == 0
+        study.evaluate_mix("4B", ["mcf"])
+        study.evaluate_mix("4B", ["mcf"])  # memo hit: not recounted
+        study.evaluate_mix("4B", ["mcf"], smt=False)
+        assert study.evaluated_points == 2

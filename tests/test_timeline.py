@@ -4,7 +4,11 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.timeline import ThreadCountTimeline, simulate_job_arrivals
+from repro.core.timeline import (
+    ThreadCountTimeline,
+    simulate_arrival_process,
+    simulate_job_arrivals,
+)
 
 
 class TestTimeline:
@@ -81,3 +85,126 @@ class TestJobArrivals:
         dist = tl.to_distribution(max_threads=24)
         assert sum(dist.probabilities) == pytest.approx(1.0)
         assert tl.total_time > 0
+
+
+class TestArrivalProcess:
+    """The generalized event-loop simulator behind the scenario library."""
+
+    def exp(self, mean):
+        return lambda rng, _t: rng.expovariate(1.0 / mean)
+
+    def test_time_conservation(self):
+        sim = simulate_arrival_process(
+            self.exp(20.0), self.exp(100.0), horizon=5_000.0, seed=7
+        )
+        assert sim.timeline.total_time + sim.idle_time == pytest.approx(
+            5_000.0
+        )
+
+    @given(
+        mean_gap=st.floats(5.0, 200.0),
+        mean_service=st.floats(20.0, 200.0),
+        seed=st.integers(0, 50),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_conservation_holds_across_loads(
+        self, mean_gap, mean_service, seed
+    ):
+        sim = simulate_arrival_process(
+            self.exp(mean_gap), self.exp(mean_service),
+            horizon=3_000.0, seed=seed,
+        )
+        assert sim.timeline.total_time + sim.idle_time == pytest.approx(
+            3_000.0
+        )
+        assert sim.jobs_completed <= sim.jobs_arrived
+
+    def test_coincident_departure_before_arrival(self):
+        # Deterministic lockstep: one arrival per time unit, service 2.0,
+        # capacity 2.  At every even instant a departure and an arrival
+        # coincide; processing the departure first means the arrival
+        # always finds a free slot — nothing ever queues.
+        sim = simulate_arrival_process(
+            lambda rng, t: 1.0, lambda rng, t: 2.0,
+            max_threads=2, horizon=10.0, seed=1,
+        )
+        assert sim.jobs_queued == 0
+        assert sim.max_queue_length == 0
+        assert sim.idle_time == pytest.approx(1.0)  # before first arrival
+        assert sim.timeline.total_time == pytest.approx(9.0)
+
+    def test_queue_drains_to_capacity_on_departure(self):
+        # A batch of 5 hits a 2-wide chip with unit service: 3 jobs queue,
+        # then drain as slots free.  All 5 finish by the horizon.
+        sim = simulate_arrival_process(
+            lambda rng, t: 30.0, lambda rng, t: 1.0,
+            max_threads=2, horizon=50.0, seed=1, batch_size=lambda rng, t: 5,
+        )
+        assert sim.jobs_queued == 3
+        assert sim.max_queue_length == 3
+        assert sim.jobs_completed == 5
+        assert sim.timeline.segments == ((2.0, 2), (1.0, 1))
+
+    def test_capacity_never_exceeded(self):
+        sim = simulate_arrival_process(
+            self.exp(1.0), self.exp(50.0),
+            max_threads=6, horizon=1_000.0, seed=3,
+        )
+        assert sim.timeline.max_threads <= 6
+        assert sim.jobs_queued > 0  # overload really did queue jobs
+
+    def test_nonpositive_sampler_rejected(self):
+        with pytest.raises(ValueError, match="interarrival"):
+            simulate_arrival_process(
+                lambda rng, t: 0.0, self.exp(10.0), horizon=100.0
+            )
+        with pytest.raises(ValueError, match="service"):
+            simulate_arrival_process(
+                self.exp(10.0), lambda rng, t: -1.0, horizon=100.0
+            )
+
+    def test_deterministic_per_seed(self):
+        a = simulate_arrival_process(
+            self.exp(10.0), self.exp(40.0), horizon=2_000.0, seed=11
+        )
+        b = simulate_arrival_process(
+            self.exp(10.0), self.exp(40.0), horizon=2_000.0, seed=11
+        )
+        assert a == b
+
+    def test_wrapper_matches_process(self):
+        # simulate_job_arrivals is sugar over the generalized process.
+        tl = simulate_job_arrivals(0.05, 100.0, seed=3)
+        sim = simulate_arrival_process(
+            lambda rng, t: rng.expovariate(0.05),
+            lambda rng, t: rng.expovariate(1.0 / 100.0),
+            seed=3,
+        )
+        assert tl == sim.timeline
+
+
+class TestToDistributionEdges:
+    def test_max_threads_above_timeline_max_pads_zeros(self):
+        tl = ThreadCountTimeline.from_samples([(1.0, 2)])
+        dist = tl.to_distribution(max_threads=5)
+        assert dist.max_threads == 5
+        assert dist.support == (2,)
+
+    def test_clamp_merges_mass_at_cap(self):
+        tl = ThreadCountTimeline.from_samples([(1.0, 9), (1.0, 10), (2.0, 3)])
+        dist = tl.to_distribution(max_threads=4)
+        assert dist.probability(4) == pytest.approx(0.5)
+        assert dist.probability(3) == pytest.approx(0.5)
+
+    def test_single_segment_is_point_mass(self):
+        dist = ThreadCountTimeline.from_samples([(5.0, 3)]).to_distribution()
+        assert dist.probability(3) == pytest.approx(1.0)
+        assert dist.support == (3,)
+
+    def test_name_override(self):
+        tl = ThreadCountTimeline.from_samples([(1.0, 1)])
+        assert tl.to_distribution(name="web-trace").name == "web-trace"
+
+    def test_default_name_mentions_timeline(self):
+        tl = ThreadCountTimeline.from_samples([(1.0, 1)])
+        assert "timeline" in tl.to_distribution().name
