@@ -59,6 +59,10 @@ FAST_SCENARIOS = (
 
 _SCHEMA_VERSION = 1
 
+#: Budget for the relative throughput cost of live telemetry on the
+#: coalesced-burst scenario (recorder + HTTP exposition vs none).
+MAX_TELEMETRY_OVERHEAD = 0.02
+
 
 @dataclass(frozen=True)
 class ScenarioResult:
@@ -66,7 +70,9 @@ class ScenarioResult:
 
     ``instructions`` is the generic work counter; ``unit`` names what it
     counts ("instr" for the cycle tier, "points"/"solves" for interval
-    scenarios).
+    scenarios).  ``extras`` carries scenario-specific report fields (the
+    serve scenarios attach queue-wait/e2e latency percentiles read from
+    the daemon's live histograms).
     """
 
     name: str
@@ -74,6 +80,7 @@ class ScenarioResult:
     seconds: float
     repeats: int
     unit: str = "instr"
+    extras: Optional[Dict] = None
 
     @property
     def instructions_per_second(self) -> float:
@@ -89,6 +96,10 @@ class ScenarioResult:
 # returns the measured wall seconds (the body decides what is timed, so
 # simulation scenarios can rebuild cold state per repeat without charging
 # setup to the clock).  Budgets are sized so the suite finishes fast.
+# A factory may instead return ``(instructions, run, extras)`` where
+# ``extras`` is a zero-argument callable run once after all repeats; its
+# dict is merged into the scenario's report entry (serve latency
+# percentiles ride along this way).
 
 
 def _scenario_tracegen() -> Tuple[int, Callable[[], float]]:
@@ -298,7 +309,34 @@ def _serve_handle():
     return _SERVE_STATE["handle"]
 
 
-def _scenario_serve_roundtrip() -> Tuple[int, Callable[[], float]]:
+def _latency_extras(client) -> Callable[[], Dict]:
+    """Read queue-wait/e2e percentiles from the daemon's live histograms.
+
+    Goes through the ``metrics`` op (event-loop thread) rather than
+    poking the registry from this thread; ``window=0`` skips the
+    time-series payload.  Recorded into the report entry so the perf
+    gate can catch latency regressions, not just throughput ones.
+    """
+
+    def extras() -> Dict:
+        snapshot = client.metrics(window=0)["snapshot"]
+        histograms = snapshot.get("histograms", {})
+        latency: Dict[str, Dict[str, float]] = {}
+        for field, metric in (
+            ("queue_wait", "serve.job_queue_wait_seconds"),
+            ("e2e", "serve.job_e2e_seconds"),
+        ):
+            snap = histograms.get(metric)
+            if snap:
+                latency[field] = {
+                    q: snap[q] for q in ("p50", "p95", "p99") if q in snap
+                }
+        return {"latency": latency} if latency else {}
+
+    return extras
+
+
+def _scenario_serve_roundtrip() -> Tuple[int, Callable[[], float], Callable]:
     """submit+poll+wait round trips for an already-cached point."""
     from repro.serve import ServeClient
 
@@ -321,10 +359,30 @@ def _scenario_serve_roundtrip() -> Tuple[int, Callable[[], float]]:
             client.wait(job)
         return time.perf_counter() - start
 
-    return requests, run
+    return requests, run, _latency_extras(client)
 
 
-def _scenario_serve_burst() -> Tuple[int, Callable[[], float]]:
+def _burst_body(client, params: Dict) -> Callable[[], float]:
+    def run() -> float:
+        start = time.perf_counter()
+        first = client.submit("sweep", params)
+        second = client.submit("sweep", params)
+        client.wait(first)
+        client.wait(second)
+        return time.perf_counter() - start
+
+    return run
+
+
+_BURST_PARAMS = {
+    "designs": ["4B"],
+    "kind": "heterogeneous",
+    "max_threads": 4,
+    "smt": True,
+}
+
+
+def _scenario_serve_burst() -> Tuple[int, Callable[[], float], Callable]:
     """Warm-cache throughput for a ~100-point coalesced burst.
 
     Two identical sweep jobs are submitted back to back without waiting:
@@ -336,24 +394,51 @@ def _scenario_serve_burst() -> Tuple[int, Callable[[], float]]:
     handle = _serve_handle()
     client = ServeClient(handle.address, client_name="bench-burst")
     _SERVE_STATE["burst_client"] = client
-    params = {
-        "designs": ["4B"],
-        "kind": "heterogeneous",
-        "max_threads": 4,
-        "smt": True,
-    }
-    status = client.wait(client.submit("sweep", params))  # warm the store
+    status = client.wait(client.submit("sweep", _BURST_PARAMS))  # warm store
     points = 2 * status["total_points"]
+    return points, _burst_body(client, _BURST_PARAMS), _latency_extras(client)
 
-    def run() -> float:
-        start = time.perf_counter()
-        first = client.submit("sweep", params)
-        second = client.submit("sweep", params)
-        client.wait(first)
-        client.wait(second)
-        return time.perf_counter() - start
 
-    return points, run
+def _scenario_serve_burst_telemetry() -> Tuple[int, Callable[[], float], Callable]:
+    """The coalesced burst again, on a daemon with full telemetry on.
+
+    Boots a second daemon with the HTTP exposition thread and the
+    time-series recorder enabled (its own cache dir, so the store warms
+    identically) and runs the same burst body.  The report pairs this
+    with ``serve_burst``: ``annotate_telemetry_overhead`` derives the
+    relative throughput cost, and ``check_regressions`` fails when it
+    exceeds 2 %.
+    """
+    from repro.serve import ServeClient, ServeConfig, ServerHandle
+
+    if "telemetry_handle" not in _SERVE_STATE:
+        import atexit
+        import shutil
+        import tempfile
+
+        tmp = tempfile.mkdtemp(prefix="repro-bench-serve-telem-")
+        handle = ServerHandle(
+            ServeConfig(
+                listen=f"unix:{tmp}/bench.sock",
+                jobs=1,
+                cache_dir=f"{tmp}/cache",
+                http_port=0,  # ephemeral: exposition thread on, no clash
+                record_interval=0.25,
+            )
+        ).start()
+
+        def teardown(handle=handle, tmp=tmp):
+            handle.stop()
+            shutil.rmtree(tmp, ignore_errors=True)
+
+        atexit.register(teardown)
+        _SERVE_STATE["telemetry_handle"] = handle
+    handle = _SERVE_STATE["telemetry_handle"]
+    client = ServeClient(handle.address, client_name="bench-burst-telem")
+    _SERVE_STATE["burst_telemetry_client"] = client
+    status = client.wait(client.submit("sweep", _BURST_PARAMS))  # warm store
+    points = 2 * status["total_points"]
+    return points, _burst_body(client, _BURST_PARAMS), _latency_extras(client)
 
 
 SCENARIOS: Dict[str, Callable[[], Tuple[int, Callable[[], None]]]] = {
@@ -367,13 +452,14 @@ SCENARIOS: Dict[str, Callable[[], Tuple[int, Callable[[], None]]]] = {
     "interval_solver": _scenario_interval_solver,
     "serve_roundtrip": _scenario_serve_roundtrip,
     "serve_burst": _scenario_serve_burst,
+    "serve_burst_telemetry": _scenario_serve_burst_telemetry,
 }
 
 #: Scenario -> tier; each tier writes its own report file.
 TIERS: Dict[str, Tuple[str, ...]] = {
     "cycle": ("tracegen", "ooo_single", "inorder_single", "smt4", "8core_llc"),
     "interval": ("interval_point", "interval_slab", "interval_solver"),
-    "serve": ("serve_roundtrip", "serve_burst"),
+    "serve": ("serve_roundtrip", "serve_burst", "serve_burst_telemetry"),
 }
 
 #: Default report file per tier (repo root, as ROADMAP.md documents).
@@ -390,6 +476,7 @@ _SCENARIO_UNITS: Dict[str, str] = {
     "interval_solver": "solves",
     "serve_roundtrip": "requests",
     "serve_burst": "points",
+    "serve_burst_telemetry": "points",
 }
 
 
@@ -416,18 +503,22 @@ def run_scenario(
         )
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
-    instructions, body = SCENARIOS[name]()
+    parts = SCENARIOS[name]()
+    instructions, body = parts[0], parts[1]
+    extras_fn = parts[2] if len(parts) > 2 else None
     if profile:
         _profile_scenario(name, body)
     best = float("inf")
     for _ in range(repeats):
         best = min(best, body())
+    extras = extras_fn() if extras_fn is not None else None
     return ScenarioResult(
         name=name,
         instructions=instructions,
         seconds=best,
         repeats=repeats,
         unit=_SCENARIO_UNITS.get(name, "instr"),
+        extras=extras or None,
     )
 
 
@@ -485,6 +576,7 @@ def run_suite(
         report["baseline"] = {
             "path": baseline.get("path"),
             "label": baseline.get("label", "seed"),
+            "latency": baseline.get("latency", {}),
         }
     for r in results:
         entry = {
@@ -495,6 +587,8 @@ def run_suite(
             "unit": r.unit,
             "speedup_vs_baseline": None,
         }
+        if r.extras:
+            entry.update(r.extras)
         if baseline is not None:
             base = baseline["scenarios"].get(r.name)
             if isinstance(base, dict) and base.get("instructions_per_second"):
@@ -503,7 +597,31 @@ def run_suite(
                     3,
                 )
         report["scenarios"][r.name] = entry
+    annotate_telemetry_overhead(report)
     return report
+
+
+def annotate_telemetry_overhead(report: Dict) -> Optional[float]:
+    """Derive telemetry's relative throughput cost from the burst pair.
+
+    When both ``serve_burst`` (telemetry-free daemon) and
+    ``serve_burst_telemetry`` (recorder + HTTP exposition on) ran,
+    record ``telemetry_overhead`` — the fraction of burst throughput
+    lost with telemetry enabled (negative means noise made the
+    telemetry run faster) — on the telemetry entry, and return it.
+    """
+    scenarios = report.get("scenarios", {})
+    plain = scenarios.get("serve_burst")
+    telem = scenarios.get("serve_burst_telemetry")
+    if not plain or not telem:
+        return None
+    plain_ips = plain.get("instructions_per_second") or 0.0
+    telem_ips = telem.get("instructions_per_second") or 0.0
+    if plain_ips <= 0 or telem_ips <= 0:
+        return None
+    overhead = round(1.0 - telem_ips / plain_ips, 4)
+    telem["telemetry_overhead"] = overhead
+    return overhead
 
 
 def format_report(report: Dict) -> str:
@@ -541,7 +659,11 @@ def check_regressions(
     A scenario fails when its throughput falls more than ``max_regression``
     below the recorded baseline (speedup < 1 - max_regression).  Scenarios
     without a baseline entry are skipped — they cannot regress against
-    nothing.  Returns an empty list when everything is within bounds.
+    nothing.  Two latency-side checks ride along: a recorded e2e p95
+    more than ``1 + max_regression`` above the baseline's fails, and a
+    ``telemetry_overhead`` above :data:`MAX_TELEMETRY_OVERHEAD` fails
+    regardless of baseline.  Returns an empty list when everything is
+    within bounds.
     """
     if not 0.0 < max_regression < 1.0:
         raise ValueError(
@@ -549,32 +671,54 @@ def check_regressions(
         )
     failures: List[str] = []
     floor = 1.0 - max_regression
+    baseline = report.get("baseline")
     for name, entry in report["scenarios"].items():
         speedup = entry.get("speedup_vs_baseline")
-        if speedup is None:
-            continue
-        if speedup < floor:
+        if speedup is not None and speedup < floor:
             failures.append(
                 f"{name}: {entry['instructions_per_second']:,.0f} instr/s is "
                 f"{speedup:.2f}x the baseline "
                 f"(allowed floor: {floor:.2f}x)"
             )
+        overhead = entry.get("telemetry_overhead")
+        if overhead is not None and overhead > MAX_TELEMETRY_OVERHEAD:
+            failures.append(
+                f"{name}: telemetry overhead {overhead:.1%} exceeds the "
+                f"{MAX_TELEMETRY_OVERHEAD:.0%} budget"
+            )
+        base_latency = (baseline or {}).get("latency", {}).get(name) or {}
+        base_p95 = (base_latency.get("e2e") or {}).get("p95")
+        p95 = (entry.get("latency", {}).get("e2e") or {}).get("p95")
+        if base_p95 and p95 is not None:
+            ceiling = base_p95 * (1.0 + max_regression)
+            if p95 > ceiling:
+                failures.append(
+                    f"{name}: e2e p95 {p95 * 1000:.1f}ms exceeds "
+                    f"{ceiling * 1000:.1f}ms "
+                    f"(baseline {base_p95 * 1000:.1f}ms + {max_regression:.0%})"
+                )
     return failures
 
 
 def save_baseline(report: Dict, path: str, label: str = "seed") -> None:
     """Persist the current numbers as the comparison baseline."""
-    atomic_write_json(
-        path,
-        {
-            "schema_version": _SCHEMA_VERSION,
-            "label": label,
-            "scenarios": {
-                name: {
-                    "instructions": entry["instructions"],
-                    "instructions_per_second": entry["instructions_per_second"],
-                }
-                for name, entry in report["scenarios"].items()
-            },
+    payload = {
+        "schema_version": _SCHEMA_VERSION,
+        "label": label,
+        "scenarios": {
+            name: {
+                "instructions": entry["instructions"],
+                "instructions_per_second": entry["instructions_per_second"],
+            }
+            for name, entry in report["scenarios"].items()
         },
-    )
+    }
+    latency = {
+        name: entry["latency"]
+        for name, entry in report["scenarios"].items()
+        if entry.get("latency")
+    }
+    if latency:
+        payload["latency"] = latency
+    atomic_write_json(path, payload)
+

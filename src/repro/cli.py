@@ -28,6 +28,7 @@ snapshot) and ``--progress/--no-progress`` (live ETA line, auto on a TTY).
 import argparse
 import json
 import sys
+import time
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.designs import ALTERNATIVE_DESIGNS, DESIGN_ORDER, get_design
@@ -651,6 +652,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"error: --max-finished-jobs must be >= 0, got {args.max_finished_jobs}"
         )
         return 2
+    if args.http_port is not None and args.http_port < 0:
+        _LOG.error(f"error: --http-port must be >= 0, got {args.http_port}")
+        return 2
+    if args.record_interval <= 0:
+        _LOG.error(
+            f"error: --record-interval must be > 0, got {args.record_interval}"
+        )
+        return 2
+    if args.record_window < 1 or args.trace_ring < 1:
+        _LOG.error("error: --record-window and --trace-ring must be >= 1")
+        return 2
     config = ServeConfig(
         listen=listen,
         jobs=args.jobs,
@@ -662,12 +674,167 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         slab_size=args.slab_size,
         quota=args.quota,
         max_finished_jobs=args.max_finished_jobs,
+        http_port=args.http_port,
+        http_host=args.http_host,
+        record_interval=args.record_interval,
+        record_window=args.record_window,
+        trace_ring=args.trace_ring,
+        flight_path=args.flight_record,
     )
     _obs_begin(args)
     try:
         return SweepServer(config).run()
     finally:
         _obs_finish(args)
+
+
+def _top_snapshot(client) -> Dict:
+    """One dashboard frame from a serve daemon's health + metrics ops."""
+    health = client.health()
+    telemetry = client.metrics(window=3)
+    counters = telemetry["snapshot"]["counters"]
+    series = telemetry["series"]
+    throughput: Dict[str, Optional[float]] = {
+        "points_per_second": None,
+        "jobs_per_second": None,
+        "window_seconds": None,
+    }
+    if len(series) >= 2:
+        prev, last = series[-2], series[-1]
+        dt = last["ts"] - prev["ts"]
+        if dt > 0:
+
+            def rate(name: str) -> float:
+                delta = last["counters"].get(name, 0) - prev["counters"].get(
+                    name, 0
+                )
+                return round(delta / dt, 3)
+
+            throughput = {
+                "points_per_second": rate("serve.points_completed"),
+                "jobs_per_second": rate("serve.jobs_completed"),
+                "window_seconds": round(dt, 3),
+            }
+    if throughput["points_per_second"] is None:
+        # Not enough samples yet (fresh daemon / long interval): fall
+        # back to lifetime averages so --once always reports something.
+        uptime = health.get("uptime_seconds") or 0
+        if uptime > 0:
+            throughput = {
+                "points_per_second": round(
+                    counters.get("serve.points_completed", 0) / uptime, 3
+                ),
+                "jobs_per_second": round(
+                    counters.get("serve.jobs_completed", 0) / uptime, 3
+                ),
+                "window_seconds": uptime,
+            }
+    clients: Dict[str, Dict[str, float]] = {}
+    prefix = "serve.client_points_completed{client="
+    total_client_points = 0.0
+    for name, value in counters.items():
+        if name.startswith(prefix) and name.endswith("}"):
+            clients[name[len(prefix):-1]] = {"points_completed": value}
+            total_client_points += value
+    for entry in clients.values():
+        entry["share"] = round(
+            entry["points_completed"] / total_client_points, 4
+        ) if total_client_points else 0.0
+    return {
+        "address": client.address,
+        "uptime_seconds": health.get("uptime_seconds"),
+        "ready": health.get("ready"),
+        "draining": health.get("draining"),
+        "jobs": health.get("jobs", {}),
+        "active_jobs": health.get("active_jobs"),
+        "queue": health.get("queue", {}),
+        "throughput": throughput,
+        "latency": health.get("slo", {}),
+        "clients": clients,
+        "counters": counters,
+    }
+
+
+def _fmt_latency(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value >= 1.0:
+        return f"{value:.2f}s"
+    return f"{value * 1000:.1f}ms"
+
+
+def _top_render(snap: Dict) -> List[str]:
+    """Render one snapshot as the fixed-shape dashboard frame."""
+    jobs = snap["jobs"]
+    queue = snap["queue"]
+    rate = snap["throughput"]
+
+    def slo_text(key: str) -> str:
+        slo = snap["latency"].get(key, {})
+        return "/".join(
+            _fmt_latency(slo.get(q)) for q in ("p50", "p95", "p99")
+        )
+
+    pts = rate.get("points_per_second")
+    clients = sorted(
+        snap["clients"].items(),
+        key=lambda item: -item[1]["points_completed"],
+    )
+    client_text = "   ".join(
+        f"{name} {entry['share'] * 100:.0f}%" for name, entry in clients[:6]
+    )
+    return [
+        f"repro top — {snap['address']}   up {snap['uptime_seconds']:.0f}s   "
+        f"ready {'yes' if snap['ready'] else 'no'}   "
+        f"draining {'yes' if snap['draining'] else 'no'}",
+        "jobs      "
+        + "   ".join(
+            f"{state} {jobs.get(state, 0)}"
+            for state in ("queued", "running", "done", "failed", "cancelled")
+        ),
+        f"queue     ready {queue.get('ready', 0)}   "
+        f"in-flight {queue.get('in_flight', 0)}   "
+        f"backlog {sum((queue.get('backlog') or {}).values())}   "
+        f"preemptions {queue.get('preemptions', 0)}   "
+        f"quota {queue.get('quota', 0)}",
+        f"points    {snap['counters'].get('serve.points_requested', 0):.0f} "
+        f"requested   "
+        f"{snap['counters'].get('serve.points_completed', 0):.0f} done   "
+        f"{snap['counters'].get('serve.points_coalesced', 0):.0f} coalesced   "
+        f"{pts if pts is not None else 0:.1f} pts/s",
+        f"latency   queue-wait {slo_text('queue_wait_seconds')}   "
+        f"e2e {slo_text('e2e_seconds')}   "
+        f"slab {slo_text('slab_seconds')}   (p50/p95/p99)",
+        f"clients   {client_text or '-'}",
+    ]
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """TTY dashboard over the serve daemon's health/metrics ops."""
+    from repro.obs import MultiLineDisplay
+    from repro.serve import ServeClient, ServeConnectionError, ServeError
+
+    display = MultiLineDisplay()
+    try:
+        with ServeClient(args.server, client_name="cli-top") as client:
+            while True:
+                try:
+                    snap = _top_snapshot(client)
+                except (ServeError, ServeConnectionError) as exc:
+                    _LOG.error(f"error: {exc}")
+                    return 2
+                if args.json:
+                    print(json.dumps(snap, sort_keys=True))
+                else:
+                    display.render(_top_render(snap))
+                if args.once:
+                    return 0
+                time.sleep(args.interval)
+    except ServeConnectionError as exc:
+        _LOG.error(f"error: {exc}")
+        return 2
+    except KeyboardInterrupt:
+        return 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -1143,10 +1310,85 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the persistent store (compute everything)",
     )
+    p_serve.add_argument(
+        "--http-port",
+        type=int,
+        default=None,
+        metavar="N",
+        help="also serve Prometheus-format /metrics and /healthz over "
+        "HTTP on this port (0 picks an ephemeral port; see "
+        "docs/observability.md)",
+    )
+    p_serve.add_argument(
+        "--http-host",
+        default="127.0.0.1",
+        metavar="HOST",
+        help="bind address for --http-port (default: 127.0.0.1)",
+    )
+    p_serve.add_argument(
+        "--record-interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="time-series recorder sampling interval (default: 1.0)",
+    )
+    p_serve.add_argument(
+        "--record-window",
+        type=int,
+        default=512,
+        metavar="N",
+        help="time-series samples kept in the ring (default: 512)",
+    )
+    p_serve.add_argument(
+        "--trace-ring",
+        type=int,
+        default=2048,
+        metavar="N",
+        help="spans held by the continuous tracer, drainable live via "
+        "the trace op (default: 2048)",
+    )
+    p_serve.add_argument(
+        "--flight-record",
+        default=None,
+        metavar="FILE",
+        help="write a flight record (recent spans + time series + "
+        "metrics) to FILE on SIGUSR1 and when the drain completes",
+    )
     _add_fault_tolerance_flags(p_serve)
     _add_obs_flags(p_serve)
     _add_store_backend_flag(p_serve)
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_top = sub.add_parser(
+        "top",
+        help="live dashboard for a running serve daemon: jobs by state, "
+        "queue depths, points/s throughput, latency percentiles and "
+        "per-client shares (use --once --json for scripting)",
+    )
+    p_top.add_argument(
+        "--server",
+        required=True,
+        metavar="ADDR",
+        help="serve daemon address (unix:PATH, PATH, HOST:PORT or :PORT)",
+    )
+    p_top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="refresh period (default: 2.0)",
+    )
+    p_top.add_argument(
+        "--once",
+        action="store_true",
+        help="render a single frame and exit",
+    )
+    p_top.add_argument(
+        "--json",
+        action="store_true",
+        help="emit each frame as one JSON object on stdout",
+    )
+    p_top.set_defaults(func=_cmd_top)
 
     p_bench = sub.add_parser(
         "bench",

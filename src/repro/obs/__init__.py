@@ -13,6 +13,16 @@ Everything is disabled by default and costs one attribute check per call
 site when off.  See ``docs/observability.md`` for the full catalog.
 """
 
+from repro.obs.live import (
+    RingTracer,
+    RollingHistogram,
+    TelemetryHTTPServer,
+    TimeSeriesRecorder,
+    prometheus_text,
+    tee_instant,
+    tee_span,
+    write_flight_record,
+)
 from repro.obs.logging import (
     JsonFormatter,
     StructuredLogger,
@@ -21,7 +31,7 @@ from repro.obs.logging import (
     get_logger,
 )
 from repro.obs.metrics import METRICS, Histogram, MetricsRegistry
-from repro.obs.progress import ProgressLine
+from repro.obs.progress import MultiLineDisplay, ProgressLine
 from repro.obs.trace import (
     TRACER,
     Span,
@@ -37,19 +47,28 @@ __all__ = [
     "Histogram",
     "JsonFormatter",
     "MetricsRegistry",
+    "MultiLineDisplay",
     "ProgressLine",
+    "RingTracer",
+    "RollingHistogram",
     "Span",
     "StructuredLogger",
+    "TelemetryHTTPServer",
     "TextFormatter",
+    "TimeSeriesRecorder",
     "Tracer",
     "configure_logging",
     "enable_observation",
     "get_logger",
     "observation_flags",
+    "prometheus_text",
     "reset_observability",
+    "tee_instant",
+    "tee_span",
     "traced",
     "validate_trace",
     "validate_trace_file",
+    "write_flight_record",
 ]
 
 

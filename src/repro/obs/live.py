@@ -1,0 +1,552 @@
+"""Daemon-grade live telemetry on top of :mod:`repro.obs`.
+
+The PR 3 collectors are write-once-at-exit: :data:`~repro.obs.TRACER`
+buffers every span until a ``--trace`` file is written and
+:data:`~repro.obs.METRICS` only ever snapshots on demand.  A resident
+daemon (:mod:`repro.serve`) needs the opposite shape — bounded memory
+over an unbounded lifetime, and a way to pull history *out of a live
+process*.  This module adds exactly that, still zero-dependency:
+
+* :class:`RingTracer` — a :class:`~repro.obs.trace.Tracer` whose event
+  buffer is a ring: it always holds the last ``cap`` events and drops
+  the oldest on overflow (``dropped`` counts them).  Always-on tracing
+  of the serve tier costs one bounded list.
+* :class:`TimeSeriesRecorder` — samples a
+  :class:`~repro.obs.metrics.MetricsRegistry` at a fixed interval into a
+  ring of snapshots (absolute counter values *and* per-interval deltas,
+  gauges, histogram summaries), optionally on its own daemon thread.
+* :class:`RollingHistogram` — percentiles over the most recent ``window``
+  observations (the registry's :class:`~repro.obs.metrics.Histogram`
+  reservoir keeps the *first* 4096 samples — right for batch runs, wrong
+  for SLOs on a long-lived server).
+* :func:`prometheus_text` — renders a registry snapshot in the Prometheus
+  text exposition format (counters as ``*_total``, histograms as
+  summaries with quantiles, ``name{label=value}`` series grouped).
+* :class:`TelemetryHTTPServer` — a stdlib ``http.server`` thread
+  publishing ``/metrics`` and ``/healthz`` (503 while draining).
+* :func:`write_flight_record` — dumps the last window of spans and
+  time-series (plus a metrics snapshot) to one JSON file; the serve
+  daemon calls it on SIGUSR1 and on drain.
+
+Sampling threads read live dicts that the owning thread mutates; every
+read path here is best-effort (a ``RuntimeError`` from a dict resizing
+mid-iteration skips that tick rather than crashing the sampler).
+"""
+
+import json
+import re
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import _NOOP_SPAN, Tracer
+
+
+class _BoundedEvents(list):
+    """A list that keeps only its last ``cap`` appended items.
+
+    :class:`~repro.obs.trace.Span` appends finished events and
+    :meth:`~repro.obs.trace.Tracer.drain` slice-deletes, so the ring must
+    stay a real ``list`` — a ``deque`` would break both call sites.
+    """
+
+    def __init__(self, cap: int):
+        super().__init__()
+        if cap < 1:
+            raise ValueError(f"ring capacity must be >= 1, got {cap}")
+        self.cap = cap
+        #: Events discarded because the ring was full.
+        self.dropped = 0
+
+    def append(self, item: Any) -> None:
+        super().append(item)
+        excess = len(self) - self.cap
+        if excess > 0:
+            del self[:excess]
+            self.dropped += excess
+
+    def extend(self, items) -> None:
+        for item in items:
+            self.append(item)
+
+
+class RingTracer(Tracer):
+    """A tracer that holds the last ``cap`` events of a live process.
+
+    Unlike the global tracer it is meant to stay enabled for the life of
+    a daemon: memory is bounded by construction, and :meth:`export`
+    returns a valid Chrome trace of the recent window at any time.
+    """
+
+    def __init__(self, cap: int = 2048):
+        super().__init__()
+        self.cap = cap
+        self.events = _BoundedEvents(cap)
+        self.enable()
+
+    @property
+    def dropped(self) -> int:
+        return self.events.dropped
+
+    def reset(self) -> None:
+        dropped = self.events.dropped
+        self.events = _BoundedEvents(self.cap)
+        self.events.dropped = dropped
+
+    def export(self, limit: Optional[int] = None) -> Dict[str, Any]:
+        """The recent window as trace-event JSON (last ``limit`` events)."""
+        if limit is not None and limit >= 0:
+            keep = list(self.events)[-limit:] if limit else []
+        else:
+            keep = list(self.events)
+        saved = self.events
+        try:
+            self.events = keep
+            exported = super().export()
+        finally:
+            self.events = saved
+        exported["dropped"] = self.events.dropped
+        return exported
+
+
+def tee_span(tracers: Sequence[Tracer], name: str, cat: str = "repro", **args):
+    """One context manager spanning every *enabled* tracer in ``tracers``.
+
+    The serve tier records into its always-on ring tracer while still
+    feeding the global tracer when ``--trace`` enabled it; each tracer
+    gets its own span (and its own args dict) so buffers stay independent.
+    """
+    spans = [t.span(name, cat, **args) for t in tracers if t.enabled]
+    if not spans:
+        return _NOOP_SPAN
+    if len(spans) == 1:
+        return spans[0]
+    return _TeeSpan(spans)
+
+
+class _TeeSpan:
+    __slots__ = ("_spans",)
+
+    def __init__(self, spans):
+        self._spans = spans
+
+    def __enter__(self) -> "_TeeSpan":
+        for span in self._spans:
+            span.__enter__()
+        return self
+
+    def set(self, **args: Any) -> "_TeeSpan":
+        for span in self._spans:
+            span.set(**args)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        for span in reversed(self._spans):
+            span.__exit__(exc_type, exc, tb)
+        return False
+
+
+def tee_instant(
+    tracers: Sequence[Tracer], name: str, cat: str = "repro", **args: Any
+) -> None:
+    """Record one instant marker on every enabled tracer."""
+    for tracer in tracers:
+        tracer.instant(name, cat, **args)
+
+
+class RollingHistogram:
+    """Percentiles over the most recent ``window`` observations.
+
+    Lifetime ``count``/``total`` are exact; distribution statistics
+    (mean, max, p50/p95/p99) cover only the retained window, which is
+    what an SLO over "the recent past" wants from a long-lived server.
+    """
+
+    __slots__ = ("window", "count", "total", "_samples")
+
+    def __init__(self, window: int = 1024):
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.window = window
+        self.count = 0
+        self.total = 0.0
+        self._samples: deque = deque(maxlen=window)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self._samples.append(value)
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile over the retained window."""
+        ordered = sorted(self._samples)
+        if not ordered:
+            return 0.0
+        rank = max(1, -(-int(q * len(ordered)) // 100))
+        rank = min(rank, len(ordered))
+        return ordered[rank - 1]
+
+    def snapshot(self) -> Dict[str, Any]:
+        ordered = sorted(self._samples)
+        if not ordered:
+            return {"count": self.count, "window": 0}
+
+        def at(q: float) -> float:
+            rank = max(1, min(len(ordered), -(-int(q * len(ordered)) // 100)))
+            return ordered[rank - 1]
+
+        return {
+            "count": self.count,
+            "window": len(ordered),
+            "mean": sum(ordered) / len(ordered),
+            "max": ordered[-1],
+            "p50": at(50),
+            "p95": at(95),
+            "p99": at(99),
+        }
+
+
+class TimeSeriesRecorder:
+    """Periodic registry snapshots in a bounded ring.
+
+    Each sample records the wall time, the elapsed interval, absolute
+    counter values *and* the per-interval deltas, current gauges, and a
+    summary of every histogram.  ``capacity`` bounds memory for the life
+    of the daemon; :meth:`series` returns the recent window oldest-first.
+
+    ``pre_sample`` (if given) runs right before each snapshot — the serve
+    daemon uses it to refresh scheduler gauges.  Sampling may race the
+    owning thread's writes; a tick that trips over a resizing dict is
+    dropped (``sample_errors``) instead of crashing the thread.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        interval: float = 1.0,
+        capacity: int = 512,
+        pre_sample: Optional[Callable[[], None]] = None,
+    ):
+        if interval <= 0:
+            raise ValueError(f"interval must be > 0, got {interval}")
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.registry = registry
+        self.interval = interval
+        self.capacity = capacity
+        self.pre_sample = pre_sample
+        self.sample_errors = 0
+        self._samples: deque = deque(maxlen=capacity)
+        self._prev_counters: Dict[str, float] = {}
+        self._prev_ts: Optional[float] = None
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def sample(self) -> Optional[Dict[str, Any]]:
+        """Take one snapshot now; returns it (or None on a racing tick)."""
+        try:
+            if self.pre_sample is not None:
+                self.pre_sample()
+            now = time.time()
+            counters = dict(self.registry.counters)
+            gauges = dict(self.registry.gauges)
+            histograms = {
+                name: hist.snapshot()
+                for name, hist in list(self.registry.histograms.items())
+            }
+        except RuntimeError:  # a dict resized under us; skip this tick
+            self.sample_errors += 1
+            return None
+        deltas = {
+            name: counters[name] - self._prev_counters.get(name, 0)
+            for name in sorted(counters)
+        }
+        sample = {
+            "ts": round(now, 6),
+            "dt": (
+                round(now - self._prev_ts, 6) if self._prev_ts is not None else None
+            ),
+            "counters": {name: counters[name] for name in sorted(counters)},
+            "deltas": deltas,
+            "gauges": {name: gauges[name] for name in sorted(gauges)},
+            "histograms": {name: histograms[name] for name in sorted(histograms)},
+        }
+        self._prev_counters = counters
+        self._prev_ts = now
+        self._samples.append(sample)
+        return sample
+
+    def series(self, window: Optional[int] = None) -> List[Dict[str, Any]]:
+        """The retained samples, oldest first (last ``window`` if given)."""
+        items = list(self._samples)
+        if window is not None and window >= 0:
+            items = items[-window:] if window else []
+        return items
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    # -- background sampling -------------------------------------------- #
+
+    def start(self) -> None:
+        """Sample every ``interval`` seconds on a daemon thread."""
+        if self._thread is not None:
+            return
+        self._stop.clear()
+
+        def run() -> None:
+            while not self._stop.wait(self.interval):
+                self.sample()
+
+        self._thread = threading.Thread(
+            target=run, name="obs-recorder", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float = 2.0) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout)
+            self._thread = None
+
+
+# --------------------------------------------------------------------- #
+# Prometheus exposition                                                   #
+# --------------------------------------------------------------------- #
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _metric_name(raw: str, prefix: str = "repro") -> str:
+    name = _NAME_OK.sub("_", raw)
+    if prefix:
+        name = f"{prefix}_{name}"
+    return name
+
+
+def _split_labels(raw: str):
+    """``base{key=value,...}`` -> (base, {key: value}); labels optional."""
+    if "{" not in raw or not raw.endswith("}"):
+        return raw, {}
+    base, _, rest = raw.partition("{")
+    labels: Dict[str, str] = {}
+    for piece in rest[:-1].split(","):
+        key, sep, value = piece.partition("=")
+        if sep:
+            labels[key.strip()] = value.strip()
+    return base, labels
+
+
+def _label_text(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    rendered = []
+    for key in sorted(labels):
+        value = (
+            str(labels[key])
+            .replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n")
+        )
+        rendered.append(f'{_NAME_OK.sub("_", key)}="{value}"')
+    return "{" + ",".join(rendered) + "}"
+
+
+def _value_text(value: Any) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    number = float(value)
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def prometheus_text(
+    snapshot: Dict[str, Any],
+    prefix: str = "repro",
+    extra_gauges: Optional[Dict[str, Any]] = None,
+) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` as Prometheus text.
+
+    Counters become ``<prefix>_<name>_total`` counter series, gauges
+    plain gauges, histograms summaries (``quantile`` labels plus
+    ``_sum``/``_count``).  Series named ``base{key=value}`` in the
+    registry (the serve tier's per-client counters) are grouped under one
+    ``# TYPE`` line with proper label syntax.  ``extra_gauges`` lets a
+    caller append liveness/readiness without touching the registry.
+    """
+    lines: List[str] = []
+    grouped: Dict[str, List[str]] = {}
+    order: List[str] = []
+    for raw in sorted(snapshot.get("counters", {})):
+        base, labels = _split_labels(raw)
+        name = _metric_name(base, prefix) + "_total"
+        if name not in grouped:
+            grouped[name] = []
+            order.append(name)
+        grouped[name].append(
+            f"{name}{_label_text(labels)} "
+            f"{_value_text(snapshot['counters'][raw])}"
+        )
+    for name in order:
+        lines.append(f"# TYPE {name} counter")
+        lines.extend(grouped[name])
+    for raw in sorted(snapshot.get("gauges", {})):
+        base, labels = _split_labels(raw)
+        name = _metric_name(base, prefix)
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(
+            f"{name}{_label_text(labels)} "
+            f"{_value_text(snapshot['gauges'][raw])}"
+        )
+    for key in sorted(extra_gauges or {}):
+        name = _metric_name(key, prefix)
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {_value_text(extra_gauges[key])}")
+    for raw in sorted(snapshot.get("histograms", {})):
+        summary = snapshot["histograms"][raw]
+        base, labels = _split_labels(raw)
+        name = _metric_name(base, prefix)
+        lines.append(f"# TYPE {name} summary")
+        for q_label, q_key in (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99")):
+            if q_key in summary:
+                quantile = dict(labels)
+                quantile["quantile"] = q_label
+                lines.append(
+                    f"{name}{_label_text(quantile)} "
+                    f"{_value_text(summary[q_key])}"
+                )
+        lines.append(
+            f"{name}_sum{_label_text(labels)} "
+            f"{_value_text(summary.get('sum', 0))}"
+        )
+        lines.append(
+            f"{name}_count{_label_text(labels)} "
+            f"{_value_text(summary.get('count', 0))}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+# --------------------------------------------------------------------- #
+# HTTP exposition                                                         #
+# --------------------------------------------------------------------- #
+
+
+class TelemetryHTTPServer:
+    """A stdlib HTTP thread serving ``/metrics`` and ``/healthz``.
+
+    ``metrics_text`` and ``health_json`` are zero-argument callables the
+    handler invokes per request (they run on the HTTP thread and must be
+    safe to call concurrently with the owner — the serve daemon's are
+    plain dict reads).  ``/healthz`` answers 503 when the health payload
+    reports ``ready`` false, so standard readiness probes work during
+    drain.  ``port=0`` binds an ephemeral port, readable via ``port``.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        metrics_text: Callable[[], str],
+        health_json: Callable[[], Dict[str, Any]],
+    ):
+        from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+        owner = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                try:
+                    if self.path == "/metrics":
+                        body = owner.metrics_text().encode("utf-8")
+                        code = 200
+                        ctype = "text/plain; version=0.0.4; charset=utf-8"
+                    elif self.path in ("/healthz", "/health"):
+                        payload = owner.health_json()
+                        body = (json.dumps(payload, sort_keys=True) + "\n").encode(
+                            "utf-8"
+                        )
+                        code = 200 if payload.get("ready") else 503
+                        ctype = "application/json"
+                    else:
+                        body = b"not found\n"
+                        code = 404
+                        ctype = "text/plain"
+                except Exception as exc:  # pragma: no cover - defensive
+                    body = f"error: {type(exc).__name__}: {exc}\n".encode("utf-8")
+                    code = 500
+                    ctype = "text/plain"
+                self.send_response(code)
+                self.send_header("Content-Type", ctype)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args: Any) -> None:
+                pass  # scrapes must not spam the daemon's stderr
+
+        self.metrics_text = metrics_text
+        self.health_json = health_json
+        self._httpd = ThreadingHTTPServer((host, port), Handler)
+        self._httpd.daemon_threads = True
+        self.host = self._httpd.server_address[0]
+        self.port = self._httpd.server_address[1]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="obs-http",
+            daemon=True,
+        )
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def start(self) -> "TelemetryHTTPServer":
+        self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 2.0) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout)
+
+
+# --------------------------------------------------------------------- #
+# flight recorder                                                         #
+# --------------------------------------------------------------------- #
+
+FLIGHT_SCHEMA_VERSION = 1
+
+
+def write_flight_record(
+    path,
+    tracer: RingTracer,
+    recorder: TimeSeriesRecorder,
+    registry: MetricsRegistry,
+    health: Optional[Dict[str, Any]] = None,
+    reason: str = "manual",
+) -> Dict[str, Any]:
+    """Dump the last window of spans and time-series to one JSON file.
+
+    Atomic (write-then-rename), so a probe reading the file mid-dump
+    never sees a torn record; repeated dumps overwrite — the flight
+    recorder always holds the most recent window.
+    """
+    from repro.util.io import atomic_write_json
+
+    payload = {
+        "schema_version": FLIGHT_SCHEMA_VERSION,
+        "reason": reason,
+        "dumped_at": time.time(),
+        "trace": tracer.export(),
+        "series": recorder.series(),
+        "metrics": registry.snapshot(),
+        "health": health,
+    }
+    atomic_write_json(path, payload)
+    return payload

@@ -83,3 +83,47 @@ class ProgressLine:
         )
         sys.stderr.write(f"\r\x1b[2K{line}")
         sys.stderr.flush()
+
+
+class MultiLineDisplay:
+    """Redraws a block of lines in place — the multi-line ProgressLine.
+
+    ``repro top`` renders its dashboard through this: on a TTY each
+    :meth:`render` moves the cursor back over the previous frame and
+    rewrites it (clearing each line, so shrinking frames leave no
+    residue); on a pipe it just prints the frame, keeping scripted runs
+    line-stable.  Same tri-state enablement as :class:`ProgressLine`.
+    """
+
+    def __init__(self, stream=None, enabled: Optional[bool] = None):
+        self._stream = stream
+        self._forced = enabled
+        self._last_lines = 0
+
+    @property
+    def stream(self):
+        return self._stream if self._stream is not None else sys.stdout
+
+    @property
+    def enabled(self) -> bool:
+        """True when in-place rewriting (ANSI) is used."""
+        if self._forced is not None:
+            return self._forced
+        try:
+            return self.stream.isatty()
+        except (AttributeError, ValueError):
+            return False
+
+    def render(self, lines) -> None:
+        out = self.stream
+        if self.enabled and self._last_lines:
+            out.write(f"\x1b[{self._last_lines}A")
+        if self.enabled:
+            out.write("".join(f"\x1b[2K{line}\n" for line in lines))
+        else:
+            out.write("".join(f"{line}\n" for line in lines))
+        out.flush()
+        self._last_lines = len(lines)
+
+    def close(self) -> None:
+        self._last_lines = 0

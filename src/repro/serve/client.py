@@ -106,6 +106,29 @@ class ServeClient:
     def stats(self) -> Dict[str, Any]:
         return self._request("stats")["stats"]
 
+    def health(self) -> Dict[str, Any]:
+        """Liveness/readiness/drain state plus recent-window SLO latencies."""
+        return self._request("health")["health"]
+
+    def metrics(self, window: Optional[int] = None) -> Dict[str, Any]:
+        """The daemon's live metrics snapshot and recent time series.
+
+        ``window`` caps how many trailing time-series samples ride along
+        (None returns the full retained ring).
+        """
+        fields: Dict[str, Any] = {}
+        if window is not None:
+            fields["window"] = window
+        return self._request("metrics", **fields)["metrics"]
+
+    def trace(self, limit: Optional[int] = None) -> Dict[str, Any]:
+        """The last ``limit`` spans from the daemon's continuous tracer,
+        as Chrome trace-event JSON (loadable in Perfetto)."""
+        fields: Dict[str, Any] = {}
+        if limit is not None:
+            fields["limit"] = limit
+        return self._request("trace", **fields)["trace"]
+
     def submit(
         self,
         kind: str,

@@ -158,6 +158,9 @@ class SlabScheduler:
         self._fair: Dict[str, int] = {}
         #: Slabs handed out by :meth:`next_slab` and not yet completed.
         self.in_flight = 0
+        #: Dispatches that jumped ahead of lower-priority ready work
+        #: (an interactive slab leaving bulk slabs waiting).
+        self.preemptions = 0
 
     # -- admission ------------------------------------------------------ #
 
@@ -185,6 +188,8 @@ class SlabScheduler:
             return None
         _, _, _, slab = heapq.heappop(self._ready)
         self.in_flight += 1
+        if any(entry[0] > slab.priority for entry in self._ready):
+            self.preemptions += 1
         return slab
 
     def complete(self, slab: Slab) -> List[Slab]:
@@ -259,6 +264,7 @@ class SlabScheduler:
             "quota": self.quota,
             "ready": self.ready_count,
             "in_flight": self.in_flight,
+            "preemptions": self.preemptions,
             "backlog": {c: len(v) for c, v in sorted(self._backlog.items())},
             "admitted": dict(sorted(self._admitted.items())),
         }

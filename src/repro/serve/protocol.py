@@ -16,6 +16,15 @@ Requests::
     {"op": "cancel",   "seq": 6, "job": "job-000001"}
     {"op": "shutdown", "seq": 7}
     {"op": "ping",     "seq": 8}
+    {"op": "metrics",  "seq": 9, "window": 60}
+    {"op": "trace",    "seq": 10, "limit": 256}
+    {"op": "health",   "seq": 11}
+
+The live-telemetry ops (see ``docs/observability.md``) answer even while
+the server drains: ``metrics`` returns the registry snapshot plus the
+last ``window`` time-series samples, ``trace`` the last ``limit`` ring
+spans as Chrome trace JSON, and ``health`` liveness/readiness/drain
+state with SLO-style latency percentiles over the recent window.
 
 Responses are ``{"seq": N, "ok": true, ...}`` or
 ``{"seq": N, "ok": false, "error": {"code": ..., "message": ...}}``.
@@ -51,7 +60,19 @@ PROTOCOL_VERSION = 1
 MAX_LINE_BYTES = 8 * 1024 * 1024
 
 #: Known operations.
-OPS = ("submit", "poll", "wait", "stream", "stats", "cancel", "shutdown", "ping")
+OPS = (
+    "submit",
+    "poll",
+    "wait",
+    "stream",
+    "stats",
+    "cancel",
+    "shutdown",
+    "ping",
+    "metrics",
+    "trace",
+    "health",
+)
 
 #: Job kinds the server accepts.
 JOB_KINDS = ("point", "sweep", "figure", "explore")

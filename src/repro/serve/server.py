@@ -44,7 +44,17 @@ import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.obs import METRICS, TRACER, get_logger
+from repro.obs import METRICS, TRACER, MetricsRegistry, get_logger
+from repro.obs.live import (
+    RingTracer,
+    RollingHistogram,
+    TelemetryHTTPServer,
+    TimeSeriesRecorder,
+    prometheus_text,
+    tee_instant,
+    tee_span,
+    write_flight_record,
+)
 from repro.serve import protocol
 from repro.serve.jobs import (
     CANCELLED,
@@ -70,6 +80,21 @@ DEFAULT_QUOTA = 4
 #: Default number of terminal jobs kept for poll/wait before eviction.
 DEFAULT_MAX_FINISHED_JOBS = 512
 
+#: Default time-series sampling interval (seconds) and ring capacity.
+DEFAULT_RECORD_INTERVAL = 1.0
+DEFAULT_RECORD_WINDOW = 512
+
+#: Default continuous-tracer ring capacity (spans kept live).
+DEFAULT_TRACE_RING = 2048
+
+#: Observations kept per rolling SLO histogram (recent-window p50/p95/p99).
+DEFAULT_SLO_WINDOW = 1024
+
+#: Distinct clients tracked with labelled per-client counters before the
+#: rest fold into one ``client=other`` series (anonymous ``conn-N`` names
+#: would otherwise grow the registry without bound).
+MAX_CLIENT_LABELS = 64
+
 
 @dataclass
 class ServeConfig:
@@ -88,6 +113,18 @@ class ServeConfig:
     #: Terminal jobs retained for poll/wait; older ones are evicted so a
     #: long-lived daemon's job table stays bounded.
     max_finished_jobs: int = DEFAULT_MAX_FINISHED_JOBS
+    #: Serve Prometheus ``/metrics`` and ``/healthz`` on this port when
+    #: set (0 binds an ephemeral port, readable via ``http_address``).
+    http_port: Optional[int] = None
+    http_host: str = "127.0.0.1"
+    #: Time-series recorder: sampling interval and ring capacity.
+    record_interval: float = DEFAULT_RECORD_INTERVAL
+    record_window: int = DEFAULT_RECORD_WINDOW
+    #: Continuous-tracer ring capacity (spans held live).
+    trace_ring: int = DEFAULT_TRACE_RING
+    #: Write a flight record (spans + time-series + metrics) to this file
+    #: on SIGUSR1 and when the drain completes.
+    flight_path: Optional[str] = None
 
 
 class SweepServer:
@@ -123,6 +160,31 @@ class SweepServer:
             "points_coalesced": 0,
             "slabs_dispatched": 0,
         }
+        # Live telemetry (docs/observability.md, "Live telemetry").  The
+        # server owns a private always-on registry: the *global* METRICS
+        # is reset by every local CLI run's teardown, which would wipe a
+        # same-process daemon's history mid-flight.  serve.* counters are
+        # still mirrored into METRICS when it is enabled (--metrics).
+        self.metrics = MetricsRegistry()
+        self.metrics.enable()
+        self.ring_tracer = RingTracer(cap=config.trace_ring)
+        self.recorder = TimeSeriesRecorder(
+            self.metrics,
+            interval=config.record_interval,
+            capacity=config.record_window,
+            pre_sample=self._refresh_gauges,
+        )
+        #: Recent-window latency distributions backing the ``health`` op.
+        self.slo: Dict[str, RollingHistogram] = {
+            "queue_wait_seconds": RollingHistogram(DEFAULT_SLO_WINDOW),
+            "run_seconds": RollingHistogram(DEFAULT_SLO_WINDOW),
+            "e2e_seconds": RollingHistogram(DEFAULT_SLO_WINDOW),
+            "slab_seconds": RollingHistogram(DEFAULT_SLO_WINDOW),
+            "stream_emit_seconds": RollingHistogram(DEFAULT_SLO_WINDOW),
+        }
+        self._client_labels: set = set()
+        self.http: Optional[TelemetryHTTPServer] = None
+        self.http_address: Optional[str] = None
         # Event-loop plumbing (bound inside _main).
         self.loop: Optional[asyncio.AbstractEventLoop] = None
         self._server: Optional[asyncio.AbstractServer] = None
@@ -172,6 +234,63 @@ class SweepServer:
         )
 
     # ------------------------------------------------------------------ #
+    # telemetry plumbing                                                  #
+    # ------------------------------------------------------------------ #
+
+    def _count(self, name: str, amount: float = 1) -> None:
+        """Record a serve counter in the live registry (and mirror it into
+        the global METRICS when ``--metrics`` enabled it)."""
+        self.metrics.inc(name, amount)
+        METRICS.inc(name, amount)
+
+    def _observe(self, name: str, value: float) -> None:
+        self.metrics.observe(name, value)
+        METRICS.observe(name, value)
+
+    def _observe_latency(self, name: str, slo_key: str, value: float) -> None:
+        """One latency sample: registry histogram + rolling SLO window."""
+        self._observe(name, value)
+        self.slo[slo_key].observe(value)
+
+    def _span(self, name: str, **args: Any):
+        return tee_span((self.ring_tracer, TRACER), name, cat="serve", **args)
+
+    def _instant(self, name: str, **args: Any) -> None:
+        tee_instant((self.ring_tracer, TRACER), name, cat="serve", **args)
+
+    def _client_label(self, client: str) -> str:
+        """Per-client counter label, capped at MAX_CLIENT_LABELS distinct
+        names; later clients share one ``other`` series so anonymous
+        connection names cannot grow the registry without bound."""
+        if client in self._client_labels:
+            return client
+        if len(self._client_labels) < MAX_CLIENT_LABELS:
+            self._client_labels.add(client)
+            return client
+        return "other"
+
+    def _refresh_gauges(self) -> None:
+        """Point-in-time scheduler/server gauges (also the recorder's
+        pre-sample hook, so every time-series sample carries them).  Runs
+        on the recorder thread too: reads are best-effort (the event loop
+        may be mutating the tables) and a racing tick is simply skipped
+        by the caller."""
+        m = self.metrics
+        m.set_gauge("serve.ready_slabs", self._scheduler.ready_count)
+        m.set_gauge("serve.backlog_slabs", self._scheduler.backlog_count)
+        m.set_gauge("serve.in_flight_slabs", self._scheduler.in_flight)
+        m.set_gauge("serve.preemptions", self._scheduler.preemptions)
+        m.set_gauge("serve.active_jobs", self._active_jobs())
+        m.set_gauge("serve.tracked_jobs", len(self._jobs))
+        m.set_gauge("serve.tracked_points", len(self._points))
+        m.set_gauge("serve.trace_ring_events", len(self.ring_tracer.events))
+        m.set_gauge("serve.trace_ring_dropped", self.ring_tracer.dropped)
+        m.set_gauge(
+            "serve.uptime_seconds", round(time.time() - self.started_at, 3)
+        )
+        m.set_gauge("serve.draining", 1 if self.draining else 0)
+
+    # ------------------------------------------------------------------ #
     # lifecycle                                                           #
     # ------------------------------------------------------------------ #
 
@@ -196,12 +315,28 @@ class SweepServer:
                     self.loop.add_signal_handler(signum, self.begin_drain)
                 except (NotImplementedError, RuntimeError):
                     pass
+            if self.config.flight_path:
+                try:
+                    self.loop.add_signal_handler(
+                        signal.SIGUSR1, self.flight_dump, "signal"
+                    )
+                except (NotImplementedError, RuntimeError):
+                    pass
         # Figures evaluate through the warm engine via the experiment
         # context hook, exactly like ``figure --jobs``.
         from repro.experiments.context import set_engine
 
         set_engine(self.engine)
         await self._listen()
+        self.recorder.start()
+        if self.config.http_port is not None:
+            self.http = TelemetryHTTPServer(
+                self.config.http_host,
+                self.config.http_port,
+                metrics_text=self.prometheus_text,
+                health_json=self.health_dict,
+            ).start()
+            self.http_address = self.http.address
         dispatcher = asyncio.create_task(self._dispatch_loop())
         _LOG.info(
             f"serving on {self.bound_address}",
@@ -211,6 +346,7 @@ class SweepServer:
             ),
             slab_size=self.config.slab_size,
             quota=self.config.quota,
+            http=self.http_address,
         )
         self.ready.set()
         try:
@@ -273,6 +409,12 @@ class SweepServer:
                 os.unlink(self.bound_address[len("unix:"):])
             except OSError:
                 pass
+        if self.config.flight_path:
+            self.flight_dump("drain")
+        self.recorder.stop()
+        if self.http is not None:
+            self.http.stop()
+            self.http = None
         self.engine.write_summary()
         if self.engine.store is not None:
             self.engine.store.close()
@@ -296,8 +438,8 @@ class SweepServer:
         """
         if not self.draining:
             self.draining = True
-            TRACER.instant("serve.drain", cat="serve")
-            METRICS.inc("serve.drains")
+            self._instant("serve.drain")
+            self._count("serve.drains")
             _LOG.info(
                 "serve: draining (finishing accepted jobs, refusing new ones)"
             )
@@ -401,6 +543,18 @@ class SweepServer:
             )
         if op == "stats":
             return protocol.ok(seq, stats=self.stats_dict())
+        if op == "health":
+            return protocol.ok(seq, health=self.health_dict())
+        if op == "metrics":
+            window = message.get("window")
+            if window is not None and not isinstance(window, int):
+                raise protocol.ProtocolError("window must be an integer")
+            return protocol.ok(seq, metrics=self.telemetry_dict(window))
+        if op == "trace":
+            limit = message.get("limit")
+            if limit is not None and not isinstance(limit, int):
+                raise protocol.ProtocolError("limit must be an integer")
+            return protocol.ok(seq, trace=self.ring_tracer.export(limit))
         if op == "submit":
             return await self._op_submit(seq, message, default_client)
         if op == "poll":
@@ -461,9 +615,21 @@ class SweepServer:
         self._jobs[job.id] = job
         self._done_events[job.id] = asyncio.Event()
         self.counters["jobs_submitted"] += 1
-        METRICS.inc("serve.jobs_submitted")
-        TRACER.instant(
-            "serve.submit", cat="serve", kind=kind, client=client, job=job.id
+        self._count("serve.jobs_submitted")
+        label = self._client_label(client)
+        self._count(f"serve.client_jobs_submitted{{client={label}}}")
+        self._count(
+            f"serve.client_points_requested{{client={label}}}", job.total_points
+        )
+        self._instant("serve.submit", kind=kind, client=client, job=job.id)
+        _LOG.info(
+            "serve: job submitted",
+            job=job.id,
+            kind=kind,
+            client=client,
+            priority=job.priority_name,
+            points=job.total_points,
+            coalesced=job.coalesced,
         )
         if job.remaining == 0 and job.kind not in protocol.OPAQUE_KINDS:
             # Every point was already complete (all coalesced onto
@@ -606,7 +772,7 @@ class SweepServer:
             seen.add(key)
             job.point_keys.append(key)
             self.counters["points_requested"] += 1
-            METRICS.inc("serve.points_requested")
+            self._count("serve.points_requested")
             state = self._points.get(key)
             if state is None:
                 state = PointState(key=key, unit=unit)
@@ -617,7 +783,7 @@ class SweepServer:
                 # freshly completed under another job.
                 job.coalesced += 1
                 self.counters["points_coalesced"] += 1
-                METRICS.inc("serve.points_coalesced")
+                self._count("serve.points_coalesced")
             if not state.done:
                 state.waiters.add(job.id)
                 job.remaining += 1
@@ -711,8 +877,19 @@ class SweepServer:
             if job is not None and job.state == QUEUED:
                 job.state = RUNNING
                 job.started_at = time.time()
+                queue_wait = job.started_at - job.submitted_at
+                self._observe_latency(
+                    "serve.job_queue_wait_seconds", "queue_wait_seconds", queue_wait
+                )
+                _LOG.info(
+                    "serve: job started",
+                    job=job.id,
+                    kind=job.kind,
+                    client=job.client,
+                    queue_wait_seconds=round(queue_wait, 6),
+                )
             self.counters["slabs_dispatched"] += 1
-            METRICS.inc("serve.slabs_dispatched")
+            self._count("serve.slabs_dispatched")
             started = time.perf_counter()
             try:
                 if slab.figure is not None:
@@ -746,22 +923,30 @@ class SweepServer:
                 else:
                     self._fail_point_slab(slab, f"{type(exc).__name__}: {exc}")
             seconds = time.perf_counter() - started
+            self._observe_latency("serve.slab_seconds", "slab_seconds", seconds)
             for promoted in self._scheduler.complete(slab):
                 del promoted  # admission only; dispatch picks them up
             self._slabs.pop(slab.id, None)
+            emit_started = time.perf_counter()
             self._emit_slab_events(slab, seconds)
+            self._observe_latency(
+                "serve.stream_emit_seconds",
+                "stream_emit_seconds",
+                time.perf_counter() - emit_started,
+            )
+            self._refresh_gauges()
             self._maybe_stop()
 
     def _evaluate_units(self, units) -> List[Any]:
         """Dispatcher-thread body: one engine call for one slab."""
-        with TRACER.span("serve.slab", cat="serve", units=len(units)):
+        with self._span("serve.slab", units=len(units)):
             return self.engine.evaluate(units, on_failure="return")
 
     def _render_figure(self, params: Dict[str, Any]) -> List[Dict[str, str]]:
         """Dispatcher-thread body: regenerate one figure through the engine."""
         from repro.cli import _figure_registry
 
-        with TRACER.span("serve.figure", cat="serve", figure=params["id"]):
+        with self._span("serve.figure", figure=params["id"]):
             tables = _figure_registry()[params["id"]]()
         return [
             {"formatted": t.formatted(), "json": t.to_json()} for t in tables
@@ -787,7 +972,7 @@ class SweepServer:
         for name in config.designs:
             if name not in self.study.designs:
                 self.study.add_design(get_design(name))
-        with TRACER.span("serve.explore", cat="serve", scenario=config.scenario):
+        with self._span("serve.explore", scenario=config.scenario):
             return run_explore(config, study=self.study)
 
     # ------------------------------------------------------------------ #
@@ -869,7 +1054,33 @@ class SweepServer:
         job.state = FAILED if job.error is not None else DONE
         counter = "jobs_failed" if job.error is not None else "jobs_completed"
         self.counters[counter] += 1
-        METRICS.inc(f"serve.{counter}")
+        self._count(f"serve.{counter}")
+        label = self._client_label(job.client)
+        self._count(f"serve.client_{counter}{{client={label}}}")
+        if job.state == DONE:
+            self._count("serve.points_completed", job.total_points)
+            self._count(
+                f"serve.client_points_completed{{client={label}}}",
+                job.total_points,
+            )
+        e2e = job.finished_at - job.submitted_at
+        self._observe_latency("serve.job_e2e_seconds", "e2e_seconds", e2e)
+        if job.started_at is not None:
+            self._observe_latency(
+                "serve.job_run_seconds",
+                "run_seconds",
+                job.finished_at - job.started_at,
+            )
+        self._instant("serve.finish", job=job.id, state=job.state)
+        _LOG.info(
+            "serve: job finished",
+            job=job.id,
+            kind=job.kind,
+            client=job.client,
+            state=job.state,
+            points=job.total_points,
+            seconds=round(e2e, 6),
+        )
         self._record_finished(job)
         self._release_points(job)
         event = self._done_events.get(job.id)
@@ -935,7 +1146,15 @@ class SweepServer:
         job.state = CANCELLED
         job.finished_at = time.time()
         self.counters["jobs_cancelled"] += 1
-        METRICS.inc("serve.jobs_cancelled")
+        self._count("serve.jobs_cancelled")
+        self._instant("serve.cancel", job=job.id)
+        _LOG.info(
+            "serve: job cancelled",
+            job=job.id,
+            kind=job.kind,
+            client=job.client,
+            seconds=round(job.finished_at - job.submitted_at, 6),
+        )
         self._record_finished(job)
 
         def droppable(slab: Slab) -> bool:
@@ -1014,9 +1233,11 @@ class SweepServer:
         states: Dict[str, int] = {}
         for job in self._jobs.values():
             states[job.state] = states.get(job.state, 0) + 1
+        self._refresh_gauges()
         out = {
             "version": protocol.PROTOCOL_VERSION,
             "address": self.bound_address,
+            "http_address": self.http_address,
             "uptime_seconds": round(time.time() - self.started_at, 3),
             "draining": self.draining,
             "jobs": states,
@@ -1028,8 +1249,88 @@ class SweepServer:
                 if self.engine.store is not None
                 else None
             ),
+            "metrics": self.metrics.snapshot(),
         }
         return out
+
+    def health_dict(self) -> Dict[str, Any]:
+        """The ``health`` op / ``/healthz`` body: liveness, readiness,
+        drain state and SLO percentiles over the recent window.
+
+        Also runs on the HTTP thread — every read here is a plain
+        attribute or small-dict read, safe beside the event loop.
+        """
+        states: Dict[str, int] = {}
+        for job in list(self._jobs.values()):
+            states[job.state] = states.get(job.state, 0) + 1
+        return {
+            "live": True,
+            "ready": not self.draining,
+            "draining": self.draining,
+            "drain_hard": self._drain_hard,
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "jobs": states,
+            "active_jobs": self._active_jobs(),
+            "queue": self._scheduler.queue_dict(),
+            "slo": {
+                name: self.slo[name].snapshot() for name in sorted(self.slo)
+            },
+            "trace_ring": {
+                "events": len(self.ring_tracer.events),
+                "cap": self.ring_tracer.cap,
+                "dropped": self.ring_tracer.dropped,
+            },
+            "http_address": self.http_address,
+        }
+
+    def telemetry_dict(self, window: Optional[int] = None) -> Dict[str, Any]:
+        """The ``metrics`` op body: registry snapshot + recent time series."""
+        self._refresh_gauges()
+        return {
+            "snapshot": self.metrics.snapshot(),
+            "series": self.recorder.series(window),
+            "record_interval": self.recorder.interval,
+            "record_window": self.recorder.capacity,
+            "sample_errors": self.recorder.sample_errors,
+        }
+
+    def prometheus_text(self) -> str:
+        """The ``/metrics`` exposition body (runs on the HTTP thread)."""
+        try:
+            self._refresh_gauges()
+            snapshot = self.metrics.snapshot()
+        except RuntimeError:  # tables resized mid-read; expose last-good-ish
+            snapshot = {"counters": {}, "gauges": {}, "histograms": {}}
+        return prometheus_text(
+            snapshot,
+            extra_gauges={
+                "serve.up": 1,
+                "serve.ready": 0 if self.draining else 1,
+            },
+        )
+
+    def flight_dump(self, reason: str = "manual") -> Optional[Dict[str, Any]]:
+        """Write the flight record (last spans + time series + metrics)."""
+        path = self.config.flight_path
+        if not path:
+            return None
+        self.recorder.sample()
+        payload = write_flight_record(
+            path,
+            tracer=self.ring_tracer,
+            recorder=self.recorder,
+            registry=self.metrics,
+            health=self.health_dict(),
+            reason=reason,
+        )
+        _LOG.info(
+            "serve: flight record written",
+            path=path,
+            reason=reason,
+            events=len(self.ring_tracer.events),
+            samples=len(self.recorder),
+        )
+        return payload
 
 
 class ServerHandle:

@@ -1,0 +1,582 @@
+"""Live telemetry (:mod:`repro.obs.live`) and its serve-tier wiring.
+
+Unit tests cover the bounded primitives (ring tracer, time-series
+recorder, rolling histograms, Prometheus rendering, flight records);
+server tests boot a real daemon with telemetry enabled and assert the
+new ``metrics``/``trace``/``health`` ops, the HTTP exposition thread,
+drain-time readiness, the flight recorder, the ``repro top`` dashboard,
+and — the invariant everything else hangs off — that ``sweep --server``
+stdout stays byte-identical with all of it turned on.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.obs import (
+    MetricsRegistry,
+    MultiLineDisplay,
+    RingTracer,
+    RollingHistogram,
+    TimeSeriesRecorder,
+    configure_logging,
+    prometheus_text,
+    write_flight_record,
+)
+from repro.obs.trace import Tracer, validate_trace
+from repro.obs.live import tee_instant, tee_span
+from repro.serve import ServeClient, ServeConfig, ServerHandle
+
+DESIGN = "2B4m"
+OTHER_DESIGN = "4B"
+
+SWEEP_ARGS = [
+    "sweep",
+    "--design",
+    f"{DESIGN},{OTHER_DESIGN}",
+    "--kind",
+    "homogeneous",
+    "--max-threads",
+    "2",
+]
+
+
+def make_handle(tmp_path, **overrides):
+    config = ServeConfig(
+        listen=f"unix:{tmp_path}/serve.sock",
+        jobs=overrides.pop("jobs", 1),
+        cache_dir=str(tmp_path / "server-cache"),
+        slab_size=overrides.pop("slab_size", 8),
+        **overrides,
+    )
+    return ServerHandle(config)
+
+
+# --------------------------------------------------------------------- #
+# ring tracer                                                            #
+# --------------------------------------------------------------------- #
+
+
+class TestRingTracer:
+    def test_holds_only_last_cap_events(self):
+        tracer = RingTracer(cap=16)
+        for i in range(100):
+            tracer.instant(f"e{i}")
+        assert len(tracer.events) == 16
+        assert tracer.dropped == 84
+        # the *last* 16 survive, oldest first
+        assert tracer.events[0]["name"] == "e84"
+        assert tracer.events[-1]["name"] == "e99"
+
+    def test_spans_record_like_the_plain_tracer(self):
+        tracer = RingTracer(cap=8)
+        with tracer.span("work", arg=1) as span:
+            span.set(extra=2)
+        event = tracer.events[-1]
+        assert event["ph"] == "X"
+        assert event["name"] == "work"
+        assert event["args"] == {"arg": 1, "extra": 2}
+
+    def test_export_is_valid_chrome_trace(self):
+        tracer = RingTracer(cap=8)
+        for i in range(20):
+            with tracer.span(f"s{i}"):
+                pass
+        exported = tracer.export()
+        validate_trace(exported)  # raises on an invalid trace
+        spans = [e for e in exported["traceEvents"] if e["ph"] == "X"]
+        assert len(spans) == 8
+        assert exported["dropped"] == 12
+
+    def test_export_limit_trims_without_consuming(self):
+        tracer = RingTracer(cap=32)
+        for i in range(10):
+            tracer.instant(f"e{i}")
+        limited = tracer.export(limit=3)
+        names = [e["name"] for e in limited["traceEvents"] if e["ph"] != "M"]
+        assert names == ["e7", "e8", "e9"]
+        assert len(tracer.events) == 10  # export never drains the ring
+        empty = tracer.export(limit=0)
+        assert [e for e in empty["traceEvents"] if e["ph"] != "M"] == []
+
+    def test_reset_preserves_drop_count(self):
+        tracer = RingTracer(cap=2)
+        for i in range(5):
+            tracer.instant(f"e{i}")
+        assert tracer.dropped == 3
+        tracer.reset()
+        assert len(tracer.events) == 0
+        assert tracer.dropped == 3
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            RingTracer(cap=0)
+
+
+class TestTee:
+    def test_span_fans_out_to_every_enabled_tracer(self):
+        ring, plain = RingTracer(cap=8), Tracer()
+        plain.enable()
+        with tee_span((ring, plain), "both", arg=1) as span:
+            span.set(extra=2)
+        for tracer in (ring, plain):
+            assert tracer.events[-1]["name"] == "both"
+            assert tracer.events[-1]["args"] == {"arg": 1, "extra": 2}
+
+    def test_disabled_tracer_is_skipped(self):
+        ring, plain = RingTracer(cap=8), Tracer()  # plain stays disabled
+        with tee_span((ring, plain), "only-ring"):
+            pass
+        tee_instant((ring, plain), "marker")
+        assert [e["name"] for e in ring.events] == ["only-ring", "marker"]
+        assert plain.events == []
+
+
+# --------------------------------------------------------------------- #
+# rolling histogram                                                      #
+# --------------------------------------------------------------------- #
+
+
+class TestRollingHistogram:
+    def test_window_bounds_distribution_but_not_count(self):
+        hist = RollingHistogram(window=10)
+        for value in range(100):
+            hist.observe(float(value))
+        snap = hist.snapshot()
+        assert snap["count"] == 100  # lifetime
+        assert snap["window"] == 10  # retained
+        assert snap["max"] == 99.0
+        assert snap["p50"] >= 90.0  # only the recent window remains
+
+    def test_percentiles_nearest_rank(self):
+        hist = RollingHistogram(window=100)
+        for value in range(1, 101):
+            hist.observe(float(value))
+        assert hist.percentile(50) == 50.0
+        assert hist.percentile(95) == 95.0
+        assert hist.percentile(99) == 99.0
+
+    def test_empty_snapshot(self):
+        snap = RollingHistogram(window=4).snapshot()
+        assert snap == {"count": 0, "window": 0}
+        assert RollingHistogram(window=4).percentile(99) == 0.0
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError, match="window"):
+            RollingHistogram(window=0)
+
+
+# --------------------------------------------------------------------- #
+# time-series recorder                                                   #
+# --------------------------------------------------------------------- #
+
+
+class TestTimeSeriesRecorder:
+    def _registry(self):
+        registry = MetricsRegistry()
+        registry.enable()
+        return registry
+
+    def test_samples_counters_deltas_and_gauges(self):
+        registry = self._registry()
+        recorder = TimeSeriesRecorder(registry, interval=0.01, capacity=8)
+        registry.inc("work", 3)
+        registry.set_gauge("depth", 7)
+        first = recorder.sample()
+        registry.inc("work", 2)
+        second = recorder.sample()
+        assert first["counters"]["work"] == 3
+        assert first["deltas"]["work"] == 3
+        assert first["dt"] is None  # no previous tick
+        assert second["counters"]["work"] == 5
+        assert second["deltas"]["work"] == 2
+        assert second["gauges"]["depth"] == 7
+        assert second["dt"] is not None
+
+    def test_capacity_bounds_the_ring(self):
+        recorder = TimeSeriesRecorder(self._registry(), capacity=4)
+        for _ in range(20):
+            recorder.sample()
+        assert len(recorder) == 4
+        assert len(recorder.series()) == 4
+
+    def test_series_window(self):
+        registry = self._registry()
+        recorder = TimeSeriesRecorder(registry, capacity=8)
+        for i in range(6):
+            registry.inc("tick")
+            recorder.sample()
+        assert [s["counters"]["tick"] for s in recorder.series(window=2)] == [5, 6]
+        assert recorder.series(window=0) == []
+        assert len(recorder.series()) == 6
+
+    def test_pre_sample_hook_runs_each_tick(self):
+        registry = self._registry()
+        recorder = TimeSeriesRecorder(
+            registry, capacity=4, pre_sample=lambda: registry.set_gauge("hook", 1)
+        )
+        assert recorder.sample()["gauges"]["hook"] == 1
+
+    def test_background_thread_samples_and_stops(self):
+        import time as _time
+
+        recorder = TimeSeriesRecorder(self._registry(), interval=0.01, capacity=64)
+        recorder.start()
+        deadline = _time.monotonic() + 5.0
+        while len(recorder) < 2 and _time.monotonic() < deadline:
+            _time.sleep(0.01)
+        recorder.stop()
+        assert len(recorder) >= 2
+        settled = len(recorder)
+        _time.sleep(0.05)
+        assert len(recorder) == settled  # thread actually stopped
+
+    def test_bad_parameters_rejected(self):
+        registry = self._registry()
+        with pytest.raises(ValueError, match="interval"):
+            TimeSeriesRecorder(registry, interval=0)
+        with pytest.raises(ValueError, match="capacity"):
+            TimeSeriesRecorder(registry, capacity=0)
+
+
+# --------------------------------------------------------------------- #
+# Prometheus exposition                                                  #
+# --------------------------------------------------------------------- #
+
+
+class TestPrometheusText:
+    def test_counters_gauges_histograms_render(self):
+        registry = MetricsRegistry()
+        registry.enable()
+        registry.inc("serve.jobs_submitted", 2)
+        registry.set_gauge("serve.ready_slabs", 3)
+        registry.observe("serve.job_e2e_seconds", 0.25)
+        text = prometheus_text(registry.snapshot())
+        assert text.endswith("\n")
+        assert "# TYPE repro_serve_jobs_submitted_total counter" in text
+        assert "repro_serve_jobs_submitted_total 2" in text
+        assert "repro_serve_ready_slabs 3" in text
+        assert "# TYPE repro_serve_job_e2e_seconds summary" in text
+        assert 'repro_serve_job_e2e_seconds{quantile="0.5"} 0.25' in text
+        assert "repro_serve_job_e2e_seconds_count 1" in text
+
+    def test_labelled_series_group_under_one_type_line(self):
+        snapshot = {
+            "counters": {
+                "serve.client_points{client=alice}": 5,
+                "serve.client_points{client=bob}": 7,
+            },
+            "gauges": {},
+            "histograms": {},
+        }
+        text = prometheus_text(snapshot)
+        assert text.count("# TYPE repro_serve_client_points_total counter") == 1
+        assert 'repro_serve_client_points_total{client="alice"} 5' in text
+        assert 'repro_serve_client_points_total{client="bob"} 7' in text
+
+    def test_label_values_escaped(self):
+        snapshot = {
+            "counters": {'x{client=we"ird\\name}': 1},
+            "gauges": {},
+            "histograms": {},
+        }
+        text = prometheus_text(snapshot)
+        assert 'client="we\\"ird\\\\name"' in text
+
+    def test_extra_gauges_appended(self):
+        text = prometheus_text(
+            {"counters": {}, "gauges": {}, "histograms": {}},
+            extra_gauges={"serve.up": 1, "serve.ready": True},
+        )
+        assert "repro_serve_up 1" in text
+        assert "repro_serve_ready 1" in text
+
+
+# --------------------------------------------------------------------- #
+# flight record / display                                                #
+# --------------------------------------------------------------------- #
+
+
+class TestFlightRecord:
+    def test_roundtrips_through_json(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.enable()
+        registry.inc("serve.jobs_submitted")
+        tracer = RingTracer(cap=8)
+        tracer.instant("boot")
+        recorder = TimeSeriesRecorder(registry, capacity=4)
+        recorder.sample()
+        path = tmp_path / "flight.json"
+        payload = write_flight_record(
+            path, tracer, recorder, registry,
+            health={"ready": True}, reason="test",
+        )
+        loaded = json.loads(path.read_text())
+        assert loaded == json.loads(json.dumps(payload))
+        assert loaded["schema_version"] == 1
+        assert loaded["reason"] == "test"
+        validate_trace(loaded["trace"])  # raises on an invalid trace
+        assert loaded["series"][0]["counters"]["serve.jobs_submitted"] == 1
+        assert loaded["health"] == {"ready": True}
+
+
+class TestMultiLineDisplay:
+    def test_non_tty_prints_plain_lines(self):
+        import io
+
+        stream = io.StringIO()
+        display = MultiLineDisplay(stream=stream)
+        display.render(["a", "b"])
+        assert stream.getvalue() == "a\nb\n"
+
+    def test_enabled_rewrites_previous_frame(self):
+        import io
+
+        stream = io.StringIO()
+        display = MultiLineDisplay(stream=stream, enabled=True)
+        display.render(["one", "two"])
+        display.render(["three", "four"])
+        out = stream.getvalue()
+        assert "\x1b[2A" in out  # cursor moved up over the first frame
+        assert out.count("\x1b[2K") == 4  # every line cleared before rewrite
+
+
+# --------------------------------------------------------------------- #
+# serve-tier integration                                                 #
+# --------------------------------------------------------------------- #
+
+
+class TestServerTelemetryOps:
+    @pytest.fixture()
+    def handle(self, tmp_path):
+        with make_handle(tmp_path, record_interval=0.05) as handle:
+            yield handle
+
+    def test_metrics_op_returns_snapshot_and_series(self, handle):
+        with ServeClient(handle.address, client_name="ops") as client:
+            client.point(DESIGN, ["mcf", "tonto"])
+            telemetry = client.metrics(window=2)
+        counters = telemetry["snapshot"]["counters"]
+        assert counters["serve.jobs_submitted"] == 1
+        assert counters["serve.jobs_completed"] == 1
+        assert counters["serve.client_points_completed{client=ops}"] == 1
+        assert "serve.job_e2e_seconds" in telemetry["snapshot"]["histograms"]
+        assert len(telemetry["series"]) <= 2
+        assert telemetry["record_interval"] == 0.05
+
+    def test_trace_op_returns_recent_spans(self, handle):
+        with ServeClient(handle.address, client_name="ops") as client:
+            client.point(DESIGN, ["mcf", "tonto"])
+            trace = client.trace(limit=50)
+        validate_trace(trace)  # raises on an invalid trace
+        names = {event["name"] for event in trace["traceEvents"]}
+        assert "serve.submit" in names
+        assert "serve.finish" in names
+
+    def test_health_op_reports_ready_and_slo(self, handle):
+        with ServeClient(handle.address, client_name="ops") as client:
+            client.point(DESIGN, ["mcf", "tonto"])
+            health = client.health()
+        assert health["live"] is True
+        assert health["ready"] is True
+        assert health["draining"] is False
+        assert health["jobs"] == {"done": 1}
+        assert health["slo"]["e2e_seconds"]["count"] == 1
+        assert set(health["slo"]["e2e_seconds"]) >= {"p50", "p95", "p99"}
+        assert health["queue"]["preemptions"] == 0
+
+    def test_stats_op_folds_in_registry_snapshot(self, handle):
+        with ServeClient(handle.address, client_name="ops") as client:
+            client.point(DESIGN, ["mcf", "tonto"])
+            stats = client.stats()
+        assert stats["counters"]["jobs_completed"] == 1  # legacy block stays
+        assert stats["metrics"]["counters"]["serve.jobs_completed"] == 1
+
+    def test_rings_stay_bounded_under_sustained_load(self, tmp_path):
+        with make_handle(
+            tmp_path, trace_ring=16, record_window=4, slab_size=4
+        ) as handle:
+            with ServeClient(handle.address, client_name="load") as client:
+                client.sweep([DESIGN, OTHER_DESIGN], "homogeneous", 2)
+                for _ in range(10):
+                    client.point(DESIGN, ["mcf", "tonto"])
+                server = handle.server
+                for _ in range(8):
+                    server.recorder.sample()
+                trace = client.trace()
+            assert len(server.ring_tracer.events) <= 16
+            assert server.ring_tracer.dropped > 0
+            assert len(server.recorder) <= 4
+            ring_events = [e for e in trace["traceEvents"] if e["ph"] != "M"]
+            assert len(ring_events) <= 16
+            assert trace["dropped"] == server.ring_tracer.dropped
+
+
+class TestHTTPExposition:
+    @pytest.fixture()
+    def handle(self, tmp_path):
+        with make_handle(tmp_path, http_port=0, record_interval=0.05) as handle:
+            yield handle
+
+    def _get(self, handle, path):
+        port = handle.server.http.port
+        return urllib.request.urlopen(f"http://127.0.0.1:{port}{path}", timeout=10)
+
+    def test_metrics_endpoint_serves_prometheus_text(self, handle):
+        with ServeClient(handle.address, client_name="scrape") as client:
+            client.point(DESIGN, ["mcf", "tonto"])
+        response = self._get(handle, "/metrics")
+        body = response.read().decode("utf-8")
+        assert response.status == 200
+        assert "text/plain" in response.headers["Content-Type"]
+        assert "repro_serve_jobs_submitted_total 1" in body
+        assert "repro_serve_up 1" in body
+        assert "repro_serve_ready 1" in body
+        assert "# TYPE repro_serve_job_e2e_seconds summary" in body
+
+    def test_healthz_endpoint_answers_json(self, handle):
+        response = self._get(handle, "/healthz")
+        payload = json.loads(response.read())
+        assert response.status == 200
+        assert payload["ready"] is True
+        assert payload["live"] is True
+
+    def test_unknown_path_is_404(self, handle):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self._get(handle, "/nope")
+        assert excinfo.value.code == 404
+
+    def test_stats_reports_bound_http_address(self, handle):
+        with ServeClient(handle.address, client_name="scrape") as client:
+            stats = client.stats()
+        assert stats["http_address"] == handle.server.http_address
+        assert str(handle.server.http.port) in stats["http_address"]
+
+
+class TestDrainReadiness:
+    def test_health_flips_ready_during_drain(self, tmp_path):
+        with make_handle(tmp_path, http_port=0) as handle:
+            handle.pause()  # hold dispatch so the job keeps the drain open
+            with ServeClient(handle.address, client_name="drain") as client:
+                job = client.submit(
+                    "point",
+                    {"design": DESIGN, "mix": ["mcf", "tonto"], "smt": True},
+                )
+                client.shutdown()
+                health = client.health()
+                assert health["ready"] is False
+                assert health["draining"] is True
+                assert health["live"] is True
+                # the HTTP readiness probe answers 503 mid-drain
+                port = handle.server.http.port
+                with pytest.raises(urllib.error.HTTPError) as excinfo:
+                    urllib.request.urlopen(
+                        f"http://127.0.0.1:{port}/healthz", timeout=10
+                    )
+                assert excinfo.value.code == 503
+                assert json.loads(excinfo.value.read())["ready"] is False
+                handle.resume()
+                assert client.wait(job)["state"] == "done"
+
+    def test_flight_record_written_on_drain(self, tmp_path):
+        flight = tmp_path / "flight.json"
+        with make_handle(tmp_path, flight_path=str(flight)) as handle:
+            with ServeClient(handle.address, client_name="flight") as client:
+                client.point(DESIGN, ["mcf", "tonto"])
+        record = json.loads(flight.read_text())
+        assert record["schema_version"] == 1
+        assert record["reason"] == "drain"
+        validate_trace(record["trace"])  # raises on an invalid trace
+        assert record["metrics"]["counters"]["serve.jobs_completed"] == 1
+        assert record["series"]  # the drain dump takes a final sample
+        assert record["health"]["draining"] is True
+
+
+class TestByteParityWithTelemetry:
+    def test_sweep_stdout_identical_with_full_telemetry_on(
+        self, capsys, tmp_path
+    ):
+        """The PR 3/PR 6 invariant: telemetry writes to stderr, registries
+        and HTTP only — never stdout."""
+        rc = cli_main(SWEEP_ARGS + ["--cache-dir", str(tmp_path / "local")])
+        assert rc == 0
+        local = capsys.readouterr().out
+        with make_handle(
+            tmp_path,
+            http_port=0,
+            record_interval=0.05,
+            flight_path=str(tmp_path / "flight.json"),
+        ) as handle:
+            rc = cli_main(SWEEP_ARGS + ["--server", handle.address])
+            assert rc == 0
+            remote = capsys.readouterr().out
+        assert remote == local
+
+
+class TestTopCommand:
+    def test_once_json_snapshot(self, capsys, tmp_path):
+        with make_handle(tmp_path, record_interval=0.05) as handle:
+            with ServeClient(handle.address, client_name="dash") as client:
+                client.point(DESIGN, ["mcf", "tonto"])
+            rc = cli_main(
+                ["top", "--server", handle.address, "--once", "--json"]
+            )
+        assert rc == 0
+        snap = json.loads(capsys.readouterr().out)
+        assert snap["jobs"] == {"done": 1}
+        assert snap["ready"] is True
+        assert snap["queue"]["ready"] == 0
+        assert snap["throughput"]["points_per_second"] is not None
+        assert set(snap["latency"]["e2e_seconds"]) >= {"p50", "p95", "p99"}
+        assert snap["clients"]["dash"]["points_completed"] == 1
+        assert snap["clients"]["dash"]["share"] == 1.0
+
+    def test_once_renders_dashboard_lines(self, capsys, tmp_path):
+        with make_handle(tmp_path) as handle:
+            rc = cli_main(["top", "--server", handle.address, "--once"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.startswith("repro top — ")
+        assert "jobs " in out
+        assert "latency " in out
+
+    def test_unreachable_daemon_exits_2(self, capsys, tmp_path):
+        rc = cli_main(
+            ["top", "--server", f"unix:{tmp_path}/nowhere.sock", "--once"]
+        )
+        assert rc == 2
+        assert capsys.readouterr().out == ""
+
+
+class TestLifecycleLogging:
+    def test_json_lines_for_job_lifecycle(self, capsys, tmp_path):
+        configure_logging(level="info", json_mode=True)
+        try:
+            with make_handle(tmp_path) as handle:
+                with ServeClient(handle.address, client_name="logs") as client:
+                    client.point(DESIGN, ["mcf", "tonto"])
+        finally:
+            configure_logging()
+        events = [
+            json.loads(line)
+            for line in capsys.readouterr().err.splitlines()
+            if line.startswith("{")
+        ]
+        by_event = {}
+        for event in events:
+            by_event.setdefault(event["event"], event)
+        submitted = by_event["serve: job submitted"]
+        assert submitted["kind"] == "point"
+        assert submitted["client"] == "logs"
+        assert submitted["points"] == 1
+        started = by_event["serve: job started"]
+        assert started["queue_wait_seconds"] >= 0
+        finished = by_event["serve: job finished"]
+        assert finished["state"] == "done"
+        assert finished["job"] == submitted["job"]
+        assert finished["seconds"] >= 0
+        for event in events:
+            assert set(event) >= {"ts", "level", "logger", "event"}
