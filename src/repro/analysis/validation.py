@@ -60,6 +60,7 @@ def cross_validate(
     instructions: int = 20_000,
     sample_interval: Optional[int] = None,
     sample_warmup: int = 600,
+    sampling=None,
 ) -> CrossValidation:
     """Run each profile alone on ``core`` through both tiers.
 
@@ -67,6 +68,9 @@ def cross_validate(
     simulation (see :mod:`repro.sim.sampling`): detailed windows plus
     functionally-warmed fast-forward, trading exactness for speed while
     holding CPI within a few percent — useful for large validation sweeps.
+    ``sampling`` accepts an interval or ``"live"`` for adaptive live
+    sampling (no interval to tune), exactly as
+    :meth:`~repro.sim.multicore.MulticoreSimulator.run` does.
     """
     design = ChipDesign(name=f"xval-{core.name}", cores=(core,))
     sim = MulticoreSimulator(design)
@@ -79,6 +83,7 @@ def cross_validate(
             instructions,
             sample_interval=sample_interval,
             sample_warmup=sample_warmup,
+            sampling=sampling,
         )
         cycle[p.name] = result.ipc_of(0)
     return CrossValidation(
@@ -92,6 +97,7 @@ def cross_validate_chip(
     instructions: int = 10_000,
     sample_interval: Optional[int] = None,
     sample_warmup: int = 600,
+    sampling=None,
 ) -> Tuple[float, float]:
     """Total chip IPC for one scheduled mix, from both tiers.
 
@@ -119,5 +125,6 @@ def cross_validate_chip(
         instructions,
         sample_interval=sample_interval,
         sample_warmup=sample_warmup,
+        sampling=sampling,
     )
     return interval_total, cycle_result.total_ipc

@@ -2,8 +2,9 @@
 
 ``python -m repro bench`` times a fixed set of scenarios and writes one
 report per tier — ``BENCH_cycle.json`` for the cycle-level simulator
-(trace generation, single-core OoO and in-order runs, an SMT run and an
-8-core shared-LLC run), ``BENCH_interval.json`` for the interval-model
+(trace generation, single-core OoO and in-order runs, an SMT run, an
+8-core shared-LLC run, and a live-sampled chip run whose accuracy is
+gated alongside its speed), ``BENCH_interval.json`` for the interval-model
 tier (per-point evaluation, the 963-point design-space slab, and the raw
 chip solver) and ``BENCH_serve.json`` for the resident daemon
 (submit/poll round-trip latency and warm-cache burst throughput through
@@ -52,6 +53,7 @@ FAST_SCENARIOS = (
     "ooo_single",
     "inorder_single",
     "8core_llc",
+    "live_sampling",
     "interval_point",
     "interval_solver",
     "serve_roundtrip",
@@ -62,6 +64,11 @@ _SCHEMA_VERSION = 1
 #: Budget for the relative throughput cost of live telemetry on the
 #: coalesced-burst scenario (recorder + HTTP exposition vs none).
 MAX_TELEMETRY_OVERHEAD = 0.02
+
+#: Budget for the live-sampling estimator's chip-CPI error against a full
+#: run on the ``live_sampling`` scenario's mix (the accuracy side of the
+#: speed/accuracy trade, gated in the same job as the throughput floors).
+MAX_LIVE_SAMPLING_ERROR = 0.03
 
 
 @dataclass(frozen=True)
@@ -197,6 +204,67 @@ def _scenario_8core_llc() -> Tuple[int, Callable[[], None]]:
         ThreadSim(get_profile(name), core_index=i) for i, name in enumerate(mix)
     ]
     return _sim_scenario(design, threads, 8_000)
+
+
+def _scenario_live_sampling() -> Tuple[int, Callable[[], float], Callable]:
+    """Adaptive live-sampled chip run, timed against its accuracy.
+
+    Runs the most sampling-hostile validation mix (four memory-bound
+    workloads on 3B2m — shared-LLC and bus contention everywhere the
+    estimator has to extrapolate) in live mode.  Throughput counts every
+    *virtual* instruction covered, detailed or skipped, so the number
+    reflects what sampling buys; the ``cpi_error`` extra re-runs the mix
+    in full detail once and reports the chip-CPI disagreement, which
+    :func:`check_regressions` holds under
+    :data:`MAX_LIVE_SAMPLING_ERROR` in the same job that gates
+    throughput — a speedup bought with accuracy fails the gate.
+    """
+    from repro.core.designs import get_design
+    from repro.core.scheduler import Scheduler
+    from repro.sim.multicore import MulticoreSimulator, ThreadSim
+    from repro.sim.sampling import execute_sampled_live
+    from repro.workloads.spec import get_profile
+
+    design = get_design("3B2m")
+    mix = ("mcf", "libquantum", "milc", "lbm")
+    placement = Scheduler(design, smt=True).place(
+        [get_profile(name) for name in mix]
+    )
+
+    def threads():
+        return [
+            ThreadSim(spec.profile, core_index=core_index, seed=11 + slot)
+            for core_index, specs in enumerate(placement.core_threads)
+            for slot, spec in enumerate(specs)
+        ]
+
+    instructions = 10_000
+    warmup = instructions // 2
+    sim = MulticoreSimulator(design)
+    total = len(threads()) * (instructions + warmup)
+
+    def run() -> float:
+        hierarchy, cores = sim.prepare(
+            threads(), instructions, warmup_instructions=warmup
+        )
+        start = time.perf_counter()
+        execute_sampled_live(hierarchy, cores)
+        return time.perf_counter() - start
+
+    def extras() -> Dict:
+        full = MulticoreSimulator(design).run(
+            threads(), instructions, warmup_instructions=warmup
+        )
+        live = MulticoreSimulator(design).run(
+            threads(),
+            instructions,
+            warmup_instructions=warmup,
+            sampling="live",
+        )
+        error = abs(live.total_ipc - full.total_ipc) / full.total_ipc
+        return {"cpi_error": error}
+
+    return total, run, extras
 
 
 # --------------------------------------------------------------------- #
@@ -447,6 +515,7 @@ SCENARIOS: Dict[str, Callable[[], Tuple[int, Callable[[], None]]]] = {
     "inorder_single": _scenario_inorder_single,
     "smt4": _scenario_smt4,
     "8core_llc": _scenario_8core_llc,
+    "live_sampling": _scenario_live_sampling,
     "interval_point": _scenario_interval_point,
     "interval_slab": _scenario_interval_slab,
     "interval_solver": _scenario_interval_solver,
@@ -457,7 +526,14 @@ SCENARIOS: Dict[str, Callable[[], Tuple[int, Callable[[], None]]]] = {
 
 #: Scenario -> tier; each tier writes its own report file.
 TIERS: Dict[str, Tuple[str, ...]] = {
-    "cycle": ("tracegen", "ooo_single", "inorder_single", "smt4", "8core_llc"),
+    "cycle": (
+        "tracegen",
+        "ooo_single",
+        "inorder_single",
+        "smt4",
+        "8core_llc",
+        "live_sampling",
+    ),
     "interval": ("interval_point", "interval_slab", "interval_solver"),
     "serve": ("serve_roundtrip", "serve_burst", "serve_burst_telemetry"),
 }
@@ -657,13 +733,18 @@ def check_regressions(
     """Compare a report against its baseline; return failure messages.
 
     A scenario fails when its throughput falls more than ``max_regression``
-    below the recorded baseline (speedup < 1 - max_regression).  Scenarios
-    without a baseline entry are skipped — they cannot regress against
-    nothing.  Two latency-side checks ride along: a recorded e2e p95
-    more than ``1 + max_regression`` above the baseline's fails, and a
-    ``telemetry_overhead`` above :data:`MAX_TELEMETRY_OVERHEAD` fails
-    regardless of baseline.  Returns an empty list when everything is
-    within bounds.
+    below the recorded baseline (speedup < 1 - max_regression); the
+    failure message names the offending scenario and quotes the exact
+    throughput delta so the CI log alone identifies the culprit.
+    Scenarios without a baseline entry are skipped — they cannot regress
+    against nothing.  Three accuracy/latency checks ride along,
+    independent of any baseline: a ``cpi_error`` above
+    :data:`MAX_LIVE_SAMPLING_ERROR` fails (the live-sampling scenario's
+    accuracy contract — a throughput win bought with estimator error is
+    still a failure), a ``telemetry_overhead`` above
+    :data:`MAX_TELEMETRY_OVERHEAD` fails, and a recorded e2e p95 more
+    than ``1 + max_regression`` above the baseline's fails.  Returns an
+    empty list when everything is within bounds.
     """
     if not 0.0 < max_regression < 1.0:
         raise ValueError(
@@ -675,10 +756,20 @@ def check_regressions(
     for name, entry in report["scenarios"].items():
         speedup = entry.get("speedup_vs_baseline")
         if speedup is not None and speedup < floor:
+            unit = entry.get("unit", "instr")
+            current = entry["instructions_per_second"]
+            recorded = current / speedup if speedup > 0 else 0.0
             failures.append(
-                f"{name}: {entry['instructions_per_second']:,.0f} instr/s is "
-                f"{speedup:.2f}x the baseline "
-                f"(allowed floor: {floor:.2f}x)"
+                f"{name}: throughput regressed {1.0 - speedup:.1%} vs the "
+                f"recorded baseline — {current:,.0f} {unit}/s against "
+                f"{recorded:,.0f} {unit}/s ({speedup:.2f}x, allowed floor "
+                f"{floor:.2f}x)"
+            )
+        cpi_error = entry.get("cpi_error")
+        if cpi_error is not None and cpi_error > MAX_LIVE_SAMPLING_ERROR:
+            failures.append(
+                f"{name}: live-sampled chip CPI is {cpi_error:.1%} off the "
+                f"full run (budget: {MAX_LIVE_SAMPLING_ERROR:.0%})"
             )
         overhead = entry.get("telemetry_overhead")
         if overhead is not None and overhead > MAX_TELEMETRY_OVERHEAD:

@@ -933,13 +933,21 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     from repro.microarch.config import BIG
     from repro.workloads.spec import all_profiles
 
-    cv = cross_validate(
-        all_profiles(),
-        BIG,
-        instructions=args.instructions,
-        sample_interval=args.sampling,
-        sample_warmup=args.sampling_warmup,
-    )
+    if args.sampling == "live":
+        cv = cross_validate(
+            all_profiles(),
+            BIG,
+            instructions=args.instructions,
+            sampling="live",
+        )
+    else:
+        cv = cross_validate(
+            all_profiles(),
+            BIG,
+            instructions=args.instructions,
+            sample_interval=args.sampling,
+            sample_warmup=args.sampling_warmup,
+        )
     print(f"{'benchmark':12s}{'interval':>10s}{'cycle':>8s}{'ratio':>7s}")
     for name in sorted(cv.interval_ipc):
         print(
@@ -948,6 +956,18 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         )
     print(f"Spearman rank correlation: {cv.rank_correlation:.3f}")
     return 0 if cv.rank_correlation > 0.8 else 1
+
+
+def _sampling_mode(text: str):
+    """``--sampling`` value: an integer interval or the word 'live'."""
+    if text.strip().lower() == "live":
+        return "live"
+    try:
+        return int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer interval or 'live', got {text!r}"
+        )
 
 
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
@@ -1480,11 +1500,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_val.add_argument("--instructions", type=int, default=15_000)
     p_val.add_argument(
         "--sampling",
-        type=int,
+        type=_sampling_mode,
         default=None,
-        metavar="INTERVAL",
-        help="run the cycle tier in sampled mode with this per-thread "
-        "sampling interval (instructions); detailed windows plus "
+        metavar="INTERVAL|live",
+        help="run the cycle tier in sampled mode: an integer is a "
+        "per-thread periodic sampling interval (instructions), 'live' "
+        "enables adaptive live sampling (online phase detector + error "
+        "controller, no interval to tune); detailed windows plus "
         "functionally-warmed fast-forward instead of full simulation "
         "(see docs/performance.md)",
     )

@@ -183,15 +183,11 @@ class MemoryHierarchy:
     ) -> AccessResult:
         """A load/store from core ``core_index``; returns total latency."""
         caches = self.core_caches[core_index]
-        counts = self.demand_counts
         if caches.l1d.access(address, is_write):
-            counts["data.l1"] += 1
+            self.demand_counts["data.l1"] += 1
             result = self._d_l1[core_index]
-        elif caches.l2.access(address, is_write):
-            counts["data.l2"] += 1
-            result = self._d_l2[core_index]
         else:
-            result = self._shared_data_access(core_index, address, now_ns, is_write)
+            result = self.data_l1_miss(core_index, address, now_ns, is_write)
         if self._has_prefetchers:
             prefetcher = self.prefetchers[core_index]
             if prefetcher is not None:
@@ -200,6 +196,22 @@ class MemoryHierarchy:
                 ):
                     self._prefetch_fill(core_index, target, now_ns)
         return result
+
+    def data_l1_miss(
+        self, core_index: int, address: int, now_ns: float, is_write: bool
+    ) -> AccessResult:
+        """The L2-and-beyond data path, after the caller has already probed
+        (and allocated the line into) the core's L1D.
+
+        Split out of :meth:`data_access` so the batched stepping kernel
+        (:mod:`repro.sim.kernel`) can inline the L1D lookup against
+        precomputed set/tag arrays and fall through here only on a miss.
+        """
+        caches = self.core_caches[core_index]
+        if caches.l2.access(address, is_write):
+            self.demand_counts["data.l2"] += 1
+            return self._d_l2[core_index]
+        return self._shared_data_access(core_index, address, now_ns, is_write)
 
     def _shared_data_access(
         self, core_index: int, address: int, now_ns: float, is_write: bool

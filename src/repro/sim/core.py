@@ -37,11 +37,12 @@ changing a single reported number:
 """
 
 from collections import deque
-from typing import Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.microarch.branch import predictor_for_core
 from repro.microarch.config import CoreConfig
+from repro.sim.kernel import FU_CLASSES, TraceArrays, active_kernel, build_trace_arrays
 from repro.sim.results import CoreSimStats
 from repro.workloads.tracegen import EXEC_LATENCY, TraceInstruction
 
@@ -95,6 +96,9 @@ class SimThread:
         self.fetch_stalled_until = 0
         self.last_fetch_line = -1
         self.done_cycle: Optional[int] = None
+        #: Batched per-field trace arrays, installed by the owning core when
+        #: the numpy kernel is active (see :mod:`repro.sim.kernel`).
+        self._k: Optional[TraceArrays] = None
 
     @property
     def finished(self) -> bool:
@@ -148,7 +152,8 @@ class SimThread:
         hierarchy, cursor position) is untouched.
         """
         self.rob.clear()
-        self._comp_ring = [0] * _DEP_WINDOW
+        # In place: the batched kernel prebinds the ring object (_kctx).
+        self._comp_ring[:] = [0] * _DEP_WINDOW
         self._comp_count = 0
         if self.fetch_stalled_until < now:
             self.fetch_stalled_until = now
@@ -165,6 +170,7 @@ class PipelineCore:
         traces: Sequence[Sequence[TraceInstruction]],
         warmup_instructions: int = 0,
         fetch_policy: str = "roundrobin",
+        kernel: Optional[str] = None,
     ):
         if fetch_policy not in ("roundrobin", "icount"):
             raise ValueError(
@@ -214,6 +220,87 @@ class PipelineCore:
         #: ``_fu_next[cls][c]`` points at the next cycle that might still
         #: have a free slot (path-compressed as probes walk it).
         self._fu_next: Dict[str, Dict[int, int]] = {k: {} for k in self._fu_units}
+        #: Which stepping kernel this core runs ("numpy" or "scalar"); both
+        #: are bit-identical (golden-tested).  See :mod:`repro.sim.kernel`.
+        self.kernel = active_kernel(kernel)
+        if self.kernel == "numpy":
+            self._install_numpy_kernel()
+
+    def _install_numpy_kernel(self) -> None:
+        """Precompute batched trace arrays and bind the fused step loop.
+
+        The string-keyed ``_fu_units``/``_fu_busy``/``_fu_next`` dicts stay
+        canonical (unit tests and :meth:`_prune_fu_state` use them); the
+        code-indexed lists below alias the *same* dict objects, so both
+        kernels share one set of issue-slot tables and pruning keeps
+        working in place.
+        """
+        caches = self.hierarchy.core_caches[self.core_index]
+        l1d = caches.l1d
+        self._l1d = l1d
+        for thread in self.threads:
+            k = build_trace_arrays(
+                thread.trace, self._l1i_line_bytes, l1d._line_bytes, l1d._num_sets
+            )
+            thread._k = k
+            # Per-thread hot bindings for the fused loops, packed into one
+            # tuple (single unpack per thread entry).  Every object here
+            # keeps its identity for the thread's lifetime — including the
+            # completion ring, which reset_pipeline_state clears in place.
+            thread._kctx = (
+                k.exec_lat,
+                k.fu_code,
+                k.mem_code,
+                k.pc,
+                k.fetch_line,
+                k.address,
+                k.l1d_set,
+                k.l1d_tag,
+                k.dep,
+                k.taken,
+                thread.stats,
+                thread.stats.level_hits,
+                thread._comp_ring,
+                thread.rob.append,
+                thread.predictor.update,
+                thread.warmup_instructions,
+            )
+        self._fu_units_by_code = [self._fu_units[c] for c in FU_CLASSES]
+        self._fu_busy_by_code = [self._fu_busy[c] for c in FU_CLASSES]
+        self._fu_next_by_code = [self._fu_next[c] for c in FU_CLASSES]
+        #: With prefetchers installed every data access (hits included) must
+        #: flow through the hierarchy so the prefetcher observes it; without
+        #: them the L1D lookup is inlined against precomputed set/tag.
+        self._inline_l1 = not self.hierarchy._has_prefetchers
+        #: Same expression the scalar path evaluates per L1 load hit
+        #: (``int(result.latency_ns * freq)``), computed once.
+        self._l1_load_cycles = int(
+            self.hierarchy._d_l1[self.core_index].latency_ns * self._freq
+        )
+        #: Hot bindings for :meth:`_step_numpy`, packed into one tuple so
+        #: each step pays a single attribute load + unpack instead of ~16
+        #: attribute chains.  Everything here is stable for the core's
+        #: lifetime (the FU tables are compacted in place, never replaced).
+        hierarchy = self.hierarchy
+        self._step_ctx = (
+            hierarchy.instruction_access,
+            hierarchy.data_access,
+            hierarchy.data_l1_miss,
+            hierarchy.demand_counts,
+            self._inline_l1,
+            l1d,
+            l1d._sets,
+            l1d.stats,
+            l1d._assoc,
+            l1d._num_sets,
+            l1d._line_bytes,
+            self._l1_load_cycles,
+            self._fu_units_by_code,
+            self._fu_busy_by_code,
+            self._fu_next_by_code,
+            self.core.frontend_depth,
+        )
+        self.step = self._step_numpy  # type: ignore[method-assign]
 
     # ------------------------------------------------------------------ #
     # helpers                                                             #
@@ -424,6 +511,226 @@ class PipelineCore:
             thread.maybe_snapshot(now)
 
     # ------------------------------------------------------------------ #
+    # batched stepping kernel                                             #
+    # ------------------------------------------------------------------ #
+
+    def _step_numpy(self) -> None:
+        """One cycle via the batched kernel — bit-identical to :meth:`step`.
+
+        Same commit-then-dispatch structure, but the dispatch loop reads
+        the precomputed per-field arrays (:class:`~repro.sim.kernel.
+        TraceArrays`) instead of trace objects, inlines producer lookup,
+        functional-unit issue and (without prefetchers) the L1D probe, and
+        keeps per-thread state in locals, written back once per thread.
+        Every state mutation happens in the same order as the scalar path,
+        so shared-hierarchy interleavings are preserved exactly.
+        """
+        now = self.cycle
+        width = self._width
+        threads = self.threads
+
+        for thread in threads:
+            rob = thread.rob
+            if rob:
+                retired = 0
+                while retired < width and rob and rob[0] <= now:
+                    rob.popleft()
+                    retired += 1
+            if (
+                not rob
+                and thread.done_cycle is None
+                and thread.cursor >= thread.trace_len
+            ):
+                thread.done_cycle = now
+                thread.finalize_stats(now)
+
+        budget = width
+        n = self._n_threads
+        if n == 1:
+            order = threads
+        elif self.fetch_policy == "icount":
+            order = sorted(threads, key=_rob_depth)
+        else:
+            start = now % n
+            order = threads[start:] + threads[:start]
+        rob_share = self._rob_share
+        is_ooo = self._is_ooo
+
+        core_index = self.core_index
+        freq = self._freq
+        (
+            instruction_access,
+            data_access,
+            data_l1_miss,
+            counts,
+            inline_l1,
+            l1d,
+            l1d_sets,
+            l1d_stats,
+            l1d_assoc,
+            l1d_num_sets,
+            l1d_line_bytes,
+            l1_load_cycles,
+            fu_units,
+            fu_busy_tables,
+            fu_next_tables,
+            frontend_depth,
+        ) = self._step_ctx
+
+        for thread in order:
+            if budget <= 0:
+                break
+            cursor = thread.cursor
+            tlen = thread.trace_len
+            if cursor >= tlen:
+                continue
+            rob = thread.rob
+            rob_len = len(rob)
+            fetch_stall = thread.fetch_stalled_until
+            if now < fetch_stall or rob_len >= rob_share:
+                continue
+            (
+                k_lat,
+                k_fu,
+                k_mem,
+                k_pc,
+                k_fline,
+                k_addr,
+                k_set,
+                k_tag,
+                k_dep,
+                k_taken,
+                stats,
+                level_hits,
+                comp_ring,
+                rob_append,
+                predictor_update,
+                warmup,
+            ) = thread._kctx
+            instructions = stats.instructions
+            comp_count = thread._comp_count
+            last_line = thread.last_fetch_line
+            snap_pending = thread._warm_snapshot is None
+
+            while (
+                budget > 0
+                and cursor < tlen
+                and now >= fetch_stall
+                and rob_len < rob_share
+            ):
+                dep = k_dep[cursor]
+                if 0 < dep <= comp_count and dep <= _DEP_WINDOW:
+                    c = comp_ring[(comp_count - dep) & _DEP_MASK]
+                    ready = c if c > now else now
+                else:
+                    ready = now
+                if not is_ooo and ready > now:
+                    break  # stall-on-use: input not ready
+
+                line = k_fline[cursor]
+                if line != last_line:
+                    last_line = line
+                    result = instruction_access(core_index, k_pc[cursor], now / freq)
+                    if result.level != "l1":
+                        stalled = now + int(result.latency_ns * freq * 0.4) + 1
+                        if stalled > fetch_stall:
+                            fetch_stall = stalled
+
+                fu = k_fu[cursor]
+                busy = fu_busy_tables[fu]
+                if len(busy) > _FU_PRUNE_LIMIT:
+                    self._prune_fu_state()
+                units = fu_units[fu]
+                t = ready
+                used = busy.get(t, 0)
+                if used >= units:
+                    nxt = fu_next_tables[fu]
+                    path = []
+                    while used >= units:
+                        path.append(t)
+                        t = nxt.get(t, t + 1)
+                        used = busy.get(t, 0)
+                    for c in path:
+                        nxt[c] = t
+                busy[t] = used + 1
+                issue = t
+
+                mem = k_mem[cursor]
+                if mem == 0:
+                    completion = issue + k_lat[cursor]
+                elif mem == 3:  # branch
+                    completion = issue + k_lat[cursor]
+                    if predictor_update(k_pc[cursor], k_taken[cursor]):
+                        stats.branch_mispredicts += 1
+                        redirect = completion + frontend_depth
+                        if redirect > fetch_stall:
+                            fetch_stall = redirect
+                else:  # load (1) or store (2)
+                    address = k_addr[cursor]
+                    is_write = mem == 2
+                    if inline_l1:
+                        l1d_stats.accesses += 1
+                        l1d.last_writeback_address = None
+                        set_idx = k_set[cursor]
+                        ways = l1d_sets[set_idx]
+                        tag = k_tag[cursor]
+                        dirty = ways.get(tag)
+                        if dirty is not None:
+                            l1d_stats.hits += 1
+                            if is_write and not dirty:
+                                ways[tag] = True
+                            ways.move_to_end(tag)
+                            counts["data.l1"] += 1
+                            level = "l1"
+                            mem_cycles = l1_load_cycles if mem == 1 else 1
+                        else:
+                            if len(ways) >= l1d_assoc:
+                                victim_tag, victim_dirty = ways.popitem(last=False)
+                                l1d_stats.evictions += 1
+                                if victim_dirty:
+                                    l1d_stats.writebacks += 1
+                                    l1d.last_writeback_address = (
+                                        victim_tag * l1d_num_sets + set_idx
+                                    ) * l1d_line_bytes
+                            ways[tag] = is_write
+                            result = data_l1_miss(
+                                core_index, address, issue / freq, is_write
+                            )
+                            level = result.level
+                            mem_cycles = (
+                                int(result.latency_ns * freq) if mem == 1 else 1
+                            )
+                    else:
+                        result = data_access(
+                            core_index, address, issue / freq, is_write, k_pc[cursor]
+                        )
+                        level = result.level
+                        mem_cycles = int(result.latency_ns * freq) if mem == 1 else 1
+                    level_hits[level] = level_hits.get(level, 0) + 1
+                    total = k_lat[cursor] + mem_cycles
+                    completion = issue + (total if total > 1 else 1)
+
+                comp_ring[comp_count & _DEP_MASK] = completion
+                comp_count += 1
+                rob_append(completion)
+                rob_len += 1
+                instructions += 1
+                cursor += 1
+                budget -= 1
+                if snap_pending and cursor >= warmup:
+                    stats.instructions = instructions
+                    thread.cursor = cursor
+                    thread.maybe_snapshot(now)
+                    snap_pending = False
+
+            thread.cursor = cursor
+            thread._comp_count = comp_count
+            thread.last_fetch_line = last_line
+            thread.fetch_stalled_until = fetch_stall
+            stats.instructions = instructions
+        self.cycle = now + 1
+
+    # ------------------------------------------------------------------ #
     # idle-cycle skipping                                                 #
     # ------------------------------------------------------------------ #
 
@@ -469,15 +776,285 @@ class PipelineCore:
                     best = ready
         return best
 
+    def run_until(self, limit: int) -> int:
+        """Step from ``self.cycle`` (skipping idle gaps) until the core's
+        next event is >= ``limit`` or every thread drains.
+
+        Returns the next event cycle (the drain sentinel when finished).
+        The caller must guarantee that no other core acts in
+        ``[self.cycle, limit)`` — the lockstep driver uses this to batch a
+        solo-due core's whole span into one call, which is exactly the
+        naive interleaving because every other core's step would be a
+        no-op over that span.
+        """
+        if self._n_threads == 1 and self.kernel == "numpy":
+            return self._run_span_1t(limit)
+        step = self.step
+        next_event = self.next_event_cycle
+        while True:
+            step()
+            nxt = next_event()
+            if nxt >= limit:
+                return nxt
+            self.cycle = nxt
+
+    def _run_span_1t(self, limit: int) -> int:
+        """:meth:`run_until` fused for a single-thread numpy-kernel core.
+
+        One call runs the whole span — commit, dispatch, and an inlined
+        single-thread :meth:`next_event_cycle` per cycle — with every hot
+        binding hoisted out of the cycle loop (the per-step prologue is
+        the dominant cost once a core runs alone).  The dispatch body is
+        the same as :meth:`_step_numpy`'s, mutation for mutation, and the
+        golden fingerprint suite pins the equivalence.
+        """
+        thread = self.threads[0]
+        core_index = self.core_index
+        freq = self._freq
+        (
+            instruction_access,
+            data_access,
+            data_l1_miss,
+            counts,
+            inline_l1,
+            l1d,
+            l1d_sets,
+            l1d_stats,
+            l1d_assoc,
+            l1d_num_sets,
+            l1d_line_bytes,
+            l1_load_cycles,
+            fu_units,
+            fu_busy_tables,
+            fu_next_tables,
+            frontend_depth,
+        ) = self._step_ctx
+        width = self._width
+        rob_share = self._rob_share
+        is_ooo = self._is_ooo
+        (
+            k_lat,
+            k_fu,
+            k_mem,
+            k_pc,
+            k_fline,
+            k_addr,
+            k_set,
+            k_tag,
+            k_dep,
+            k_taken,
+            stats,
+            level_hits,
+            comp_ring,
+            rob_append,
+            predictor_update,
+            warmup,
+        ) = thread._kctx
+        instructions = stats.instructions
+        comp_count = thread._comp_count
+        last_line = thread.last_fetch_line
+        fetch_stall = thread.fetch_stalled_until
+        rob = thread.rob
+        rob_popleft = rob.popleft
+        rob_len = len(rob)
+        cursor = thread.cursor
+        tlen = thread.trace_len
+        snap_pending = thread._warm_snapshot is None
+        now = self.cycle
+
+        while True:
+            # --- commit (identical to _step_numpy's commit phase) ---
+            if rob_len:
+                retired = 0
+                while retired < width and rob_len and rob[0] <= now:
+                    rob_popleft()
+                    rob_len -= 1
+                    retired += 1
+            if not rob_len and cursor >= tlen:
+                if thread.done_cycle is None:
+                    thread.cursor = cursor
+                    thread._comp_count = comp_count
+                    thread.last_fetch_line = last_line
+                    thread.fetch_stalled_until = fetch_stall
+                    stats.instructions = instructions
+                    thread.done_cycle = now
+                    thread.finalize_stats(now)
+                self.cycle = now + 1
+                return _NEVER
+
+            # --- dispatch (same body as _step_numpy) ---
+            budget = width
+            while (
+                budget > 0
+                and cursor < tlen
+                and now >= fetch_stall
+                and rob_len < rob_share
+            ):
+                dep = k_dep[cursor]
+                if 0 < dep <= comp_count and dep <= _DEP_WINDOW:
+                    c = comp_ring[(comp_count - dep) & _DEP_MASK]
+                    ready = c if c > now else now
+                else:
+                    ready = now
+                if not is_ooo and ready > now:
+                    break  # stall-on-use: input not ready
+
+                line = k_fline[cursor]
+                if line != last_line:
+                    last_line = line
+                    result = instruction_access(core_index, k_pc[cursor], now / freq)
+                    if result.level != "l1":
+                        stalled = now + int(result.latency_ns * freq * 0.4) + 1
+                        if stalled > fetch_stall:
+                            fetch_stall = stalled
+
+                fu = k_fu[cursor]
+                busy = fu_busy_tables[fu]
+                if len(busy) > _FU_PRUNE_LIMIT:
+                    # _prune_fu_state keys off self.cycle, which this fused
+                    # span only writes back on exit — sync it first so the
+                    # prune actually drops past cycles.
+                    self.cycle = now
+                    self._prune_fu_state()
+                units = fu_units[fu]
+                t = ready
+                used = busy.get(t, 0)
+                if used >= units:
+                    nxt_table = fu_next_tables[fu]
+                    path = []
+                    while used >= units:
+                        path.append(t)
+                        t = nxt_table.get(t, t + 1)
+                        used = busy.get(t, 0)
+                    for c in path:
+                        nxt_table[c] = t
+                busy[t] = used + 1
+                issue = t
+
+                mem = k_mem[cursor]
+                if mem == 0:
+                    completion = issue + k_lat[cursor]
+                elif mem == 3:  # branch
+                    completion = issue + k_lat[cursor]
+                    if predictor_update(k_pc[cursor], k_taken[cursor]):
+                        stats.branch_mispredicts += 1
+                        redirect = completion + frontend_depth
+                        if redirect > fetch_stall:
+                            fetch_stall = redirect
+                else:  # load (1) or store (2)
+                    address = k_addr[cursor]
+                    is_write = mem == 2
+                    if inline_l1:
+                        l1d_stats.accesses += 1
+                        l1d.last_writeback_address = None
+                        set_idx = k_set[cursor]
+                        ways = l1d_sets[set_idx]
+                        tag = k_tag[cursor]
+                        dirty = ways.get(tag)
+                        if dirty is not None:
+                            l1d_stats.hits += 1
+                            if is_write and not dirty:
+                                ways[tag] = True
+                            ways.move_to_end(tag)
+                            counts["data.l1"] += 1
+                            level = "l1"
+                            mem_cycles = l1_load_cycles if mem == 1 else 1
+                        else:
+                            if len(ways) >= l1d_assoc:
+                                victim_tag, victim_dirty = ways.popitem(last=False)
+                                l1d_stats.evictions += 1
+                                if victim_dirty:
+                                    l1d_stats.writebacks += 1
+                                    l1d.last_writeback_address = (
+                                        victim_tag * l1d_num_sets + set_idx
+                                    ) * l1d_line_bytes
+                            ways[tag] = is_write
+                            result = data_l1_miss(
+                                core_index, address, issue / freq, is_write
+                            )
+                            level = result.level
+                            mem_cycles = (
+                                int(result.latency_ns * freq) if mem == 1 else 1
+                            )
+                    else:
+                        result = data_access(
+                            core_index, address, issue / freq, is_write, k_pc[cursor]
+                        )
+                        level = result.level
+                        mem_cycles = int(result.latency_ns * freq) if mem == 1 else 1
+                    level_hits[level] = level_hits.get(level, 0) + 1
+                    total = k_lat[cursor] + mem_cycles
+                    completion = issue + (total if total > 1 else 1)
+
+                comp_ring[comp_count & _DEP_MASK] = completion
+                comp_count += 1
+                rob_append(completion)
+                rob_len += 1
+                instructions += 1
+                cursor += 1
+                budget -= 1
+                if snap_pending and cursor >= warmup:
+                    stats.instructions = instructions
+                    thread.cursor = cursor
+                    thread.maybe_snapshot(now)
+                    snap_pending = False
+
+            # --- next event (next_event_cycle inlined for one thread) ---
+            now1 = now + 1
+            nxt = _NEVER
+            if rob_len:
+                nxt = rob[0]
+                if rob_len < rob_share and cursor < tlen:
+                    ready = fetch_stall
+                    if not is_ooo:
+                        dep = k_dep[cursor]
+                        if 0 < dep <= comp_count and dep <= _DEP_WINDOW:
+                            c = comp_ring[(comp_count - dep) & _DEP_MASK]
+                            if c > ready:
+                                ready = c
+                    if ready < nxt:
+                        nxt = ready
+            elif cursor < tlen:
+                nxt = fetch_stall
+                if not is_ooo:
+                    dep = k_dep[cursor]
+                    if 0 < dep <= comp_count and dep <= _DEP_WINDOW:
+                        c = comp_ring[(comp_count - dep) & _DEP_MASK]
+                        if c > nxt:
+                            nxt = c
+            else:
+                # Drained; loop once more so the commit phase records it.
+                nxt = now1
+            if nxt < now1:
+                nxt = now1
+            if nxt >= limit:
+                thread.cursor = cursor
+                thread._comp_count = comp_count
+                thread.last_fetch_line = last_line
+                thread.fetch_stalled_until = fetch_stall
+                stats.instructions = instructions
+                self.cycle = now1
+                return nxt
+            now = nxt
+
     # ------------------------------------------------------------------ #
     # functional warming (sampled simulation)                             #
     # ------------------------------------------------------------------ #
 
     def functional_warm(
-        self, per_thread: int, dram_addresses: Optional[List[int]] = None
+        self,
+        per_thread: Union[int, Sequence[int]],
+        dram_addresses: Optional[List[int]] = None,
     ) -> List[Tuple[int, int, int, int, int]]:
         """Advance every thread up to ``per_thread`` instructions with
         functional warming only.
+
+        ``per_thread`` is either one count applied to every thread or a
+        sequence of counts, one per thread in slot order — live sampling
+        warms SMT siblings by *different* amounts so their relative rates
+        of progress match the CPIs it measured (equal-instruction warming
+        would keep a fast thread artificially co-resident with a slow
+        sibling for the whole run).
 
         Caches see every reference (contents, LRU and dirty state update
         through the real access path) and branch predictors train on every
@@ -498,41 +1075,90 @@ class PipelineCore:
         l1i, l1d, l2 = caches.l1i, caches.l1d, caches.l2
         llc = self.hierarchy.llc
         line_bytes = self._l1i_line_bytes
+        if isinstance(per_thread, int):
+            counts = [per_thread] * len(self.threads)
+        else:
+            counts = list(per_thread)
+            if len(counts) != len(self.threads):
+                raise ValueError(
+                    f"functional_warm got {len(counts)} counts for "
+                    f"{len(self.threads)} threads"
+                )
         out: List[Tuple[int, int, int, int, int]] = []
-        for thread in self.threads:
+        l1i_access = l1i.access
+        l1d_access = l1d.access
+        l2_access = l2.access
+        llc_access = llc.access
+        for thread, quota in zip(self.threads, counts):
             trace = thread.trace
-            end = min(thread.trace_len, thread.cursor + per_thread)
-            predictor = thread.predictor
+            end = min(thread.trace_len, thread.cursor + quota)
+            predictor_update = thread.predictor.update
             last_line = thread.last_fetch_line
             l2_hits = 0
             llc_hits = 0
             dram = 0
             mispredicts = 0
-            for cursor in range(thread.cursor, end):
-                instr = trace[cursor]
-                line = instr.pc // line_bytes
-                if line != last_line:
-                    last_line = line
-                    if not l1i.access(instr.pc):
-                        if not l2.access(instr.pc):
-                            if not llc.access(instr.pc):
+            k = thread._k
+            if k is not None:
+                # Batched-kernel variant of the loop below: identical access
+                # sequence, driven by the precomputed per-field arrays.
+                k_mem = k.mem_code
+                k_pc = k.pc
+                k_fline = k.fetch_line
+                k_addr = k.address
+                k_taken = k.taken
+                for cursor in range(thread.cursor, end):
+                    line = k_fline[cursor]
+                    if line != last_line:
+                        last_line = line
+                        pc = k_pc[cursor]
+                        if not l1i_access(pc):
+                            if not l2_access(pc):
+                                if not llc_access(pc):
+                                    if dram_addresses is not None:
+                                        dram_addresses.append(pc)
+                    mem = k_mem[cursor]
+                    if mem == 1 or mem == 2:
+                        is_write = mem == 2
+                        address = k_addr[cursor]
+                        if not l1d_access(address, is_write):
+                            if l2_access(address, is_write):
+                                l2_hits += 1
+                            elif llc_access(address, is_write):
+                                llc_hits += 1
+                            else:
+                                dram += 1
                                 if dram_addresses is not None:
-                                    dram_addresses.append(instr.pc)
-                kind = instr.kind
-                if kind == "load" or kind == "store":
-                    is_write = kind == "store"
-                    if not l1d.access(instr.address, is_write):
-                        if l2.access(instr.address, is_write):
-                            l2_hits += 1
-                        elif llc.access(instr.address, is_write):
-                            llc_hits += 1
-                        else:
-                            dram += 1
-                            if dram_addresses is not None:
-                                dram_addresses.append(instr.address)
-                elif kind == "branch":
-                    if predictor.update(instr.pc, instr.taken):
-                        mispredicts += 1
+                                    dram_addresses.append(address)
+                    elif mem == 3:
+                        if predictor_update(k_pc[cursor], k_taken[cursor]):
+                            mispredicts += 1
+            else:
+                for cursor in range(thread.cursor, end):
+                    instr = trace[cursor]
+                    line = instr.pc // line_bytes
+                    if line != last_line:
+                        last_line = line
+                        if not l1i_access(instr.pc):
+                            if not l2_access(instr.pc):
+                                if not llc_access(instr.pc):
+                                    if dram_addresses is not None:
+                                        dram_addresses.append(instr.pc)
+                    kind = instr.kind
+                    if kind == "load" or kind == "store":
+                        is_write = kind == "store"
+                        if not l1d_access(instr.address, is_write):
+                            if l2_access(instr.address, is_write):
+                                l2_hits += 1
+                            elif llc_access(instr.address, is_write):
+                                llc_hits += 1
+                            else:
+                                dram += 1
+                                if dram_addresses is not None:
+                                    dram_addresses.append(instr.address)
+                    elif kind == "branch":
+                        if predictor_update(instr.pc, instr.taken):
+                            mispredicts += 1
             out.append((end - thread.cursor, l2_hits, llc_hits, dram, mispredicts))
             thread.cursor = end
             thread.last_fetch_line = last_line

@@ -15,7 +15,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.designs import ChipDesign
 from repro.memory.hierarchy import MemoryHierarchy
-from repro.sim.core import PipelineCore
+from repro.sim.core import _NEVER, PipelineCore
 from repro.sim.results import CoreSimStats
 from repro.util import check_positive
 from repro.workloads.profiles import BenchmarkProfile
@@ -56,6 +56,10 @@ class MulticoreSimulator:
     ``fetch_policy`` ("roundrobin"/"icount") selects SMT dispatch priority;
     ``prefetcher`` (None/"nextline"/"stride") installs per-core data
     prefetchers.  Defaults match the paper's configuration.
+
+    ``kernel`` picks the stepping implementation ("numpy"/"scalar", both
+    bit-identical; default resolves ``$REPRO_SIM_KERNEL``) — see
+    :mod:`repro.sim.kernel`.
     """
 
     def __init__(
@@ -63,10 +67,12 @@ class MulticoreSimulator:
         design: ChipDesign,
         fetch_policy: str = "roundrobin",
         prefetcher: Optional[str] = None,
+        kernel: Optional[str] = None,
     ):
         self.design = design
         self.fetch_policy = fetch_policy
         self.prefetcher = prefetcher
+        self.kernel = kernel
 
     def prepare(
         self,
@@ -123,6 +129,7 @@ class MulticoreSimulator:
                     traces,
                     warmup_instructions=warmup_instructions,
                     fetch_policy=self.fetch_policy,
+                    kernel=self.kernel,
                 )
             )
         return hierarchy, cores
@@ -189,29 +196,72 @@ class MulticoreSimulator:
         changes when the core itself steps — so events stay valid while a
         core waits, and stepping due cores in list order reproduces the
         naive interleaving of shared-hierarchy accesses exactly.
+
+        Two span batchings on top of the event skip (both still exact):
+        when a *single* core is due before every other core's event, it
+        runs all its cycles up to that event in one
+        :meth:`~repro.sim.core.PipelineCore.run_until` call (no other core
+        would act in between); and a drained core is recognised by its
+        event reaching the drain sentinel, so the loop never scans thread
+        states to detect completion.
         """
         active = list(cores)
         events = [c.next_event_cycle() for c in active]
         while active:
-            target = min(events)
+            if len(active) == 1:
+                # Solo core: run it to drain (or the cycle cap) directly.
+                core = active[0]
+                if events[0] >= max_cycles:
+                    raise RuntimeError(
+                        f"simulation exceeded {max_cycles} cycles without draining"
+                    )
+                core.cycle = events[0]
+                if core.run_until(max_cycles) != _NEVER:
+                    raise RuntimeError(
+                        f"simulation exceeded {max_cycles} cycles without draining"
+                    )
+                return
+            # Earliest event, second-earliest, and whether the earliest is
+            # unique (one scan; core counts are small).
+            target = _NEVER
+            second = _NEVER
+            for ev in events:
+                if ev < target:
+                    second = target
+                    target = ev
+                elif ev < second:
+                    second = ev
             if target >= max_cycles:
                 raise RuntimeError(
                     f"simulation exceeded {max_cycles} cycles without draining"
                 )
-            next_active: List[PipelineCore] = []
-            next_events: List[int] = []
-            for i, core in enumerate(active):
+            if second > target:
+                # Exactly one core due: batch its whole span up to the next
+                # other-core event into one call.
+                i = events.index(target)
+                core = active[i]
+                core.cycle = target
+                ev = core.run_until(second if second < max_cycles else max_cycles)
+                if ev == _NEVER:
+                    del active[i]
+                    del events[i]
+                else:
+                    events[i] = ev
+                continue
+            # Several cores due at `target`: step them in list order.
+            i = 0
+            while i < len(active):
                 if events[i] <= target:
+                    core = active[i]
                     core.cycle = target
                     core.step()
-                    if core.finished:
+                    ev = core.next_event_cycle()
+                    if ev == _NEVER:
+                        del active[i]
+                        del events[i]
                         continue
-                    next_events.append(core.next_event_cycle())
-                else:
-                    next_events.append(events[i])
-                next_active.append(core)
-            active = next_active
-            events = next_events
+                    events[i] = ev
+                i += 1
 
     def run(
         self,
@@ -221,6 +271,7 @@ class MulticoreSimulator:
         max_cycles: int = 50_000_000,
         sample_interval: Optional[int] = None,
         sample_warmup: int = 600,
+        sampling=None,
     ) -> SimulationResult:
         """Simulate ``threads`` for a fixed instruction budget each.
 
@@ -243,10 +294,53 @@ class MulticoreSimulator:
         window (``max(2 * warmup, interval // 4)``).  Reported CPI/IPC
         become estimates (held within 3 % of full runs by the test suite
         at the default knobs on single-thread validation workloads).
+
+        ``sampling`` is the newer front door: an ``int`` is a periodic
+        interval (same as ``sample_interval``), ``"live"`` (or a
+        :class:`~repro.sim.sampling.LiveSamplingConfig`) switches to
+        adaptive live sampling — an online phase detector and error
+        controller size the detailed windows and fast-forward spans, so
+        there is no interval to tune.
         """
+        live_config = None
+        if sampling is not None:
+            if sample_interval is not None:
+                raise ValueError(
+                    "pass either sampling= or sample_interval=, not both"
+                )
+            from repro.sim.sampling import LiveSamplingConfig
+
+            if isinstance(sampling, LiveSamplingConfig):
+                live_config = sampling
+            elif sampling == "live":
+                live_config = LiveSamplingConfig()
+            elif isinstance(sampling, int) and not isinstance(sampling, bool):
+                sample_interval = sampling
+            else:
+                raise ValueError(
+                    f'sampling must be "live", an interval (int), or a '
+                    f"LiveSamplingConfig, got {sampling!r}"
+                )
         hierarchy, cores = self.prepare(
             threads, instructions_per_thread, warmup_instructions
         )
+        if live_config is not None:
+            from repro.sim.sampling import execute_sampled_live
+
+            sampled, total_cycles, _diag = execute_sampled_live(
+                hierarchy, cores, live_config, max_cycles
+            )
+            hierarchy.publish_metrics()
+            return SimulationResult(
+                design_name=self.design.name,
+                thread_stats=tuple(
+                    (core_index, thread.stats)
+                    for core_index, thread in sampled
+                ),
+                total_cycles=total_cycles,
+                dram_mean_latency_ns=hierarchy.dram.stats.mean_latency_ns,
+                dram_requests=hierarchy.dram.stats.requests,
+            )
         if sample_interval is None:
             return self.execute(hierarchy, cores, max_cycles)
         from repro.sim.sampling import SamplingConfig, execute_sampled

@@ -23,8 +23,7 @@ Traces are fully deterministic for a given (profile, seed).
 
 import random
 import zlib
-from dataclasses import dataclass
-from typing import List
+from typing import List, NamedTuple
 
 from repro.util import check_positive
 from repro.workloads.profiles import BenchmarkProfile, MissRateCurve
@@ -44,8 +43,7 @@ INSTRS_PER_CODE_LINE = 16
 _LINE = 64
 
 
-@dataclass(frozen=True)
-class TraceInstruction:
+class TraceInstruction(NamedTuple):
     """One instruction of a synthetic trace.
 
     ``dep_distance`` is the distance (in instructions) back to the producer
@@ -55,6 +53,11 @@ class TraceInstruction:
     Branches carry both a concrete ``taken`` outcome (consumed by the
     cycle-level tier's real branch predictor) and a pre-drawn
     ``mispredicted`` flag (a shortcut for predictor-less consumers).
+
+    A NamedTuple rather than a frozen dataclass: traces are built and
+    consumed hundreds of thousands at a time, and tuple construction /
+    C-level field access keeps both the generator and the simulator's
+    dispatch loop off the ``object.__setattr__`` slow path.
     """
 
     kind: str
@@ -278,35 +281,97 @@ class TraceGenerator:
     # ------------------------------------------------------------------ #
 
     def generate(self, num_instructions: int) -> List[TraceInstruction]:
-        """Produce the next ``num_instructions`` of the trace."""
+        """Produce the next ``num_instructions`` of the trace.
+
+        The loop is the ``tracegen`` benchmark's hot path, so the per-draw
+        helpers (:meth:`_draw_kind`, :meth:`_draw_dep_distance`,
+        :meth:`_next_pc`, :meth:`_branch_outcome`) are inlined here with
+        every RNG call issued in exactly the same order and with exactly
+        the same underlying ``getrandbits`` consumption as the helpers —
+        including ``randrange``'s rejection loop — so the produced trace is
+        bit-identical to the unfused code (the helpers remain the readable
+        reference and are covered by the same tests).
+        """
         check_positive("num_instructions", num_instructions)
         p = self.profile
         mispredict_per_branch = (
             min(0.5, p.branch_mpki / 1000.0 / p.branch_frac) if p.branch_frac else 0.0
         )
+        rng = self._rng
+        rnd = rng.random
+        getrandbits = rng.getrandbits
+        mem_frac = p.mem_frac
+        branch_frac = p.branch_frac
+        offset = self.address_offset
+        data_touch = self._data_stream.touch
+        code_touch = self._code_stream.touch
+        n_chains = self._n_chains
+        chain_bits = n_chains.bit_length()
+        chain_last = self._chain_last
+        hard_frac = self._hard_branch_frac
+        instr_index = self._instr_index
+        code_line = self._code_line
+        code_offset = self._code_offset
+        instruction = TraceInstruction
         out: List[TraceInstruction] = []
+        append = out.append
         for _ in range(num_instructions):
-            kind = self._draw_kind()
-            address = (
-                self._data_stream.touch() * _LINE
-                + self._rng.randrange(0, _LINE, 8)
-                + self.address_offset
-                if kind in ("load", "store")
-                else -1
-            )
-            mispredicted = (
-                kind == "branch" and self._rng.random() < mispredict_per_branch
-            )
-            pc = self._next_pc()
-            taken = kind == "branch" and self._branch_outcome(pc)
-            out.append(
-                TraceInstruction(
-                    kind=kind,
-                    pc=pc,
-                    address=address,
-                    dep_distance=self._draw_dep_distance(),
-                    mispredicted=mispredicted,
-                    taken=taken,
-                )
-            )
+            # --- kind (see _draw_kind) ---
+            r = rnd()
+            if r < mem_frac:
+                kind = "load" if rnd() < LOAD_SHARE else "store"
+                # randrange(0, 64, 8) == 8 * _randbelow(8); _randbelow
+                # draws bit_length(8) == 4 bits with rejection.
+                base = data_touch() * _LINE
+                sub = getrandbits(4)
+                while sub >= 8:
+                    sub = getrandbits(4)
+                address = base + sub * 8 + offset
+                is_branch = False
+            else:
+                address = -1
+                if r - mem_frac < branch_frac:
+                    kind = "branch"
+                    is_branch = True
+                else:
+                    r2 = rnd()
+                    kind = "int" if r2 < 0.80 else "fp" if r2 < 0.95 else "muldiv"
+                    is_branch = False
+            mispredicted = is_branch and rnd() < mispredict_per_branch
+            # --- pc (see _next_pc) ---
+            pc = code_line * _LINE + 4 * code_offset + offset
+            code_offset += 1
+            if code_offset >= INSTRS_PER_CODE_LINE:
+                code_offset = 0
+                code_line = code_touch()
+            # --- taken (see _branch_outcome) ---
+            if is_branch:
+                h = (pc * 0x9E3779B97F4A7C15) >> 40 & 0xFFFF
+                if (h / 65536.0) < hard_frac:
+                    taken = rnd() < 0.5
+                else:
+                    taken = rnd() < 0.995
+            else:
+                taken = False
+            # --- dep distance (see _draw_dep_distance) ---
+            if rnd() < 0.2:
+                # randrange(n_chains) == _randbelow(n_chains).
+                chain = getrandbits(chain_bits)
+                while chain >= n_chains:
+                    chain = getrandbits(chain_bits)
+            else:
+                chain = instr_index % n_chains
+            last = chain_last[chain]
+            chain_last[chain] = instr_index
+            instr_index += 1
+            if last < 0 or rnd() < 0.08:
+                dep = 0
+            else:
+                dep = instr_index - 1 - last
+                if dep > 63:
+                    dep = 63
+            append(instruction(kind, pc, address, dep, mispredicted, taken))
+        self._instr_index = instr_index
+        self._code_line = code_line
+        self._code_offset = code_offset
         return out

@@ -1,0 +1,225 @@
+"""Live (adaptive) sampled simulation: controller behaviour and accuracy.
+
+Three layers of contract:
+
+* **Config validation** — :class:`LiveSamplingConfig` rejects nonsense
+  knobs, and the jitter seed makes runs bit-reproducible.
+* **Phase-detector edge cases** — a constant-CPI stream never triggers a
+  re-sample (the span grows monotonically to its cap), an abrupt phase
+  change at a window boundary collapses the span and is counted, and a
+  trace shorter than one warm-up window degrades to a fully detailed
+  run instead of crashing or extrapolating from nothing.
+* **Accuracy** — live-sampled chip CPI stays within 3 % of the full run
+  on the canonical validation mixes (including the sampling-hostile
+  all-memory-bound mix), solo runs stay within 5 %, and a detail-only
+  configuration reproduces the full run *exactly*, proving the lockstep
+  window machinery itself is bit-faithful (every residual error comes
+  from priced fast-forwards, not from the sampling loop).
+"""
+
+import pytest
+
+from repro.core.designs import ChipDesign, get_design
+from repro.core.scheduler import Scheduler
+from repro.microarch.config import BIG
+from repro.sim.multicore import MulticoreSimulator, ThreadSim
+from repro.sim.sampling import (
+    LiveController,
+    LiveSamplingConfig,
+    execute_sampled_live,
+)
+from repro.workloads.spec import get_profile
+
+SINGLE = ChipDesign(name="live-1B", cores=(BIG,))
+
+
+def _chip_threads(design_name, mix):
+    design = get_design(design_name)
+    placement = Scheduler(design, smt=True).place(
+        [get_profile(name) for name in mix]
+    )
+    return design, [
+        ThreadSim(spec.profile, core_index=core_index, seed=11 + slot)
+        for core_index, specs in enumerate(placement.core_threads)
+        for slot, spec in enumerate(specs)
+    ]
+
+
+class TestLiveSamplingConfig:
+    def test_defaults_are_valid(self):
+        cfg = LiveSamplingConfig()
+        assert 0.0 < cfg.target_error < 1.0
+        assert cfg.window == max(2 * cfg.warmup, cfg.min_window)
+
+    def test_target_error_bounds(self):
+        with pytest.raises(ValueError, match="target_error"):
+            LiveSamplingConfig(target_error=0.0)
+        with pytest.raises(ValueError, match="target_error"):
+            LiveSamplingConfig(target_error=1.5)
+
+    def test_span_ordering(self):
+        with pytest.raises(ValueError, match="max_span"):
+            LiveSamplingConfig(min_span=2_000, max_span=1_000)
+
+    def test_max_window_must_cover_base_window(self):
+        with pytest.raises(ValueError, match="max_window"):
+            LiveSamplingConfig(min_window=4_000, max_window=1_000)
+
+    def test_grow_shrink_must_not_invert(self):
+        with pytest.raises(ValueError, match="grow"):
+            LiveSamplingConfig(grow=0.5)
+
+    def test_max_skip_must_be_positive(self):
+        with pytest.raises(ValueError, match="max_skip"):
+            LiveSamplingConfig(max_skip=0.0)
+
+    def test_same_jitter_seed_is_bit_reproducible(self):
+        results = []
+        for _ in range(2):
+            sim = MulticoreSimulator(SINGLE)
+            hierarchy, cores = sim.prepare(
+                [ThreadSim(get_profile("mcf"), core_index=0)], 6_000
+            )
+            flat, total, diag = execute_sampled_live(
+                hierarchy, cores, LiveSamplingConfig(jitter_seed=7)
+            )
+            results.append((flat[0][1].stats.cycles, total, diag))
+        assert results[0][0] == results[1][0]
+        assert results[0][1] == results[1][1]
+        assert results[0][2] == results[1][2]
+
+
+class TestPhaseDetectorEdgeCases:
+    def _stable_controller(self):
+        cfg = LiveSamplingConfig()
+        ctl = LiveController(cfg)
+        # Identical windows with a healthy model error: no phase change.
+        for _ in range(12):
+            ctl.observe_window(1000, 1500, 20, 10, 5, 8, model_error=0.005)
+        return cfg, ctl
+
+    def test_constant_cpi_never_resamples(self):
+        cfg, ctl = self._stable_controller()
+        assert ctl.phase_changes == 0
+        # Stable, well-predicted behaviour earns the span cap.
+        assert ctl.span == cfg.max_span
+        assert ctl.window == cfg.window
+
+    def test_abrupt_phase_change_collapses_span(self):
+        cfg, ctl = self._stable_controller()
+        grown = ctl.span
+        # The next window boundary reveals a very different signature
+        # (CPI tripled, misses an order of magnitude up).
+        ctl.observe_window(1000, 4500, 200, 120, 80, 8, model_error=0.005)
+        assert ctl.phase_changes == 1
+        assert ctl.span < grown
+        # The reference resets to the new phase: an identical follow-up
+        # window is *not* another phase change.
+        ctl.observe_window(1000, 4500, 200, 120, 80, 8, model_error=0.005)
+        assert ctl.phase_changes == 1
+
+    def test_error_overrun_throttles_the_budget(self):
+        # Rising model error is the *budget's* lever, not the span's:
+        # the warmed fraction is capped at target_error / err_ewma, so a
+        # model that stops generalizing loses its fast-forward allowance
+        # even though no phase change fired.
+        cfg, ctl = self._stable_controller()
+        healthy = ctl.warm_budget(100_000, 0)
+        for _ in range(10):
+            ctl.observe_window(
+                1000, 1500, 20, 10, 5, 8, model_error=50 * cfg.target_error
+            )
+        assert ctl.phase_changes == 0
+        assert ctl.warm_budget(100_000, 0) < healthy
+
+    def test_unproven_model_earns_no_fast_forward(self):
+        ctl = LiveController(LiveSamplingConfig())
+        assert ctl.warm_budget(10_000, 0) == 0  # err_ewma still None
+
+    def test_max_skip_caps_the_budget(self):
+        cfg = LiveSamplingConfig(max_skip=0.05)
+        ctl = LiveController(cfg)
+        for _ in range(6):
+            ctl.observe_window(1000, 1500, 20, 10, 5, 8, model_error=1e-6)
+        # The model looks perfect, so only the hard cap limits the skip.
+        detailed = 100_000
+        budget = ctl.warm_budget(detailed, 0, max_fraction=cfg.max_skip)
+        total = detailed + ctl.window
+        assert budget <= cfg.max_skip * (total + budget) + 1
+
+    def test_trace_shorter_than_one_warmup_window_runs_detailed(self):
+        sim = MulticoreSimulator(SINGLE)
+        budget = 300  # below the 500-instruction base window
+        threads = [ThreadSim(get_profile("hmmer"), core_index=0)]
+        full = sim.run(threads, budget)
+        hierarchy, cores = sim.prepare(threads, budget)
+        flat, total, diag = execute_sampled_live(hierarchy, cores)
+        stats = flat[0][1].stats
+        assert stats.instructions == budget
+        # Nothing was fast-forwarded; the run *is* the full run.
+        assert diag.warmed_instructions == 0
+        assert diag.detailed_fraction == 1.0
+        assert stats.cycles == full.thread_stats[0][1].cycles
+
+
+@pytest.mark.slow
+class TestLiveAccuracy:
+    #: The chip-level contract from the validation suite: live-sampled
+    #: total chip IPC within 3 % of the full run.
+    CHIP_BOUND = 0.03
+
+    def _chip_error(self, design_name, mix, instructions=10_000):
+        design, threads = _chip_threads(design_name, mix)
+        sim = MulticoreSimulator(design)
+        full = sim.run(list(threads), instructions)
+        live = MulticoreSimulator(design).run(
+            list(threads), instructions, sampling="live"
+        )
+        return abs(live.total_ipc - full.total_ipc) / full.total_ipc
+
+    def test_canonical_smt_chip_within_3_percent(self):
+        err = self._chip_error(
+            "4B",
+            (
+                "mcf", "tonto", "hmmer", "libquantum",
+                "omnetpp", "calculix", "astar", "gobmk",
+            ),
+        )
+        assert err < self.CHIP_BOUND, f"4B chip error {100 * err:.2f}%"
+
+    def test_memory_bound_chip_within_3_percent(self):
+        # The hostile case: every thread memory-bound, contention
+        # everywhere the estimator extrapolates.
+        err = self._chip_error("3B2m", ("mcf", "libquantum", "milc", "lbm"))
+        assert err < self.CHIP_BOUND, f"3B2m chip error {100 * err:.2f}%"
+
+    @pytest.mark.parametrize("name", ["mcf", "libquantum", "hmmer", "astar"])
+    def test_solo_within_5_percent(self, name):
+        sim = MulticoreSimulator(SINGLE)
+        threads = [ThreadSim(get_profile(name), core_index=0)]
+        full = sim.run(threads, 30_000)
+        live = sim.run(threads, 30_000, sampling="live")
+        f = full.ipc_of(0)
+        err = abs(live.ipc_of(0) - f) / f
+        assert err < 0.05, f"{name}: live solo error {100 * err:.2f}%"
+
+    def test_detail_only_config_is_exact(self):
+        # With a target error so tight the controller never earns a
+        # fast-forward, the live loop must reproduce the full run *bit
+        # for bit* — windows, lockstep bells, prefix accounting and
+        # boundary snapshots introduce no approximation of their own.
+        design, threads = _chip_threads(
+            "3B2m", ("mcf", "libquantum", "milc", "lbm")
+        )
+        sim = MulticoreSimulator(design)
+        full = sim.run(list(threads), 10_000)
+        hierarchy, cores = MulticoreSimulator(design).prepare(
+            list(threads), 10_000
+        )
+        flat, total, diag = execute_sampled_live(
+            hierarchy, cores, LiveSamplingConfig(target_error=1e-9)
+        )
+        assert diag.warmed_instructions == 0
+        live_cycles = sorted(t.stats.cycles for _, t in flat)
+        full_cycles = sorted(s.cycles for _, s in full.thread_stats)
+        assert live_cycles == full_cycles

@@ -147,6 +147,52 @@ class TestIdleSkipGolden:
             core.run(max_cycles=10)
 
 
+class TestKernelEquivalence:
+    """The batched numpy kernel must be bit-identical to the scalar path."""
+
+    @pytest.mark.parametrize(
+        "design,specs,policy",
+        [c[1:] for c in GOLDEN_CONFIGS],
+        ids=[c[0] for c in GOLDEN_CONFIGS],
+    )
+    def test_numpy_matches_scalar(self, design, specs, policy):
+        fingerprints = []
+        for kernel in ("scalar", "numpy"):
+            sim = MulticoreSimulator(design, fetch_policy=policy, kernel=kernel)
+            threads = [
+                ThreadSim(get_profile(name), core_index=idx) for name, idx in specs
+            ]
+            hierarchy, cores = sim.prepare(threads, instructions_per_thread=2500)
+            result = sim.execute(hierarchy, cores)
+            fingerprints.append(_fingerprint(result))
+        assert fingerprints[0] == fingerprints[1]
+
+    def test_kernels_match_with_prefetcher(self):
+        """The inlined L1D probe must defer to the full data path when a
+        prefetcher needs to observe every access."""
+        design = get_design("2B4m")
+        fingerprints = []
+        for kernel in ("scalar", "numpy"):
+            sim = MulticoreSimulator(design, prefetcher="stride", kernel=kernel)
+            threads = [
+                ThreadSim(get_profile("mcf"), core_index=0),
+                ThreadSim(get_profile("milc"), core_index=2),
+            ]
+            hierarchy, cores = sim.prepare(threads, instructions_per_thread=2000)
+            fingerprints.append(_fingerprint(sim.execute(hierarchy, cores)))
+        assert fingerprints[0] == fingerprints[1]
+
+    def test_env_selector(self, monkeypatch):
+        from repro.sim.kernel import active_kernel
+
+        monkeypatch.setenv("REPRO_SIM_KERNEL", "scalar")
+        assert active_kernel() == "scalar"
+        assert active_kernel("numpy") == "numpy"  # explicit arg wins
+        monkeypatch.setenv("REPRO_SIM_KERNEL", "turbo")
+        with pytest.raises(ValueError, match="REPRO_SIM_KERNEL"):
+            active_kernel()
+
+
 class TestFetchLineGranularity:
     """Regression: i-fetch dedup must use the core's own L1I line size."""
 
