@@ -56,6 +56,7 @@ FAST_SCENARIOS = (
     "live_sampling",
     "interval_point",
     "interval_solver",
+    "engine_dispatch",
     "serve_roundtrip",
 )
 
@@ -69,6 +70,10 @@ MAX_TELEMETRY_OVERHEAD = 0.02
 #: run on the ``live_sampling`` scenario's mix (the accuracy side of the
 #: speed/accuracy trade, gated in the same job as the throughput floors).
 MAX_LIVE_SAMPLING_ERROR = 0.03
+
+#: Floor for the warm persistent pool's advantage over a per-call pool on
+#: the ``engine_dispatch`` scenario (the warm-pool engine's contract).
+MIN_DISPATCH_SPEEDUP = 2.0
 
 
 @dataclass(frozen=True)
@@ -339,6 +344,104 @@ def _scenario_interval_solver() -> Tuple[int, Callable[[], float]]:
     return solves, run
 
 
+def _scenario_engine_dispatch() -> Tuple[int, Callable[[], float], Callable]:
+    """End-to-end engine dispatch: points/s through the full warm-pool path.
+
+    Every other interval scenario times the model kernels directly; this
+    one times the orchestration around them — slab dispatch, IPC,
+    completion-order streaming — by pushing cache-miss sweeps through a
+    persistent 4-worker :class:`~repro.engine.Engine` with no store.  The
+    pool is warmed once up front, then each repeat evaluates a *disjoint*
+    (design, thread-count) slice of the grid so warm worker-side memos
+    never shortcut the compute: every repeat is a genuinely cold slice
+    through a genuinely warm pool.
+
+    The ``dispatch_speedup_vs_per_call`` extra interleaves best-of-two
+    disjoint slices through the warm pool and through a
+    ``pool="per-call"`` engine (fresh process pool per call — the
+    pre-warm-pool behaviour), so both sides of the ratio are sampled
+    back-to-back under the same ambient load; the CI perf gate holds
+    it at >= 2x.
+
+    Parent-side model caches are cleared up front: forked per-call
+    workers inherit whatever earlier scenarios warmed in this process,
+    so without the reset the per-call number would depend on suite
+    order instead of on what a fresh ``--pool per-call`` run pays.
+    """
+    import gc
+
+    from repro.core.designs import all_designs
+    from repro.core.scheduler import clear_isolated_ips_cache
+    from repro.core.study import DesignSpaceStudy, clear_latency_hint_cache
+    from repro.engine import Engine
+
+    clear_latency_hint_cache()
+    clear_isolated_ips_cache()
+    gc.collect()
+    jobs = 4
+    # Rotate over designs whose per-point model cost is within ~15% of
+    # each other (the many-core designs are 2-3x costlier per point), so
+    # the best-of-N repeat number does not depend on which design a given
+    # repeat count happens to land on.
+    names = {d.name for d in all_designs()}
+    designs = [n for n in ("4B", "3B2m", "2B4m", "1B6m") if n in names]
+    # Disjoint (design, two-thread-count) slices; counts start at 3
+    # (counts 1-2 have duplicate mixes that dedup away), so every slice
+    # is the same 24 unique cache-miss points.
+    slices = [
+        (name, [2 * pair + 3, 2 * pair + 4])
+        for pair in range(8)
+        for name in designs
+    ]
+    points_per_slice = 24
+    persistent = Engine(jobs=jobs, store=None, slab_size=8, pool="persistent")
+    # Warm one slice per design so every worker has built every design's
+    # interval model before measurement; measured slices then differ only
+    # by thread counts, and repeats have uniform cost.
+    for _ in designs:
+        warm = slices.pop(0)
+        n = DesignSpaceStudy(engine=persistent).prefetch(
+            [warm[0]], "heterogeneous", warm[1]
+        )
+        assert n == points_per_slice, f"expected 24-point slices, got {n}"
+    best = [float("inf")]
+
+    def run() -> float:
+        name, counts = slices.pop(0)
+        study = DesignSpaceStudy(engine=persistent)
+        start = time.perf_counter()
+        study.prefetch([name], "heterogeneous", counts)
+        seconds = time.perf_counter() - start
+        best[0] = min(best[0], seconds)
+        return seconds
+
+    def _timed_slice(engine: "Engine") -> float:
+        name, counts = slices.pop(0)
+        study = DesignSpaceStudy(engine=engine)
+        start = time.perf_counter()
+        study.prefetch([name], "heterogeneous", counts)
+        return time.perf_counter() - start
+
+    def extras() -> Dict:
+        per_call = Engine(jobs=jobs, store=None, slab_size=8, pool="per-call")
+        persist_best = best[0]
+        per_call_best = float("inf")
+        for _ in range(2):
+            persist_best = min(persist_best, _timed_slice(persistent))
+            per_call_best = min(per_call_best, _timed_slice(per_call))
+        per_call.shutdown()
+        persistent.shutdown()
+        speedup = per_call_best / persist_best if persist_best > 0 else 0.0
+        return {
+            "per_call_points_per_second": round(
+                points_per_slice / per_call_best, 1
+            ),
+            "dispatch_speedup_vs_per_call": round(speedup, 3),
+        }
+
+    return points_per_slice, run, extras
+
+
 # --------------------------------------------------------------------- #
 # serve-tier scenarios                                                    #
 # --------------------------------------------------------------------- #
@@ -509,6 +612,70 @@ def _scenario_serve_burst_telemetry() -> Tuple[int, Callable[[], float], Callabl
     return points, _burst_body(client, _BURST_PARAMS), _latency_extras(client)
 
 
+def _scenario_serve_slab_stream() -> Tuple[int, Callable[[], float], Callable]:
+    """Multi-slab compute sweep streamed through a warm-pool daemon.
+
+    Boots a cache-less ``jobs=2`` daemon (its own handle — the shared
+    bench daemon is single-worker and store-backed) and times a sweep
+    that dispatches as several 8-point slabs, so the number tracks the
+    streaming dispatch path: slab fan-out, completion-order write-back
+    and progress, with zero store hits.  Each repeat sweeps a *different*
+    design so the persistent workers' memoized studies never shortcut
+    the compute — warm pool, cold points, every time.
+    """
+    from repro.serve import ServeClient, ServeConfig, ServerHandle
+
+    if "slab_stream_handle" not in _SERVE_STATE:
+        import atexit
+        import shutil
+        import tempfile
+
+        tmp = tempfile.mkdtemp(prefix="repro-bench-serve-slab-")
+        handle = ServerHandle(
+            ServeConfig(
+                listen=f"unix:{tmp}/bench.sock",
+                jobs=2,
+                no_cache=True,
+                slab_size=8,
+            )
+        ).start()
+
+        def teardown(handle=handle, tmp=tmp):
+            handle.stop()
+            shutil.rmtree(tmp, ignore_errors=True)
+
+        atexit.register(teardown)
+        _SERVE_STATE["slab_stream_handle"] = handle
+    handle = _SERVE_STATE["slab_stream_handle"]
+    client = ServeClient(handle.address, client_name="bench-slab-stream")
+    _SERVE_STATE["slab_stream_client"] = client
+    from repro.core.designs import all_designs
+
+    designs = [d.name for d in all_designs()]
+
+    def params(design: str) -> Dict:
+        return {
+            "designs": [design],
+            "kind": "heterogeneous",
+            "max_threads": 4,
+            "smt": True,
+        }
+
+    # Warm the pool (and pin the per-sweep point count) on one design;
+    # repeats rotate through the rest so every sweep recomputes.
+    status = client.wait(client.submit("sweep", params(designs[0])))
+    points = status["total_points"]
+    rotation = designs[1:]
+
+    def run() -> float:
+        design = rotation.pop(0)
+        start = time.perf_counter()
+        client.wait(client.submit("sweep", params(design)))
+        return time.perf_counter() - start
+
+    return points, run, _latency_extras(client)
+
+
 SCENARIOS: Dict[str, Callable[[], Tuple[int, Callable[[], None]]]] = {
     "tracegen": _scenario_tracegen,
     "ooo_single": _scenario_ooo_single,
@@ -519,9 +686,11 @@ SCENARIOS: Dict[str, Callable[[], Tuple[int, Callable[[], None]]]] = {
     "interval_point": _scenario_interval_point,
     "interval_slab": _scenario_interval_slab,
     "interval_solver": _scenario_interval_solver,
+    "engine_dispatch": _scenario_engine_dispatch,
     "serve_roundtrip": _scenario_serve_roundtrip,
     "serve_burst": _scenario_serve_burst,
     "serve_burst_telemetry": _scenario_serve_burst_telemetry,
+    "serve_slab_stream": _scenario_serve_slab_stream,
 }
 
 #: Scenario -> tier; each tier writes its own report file.
@@ -534,8 +703,18 @@ TIERS: Dict[str, Tuple[str, ...]] = {
         "8core_llc",
         "live_sampling",
     ),
-    "interval": ("interval_point", "interval_slab", "interval_solver"),
-    "serve": ("serve_roundtrip", "serve_burst", "serve_burst_telemetry"),
+    "interval": (
+        "interval_point",
+        "interval_slab",
+        "interval_solver",
+        "engine_dispatch",
+    ),
+    "serve": (
+        "serve_roundtrip",
+        "serve_burst",
+        "serve_burst_telemetry",
+        "serve_slab_stream",
+    ),
 }
 
 #: Default report file per tier (repo root, as ROADMAP.md documents).
@@ -550,9 +729,11 @@ _SCENARIO_UNITS: Dict[str, str] = {
     "interval_point": "points",
     "interval_slab": "points",
     "interval_solver": "solves",
+    "engine_dispatch": "points",
     "serve_roundtrip": "requests",
     "serve_burst": "points",
     "serve_burst_telemetry": "points",
+    "serve_slab_stream": "points",
 }
 
 
@@ -737,14 +918,17 @@ def check_regressions(
     failure message names the offending scenario and quotes the exact
     throughput delta so the CI log alone identifies the culprit.
     Scenarios without a baseline entry are skipped — they cannot regress
-    against nothing.  Three accuracy/latency checks ride along,
+    against nothing.  Four accuracy/latency checks ride along,
     independent of any baseline: a ``cpi_error`` above
     :data:`MAX_LIVE_SAMPLING_ERROR` fails (the live-sampling scenario's
     accuracy contract — a throughput win bought with estimator error is
     still a failure), a ``telemetry_overhead`` above
-    :data:`MAX_TELEMETRY_OVERHEAD` fails, and a recorded e2e p95 more
-    than ``1 + max_regression`` above the baseline's fails.  Returns an
-    empty list when everything is within bounds.
+    :data:`MAX_TELEMETRY_OVERHEAD` fails, a
+    ``dispatch_speedup_vs_per_call`` below :data:`MIN_DISPATCH_SPEEDUP`
+    fails (the warm-pool engine must keep beating a per-call pool), and
+    a recorded e2e p95 more than ``1 + max_regression`` above the
+    baseline's fails.  Returns an empty list when everything is within
+    bounds.
     """
     if not 0.0 < max_regression < 1.0:
         raise ValueError(
@@ -776,6 +960,12 @@ def check_regressions(
             failures.append(
                 f"{name}: telemetry overhead {overhead:.1%} exceeds the "
                 f"{MAX_TELEMETRY_OVERHEAD:.0%} budget"
+            )
+        dispatch = entry.get("dispatch_speedup_vs_per_call")
+        if dispatch is not None and dispatch < MIN_DISPATCH_SPEEDUP:
+            failures.append(
+                f"{name}: warm persistent pool is only {dispatch:.2f}x a "
+                f"per-call pool (floor: {MIN_DISPATCH_SPEEDUP:.1f}x)"
             )
         base_latency = (baseline or {}).get("latency", {}).get(name) or {}
         base_p95 = (base_latency.get("e2e") or {}).get("p95")

@@ -191,14 +191,17 @@ def _build_engine(
     unit_timeout: Optional[float] = None,
     slab_size: Optional[int] = None,
     store_backend: str = "dir",
+    pool: str = "persistent",
 ):
     """An engine with the persistent store (unless ``no_cache``).
 
     ``slab_size`` controls slab dispatch: ``None`` picks the default for
     multi-worker runs (32 points per slab, enough to amortize IPC), ``0``
     forces per-point dispatch, anything else is the points-per-slab count.
+    ``pool`` picks worker lifetime: ``persistent`` (warm workers reused
+    across engine calls) or ``per-call`` (a fresh process pool per call).
     """
-    from repro.engine import Engine, ResultStore
+    from repro.engine import POOL_MODES, Engine, ResultStore
 
     if jobs < 1:
         _LOG.error(f"error: --jobs must be >= 1, got {jobs}")
@@ -212,6 +215,9 @@ def _build_engine(
     if slab_size is not None and slab_size < 0:
         _LOG.error(f"error: --slab-size must be >= 0, got {slab_size}")
         raise SystemExit(2)
+    if pool not in POOL_MODES:
+        _LOG.error(f"error: --pool must be one of {POOL_MODES}, got {pool!r}")
+        raise SystemExit(2)
     if slab_size is None:
         slab_size = 32 if jobs > 1 else 0
     store = None if no_cache else ResultStore(cache_dir, backend=store_backend)
@@ -221,12 +227,15 @@ def _build_engine(
         retries=retries,
         unit_timeout=unit_timeout,
         slab_size=slab_size or None,
+        pool=pool,
     )
 
 
 def _finish_engine(engine) -> None:
-    """Persist the run summary and report stats (stderr keeps stdout clean)."""
+    """Persist the run summary, stop warm workers and report stats
+    (stderr keeps stdout clean)."""
     engine.write_summary()
+    engine.shutdown()
     _LOG.info(engine.stats.formatted())
     for failure in engine.stats.failures:
         _LOG.warning(
@@ -278,6 +287,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         engine = _build_engine(
             args.jobs, args.cache_dir, retries=args.retries,
             unit_timeout=args.unit_timeout, store_backend=args.store_backend,
+            pool=args.pool,
         )
         engine.progress = ProgressLine(f"figure {args.id}", enabled=args.progress)
         set_engine(engine)
@@ -377,6 +387,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         args.jobs, args.cache_dir, args.no_cache,
         retries=args.retries, unit_timeout=args.unit_timeout,
         slab_size=args.slab_size, store_backend=args.store_backend,
+        pool=args.pool,
     )
     engine.progress = ProgressLine("sweep", enabled=args.progress)
     study = DesignSpaceStudy(engine=engine)
@@ -530,6 +541,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         args.jobs, args.cache_dir, args.no_cache,
         retries=args.retries, unit_timeout=args.unit_timeout,
         slab_size=args.slab_size, store_backend=args.store_backend,
+        pool=args.pool,
     )
     engine.progress = ProgressLine("explore", enabled=args.progress)
     try:
@@ -591,13 +603,21 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     utilization = last_run.get("worker_utilization")
     if isinstance(utilization, (int, float)):
         print(f"  utilization   : {utilization:.0%}")
+    pool_starts = last_run.get("pool_starts", 0)
+    pool_reuses = last_run.get("pool_reuses", 0)
+    if pool_starts or pool_reuses:
+        print(
+            f"  pool          : {pool_starts} start(s), "
+            f"{pool_reuses} warm reuse(s)"
+        )
     failed = last_run.get("units_failed", 0)
     retried = last_run.get("units_retried", 0)
     broken = last_run.get("broken_pools", 0)
-    if failed or retried or broken:
+    respawned = last_run.get("worker_respawns", 0)
+    if failed or retried or broken or respawned:
         print(
             f"  faults        : {failed} failed, {retried} retried, "
-            f"{broken} broken pool(s)"
+            f"{broken} broken pool(s), {respawned} worker(s) respawned"
         )
     phases = last_run.get("phase_seconds")
     shares = last_run.get("phase_shares") or {}
@@ -672,6 +692,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         retries=args.retries,
         unit_timeout=args.unit_timeout,
         slab_size=args.slab_size,
+        pool=args.pool,
         quota=args.quota,
         max_finished_jobs=args.max_finished_jobs,
         http_port=args.http_port,
@@ -693,6 +714,7 @@ def _top_snapshot(client) -> Dict:
     health = client.health()
     telemetry = client.metrics(window=3)
     counters = telemetry["snapshot"]["counters"]
+    gauges = telemetry["snapshot"].get("gauges", {})
     series = telemetry["series"]
     throughput: Dict[str, Optional[float]] = {
         "points_per_second": None,
@@ -752,6 +774,7 @@ def _top_snapshot(client) -> Dict:
         "latency": health.get("slo", {}),
         "clients": clients,
         "counters": counters,
+        "gauges": gauges,
     }
 
 
@@ -768,6 +791,7 @@ def _top_render(snap: Dict) -> List[str]:
     jobs = snap["jobs"]
     queue = snap["queue"]
     rate = snap["throughput"]
+    gauges = snap.get("gauges", {})
 
     def slo_text(key: str) -> str:
         slo = snap["latency"].get(key, {})
@@ -805,6 +829,11 @@ def _top_render(snap: Dict) -> List[str]:
         f"latency   queue-wait {slo_text('queue_wait_seconds')}   "
         f"e2e {slo_text('e2e_seconds')}   "
         f"slab {slo_text('slab_seconds')}   (p50/p95/p99)",
+        f"pool      workers {gauges.get('serve.pool_workers', 0):.0f}   "
+        f"starts {gauges.get('serve.pool_starts', 0):.0f}   "
+        f"warm reuses {gauges.get('serve.pool_reuses', 0):.0f}   "
+        f"respawns {gauges.get('serve.worker_respawns', 0):.0f}   "
+        f"in-flight pts {gauges.get('serve.in_flight_points', 0):.0f}",
         f"clients   {client_text or '-'}",
     ]
 
@@ -1012,6 +1041,19 @@ def _add_store_backend_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_pool_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--pool",
+        default="persistent",
+        choices=("persistent", "per-call"),
+        help="worker pool lifetime: 'persistent' (the default) keeps warm "
+        "workers alive across engine calls — modules imported once, "
+        "worker-side model caches retained, crashed workers respawned "
+        "individually; 'per-call' builds a fresh process pool for every "
+        "engine call (the pre-warm-pool behaviour)",
+    )
+
+
 def _add_server_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--server",
@@ -1108,6 +1150,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fault_tolerance_flags(p_fig)
     _add_obs_flags(p_fig)
     _add_store_backend_flag(p_fig)
+    _add_pool_flag(p_fig)
     _add_server_flag(p_fig)
     p_fig.set_defaults(func=_cmd_figure)
 
@@ -1152,6 +1195,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fault_tolerance_flags(p_sweep)
     _add_obs_flags(p_sweep)
     _add_store_backend_flag(p_sweep)
+    _add_pool_flag(p_sweep)
     _add_server_flag(p_sweep)
     p_sweep.add_argument("--json", action="store_true", help="machine-readable output")
     p_sweep.set_defaults(func=_cmd_sweep)
@@ -1252,6 +1296,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fault_tolerance_flags(p_explore)
     _add_obs_flags(p_explore)
     _add_store_backend_flag(p_explore)
+    _add_pool_flag(p_explore)
     _add_server_flag(p_explore)
     p_explore.add_argument(
         "--json", action="store_true", help="machine-readable output"
@@ -1377,6 +1422,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fault_tolerance_flags(p_serve)
     _add_obs_flags(p_serve)
     _add_store_backend_flag(p_serve)
+    _add_pool_flag(p_serve)
     p_serve.set_defaults(func=_cmd_serve)
 
     p_top = sub.add_parser(

@@ -18,9 +18,11 @@ evaluation into explicit work units and makes both kinds of reuse cheap:
   store: one-file-per-record directories (default) or sharded sqlite
   databases (``--store-backend sqlite``, better under concurrent writers
   such as the serve daemon);
-* :mod:`repro.engine.executor` — :class:`ParallelExecutor` (process pool
-  with a bit-identical serial fallback) and :class:`Engine`, the facade
-  that checks the store, computes misses in parallel and writes back;
+* :mod:`repro.engine.executor` — :class:`ParallelExecutor` (a persistent
+  :class:`WorkerPool` by default, with a per-call process pool mode and a
+  bit-identical serial fallback) and :class:`Engine`, the facade that
+  checks the store in one batched lookup, computes misses in parallel and
+  streams results back in deterministic order as workers finish;
 * :mod:`repro.engine.stats` — :class:`EngineStats`: per-phase wall time,
   worker utilization, cache hit rates and fault accounting;
 * :mod:`repro.engine.faults` — deterministic fault injection
@@ -59,11 +61,13 @@ from repro.engine.backends import (
     make_backend,
 )
 from repro.engine.executor import (
+    POOL_MODES,
     Engine,
     EngineFailureError,
     ParallelExecutor,
     UnitOutcome,
     UnitTimeoutError,
+    WorkerPool,
 )
 from repro.engine.faults import FAULT_SPEC_ENV, InjectedFault, InjectedStoreError
 from repro.engine.keys import MODEL_VERSION, canonicalize, content_key
@@ -82,6 +86,8 @@ __all__ = [
     "Engine",
     "EngineFailureError",
     "ParallelExecutor",
+    "WorkerPool",
+    "POOL_MODES",
     "UnitOutcome",
     "UnitTimeoutError",
     "UnitFailure",

@@ -1,35 +1,47 @@
 """Parallel execution of work units and the engine facade.
 
-:class:`ParallelExecutor` maps work units over a process pool with chunked
-dispatch and *ordered* result collection; ``jobs=1`` short-circuits to a
-plain loop in the calling process — no pickling, no pool — which is
-bit-identical to the pre-engine serial path.
+:class:`ParallelExecutor` maps work units over a worker pool; ``jobs=1``
+short-circuits to a plain loop in the calling process — no pickling, no
+pool — which is bit-identical to the pre-engine serial path.  Two pool
+lifetimes (``pool=``):
+
+* ``persistent`` (default) — a lazily started :class:`WorkerPool` that
+  outlives ``map`` calls: workers keep imports, per-process study caches
+  and solver warm-start state across calls and across serve-daemon jobs.
+  Units dispatch one-at-a-time per worker and results stream back in
+  completion order; a dying worker is respawned alone and its unit healed
+  in the parent.
+* ``per-call`` — the original ``ProcessPoolExecutor`` per map with chunked
+  dispatch; a worker death (``BrokenProcessPool``) re-executes the lost
+  chunk serially in the parent and resumes the rest on a fresh pool.
 
 Failures are isolated per unit: every evaluation runs inside a guard that
 retries with exponential backoff (``retries``/``backoff``), enforces an
 optional per-unit wall-clock ``unit_timeout``, and on exhaustion returns a
 structured :class:`~repro.engine.tasks.UnitFailure` in the unit's result
-slot instead of poisoning its whole chunk.  A worker process dying
-(``BrokenProcessPool``) re-executes the lost chunk serially in the parent
-and resumes the rest on a fresh pool.
+slot instead of poisoning its batch.
 
 :class:`Engine` composes the executor with the persistent
 :class:`~repro.engine.store.ResultStore`: look every unit up by content
-key, compute only the misses (in parallel), write the new results back
-atomically, and account for everything — including failures, retries and
-broken pools — in :class:`~repro.engine.stats.EngineStats`.
+key in one batched ``get_many``, compute only the misses (in parallel),
+stream the results back to the store in deterministic submission order as
+they complete (batched ``write_many`` flushes), and account for
+everything — including failures, retries, broken pools and pool
+lifecycle — in :class:`~repro.engine.stats.EngineStats`.
 """
 
 import dataclasses
 import datetime
 import functools
+import multiprocessing
+import multiprocessing.connection
 import signal
 import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
-from typing import Iterator, List, NamedTuple, Optional, Sequence
+from typing import Callable, Iterator, List, NamedTuple, Optional, Sequence
 
 from repro.engine import faults
 from repro.engine.stats import EngineStats
@@ -47,6 +59,12 @@ from repro.engine.tasks import (
 #: Chunks per worker when auto-sizing dispatch: small enough to balance
 #: load across heterogeneous unit costs, large enough to amortize IPC.
 _CHUNKS_PER_WORKER = 4
+
+#: Worker-pool lifetime modes: ``persistent`` keeps one warm pool for the
+#: executor's lifetime (reused across ``execute`` calls and serve jobs);
+#: ``per-call`` rebuilds a ``ProcessPoolExecutor`` for every map, the
+#: pre-warm-pool behaviour.
+POOL_MODES = ("persistent", "per-call")
 
 #: Ceiling on a single backoff sleep, whatever the retry count.
 _MAX_BACKOFF_SECONDS = 2.0
@@ -236,6 +254,211 @@ def _guarded_evaluate(
     return _finish(failure, attempts)
 
 
+def _pool_worker_main(conn) -> None:
+    """Persistent pool worker: evaluate shipped units until told to stop.
+
+    Each message is ``(task_id, unit, options, fault_spec)``; the reply is
+    ``(task_id, outcome)``.  The fault spec rides along with every task
+    because a persistent worker may have forked *before* the parent
+    installed ``$REPRO_FAULT_SPEC`` (see :func:`faults.sync_spec`).  The
+    loop runs in the worker's main thread, so SIGALRM unit timeouts arm
+    exactly as they do in per-call pool workers.  A ``None`` message (or a
+    closed pipe) is the shutdown signal.
+    """
+    faults.mark_worker_process()
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        if message is None:
+            break
+        task_id, unit, options, fault_spec = message
+        faults.sync_spec(fault_spec)
+        outcome = _guarded_evaluate(unit, **options)
+        try:
+            conn.send((task_id, outcome))
+        except OSError:
+            break
+    try:
+        conn.close()
+    except OSError:
+        pass
+
+
+class _PoolWorker:
+    """One persistent worker process, its pipe, and its in-flight task."""
+
+    __slots__ = ("process", "conn", "task")
+
+    def __init__(self, process, conn):
+        self.process = process
+        self.conn = conn
+        #: Index of the unit this worker is evaluating, or None when idle.
+        self.task: Optional[int] = None
+
+
+class WorkerPool:
+    """Persistent worker processes with completion-order dispatch.
+
+    Unlike the per-call ``ProcessPoolExecutor`` path, the pool outlives
+    ``run`` calls: workers keep their imports, their per-process study
+    cache (:mod:`repro.engine.tasks`) and the solver warm-start hints
+    inside each study, so the second sweep — or the next serve-daemon
+    job — skips interpreter startup and model construction entirely.
+
+    Dispatch is one in-flight unit per worker over a dedicated duplex
+    pipe; results surface in **completion order** through the caller's
+    ``on_outcome`` callback, which is what lets store write-back, progress
+    reporting and serve-side preemption overlap computation.  The ordered
+    outcome list is still returned at the end.
+
+    Health is checked per wait: a worker that dies mid-unit (a ``kill``
+    fault, an OOM kill) is **respawned alone** — sibling workers and their
+    in-flight units are untouched — and the lost unit re-runs in the
+    parent via ``parent_guard``, mirroring the lost-chunk semantics of the
+    per-call path (kill-type faults are worker-only, so the parent
+    survives the very unit that killed the worker).
+    """
+
+    def __init__(self, jobs: int):
+        self.jobs = jobs
+        self._workers: List[_PoolWorker] = []
+        #: Cold pool starts, runs served by a warm pool, single-worker
+        #: respawns (mirrored into :class:`EngineStats` by the engine).
+        self.starts = 0
+        self.reuses = 0
+        self.respawns = 0
+
+    # -- lifecycle ------------------------------------------------------ #
+
+    def _spawn(self) -> _PoolWorker:
+        parent_conn, child_conn = multiprocessing.Pipe()
+        process = multiprocessing.Process(
+            target=_pool_worker_main, args=(child_conn,), daemon=True
+        )
+        process.start()
+        child_conn.close()
+        return _PoolWorker(process, parent_conn)
+
+    def _ensure(self, wanted: int) -> None:
+        wanted = min(wanted, self.jobs)
+        if not self._workers:
+            self.starts += 1
+            TRACER.instant("pool.start", cat="engine", workers=wanted)
+            METRICS.inc("engine.pool_starts")
+        while len(self._workers) < wanted:
+            self._workers.append(self._spawn())
+
+    def _respawn(self, worker: _PoolWorker) -> None:
+        self.respawns += 1
+        TRACER.instant("pool.worker-respawn", cat="engine", pid=worker.process.pid)
+        METRICS.inc("engine.worker_respawns")
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        worker.process.join(timeout=1.0)
+        if worker.process.is_alive():
+            worker.process.terminate()
+        self._workers[self._workers.index(worker)] = self._spawn()
+
+    def pids(self) -> List[int]:
+        """Live worker pids (stable across runs unless a worker died)."""
+        return [w.process.pid for w in self._workers]
+
+    def shutdown(self) -> None:
+        """Stop every worker; the pool restarts lazily on the next run."""
+        for worker in self._workers:
+            try:
+                worker.conn.send(None)
+            except OSError:
+                pass
+        for worker in self._workers:
+            worker.process.join(timeout=2.0)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=1.0)
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+        self._workers = []
+
+    # -- dispatch -------------------------------------------------------- #
+
+    def run(
+        self,
+        units: Sequence,
+        options: dict,
+        parent_guard: Callable,
+        on_outcome: Optional[Callable] = None,
+    ) -> List["UnitOutcome"]:
+        """Evaluate ``units``; outcomes align with input, callbacks stream.
+
+        ``options`` are the keyword arguments shipped into the worker-side
+        :func:`_guarded_evaluate`; ``parent_guard`` evaluates one unit in
+        this process (used to heal the unit a dying worker dropped);
+        ``on_outcome(index, outcome)`` fires once per unit in completion
+        order.
+        """
+        n = len(units)
+        outcomes: List[Optional[UnitOutcome]] = [None] * n
+        if self._workers:
+            self.reuses += 1
+            METRICS.inc("engine.pool_reuses")
+        self._ensure(n)
+        spec = faults.current_spec()
+        state = {"done": 0, "next": 0}
+
+        def finish(index: int, outcome: UnitOutcome) -> None:
+            outcomes[index] = outcome
+            state["done"] += 1
+            if on_outcome is not None:
+                on_outcome(index, outcome)
+
+        def handle_death(worker: _PoolWorker) -> None:
+            index = worker.task
+            worker.task = None
+            self._respawn(worker)
+            if index is not None:
+                finish(index, parent_guard(units[index]))
+
+        while state["done"] < n:
+            for worker in list(self._workers):
+                if worker.task is None and state["next"] < n:
+                    index = state["next"]
+                    state["next"] += 1
+                    worker.task = index
+                    try:
+                        worker.conn.send((index, units[index], options, spec))
+                    except OSError:
+                        handle_death(worker)
+            busy = [w for w in self._workers if w.task is not None]
+            if not busy:
+                continue
+            ready = set(
+                multiprocessing.connection.wait(
+                    [w.conn for w in busy] + [w.process.sentinel for w in busy]
+                )
+            )
+            for worker in busy:
+                died = worker.process.sentinel in ready
+                # A worker may die *after* sending its result: drain the
+                # pipe first, and only treat an unreadable pipe as a death.
+                if worker.conn in ready or (died and worker.conn.poll()):
+                    try:
+                        task_id, outcome = worker.conn.recv()
+                    except (EOFError, OSError):
+                        handle_death(worker)
+                        continue
+                    worker.task = None
+                    finish(task_id, outcome)
+                elif died:
+                    handle_death(worker)
+        return outcomes
+
+
 class ParallelExecutor:
     """Maps work units to outcomes, preserving submission order."""
 
@@ -246,6 +469,7 @@ class ParallelExecutor:
         retries: int = 0,
         backoff: float = 0.05,
         unit_timeout: Optional[float] = None,
+        pool: str = "persistent",
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -257,13 +481,42 @@ class ParallelExecutor:
             raise ValueError(f"backoff must be >= 0, got {backoff}")
         if unit_timeout is not None and unit_timeout <= 0:
             raise ValueError(f"unit_timeout must be > 0, got {unit_timeout}")
+        if pool not in POOL_MODES:
+            raise ValueError(f"pool must be one of {POOL_MODES}, got {pool!r}")
         self.jobs = jobs
         self.chunksize = chunksize
         self.retries = retries
         self.backoff = backoff
         self.unit_timeout = unit_timeout
+        #: Pool lifetime mode ("persistent" or "per-call").
+        self.pool = pool
+        self._pool: Optional[WorkerPool] = None
         #: Worker crashes survived so far (``BrokenProcessPool`` recoveries).
         self.broken_pools = 0
+
+    # -- persistent-pool surface ---------------------------------------- #
+
+    @property
+    def pool_starts(self) -> int:
+        return self._pool.starts if self._pool is not None else 0
+
+    @property
+    def pool_reuses(self) -> int:
+        return self._pool.reuses if self._pool is not None else 0
+
+    @property
+    def worker_respawns(self) -> int:
+        return self._pool.respawns if self._pool is not None else 0
+
+    def pool_pids(self) -> List[int]:
+        """Live persistent-worker pids ([] when no pool is warm)."""
+        return self._pool.pids() if self._pool is not None else []
+
+    def shutdown(self) -> None:
+        """Tear down the persistent pool; the executor stays usable (a
+        later map lazily starts a fresh pool)."""
+        if self._pool is not None:
+            self._pool.shutdown()
 
     def _guard(self, observe: tuple = ()):
         return functools.partial(
@@ -279,17 +532,23 @@ class ParallelExecutor:
         units: Sequence[WorkUnit],
         observe: tuple = (),
         progress=None,
+        on_result=None,
     ) -> List[UnitOutcome]:
         """One :class:`UnitOutcome` per unit, in submission order.
 
         Never raises for a unit-level failure (the outcome carries a
-        :class:`UnitFailure` instead), and survives worker deaths: when the
-        pool breaks, the lost chunk is re-executed serially in the parent
-        process and the remaining units resume on a fresh pool.
+        :class:`UnitFailure` instead), and survives worker deaths: the
+        persistent pool respawns the dead worker alone and heals its unit
+        in the parent; the per-call pool re-executes the lost chunk
+        serially and resumes the rest on a fresh ``ProcessPoolExecutor``.
 
         ``observe`` is forwarded into the worker guard (see
-        :func:`_guarded_evaluate`); ``progress``, when given, is called
-        with the number of completed units after each outcome arrives.
+        :func:`_guarded_evaluate`).  ``on_result(index, outcome)``, when
+        given, fires once per unit as its outcome arrives — in submission
+        order on the serial and per-call paths, in **completion order** on
+        the persistent pool — always before ``progress(done_count)`` for
+        the same unit.  The returned list is in submission order either
+        way.
         """
         units = list(units)
         guard = self._guard(observe)
@@ -297,11 +556,33 @@ class ParallelExecutor:
             # Serial fallback: same process, same code path as before the
             # engine existed — bit-identical by construction.
             outcomes = []
-            for unit in units:
-                outcomes.append(guard(unit))
+            for index, unit in enumerate(units):
+                outcome = guard(unit)
+                outcomes.append(outcome)
+                if on_result is not None:
+                    on_result(index, outcome)
                 if progress is not None:
                     progress(len(outcomes))
             return outcomes
+        if self.pool == "persistent":
+            if self._pool is None:
+                self._pool = WorkerPool(self.jobs)
+            options = dict(
+                retries=self.retries,
+                backoff=self.backoff,
+                timeout=self.unit_timeout,
+                observe=observe,
+            )
+            done = [0]
+
+            def deliver(index: int, outcome: UnitOutcome) -> None:
+                if on_result is not None:
+                    on_result(index, outcome)
+                done[0] += 1
+                if progress is not None:
+                    progress(done[0])
+
+            return self._pool.run(units, options, guard, deliver)
         outcomes: List[UnitOutcome] = []
         remaining = units
         while remaining:
@@ -315,8 +596,11 @@ class ParallelExecutor:
                     max_workers=workers, initializer=faults.mark_worker_process
                 ) as pool:
                     for outcome in pool.map(guard, remaining, chunksize=chunksize):
+                        index = len(outcomes)
                         outcomes.append(outcome)
                         collected += 1
+                        if on_result is not None:
+                            on_result(index, outcome)
                         if progress is not None:
                             progress(len(outcomes))
                 remaining = []
@@ -334,10 +618,66 @@ class ParallelExecutor:
                 remaining = remaining[collected:]
                 lost, remaining = remaining[:chunksize], remaining[chunksize:]
                 for unit in lost:
-                    outcomes.append(guard(unit))
+                    index = len(outcomes)
+                    outcome = guard(unit)
+                    outcomes.append(outcome)
+                    if on_result is not None:
+                        on_result(index, outcome)
                     if progress is not None:
                         progress(len(outcomes))
         return outcomes
+
+
+class _WritebackStream:
+    """Reorders completion-order outcomes into deterministic store writes.
+
+    Outcomes stream in as workers finish — possibly out of submission
+    order — but stored bytes must stay bit-identical to the serial path,
+    so writes are buffered per miss position and flushed as contiguous
+    runs (one :meth:`ResultStore.write_many` batch each) whenever the
+    submission-order cursor advances.  Failures advance the cursor without
+    writing; healed units are written by the engine's final write-back
+    pass.  Flush time spent inside the compute phase is tracked so the
+    engine can re-attribute it to the write-back phase.
+    """
+
+    #: Records accumulated before a streamed flush; leftovers below the
+    #: threshold when compute ends are written by the engine's tail pass.
+    FLUSH_RECORDS = 16
+
+    def __init__(self, store: Optional[ResultStore], stats: EngineStats):
+        self.store = store
+        self.stats = stats
+        self._pending: dict = {}
+        self._cursor = 0
+        self._batch: list = []
+        self._batch_positions: list = []
+        #: Miss positions whose results have already been persisted.
+        self.written = set()
+        #: Seconds spent flushing while the compute phase was open.
+        self.inline_seconds = 0.0
+
+    def offer(self, pos: int, key: str, outcome: UnitOutcome) -> None:
+        if self.store is None:
+            return
+        start = time.perf_counter()
+        if outcome.ok:
+            self._pending[pos] = (key, payload_from_result(outcome.value))
+        else:
+            self._pending[pos] = None
+        while self._cursor in self._pending:
+            item = self._pending.pop(self._cursor)
+            if item is not None:
+                self._batch.append(item)
+                self._batch_positions.append(self._cursor)
+            self._cursor += 1
+        if len(self._batch) >= self.FLUSH_RECORDS:
+            self.store.write_many(self._batch)
+            self.stats.writeback_batches.observe(len(self._batch))
+            self.written.update(self._batch_positions)
+            self._batch = []
+            self._batch_positions = []
+        self.inline_seconds += time.perf_counter() - start
 
 
 class Engine:
@@ -352,6 +692,7 @@ class Engine:
         backoff: float = 0.05,
         unit_timeout: Optional[float] = None,
         slab_size: Optional[int] = None,
+        pool: str = "persistent",
     ):
         if slab_size is not None and slab_size < 1:
             raise ValueError(f"slab_size must be >= 1, got {slab_size}")
@@ -364,6 +705,7 @@ class Engine:
             retries=retries,
             backoff=backoff,
             unit_timeout=unit_timeout,
+            pool=pool,
         )
         self.store = store
         self.stats = EngineStats(jobs=jobs)
@@ -375,6 +717,15 @@ class Engine:
     @property
     def jobs(self) -> int:
         return self.executor.jobs
+
+    @property
+    def pool(self) -> str:
+        return self.executor.pool
+
+    def shutdown(self) -> None:
+        """Stop the persistent worker pool (if warm); the engine stays
+        usable and restarts the pool lazily on the next evaluate."""
+        self.executor.shutdown()
 
     def evaluate(
         self, units: Sequence[WorkUnit], on_failure: str = "raise"
@@ -405,8 +756,11 @@ class Engine:
         misses: List[int] = []
 
         with self.stats.phase("lookup"):
-            for i, unit in enumerate(units):
-                payload = self.store.get(unit.content_key) if self.store else None
+            if self.store is not None and units:
+                payloads = self.store.get_many([u.content_key for u in units])
+            else:
+                payloads = [None] * len(units)
+            for i, (unit, payload) in enumerate(zip(units, payloads)):
                 if payload is not None:
                     try:
                         results[i] = result_from_payload(payload)
@@ -428,27 +782,51 @@ class Engine:
             reporter = self.progress
             if reporter is not None:
                 reporter.begin(len(misses))
+            miss_units = [units[i] for i in misses]
+            # Write-back streams alongside computation: each outcome is
+            # offered as it completes and flushed in submission order, so
+            # store I/O overlaps compute without perturbing stored bytes.
+            stream = _WritebackStream(self.store, self.stats)
+
+            def absorb(pos: int, outcome: UnitOutcome) -> None:
+                stream.offer(pos, miss_units[pos].content_key, outcome)
+
             try:
                 with self.stats.phase("compute"):
-                    miss_units = [units[i] for i in misses]
                     progress = None if reporter is None else reporter.update
                     if self.slab_size and len(miss_units) > 1:
                         outcomes = self._map_slabs(
-                            miss_units, observe=observe, progress=progress
+                            miss_units,
+                            observe=observe,
+                            progress=progress,
+                            on_result=absorb,
                         )
                     else:
                         outcomes = self.executor.map(
-                            miss_units, observe=observe, progress=progress
+                            miss_units,
+                            observe=observe,
+                            progress=progress,
+                            on_result=absorb,
                         )
             finally:
                 if reporter is not None:
                     reporter.finish()
-            if self.executor.jobs > 1 and not all(o.ok for o in outcomes):
-                outcomes = self._recover_serially(
-                    [units[i] for i in misses], outcomes, observe
+            if stream.inline_seconds:
+                # Store flushes ran inside the compute wall clock; bill
+                # them to write-back so utilization stays honest.
+                self.stats.phase_seconds["compute"] = (
+                    self.stats.phase_seconds.get("compute", 0.0)
+                    - stream.inline_seconds
                 )
+                self.stats.phase_seconds["write-back"] = (
+                    self.stats.phase_seconds.get("write-back", 0.0)
+                    + stream.inline_seconds
+                )
+            if self.executor.jobs > 1 and not all(o.ok for o in outcomes):
+                outcomes = self._recover_serially(miss_units, outcomes, observe)
             with self.stats.phase("write-back"):
-                for i, outcome in zip(misses, outcomes):
+                tail = []
+                for pos, (i, outcome) in enumerate(zip(misses, outcomes)):
                     if outcome.spans:
                         TRACER.absorb(outcome.spans)
                     if outcome.metrics:
@@ -462,11 +840,14 @@ class Engine:
                     if outcome.attempts > 1:
                         retried += 1
                         retry_attempts += outcome.attempts - 1
-                    if self.store is not None:
-                        self.store.put(
-                            units[i].content_key,
-                            payload_from_result(outcome.value),
+                    if self.store is not None and pos not in stream.written:
+                        # Healed (or never-streamed) results land here.
+                        tail.append(
+                            (units[i].content_key, payload_from_result(outcome.value))
                         )
+                if tail:
+                    self.store.write_many(tail)
+                    self.stats.writeback_batches.observe(len(tail))
 
         recovered = self._last_recovered
         self._last_recovered = 0
@@ -484,6 +865,11 @@ class Engine:
             broken_pools=broken,
         )
         self.stats.record_failures(failures)
+        # Pool lifecycle counters are lifetime totals on the executor;
+        # mirror them rather than accumulate deltas.
+        self.stats.pool_starts = self.executor.pool_starts
+        self.stats.pool_reuses = self.executor.pool_reuses
+        self.stats.worker_respawns = self.executor.worker_respawns
         if METRICS.enabled:
             METRICS.inc("engine.units_total", len(units))
             METRICS.inc("engine.store_hits", len(units) - len(misses))
@@ -501,6 +887,7 @@ class Engine:
         units: Sequence[WorkUnit],
         observe: tuple = (),
         progress=None,
+        on_result=None,
     ) -> List[UnitOutcome]:
         """Dispatch units as slabs, flattened back to per-unit outcomes.
 
@@ -551,18 +938,17 @@ class Engine:
         if METRICS.enabled:
             METRICS.inc("engine.slabs_dispatched", len(slabs))
 
+        outcomes: List[Optional[UnitOutcome]] = [None] * len(units)
         done_units = [0]
 
-        def slab_progress(completed_slabs: int) -> None:
-            done_units[0] = sum(len(m) for m in members[:completed_slabs])
-            if progress is not None:
-                progress(done_units[0])
+        def flatten(slab_index: int, outcome: UnitOutcome) -> None:
+            """Fan one slab outcome out into its members' result slots.
 
-        slab_outcomes = self.executor.map(
-            slabs, observe=observe, progress=slab_progress
-        )
-        outcomes: List[Optional[UnitOutcome]] = [None] * len(units)
-        for slab, piece, outcome in zip(slabs, members, slab_outcomes):
+            Runs as each slab completes (possibly out of submission order
+            on the persistent pool), so per-unit streaming write-back and
+            progress see units the moment their slab lands.
+            """
+            piece = members[slab_index]
             per_point = outcome.seconds / len(piece)
             for j, i in enumerate(piece):
                 spans = outcome.spans if j == 0 else ()
@@ -580,9 +966,24 @@ class Engine:
                         message=outcome.value.message,
                         attempts=outcome.value.attempts,
                     )
-                outcomes[i] = UnitOutcome(
+                unit_outcome = UnitOutcome(
                     value, per_point, outcome.attempts, spans, metrics
                 )
+                outcomes[i] = unit_outcome
+                if on_result is not None:
+                    on_result(i, unit_outcome)
+            done_units[0] += len(piece)
+
+        def slab_progress(_completed_slabs: int) -> None:
+            # flatten has already run for this slab (on_result fires
+            # before progress), so the unit tally is correct even when
+            # slabs complete out of submission order.
+            if progress is not None:
+                progress(done_units[0])
+
+        self.executor.map(
+            slabs, observe=observe, progress=slab_progress, on_result=flatten
+        )
         return outcomes
 
     def _recover_serially(

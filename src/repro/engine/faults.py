@@ -177,6 +177,30 @@ def reset() -> None:
     _IN_WORKER = False
 
 
+def current_spec() -> str:
+    """The active spec string ("" when injection is off), for shipping to
+    persistent pool workers alongside each task."""
+    return os.environ.get(FAULT_SPEC_ENV, "")
+
+
+def sync_spec(spec: str) -> None:
+    """Adopt the parent's fault spec inside a persistent pool worker.
+
+    Per-call pools inherit ``$REPRO_FAULT_SPEC`` at fork time, but a
+    persistent worker may have forked *before* a test or CLI run installed
+    its spec — so the executor ships the parent's current spec with every
+    task and the worker applies it here.  :func:`_active` re-parses (and
+    re-arms ``times=`` budgets) only when the spec string actually
+    changed, so an unchanged spec keeps its per-process fire counters and
+    retry-then-succeed scenarios stay deterministic.
+    """
+    if spec:
+        os.environ[FAULT_SPEC_ENV] = spec
+    else:
+        os.environ.pop(FAULT_SPEC_ENV, None)
+    _active()
+
+
 # --------------------------------------------------------------------- #
 # injection points                                                       #
 # --------------------------------------------------------------------- #

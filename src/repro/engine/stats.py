@@ -41,10 +41,17 @@ class EngineStats:
         self.units_recovered = 0
         #: Worker crashes survived (one per ``BrokenProcessPool`` recovery).
         self.broken_pools = 0
+        #: Persistent-pool lifecycle: cold pool starts, runs served by an
+        #: already-warm pool, and individual workers respawned after dying.
+        self.pool_starts = 0
+        self.pool_reuses = 0
+        self.worker_respawns = 0
         #: Structured details of the most recent failures (capped).
         self.failures: List[Dict[str, Any]] = []
         #: Per-unit evaluation latency distribution (p50/p95 in summaries).
         self.unit_seconds = Histogram()
+        #: Records per store write-back flush (batching effectiveness).
+        self.writeback_batches = Histogram()
 
     # ------------------------------------------------------------------ #
     # recording                                                           #
@@ -137,6 +144,7 @@ class EngineStats:
             or self.units_retried
             or self.units_recovered
             or self.broken_pools
+            or self.worker_respawns
         )
 
     def as_dict(self) -> Dict[str, Any]:
@@ -157,6 +165,10 @@ class EngineStats:
             "retry_attempts": self.retry_attempts,
             "units_recovered": self.units_recovered,
             "broken_pools": self.broken_pools,
+            "pool_starts": self.pool_starts,
+            "pool_reuses": self.pool_reuses,
+            "worker_respawns": self.worker_respawns,
+            "writeback_batches": self.writeback_batches.snapshot(),
             "failures": list(self.failures),
         }
 
@@ -181,12 +193,19 @@ class EngineStats:
                 f"p95 {self.unit_seconds.percentile(95) * 1e3:.1f}ms  "
                 f"over {self.unit_seconds.count} computed unit(s)"
             )
+        if self.pool_starts or self.pool_reuses:
+            lines.append(
+                f"pool: {self.pool_starts} start(s)  "
+                f"{self.pool_reuses} warm reuse(s)  "
+                f"{self.worker_respawns} worker respawn(s)"
+            )
         if not self.fault_free:
             lines.append(
                 f"faults: {self.units_failed} failed  "
                 f"{self.units_retried} retried "
                 f"(+{self.retry_attempts} attempt(s))  "
                 f"{self.units_recovered} recovered serially  "
-                f"{self.broken_pools} broken pool(s) survived"
+                f"{self.broken_pools} broken pool(s) survived  "
+                f"{self.worker_respawns} worker(s) respawned"
             )
         return "\n".join(lines)

@@ -142,21 +142,8 @@ class ResultStore:
         """Disk path of a record (directory backend only)."""
         return self.backend.record_path(key)
 
-    def get(self, key: str) -> Optional[Dict[str, Any]]:
-        """The payload stored under ``key``, or None (miss or bad record)."""
-        if key in self._memory:
-            self.stats.hits += 1
-            METRICS.inc("store.hits")
-            return self._memory[key]
-        try:
-            faults.inject_store_fault("read")
-            text = self.backend.read_record(key)
-        except OSError:
-            text = None
-        if text is None:
-            self.stats.misses += 1
-            METRICS.inc("store.misses")
-            return None
+    def _decode_record(self, key: str, text: str) -> Optional[Dict[str, Any]]:
+        """Validate raw record text; counts a hit, or a corrupt miss."""
         try:
             record = json.loads(text)
             if (
@@ -180,6 +167,65 @@ class ResultStore:
         METRICS.inc("store.hits")
         return payload
 
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The payload stored under ``key``, or None (miss or bad record)."""
+        if key in self._memory:
+            self.stats.hits += 1
+            METRICS.inc("store.hits")
+            return self._memory[key]
+        try:
+            faults.inject_store_fault("read")
+            text = self.backend.read_record(key)
+        except OSError:
+            text = None
+        if text is None:
+            self.stats.misses += 1
+            METRICS.inc("store.misses")
+            return None
+        return self._decode_record(key, text)
+
+    def get_many(self, keys: List[str]) -> List[Optional[Dict[str, Any]]]:
+        """Batched :meth:`get`: payloads (or None) aligned with ``keys``.
+
+        One backend round trip for every key not already in the in-memory
+        layer — on the sqlite backend that is one ``SELECT ... IN`` per
+        shard instead of a query per key.  Injected/real read faults
+        degrade a key to a miss exactly like :meth:`get`.
+        """
+        out: List[Optional[Dict[str, Any]]] = [None] * len(keys)
+        pending: List[Tuple[int, str]] = []
+        for i, key in enumerate(keys):
+            if key in self._memory:
+                self.stats.hits += 1
+                METRICS.inc("store.hits")
+                out[i] = self._memory[key]
+            else:
+                pending.append((i, key))
+        if not pending:
+            return out
+        readable: List[Tuple[int, str]] = []
+        for i, key in pending:
+            try:
+                faults.inject_store_fault("read")
+            except OSError:
+                self.stats.misses += 1
+                METRICS.inc("store.misses")
+                continue
+            readable.append((i, key))
+        if readable:
+            try:
+                texts = self.backend.read_records([key for _, key in readable])
+            except OSError:
+                texts = {}
+            for i, key in readable:
+                text = texts.get(key)
+                if text is None:
+                    self.stats.misses += 1
+                    METRICS.inc("store.misses")
+                else:
+                    out[i] = self._decode_record(key, text)
+        return out
+
     def put(self, key: str, payload: Dict[str, Any]) -> None:
         """Write ``payload`` under ``key``: atomically on disk, or to the
         in-memory fallback once the store has degraded."""
@@ -200,6 +246,46 @@ class ResultStore:
             return
         self.stats.writes += 1
         METRICS.inc("store.writes")
+
+    def write_many(self, items: List[Tuple[str, Dict[str, Any]]]) -> None:
+        """Batched :meth:`put`: one backend transaction for the whole batch.
+
+        On the sqlite backend this is one transaction per touched shard;
+        on the directory backend the shard directories are pre-created once
+        and each record still lands via its own atomic replace.  A write
+        fault (injected or real) degrades the store and routes the affected
+        and remaining records to the in-memory fallback, same as ``put``.
+        """
+        staged: List[Tuple[str, Dict[str, Any], str]] = []
+        for key, payload in items:
+            if self.degraded:
+                self._memory[key] = payload
+                self.stats.memory_writes += 1
+                METRICS.inc("store.memory_writes")
+                continue
+            try:
+                faults.inject_store_fault("write")
+            except OSError as exc:
+                self._degrade(f"write failed: {exc}")
+                self._memory[key] = payload
+                self.stats.memory_writes += 1
+                METRICS.inc("store.memory_writes")
+                continue
+            record = {"schema": STORE_SCHEMA_VERSION, "key": key, "payload": payload}
+            staged.append((key, payload, json.dumps(record)))
+        if not staged:
+            return
+        try:
+            self.backend.write_records([(key, text) for key, _, text in staged])
+        except OSError as exc:
+            self._degrade(f"write failed: {exc}")
+            for key, payload, _ in staged:
+                self._memory[key] = payload
+                self.stats.memory_writes += 1
+                METRICS.inc("store.memory_writes")
+            return
+        self.stats.writes += len(staged)
+        METRICS.inc("store.writes", len(staged))
 
     def delete(self, key: str) -> bool:
         """Remove the record under ``key`` (memory and disk); True if a
@@ -294,23 +380,46 @@ class ResultStore:
         """Persist the last engine run's stats (read by ``cache stats``).
 
         Never raises for an unwritable cache directory: the summary is kept
-        in memory instead (and the store degrades, with its warning).
+        in memory instead (and the store degrades, with its warning).  The
+        in-memory copy is retained even after a successful write, so a
+        later read that finds the on-disk file corrupted can still serve
+        this process's last summary.
         """
+        self._memory_summary = summary
         if self.degraded:
-            self._memory_summary = summary
             return
         try:
             atomic_write_json(self.summary_path, summary)
         except OSError as exc:
             self._degrade(f"run summary write failed: {exc}")
-            self._memory_summary = summary
 
     def read_run_summary(self) -> Optional[Dict[str, Any]]:
+        """The last run's summary, or None.
+
+        A missing file is normal (no run yet) and stays silent; a file that
+        exists but does not parse to a summary dict — a truncated
+        ``last_run.json``, say — degrades with a warning like every other
+        store read path instead of crashing ``repro cache stats``.
+        """
         try:
-            summary = json.loads(self.summary_path.read_text())
-        except (OSError, ValueError):
+            text = self.summary_path.read_text()
+        except OSError:
             return self._memory_summary
-        return summary if isinstance(summary, dict) else self._memory_summary
+        try:
+            summary = json.loads(text)
+            if not isinstance(summary, dict):
+                raise ValueError("run summary is not a JSON object")
+        except ValueError:
+            METRICS.inc("store.corrupt_summaries")
+            TRACER.instant("store.corrupt-summary", cat="store")
+            warnings.warn(
+                f"ignoring corrupt run summary at {self.summary_path}; "
+                "it will be overwritten by the next engine run",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return self._memory_summary
+        return summary
 
 
 class KeyedCache:

@@ -194,8 +194,25 @@ def result_from_payload(payload: Dict[str, object]):
     )
 
 
-#: Per-process study memo so pool workers build each chip model once.
-_WORKER_STUDIES: Dict[Tuple[ChipDesign, Optional[UncoreConfig]], object] = {}
+def _worker_studies():
+    """Per-process study cache so pool workers build each chip model once.
+
+    A :class:`~repro.engine.store.KeyedCache` rather than a bare dict: the
+    hit/miss counters make warm-state reuse observable (persistent pool
+    workers keep this cache — and the solver state inside each study —
+    across tasks, slabs and serve-daemon jobs), and the identity memo keeps
+    repeat lookups of the same design object at dict speed.  Imported
+    lazily to keep the module import-light for worker startup.
+    """
+    global _WORKER_STUDIES
+    if _WORKER_STUDIES is None:
+        from repro.engine.store import KeyedCache
+
+        _WORKER_STUDIES = KeyedCache("worker-studies")
+    return _WORKER_STUDIES
+
+
+_WORKER_STUDIES = None
 
 
 def evaluate_work_unit(unit):
@@ -209,13 +226,12 @@ def evaluate_work_unit(unit):
     """
     from repro.core.study import DesignSpaceStudy
 
-    memo_key = (unit.design, unit.reference_uncore)
-    study = _WORKER_STUDIES.get(memo_key)
-    if study is None:
-        study = DesignSpaceStudy(
+    study = _worker_studies().get_or_compute(
+        (unit.design, unit.reference_uncore),
+        lambda: DesignSpaceStudy(
             designs=[unit.design], reference_uncore=unit.reference_uncore
-        )
-        _WORKER_STUDIES[memo_key] = study
+        ),
+    )
     if isinstance(unit, SlabUnit):
         return study.evaluate_mixes(
             unit.design.name, [list(m) for m in unit.mixes], unit.smt
@@ -225,4 +241,5 @@ def evaluate_work_unit(unit):
 
 def clear_worker_studies() -> None:
     """Drop per-process worker studies (tests and long-lived servers)."""
-    _WORKER_STUDIES.clear()
+    if _WORKER_STUDIES is not None:
+        _WORKER_STUDIES.clear()

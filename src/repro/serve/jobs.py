@@ -158,6 +158,9 @@ class SlabScheduler:
         self._fair: Dict[str, int] = {}
         #: Slabs handed out by :meth:`next_slab` and not yet completed.
         self.in_flight = 0
+        #: Grid points inside those in-flight slabs (an opaque slab counts
+        #: as one) — the unit the engine's streaming dispatch works in.
+        self.in_flight_points = 0
         #: Dispatches that jumped ahead of lower-priority ready work
         #: (an interactive slab leaving bulk slabs waiting).
         self.preemptions = 0
@@ -188,6 +191,7 @@ class SlabScheduler:
             return None
         _, _, _, slab = heapq.heappop(self._ready)
         self.in_flight += 1
+        self.in_flight_points += len(slab.point_keys) or 1
         if any(entry[0] > slab.priority for entry in self._ready):
             self.preemptions += 1
         return slab
@@ -195,6 +199,7 @@ class SlabScheduler:
     def complete(self, slab: Slab) -> List[Slab]:
         """Mark a dispatched slab finished; returns newly admitted slabs."""
         self.in_flight -= 1
+        self.in_flight_points -= len(slab.point_keys) or 1
         return self._release(slab.client)
 
     def _release(self, client: str) -> List[Slab]:
@@ -264,6 +269,7 @@ class SlabScheduler:
             "quota": self.quota,
             "ready": self.ready_count,
             "in_flight": self.in_flight,
+            "in_flight_points": self.in_flight_points,
             "preemptions": self.preemptions,
             "backlog": {c: len(v) for c, v in sorted(self._backlog.items())},
             "admitted": dict(sorted(self._admitted.items())),

@@ -109,6 +109,9 @@ class ServeConfig:
     retries: int = 1
     unit_timeout: Optional[float] = None
     slab_size: int = DEFAULT_SLAB_SIZE
+    #: Worker-pool lifetime ("persistent" keeps one warm pool across jobs;
+    #: "per-call" rebuilds a process pool per engine call).
+    pool: str = "persistent"
     quota: int = DEFAULT_QUOTA
     #: Terminal jobs retained for poll/wait; older ones are evicted so a
     #: long-lived daemon's job table stays bounded.
@@ -231,6 +234,7 @@ class SweepServer:
             retries=config.retries,
             unit_timeout=config.unit_timeout,
             slab_size=engine_slab if engine_slab > 1 else None,
+            pool=config.pool,
         )
 
     # ------------------------------------------------------------------ #
@@ -279,7 +283,12 @@ class SweepServer:
         m.set_gauge("serve.ready_slabs", self._scheduler.ready_count)
         m.set_gauge("serve.backlog_slabs", self._scheduler.backlog_count)
         m.set_gauge("serve.in_flight_slabs", self._scheduler.in_flight)
+        m.set_gauge("serve.in_flight_points", self._scheduler.in_flight_points)
         m.set_gauge("serve.preemptions", self._scheduler.preemptions)
+        m.set_gauge("serve.pool_workers", len(self.engine.executor.pool_pids()))
+        m.set_gauge("serve.pool_starts", self.engine.executor.pool_starts)
+        m.set_gauge("serve.pool_reuses", self.engine.executor.pool_reuses)
+        m.set_gauge("serve.worker_respawns", self.engine.executor.worker_respawns)
         m.set_gauge("serve.active_jobs", self._active_jobs())
         m.set_gauge("serve.tracked_jobs", len(self._jobs))
         m.set_gauge("serve.tracked_points", len(self._points))
@@ -418,6 +427,8 @@ class SweepServer:
         self.engine.write_summary()
         if self.engine.store is not None:
             self.engine.store.close()
+        # The drain guarantees nothing is in flight; stop the warm workers.
+        self.engine.shutdown()
         from repro.experiments.context import set_engine
 
         set_engine(None)

@@ -306,6 +306,110 @@ class TestResultStore:
         assert summary["store"]["writes"] == 1
 
 
+class TestBatchedStoreIO:
+    """``write_many``/``get_many``: one backend transaction per batch."""
+
+    KEYS = [format(i, "064x") for i in range(1, 4)]
+    PAYLOADS = [{"n": i} for i in range(1, 4)]
+
+    @pytest.mark.parametrize("backend", ["dir", "sqlite"])
+    def test_write_many_get_many_round_trip(self, tmp_path, backend):
+        store = ResultStore(tmp_path, backend=backend)
+        store.write_many(list(zip(self.KEYS, self.PAYLOADS)))
+        assert store.stats.writes == len(self.KEYS)
+        # A fresh store (no memory layer) must read the same bytes back,
+        # aligned with the requested key order.
+        fresh = ResultStore(tmp_path, backend=backend)
+        assert fresh.get_many(list(reversed(self.KEYS))) == list(
+            reversed(self.PAYLOADS)
+        )
+        assert fresh.stats.hits == len(self.KEYS)
+
+    @pytest.mark.parametrize("backend", ["dir", "sqlite"])
+    def test_get_many_alignment_with_misses(self, tmp_path, backend):
+        store = ResultStore(tmp_path, backend=backend)
+        store.write_many(list(zip(self.KEYS, self.PAYLOADS)))
+        absent = "f" * 64
+        got = store.get_many([self.KEYS[0], absent, self.KEYS[2]])
+        assert got == [self.PAYLOADS[0], None, self.PAYLOADS[2]]
+        assert store.stats.misses == 1
+
+    def test_batched_matches_single_record_ops(self, tmp_path):
+        batched = ResultStore(tmp_path / "batched")
+        batched.write_many(list(zip(self.KEYS, self.PAYLOADS)))
+        singly = ResultStore(tmp_path / "singly")
+        for key, payload in zip(self.KEYS, self.PAYLOADS):
+            singly.put(key, payload)
+        for key in self.KEYS:
+            # Batching never changes the stored bytes.
+            assert batched._path(key).read_bytes() == singly._path(key).read_bytes()
+
+    def test_write_many_fault_degrades_to_memory(self, tmp_path):
+        from repro.engine import faults
+
+        store = ResultStore(tmp_path)
+        faults.reset()
+        faults.install("store-write:times=1")
+        try:
+            with pytest.warns(RuntimeWarning):
+                store.write_many(list(zip(self.KEYS, self.PAYLOADS)))
+            assert store.degraded
+            # Every item of the batch survives in the memory layer.
+            assert store.get_many(self.KEYS) == self.PAYLOADS
+        finally:
+            faults.reset()
+
+    def test_get_many_fault_is_a_per_key_miss(self, tmp_path):
+        from repro.engine import faults
+
+        store = ResultStore(tmp_path)
+        store.write_many(list(zip(self.KEYS, self.PAYLOADS)))
+        fresh = ResultStore(tmp_path)
+        faults.reset()
+        faults.install("store-read:times=1")
+        try:
+            got = fresh.get_many(self.KEYS)
+        finally:
+            faults.reset()
+        # The injected read error costs exactly one key its hit; the
+        # rest of the batch still resolves.
+        assert got.count(None) == 1
+        assert fresh.stats.misses == 1
+        assert fresh.stats.hits == len(self.KEYS) - 1
+
+
+class TestCorruptRunSummary:
+    def test_corrupt_summary_warns_and_degrades(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.summary_path.write_text("{ this is not json")
+        with pytest.warns(RuntimeWarning, match="corrupt run summary"):
+            assert store.read_run_summary() is None
+
+    def test_corrupt_summary_falls_back_to_memory_copy(self, tmp_path):
+        store = ResultStore(tmp_path)
+        engine = Engine(jobs=1, store=store)
+        engine.evaluate([unit()])
+        engine.write_summary()
+        store.summary_path.write_text('["not", "a", "summary"]')
+        with pytest.warns(RuntimeWarning):
+            summary = store.read_run_summary()
+        assert summary is not None and summary["units_total"] == 1
+
+    def test_missing_summary_is_silent(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.read_run_summary() is None  # no warning expected
+
+    def test_cache_stats_survives_corrupt_summary(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        store = ResultStore(tmp_path)
+        store.summary_path.write_text("{ truncated")
+        with pytest.warns(RuntimeWarning, match="corrupt run summary"):
+            rc = cli_main(["cache", "stats", "--cache-dir", str(tmp_path)])
+        assert rc == 0
+        assert "last run        : (none recorded)" in capsys.readouterr().out
+
+
 class TestSqliteBackend:
     def test_round_trip(self, tmp_path, study):
         store = ResultStore(tmp_path, backend="sqlite")

@@ -179,7 +179,7 @@ class TestKilledWorker:
     def test_broken_pool_recovery(self, no_fault_results):
         """A worker dying mid-batch loses nothing and kills no result."""
         faults.install("kill:benchmark=mcf")
-        executor = ParallelExecutor(jobs=2, chunksize=1)
+        executor = ParallelExecutor(jobs=2, chunksize=1, pool="per-call")
         outcomes = executor.map(single_units())
         assert executor.broken_pools >= 1
         assert all(o.ok for o in outcomes)
@@ -187,7 +187,7 @@ class TestKilledWorker:
 
     def test_engine_counts_broken_pools(self, no_fault_results):
         faults.install("kill:benchmark=mcf")
-        engine = Engine(jobs=2, chunksize=1)
+        engine = Engine(jobs=2, chunksize=1, pool="per-call")
         results = engine.evaluate(single_units())
         assert results == no_fault_results
         assert engine.stats.broken_pools >= 1
@@ -200,6 +200,65 @@ class TestKilledWorker:
         # fired here the test run itself would die with os._exit.
         (outcome,) = ParallelExecutor(jobs=1).map([unit(mix=("mcf",))])
         assert outcome.ok
+
+
+class TestKilledWorkerPersistent:
+    """The persistent pool's answer to worker death: respawn one worker."""
+
+    def test_worker_respawn_recovery(self, no_fault_results):
+        faults.install("kill:benchmark=mcf")
+        executor = ParallelExecutor(jobs=2)
+        try:
+            outcomes = executor.map(single_units())
+            assert executor.worker_respawns >= 1
+            assert executor.broken_pools == 0  # no whole-pool teardown
+            assert all(o.ok for o in outcomes)
+            assert [o.value for o in outcomes] == no_fault_results
+            # The pool is still fully staffed after the respawn.
+            assert len(executor.pool_pids()) == 2
+        finally:
+            executor.shutdown()
+
+    def test_engine_counts_worker_respawns(self, no_fault_results):
+        faults.install("kill:benchmark=mcf")
+        engine = Engine(jobs=2)
+        try:
+            results = engine.evaluate(single_units())
+            assert results == no_fault_results
+            assert engine.stats.worker_respawns >= 1
+            assert engine.stats.broken_pools == 0
+            assert engine.stats.units_failed == 0
+            assert "respawn" in engine.stats.formatted()
+        finally:
+            engine.shutdown()
+
+    def test_spec_installed_after_pool_start_still_fires(self, no_fault_results):
+        """Workers fork at first use; a spec installed *afterwards* must
+        still reach them (it ships with every task)."""
+        engine = Engine(jobs=2)
+        try:
+            assert engine.evaluate(single_units()) == no_fault_results
+            faults.install("raise:benchmark=mcf")
+            results = engine.evaluate(single_units(), on_failure="return")
+            # If the warm workers had missed the spec, the mcf unit would
+            # have evaluated cleanly in its worker.
+            assert isinstance(results[0], UnitFailure)
+            assert results[1:] == no_fault_results[1:]
+        finally:
+            engine.shutdown()
+
+    def test_sibling_units_survive_a_killed_worker(self, no_fault_results):
+        """Only the dying worker's unit re-runs; siblings keep their
+        in-flight results (nothing is torn down pool-wide)."""
+        faults.install("kill:benchmark=mcf:times=1")
+        engine = Engine(jobs=2)
+        try:
+            results = engine.evaluate(single_units())
+            assert results == no_fault_results
+            assert engine.stats.worker_respawns == 1
+            assert engine.stats.units_failed == 0
+        finally:
+            engine.shutdown()
 
 
 class TestUnitTimeout:

@@ -416,14 +416,14 @@ class TestServeDaemon:
         assert not handle._thread.is_alive()
 
     def test_injected_worker_crash_survives_through_server(self, tmp_path):
-        """A BrokenProcessPool inside the daemon heals like in the CLI."""
+        """A killed pool worker inside the daemon heals like in the CLI."""
         from repro.engine import faults
 
         faults.reset()
         faults.install("kill:benchmark=mcf")
         try:
             # slab_size 4 with jobs 2 → two slab-units per dispatch, so
-            # the batch always reaches the process pool (a single-unit
+            # the batch always reaches the worker pool (a single-unit
             # batch would run serially in-parent, where kill faults are
             # suppressed by design).
             with make_handle(tmp_path, jobs=2, slab_size=4) as handle:
@@ -431,9 +431,51 @@ class TestServeDaemon:
                     result = client.sweep([DESIGN], "homogeneous", 1)
                 assert result["mean_stp"][DESIGN]["1"] > 0
                 # The mcf-bearing units killed at least one worker; the
-                # engine healed the pool and recovered every point.
-                assert handle.server.engine.stats.broken_pools >= 1
+                # engine respawned it individually (no whole-pool
+                # teardown) and recovered every point.
+                assert handle.server.engine.stats.worker_respawns >= 1
+                assert handle.server.engine.stats.broken_pools == 0
                 assert handle.server.engine.stats.units_failed == 0
+        finally:
+            faults.reset()
+
+    def test_warm_pool_is_reused_across_jobs(self, tmp_path):
+        """Two back-to-back jobs run on the same worker pids: the pool is
+        an engine property, not a per-call accident."""
+        with make_handle(tmp_path, jobs=2, slab_size=4) as handle:
+            with ServeClient(handle.address) as client:
+                client.sweep([DESIGN], "homogeneous", 2)
+                first_pids = set(handle.server.engine.executor.pool_pids())
+                client.sweep([OTHER_DESIGN], "homogeneous", 2)
+                second_pids = set(handle.server.engine.executor.pool_pids())
+            assert len(first_pids) == 2
+            assert second_pids == first_pids
+            assert handle.server.engine.stats.pool_starts == 1
+            assert handle.server.engine.stats.pool_reuses >= 1
+
+    def test_respawn_preserves_sibling_workers_and_results(self, tmp_path):
+        """A single killed worker is replaced without tearing down its
+        siblings, and the daemon's answer matches a fault-free run."""
+        from repro.engine import faults
+
+        faults.reset()
+        try:
+            with make_handle(tmp_path, jobs=2, slab_size=4) as handle:
+                with ServeClient(handle.address) as client:
+                    clean = client.sweep([DESIGN], "homogeneous", 1)
+                    before = set(handle.server.engine.executor.pool_pids())
+                    faults.install("kill:benchmark=mcf:times=1")
+                    faulted = client.sweep([OTHER_DESIGN], "homogeneous", 1)
+                    after = set(handle.server.engine.executor.pool_pids())
+                stats = handle.server.engine.stats
+                assert stats.worker_respawns == 1
+                assert stats.units_failed == 0
+                assert faulted["mean_stp"][OTHER_DESIGN]["1"] > 0
+                assert clean["mean_stp"][DESIGN]["1"] > 0
+                # Exactly one pid changed: the victim; the sibling kept
+                # its seat (and its warm caches).
+                assert len(after) == 2
+                assert len(before & after) == 1
         finally:
             faults.reset()
 
